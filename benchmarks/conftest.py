@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (at reduced
+trial counts so the full suite runs in minutes) and attaches the produced
+rows to ``benchmark.extra_info`` so the numbers are visible in the
+pytest-benchmark report.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The full-fidelity regeneration (1,000 trials per point, full Table IV grid)
+is available through ``python -m repro.experiments.runner``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Reduced trial count used by the benchmark harness (the paper uses 1,000).
+BENCH_TRIALS = 200
+
+
+@pytest.fixture(scope="session")
+def bench_trials() -> int:
+    """Number of random vectors per configuration used by the benchmarks."""
+    return BENCH_TRIALS

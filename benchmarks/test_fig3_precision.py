@@ -1,0 +1,55 @@
+"""Benchmark: regenerate Fig. 3 (precision vs input length per format)."""
+
+import numpy as np
+
+from repro.eval.precision import error_histogram, precision_sweep
+
+#: Subset of the Fig. 3 lengths used by the timed benchmark run.
+BENCH_LENGTHS = (64, 256, 512, 1024)
+
+
+def _summarize(rows):
+    return {f"{r.fmt}-d{r.length}": f"{r.stats.mean:.3e}" for r in rows}
+
+
+def test_fig3_precision_sweep(benchmark, bench_trials):
+    """Fig. 3a-c: IterL2Norm error across lengths for FP32/FP16/BFloat16."""
+    results = benchmark.pedantic(
+        precision_sweep,
+        kwargs=dict(
+            lengths=BENCH_LENGTHS,
+            formats=("fp32", "fp16", "bf16"),
+            num_steps=5,
+            trials=bench_trials,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["mean_errors"] = _summarize(results)
+
+    by_fmt = {}
+    for r in results:
+        by_fmt.setdefault(r.fmt, []).append(r.stats.mean)
+    # Shape checks: error bands ordered fp32 < fp16 < bf16 on average.
+    assert np.mean(by_fmt["fp32"]) < np.mean(by_fmt["fp16"]) < np.mean(by_fmt["bf16"])
+    # Errors live in the paper's bands (fp32 ~1e-4..1e-3, bf16 ~1e-3..1e-2).
+    assert np.mean(by_fmt["fp32"]) < 5e-3
+    assert np.mean(by_fmt["bf16"]) < 2e-2
+
+
+def test_fig3_inset_histogram(benchmark, bench_trials):
+    """Fig. 3 insets: the d=384 error distribution is concentrated at low error."""
+    counts, edges = benchmark.pedantic(
+        error_histogram,
+        kwargs=dict(length=384, fmt="fp32", trials=bench_trials, bins=20),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["histogram_counts"] = [int(c) for c in counts]
+    assert counts.sum() == bench_trials
+    # The distribution is dominated by low-error vectors and the largest-error
+    # bins are sparsely populated ("the maximum error cases marginally
+    # occurred" - Fig. 3 insets).
+    assert int(np.argmax(counts)) < len(counts) // 2
+    assert counts[: len(counts) // 2].sum() > counts[len(counts) // 2 :].sum()
+    assert counts[-3:].sum() < 0.25 * bench_trials

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Fig. 4 (error vs iteration count at d=1024)."""
+
+import numpy as np
+
+from repro.eval.precision import convergence_sweep
+
+STEP_COUNTS = (1, 2, 3, 4, 5, 7, 10)
+
+
+def test_fig4_convergence_curves(benchmark, bench_trials):
+    """Fig. 4: FP16/BFloat16 saturate by ~5 steps; FP32 keeps improving a bit."""
+    results = benchmark.pedantic(
+        convergence_sweep,
+        kwargs=dict(
+            length=1024,
+            formats=("fp32", "fp16", "bf16"),
+            step_counts=STEP_COUNTS,
+            trials=bench_trials,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    curves: dict[str, list[float]] = {}
+    for r in results:
+        curves.setdefault(r.fmt, []).append(r.stats.mean)
+    benchmark.extra_info["curves"] = {
+        fmt: [f"{v:.3e}" for v in vals] for fmt, vals in curves.items()
+    }
+
+    for fmt, vals in curves.items():
+        # Error decreases from 1 step to 5 steps for every format.
+        assert vals[STEP_COUNTS.index(5)] < vals[0]
+    # 16-bit formats saturate: 5 -> 10 steps changes the error by < 50%.
+    for fmt in ("fp16", "bf16"):
+        five = curves[fmt][STEP_COUNTS.index(5)]
+        ten = curves[fmt][STEP_COUNTS.index(10)]
+        assert abs(five - ten) < 0.5 * five
+    # The fp32 error after 10 steps sits below both 16-bit floors.
+    assert curves["fp32"][-1] < curves["fp16"][-1]
+    assert curves["fp32"][-1] < curves["bf16"][-1]

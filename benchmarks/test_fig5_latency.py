@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Fig. 5 (macro latency vs input length)."""
+
+import numpy as np
+
+from repro.eval.latency import FIG5_LENGTHS, latency_sweep
+
+
+def test_fig5_latency_model_sweep(benchmark):
+    """Fig. 5 via the closed-form model: 116-227 cycles, affine in ceil(d/64)."""
+    sweep = benchmark(latency_sweep, lengths=FIG5_LENGTHS, num_steps=5)
+    benchmark.extra_info["cycles"] = dict(zip(sweep.lengths, sweep.cycles))
+    assert abs(sweep.min_cycles - 116) <= 10
+    assert abs(sweep.max_cycles - 227) <= 10
+    increments = set(np.diff(sweep.cycles))
+    assert len(increments) == 1  # constant cycles per additional 64-element chunk
+
+
+def test_fig5_latency_simulator_sweep(benchmark):
+    """Fig. 5 via the cycle simulator (matches the model, format independent)."""
+    sweep = benchmark.pedantic(
+        latency_sweep,
+        kwargs=dict(lengths=(64, 256, 512, 1024), num_steps=5, use_simulator=True),
+        rounds=1,
+        iterations=1,
+    )
+    model = latency_sweep(lengths=(64, 256, 512, 1024), num_steps=5)
+    assert sweep.cycles == model.cycles
+    bf16 = latency_sweep(lengths=(64, 256, 512, 1024), use_simulator=True, fmt="bf16")
+    assert bf16.cycles == sweep.cycles  # "latency does not rely on the data format"

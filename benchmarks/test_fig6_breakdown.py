@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 6 (area and power breakdowns per format)."""
+
+from repro.eval.synthesis import area_power_breakdowns
+
+
+def test_fig6_area_power_breakdowns(benchmark):
+    """Fig. 6: memory dominates area; multipliers/adders dominate power."""
+    breakdowns = benchmark(area_power_breakdowns, ("fp32", "fp16", "bf16"))
+    benchmark.extra_info["breakdowns"] = {
+        fmt: {
+            kind: {k: round(v, 3) for k, v in parts.items()}
+            for kind, parts in per_fmt.items()
+        }
+        for fmt, per_fmt in breakdowns.items()
+    }
+
+    for fmt, parts in breakdowns.items():
+        area = parts["area"]
+        power = parts["power"]
+        # Fig. 6a-c: "the memory occupies the largest area in the macro".
+        assert max(area, key=area.get) == "memory"
+        # Followed by the logic area (multipliers + adders) ahead of control.
+        assert area["mul_block"] + area["add_block"] > area["control"]
+        # Fig. 6d-f: "the operational power is primarily determined by the FP
+        # multipliers and adders".
+        assert power["mul_block"] + power["add_block"] > 0.5
+        assert power["mul_block"] + power["add_block"] > power["memory"]

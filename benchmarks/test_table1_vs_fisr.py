@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Table I (IterL2Norm vs FISR at OPT embedding lengths)."""
+
+from repro.eval.precision import method_comparison
+
+#: Subset of the nine OPT lengths used for the timed run (full set in the
+#: experiment runner); chosen to span the short and long ends of Table I.
+BENCH_LENGTHS = (768, 1024, 2048, 4096, 12288)
+
+
+def test_table1_fp32_comparison(benchmark, bench_trials):
+    """Table I, FP32 columns: IterL2Norm wins the average-error comparison
+    in a majority of the embedding lengths (the paper reports 6 of 9)."""
+    rows = benchmark.pedantic(
+        method_comparison,
+        kwargs=dict(lengths=BENCH_LENGTHS, formats=("fp32",), trials=bench_trials),
+        rounds=1,
+        iterations=1,
+    )
+    wins = sum(1 for r in rows if r["winner"] == "iterl2norm")
+    benchmark.extra_info["rows"] = [
+        {k: (f"{v:.3e}" if isinstance(v, float) else v) for k, v in r.items()} for r in rows
+    ]
+    benchmark.extra_info["iterl2norm_wins"] = f"{wins}/{len(rows)}"
+    assert wins >= len(rows) // 2 + 1
+    assert all(r["iterl2norm_mean"] < 1e-2 for r in rows)
+
+
+def test_table1_bf16_comparison(benchmark, bench_trials):
+    """Table I, BFloat16 columns: the two methods are nearly tied (paper: 5 of 9)."""
+    rows = benchmark.pedantic(
+        method_comparison,
+        kwargs=dict(lengths=BENCH_LENGTHS, formats=("bf16",), trials=bench_trials),
+        rounds=1,
+        iterations=1,
+    )
+    wins = sum(1 for r in rows if r["winner"] == "iterl2norm")
+    benchmark.extra_info["iterl2norm_wins"] = f"{wins}/{len(rows)}"
+    # Near-tie: both methods sit at the bf16 quantization floor, within 2x.
+    for r in rows:
+        ratio = r["iterl2norm_mean"] / r["fisr_mean"]
+        assert 0.5 < ratio < 2.0
+    assert wins >= 1

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table II (synthesis results per data format)."""
+
+import pytest
+
+from repro.eval.synthesis import synthesis_rows
+
+#: The paper's Table II values for the side-by-side comparison.
+PAPER = {
+    "fp32": {"memory_kib": 96.5, "cells_k": 269.3, "area_mm2": 2.4, "power_mw": 22.9},
+    "fp16": {"memory_kib": 48.3, "cells_k": 100.1, "area_mm2": 1.1, "power_mw": 8.4},
+    "bf16": {"memory_kib": 48.3, "cells_k": 87.0, "area_mm2": 1.0, "power_mw": 7.3},
+}
+
+
+def test_table2_synthesis_report(benchmark):
+    """Table II: memory/cells/area/power per format, compared against the paper."""
+    rows = benchmark(synthesis_rows, ("fp32", "fp16", "bf16"))
+    benchmark.extra_info["rows"] = rows
+    by_fmt = {row["format"]: row for row in rows}
+
+    for fmt, paper in PAPER.items():
+        row = by_fmt[fmt]
+        assert row["memory_kib"] == pytest.approx(paper["memory_kib"], abs=0.1)
+        assert row["cells_k"] == pytest.approx(paper["cells_k"], rel=0.02)
+        assert row["area_mm2"] == pytest.approx(paper["area_mm2"], rel=0.1)
+        assert row["power_mw"] == pytest.approx(paper["power_mw"], rel=0.02)
+
+    # Cross-format shape: FP32 needs ~2x the memory and >2x the power of the
+    # 16-bit formats, and BFloat16 is the cheapest (Sec. V-C).
+    assert by_fmt["fp32"]["memory_kib"] == pytest.approx(2 * by_fmt["bf16"]["memory_kib"], rel=0.01)
+    assert by_fmt["fp32"]["power_mw"] > 2 * by_fmt["fp16"]["power_mw"]
+    assert by_fmt["bf16"]["cells_k"] < by_fmt["fp16"]["cells_k"] < by_fmt["fp32"]["cells_k"]

@@ -1,0 +1,73 @@
+"""Accelerator integration study: how much IterL2Norm hardware does a model need?
+
+Run with::
+
+    python examples/accelerator_integration.py
+
+This example answers the question an accelerator integrator would ask after
+reading the paper: if layer normalization moves on-chip, what does it cost
+per generated token, and how many macro instances keep up with a target
+decoding rate?  It uses:
+
+* :func:`repro.integration.normalization_cost_report` for the per-token cycle
+  budget of the OPT-125M and OPT-350M shapes;
+* :class:`repro.integration.MacroBackedLayerNorm` to run actual activations
+  through the cycle-accurate macro model and confirm the counted cycles;
+* :class:`repro.macro.traffic.TrafficModel` for the DRAM traffic and energy
+  the on-chip placement removes (the paper's Sec. I motivation).
+"""
+
+import numpy as np
+
+from repro.eval.reporting import format_table
+from repro.integration import MacroBackedLayerNorm, normalization_cost_report
+from repro.macro.traffic import DDR4_CHANNEL, TrafficModel
+from repro.nn.config import get_config
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. Per-token normalization cost for the paper's two model shapes.
+    rows = [
+        normalization_cost_report(
+            get_config(name), num_steps=5, clock_mhz=100.0, target_tokens_per_second=1e4
+        ).as_row()
+        for name in ("opt-125m", "opt-350m")
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                "IterL2Norm macro cost per generated token "
+                "(5 iteration steps, 100 MHz, target 10k tokens/s)"
+            ),
+        )
+    )
+
+    # 2. Run real activations through the macro-backed normalizer and check
+    #    the counted cycles against the closed-form model.
+    d = 768
+    layer = MacroBackedLayerNorm(d, fmt="fp16", num_steps=5)
+    tokens = rng.normal(size=(16, d))
+    _ = layer(tokens)
+    print(
+        f"\nMacro-backed LayerNorm: {layer.vectors_normalized} rows of d={d} "
+        f"consumed {layer.cycles_consumed} cycles "
+        f"({layer.cycles_consumed / layer.vectors_normalized:.1f} cycles/row)"
+    )
+
+    # 3. The data-movement argument: what host-side normalization would cost.
+    traffic = TrafficModel(interface=DDR4_CHANNEL, macros=4)
+    traffic_rows = [traffic.report(d, n, fmt="fp16").as_row() for n in (128, 1024, 8192)]
+    print()
+    print(
+        format_table(
+            traffic_rows,
+            title="DRAM traffic and energy avoided by normalizing on-chip (d=768, fp16)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""LLM-level evaluation: swap layer norm for IterL2Norm in an OPT-style model.
+
+Run with::
+
+    python examples/llm_perplexity_sweep.py [--train-steps N] [--full]
+
+The script reproduces the Table IV workflow on the NumPy substrate:
+
+1. generate the synthetic WikiText-2-like corpus and train a scaled-down
+   OPT-style decoder on it;
+2. measure the baseline perplexity with exact layer normalization;
+3. replace every layer-norm block with IterL2Norm at 3/4/5/10 iteration
+   steps (in FP32 and BFloat16) and measure the perplexity again;
+4. print the per-configuration perplexity deltas and a short sample of
+   generated text to show the swapped model still behaves.
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.data.datasets import build_dataset
+from repro.eval.perplexity import LLMEvalConfig, perplexity_experiment
+from repro.eval.reporting import format_table
+from repro.nn.generation import generate
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--train-steps", type=int, default=120)
+    parser.add_argument(
+        "--full", action="store_true", help="run both tasks and both model sizes"
+    )
+    args = parser.parse_args()
+
+    if args.full:
+        config = LLMEvalConfig(train_steps=args.train_steps)
+    else:
+        config = LLMEvalConfig(
+            tasks=("wikitext2-sim",),
+            models=("opt-125m-sim",),
+            formats=("fp32", "bf16"),
+            step_counts=(3, 4, 5, 10),
+            train_steps=args.train_steps,
+        )
+
+    results = perplexity_experiment(config)
+    rows = [row for result in results for row in result.as_rows()]
+    print(
+        format_table(
+            rows,
+            columns=["task", "model", "format", "baseline_ppl", "steps", "ppl", "delta"],
+            float_format=".4f",
+            title="IterL2Norm inside an OPT-style model (Table IV protocol)",
+        )
+    )
+
+    # Generate a few tokens with the swapped normalizer to show the model is
+    # functional end to end (not just a perplexity number).
+    from repro.eval.perplexity import prepare_model
+
+    model, dataset, _ = prepare_model("wikitext2-sim", "opt-125m-sim", config)
+    model.replace_layernorm("iterl2norm", fmt="fp32", num_steps=5)
+    model.eval()
+    prompt_text = "the river"
+    prompt = dataset.tokenizer.encode(prompt_text)
+    tokens = generate(
+        model, prompt, max_new_tokens=16, temperature=0.8, top_k=20,
+        rng=np.random.default_rng(0),
+    )
+    print("\nSample generation with IterL2Norm normalization (5 steps, fp32):")
+    print(f"  prompt: {prompt_text!r}")
+    print(f"  output: {dataset.tokenizer.decode(tokens)!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Hardware macro walkthrough: latency, memory, area, and power reports.
+
+Run with::
+
+    python examples/macro_latency_report.py
+
+The script drives the cycle-approximate IterL2Norm macro simulator on a real
+input vector (showing the per-phase cycle breakdown of Sec. IV's sequence),
+sweeps the latency over the supported input lengths (Fig. 5), and prints the
+synthesis-style memory/area/power reports for the three data formats
+(Table II and Fig. 6).
+"""
+
+import numpy as np
+
+from repro.eval.latency import FIG5_LENGTHS, latency_sweep
+from repro.eval.reporting import format_breakdown, format_table
+from repro.eval.synthesis import area_power_breakdowns, synthesis_rows
+from repro.macro.simulator import IterL2NormMacro, MacroConfig
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. One normalization on the macro, with the phase-by-phase cycle costs.
+    d = 384
+    x = rng.uniform(-1.0, 1.0, size=d)
+    gamma = rng.uniform(0.8, 1.2, size=d)
+    beta = rng.normal(scale=0.1, size=d)
+    macro = IterL2NormMacro(MacroConfig(fmt="fp32", num_steps=5))
+    result = macro.normalize(x, gamma, beta)
+    print(f"Normalizing one d={d} vector on the FP32 macro:")
+    for phase, cycles in result.phase_cycles.items():
+        print(f"  {phase:<13s} {cycles:4d} cycles")
+    print(f"  {'total':<13s} {result.total_cycles:4d} cycles "
+          f"({result.total_cycles / 100.0:.2f} us at 100 MHz)")
+    print(f"  mean = {result.mean:+.5f}, ||y||^2 = {result.norm_squared:.3f}, "
+          f"scale a*sqrt(d) = {result.scale:.5f}\n")
+
+    # 2. Fig. 5: latency vs input length.
+    sweep = latency_sweep(lengths=FIG5_LENGTHS, num_steps=5)
+    print(format_table(sweep.as_rows(), title="Latency vs input length (5 iteration steps)"))
+    print(f"range: {sweep.min_cycles}-{sweep.max_cycles} cycles (paper: 116-227)\n")
+
+    # 3. Table II: synthesis-style report per format.
+    print(format_table(synthesis_rows(), title="Synthesis model (Table II)"))
+    print()
+
+    # 4. Fig. 6: area/power breakdowns.
+    for fmt, parts in area_power_breakdowns().items():
+        print(format_breakdown(parts["area"], title=f"{fmt} area breakdown"))
+        print(format_breakdown(parts["power"], title=f"{fmt} power breakdown"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: IterL2Norm as a drop-in layer-normalization replacement.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script normalizes a batch of activation vectors three ways — exact layer
+norm, IterL2Norm (the paper's method), and the FISR baseline — in FP32 and
+BFloat16, and prints the error of each approximate method against the exact
+result, plus the convergence trace of the underlying scalar iteration.
+"""
+
+import numpy as np
+
+from repro import (
+    ExactLayerNorm,
+    FISRLayerNorm,
+    IterL2Norm,
+    IterL2NormConfig,
+    exact_layernorm,
+)
+from repro.core.convergence import convergence_report
+from repro.eval.reporting import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    d = 768  # the OPT-125M embedding length
+    batch = rng.uniform(-1.0, 1.0, size=(64, d))
+    reference = exact_layernorm(batch)
+
+    rows = []
+    for fmt in ("fp32", "bf16"):
+        normalizers = {
+            "exact (output cast)": ExactLayerNorm(d, fmt=fmt),
+            "IterL2Norm (5 steps)": IterL2Norm(d, IterL2NormConfig(num_steps=5, fmt=fmt)),
+            "FISR (1 Newton step)": FISRLayerNorm(d, fmt=fmt),
+        }
+        for name, normalizer in normalizers.items():
+            err = np.abs(normalizer(batch) - reference)
+            rows.append(
+                {
+                    "format": fmt,
+                    "method": name,
+                    "mean_abs_err": err.mean(),
+                    "max_abs_err": err.max(),
+                }
+            )
+    print(format_table(rows, title=f"Layer normalization of {batch.shape[0]} vectors, d={d}"))
+
+    # Peek inside the scalar iteration for one vector (Algorithm 1's core).
+    y = batch[0] - batch[0].mean()
+    m = float(y @ y)
+    report = convergence_report(m, num_steps=8, fmt="fp32")
+    print("\nScalar iteration toward a_inf = 1/||y|| for the first vector:")
+    print(f"  m = ||y||^2 = {m:.4f}, lambda = {report.lam:.6f}")
+    for step, err in enumerate(report.error_trace):
+        print(f"  step {step}: |a - a_inf| = {err:.3e}")
+    print(
+        f"  relative error after {len(report.error_trace) - 1} steps: "
+        f"{report.relative_final_error:.3e}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""IterL2Norm reproduction: fast iterative L2-normalization (DATE 2025).
+
+Top-level convenience exports cover the most common entry points:
+
+* :class:`~repro.core.layernorm.IterL2Norm` — the drop-in layer-norm module.
+* :func:`~repro.core.iteration.iterl2norm_vector` — one-shot vector
+  normalization.
+* :class:`~repro.baselines.exact.ExactLayerNorm` and
+  :class:`~repro.baselines.fisr.FISRLayerNorm` — the baselines.
+* :mod:`repro.fpformats` — FP32/FP16/BFloat16 emulation.
+* :mod:`repro.macro` — the hardware macro simulator and area/power models.
+* :mod:`repro.nn` / :mod:`repro.data` / :mod:`repro.eval` — the OPT-style
+  transformer substrate and the experiment harness.
+"""
+
+from repro.core.iteration import iterate_a, iterl2norm_vector
+from repro.core.layernorm import IterL2Norm, IterL2NormConfig, iterl2norm_layernorm
+from repro.baselines.exact import ExactLayerNorm, exact_layernorm
+from repro.baselines.fisr import FISRLayerNorm, fast_inverse_sqrt
+from repro.baselines.registry import available_methods, get_normalizer
+from repro.fpformats.spec import BFLOAT16, FLOAT16, FLOAT32, FloatFormat, get_format
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BFLOAT16",
+    "ExactLayerNorm",
+    "FISRLayerNorm",
+    "FLOAT16",
+    "FLOAT32",
+    "FloatFormat",
+    "IterL2Norm",
+    "IterL2NormConfig",
+    "__version__",
+    "available_methods",
+    "exact_layernorm",
+    "fast_inverse_sqrt",
+    "get_format",
+    "get_normalizer",
+    "iterate_a",
+    "iterl2norm_layernorm",
+    "iterl2norm_vector",
+]

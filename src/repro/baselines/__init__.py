@@ -1,0 +1,55 @@
+"""Baseline normalization methods the paper compares against.
+
+* :mod:`~repro.baselines.exact` — exact layer normalization / L2
+  normalization, the ground truth of the evaluation (the paper uses PyTorch's
+  ``layer_norm`` on CPU; we use float64 NumPy, see DESIGN.md).
+* :mod:`~repro.baselines.fisr` — the fast inverse square root (FISR)
+  algorithm [12] with format-specific magic constants, the main competitor in
+  Table I.
+* :mod:`~repro.baselines.lut_invsqrt` — piecewise-linear LUT approximation of
+  the inverse square root, in the style of NN-LUT [9].
+* :mod:`~repro.baselines.int_sqrt` — integer iterative square root plus
+  division, in the style of SwiftTron [8] (Crandall–Pomerance Newton sqrt).
+* :mod:`~repro.baselines.newton` — standard Newton–Raphson inverse-sqrt
+  refinement, used both inside FISR and as a standalone baseline.
+* :mod:`~repro.baselines.registry` — a string-keyed registry so experiments
+  and the transformer substrate can select a normalizer by name.
+"""
+
+from repro.baselines.exact import (
+    ExactLayerNorm,
+    exact_l2_normalize,
+    exact_layernorm,
+)
+from repro.baselines.fisr import (
+    FISRLayerNorm,
+    fast_inverse_sqrt,
+    fisr_l2_normalize,
+    fisr_magic_constant,
+)
+from repro.baselines.lut_invsqrt import LUTInverseSqrt, LUTLayerNorm
+from repro.baselines.int_sqrt import integer_isqrt, integer_layernorm
+from repro.baselines.newton import newton_inverse_sqrt
+from repro.baselines.registry import (
+    available_methods,
+    get_normalizer,
+    register_normalizer,
+)
+
+__all__ = [
+    "ExactLayerNorm",
+    "FISRLayerNorm",
+    "LUTInverseSqrt",
+    "LUTLayerNorm",
+    "available_methods",
+    "exact_l2_normalize",
+    "exact_layernorm",
+    "fast_inverse_sqrt",
+    "fisr_l2_normalize",
+    "fisr_magic_constant",
+    "get_normalizer",
+    "integer_isqrt",
+    "integer_layernorm",
+    "newton_inverse_sqrt",
+    "register_normalizer",
+]

@@ -1,0 +1,110 @@
+"""Exact layer normalization and L2 normalization (ground truth).
+
+The paper's ground truth is PyTorch's ``layer_norm`` evaluated on CPU in the
+working precision's "true" value.  Here the ground truth is float64 NumPy,
+which agrees with PyTorch CPU far below the 1e-4..1e-3 error bands the paper
+measures.  A format-rounded variant is also provided so experiments can
+compare "exact math then cast" with "iteration inside the format".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpformats.quantize import quantize
+from repro.fpformats.spec import FloatFormat, get_format
+
+
+def exact_l2_normalize(y: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Exact L2 normalization ``y / ||y||`` along ``axis`` in float64.
+
+    Zero vectors map to zero (consistent with the IterL2Norm module and with
+    layer norm's behaviour on constant rows when no epsilon is used).
+    """
+    y = np.asarray(y, dtype=np.float64)
+    norm = np.linalg.norm(y, axis=axis, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(norm > 0, y / np.where(norm > 0, norm, 1.0), 0.0)
+    return out
+
+
+def exact_layernorm(
+    x: np.ndarray,
+    gamma: np.ndarray | None = None,
+    beta: np.ndarray | None = None,
+    eps: float = 0.0,
+    axis: int = -1,
+) -> np.ndarray:
+    """Exact layer normalization over ``axis`` in float64.
+
+    ``z = gamma * (x - mean) / sqrt(var + eps) + beta`` with the biased
+    (population) variance, matching both the paper's Step 1–3 description and
+    PyTorch's ``layer_norm``.  The default ``eps=0`` matches Algorithm 1,
+    which has no epsilon; the transformer substrate passes the usual 1e-5.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    mean = x.mean(axis=axis, keepdims=True)
+    var = x.var(axis=axis, keepdims=True)
+    denom = np.sqrt(var + eps)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        normalized = np.where(denom > 0, (x - mean) / np.where(denom > 0, denom, 1.0), 0.0)
+    if gamma is not None:
+        normalized = normalized * np.asarray(gamma, dtype=np.float64)
+    if beta is not None:
+        normalized = normalized + np.asarray(beta, dtype=np.float64)
+    return normalized
+
+
+class ExactLayerNorm:
+    """Class-based exact layer norm with the same interface as IterL2Norm.
+
+    Used as the baseline normalizer inside the transformer substrate and by
+    the method registry.  When ``fmt`` is given, the *output* is quantized to
+    that format (exact math, rounded result), which is how the paper's
+    "Baseline" perplexity columns in Table IV are produced.
+    """
+
+    def __init__(
+        self,
+        normalized_dim: int,
+        gamma: np.ndarray | None = None,
+        beta: np.ndarray | None = None,
+        eps: float = 0.0,
+        fmt: FloatFormat | str | None = None,
+    ) -> None:
+        if normalized_dim < 1:
+            raise ValueError(f"normalized_dim must be >= 1, got {normalized_dim}")
+        self.normalized_dim = int(normalized_dim)
+        self.eps = float(eps)
+        self.fmt = None if fmt is None else get_format(fmt)
+        self.gamma = self._init_param(gamma, 1.0, "gamma")
+        self.beta = self._init_param(beta, 0.0, "beta")
+
+    def _init_param(self, value: np.ndarray | None, default: float, name: str) -> np.ndarray:
+        if value is None:
+            return np.full(self.normalized_dim, default, dtype=np.float64)
+        param = np.asarray(value, dtype=np.float64)
+        if param.shape != (self.normalized_dim,):
+            raise ValueError(
+                f"{name} must have shape ({self.normalized_dim},), got {param.shape}"
+            )
+        return param
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Layer-normalize ``x`` over its last axis."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.normalized_dim:
+            raise ValueError(
+                f"last axis of x must be {self.normalized_dim}, got {x.shape[-1]}"
+            )
+        out = exact_layernorm(x, self.gamma, self.beta, eps=self.eps)
+        if self.fmt is not None:
+            out = np.asarray(quantize(out, self.fmt))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fmt = "fp64" if self.fmt is None else self.fmt.name
+        return f"ExactLayerNorm(d={self.normalized_dim}, eps={self.eps}, fmt={fmt})"

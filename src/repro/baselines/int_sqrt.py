@@ -1,0 +1,112 @@
+"""Integer-only layer normalization (SwiftTron [8] style).
+
+SwiftTron normalizes INT32 vectors with integer-only arithmetic: the standard
+deviation is obtained from an iterative integer square root (the
+Newton/Heron method described in Crandall & Pomerance [17]) and the
+normalization itself uses an integer division.  This baseline exists to
+populate Table III's "addition, division, bit shift / INT32" row with a
+working implementation and to let the benchmarks contrast integer-only and
+floating-point-iterative approaches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def integer_isqrt(n: int) -> int:
+    """Integer square root ``floor(sqrt(n))`` by Newton's method.
+
+    The classic integer Newton recurrence ``x <- (x + n // x) // 2`` starting
+    from a power-of-two overestimate, as given in Crandall & Pomerance.
+    Division here is integer division — exactly the operation SwiftTron
+    spends hardware on and IterL2Norm avoids.
+    """
+    if n < 0:
+        raise ValueError(f"integer_isqrt requires a non-negative input, got {n}")
+    if n < 2:
+        return n
+    x = 1 << ((n.bit_length() + 1) // 2)
+    while True:
+        better = (x + n // x) // 2
+        if better >= x:
+            return x
+        x = better
+
+
+def quantize_to_int(x: np.ndarray, scale: float, bits: int = 32) -> np.ndarray:
+    """Uniform symmetric quantization of a float vector to ``bits``-wide ints."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    if bits < 2:
+        raise ValueError(f"bits must be >= 2, got {bits}")
+    q_max = (1 << (bits - 1)) - 1
+    q = np.rint(np.asarray(x, dtype=np.float64) / scale)
+    return np.clip(q, -q_max - 1, q_max).astype(np.int64)
+
+
+def integer_layernorm(
+    x: np.ndarray,
+    gamma: np.ndarray | None = None,
+    beta: np.ndarray | None = None,
+    scale: float = 2.0**-10,
+    bits: int = 32,
+    output_scale: float = 2.0**-10,
+) -> np.ndarray:
+    """Layer normalization computed entirely with integer arithmetic.
+
+    Parameters
+    ----------
+    x:
+        Input vector (1-D float array); it is quantized to integers with
+        ``scale`` before any computation, mimicking an INT32 datapath fed by
+        a quantized accelerator.
+    gamma, beta:
+        Optional affine parameters applied in float at the very end (as
+        SwiftTron folds them into the requantization step).
+    scale:
+        Input quantization step.
+    bits:
+        Integer width (32 matches [8]).
+    output_scale:
+        Quantization step of the integer output before the final dequantize.
+
+    Returns
+    -------
+    numpy.ndarray
+        The dequantized layer-norm output (float64), suitable for comparing
+        against the exact baseline.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"x must be a 1-D vector, got shape {x.shape}")
+    d = x.size
+    if d == 0:
+        raise ValueError("x must be non-empty")
+
+    xq = quantize_to_int(x, scale, bits)
+
+    # Integer mean (rounded) and mean-shift.
+    total = int(xq.sum())
+    mean_int = int(np.rint(total / d))
+    y = xq - mean_int
+
+    # Integer variance: sum of squares over d.
+    ssq = int((y.astype(object) ** 2).sum())  # object avoids int64 overflow
+    var_int = ssq // d
+    std_int = integer_isqrt(var_int)
+    if std_int == 0:
+        normalized = np.zeros(d, dtype=np.float64)
+    else:
+        # Normalize with an integer division against a fixed-point unit.
+        unit = int(round(1.0 / output_scale))
+        normalized_int = np.array(
+            [int(v) * unit // std_int for v in y], dtype=np.int64
+        )
+        normalized = normalized_int.astype(np.float64) * output_scale
+
+    if gamma is not None:
+        normalized = normalized * np.asarray(gamma, dtype=np.float64)
+    if beta is not None:
+        normalized = normalized + np.asarray(beta, dtype=np.float64)
+    return normalized

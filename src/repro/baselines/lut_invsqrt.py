@@ -1,0 +1,158 @@
+"""LUT-based piecewise-linear inverse square root (NN-LUT style, [9]).
+
+The method of Yu et al. [9] approximates non-linear functions with a
+piecewise-linear fit whose breakpoints and slopes live in a small lookup
+table.  For the inverse square root used by layer normalization, range
+reduction makes this practical: any positive ``x`` is written as
+``s * 2**(2q)`` with ``s`` in ``[1, 4)``, so the LUT only needs to cover one
+two-octave interval and the result is ``lut(s) * 2**(-q)`` — a table read,
+one multiply-add for the interpolation, and an exponent adjustment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpformats.quantize import quantize
+from repro.fpformats.spec import FLOAT32, FloatFormat, get_format
+
+
+class LUTInverseSqrt:
+    """Piecewise-linear LUT approximation of ``1/sqrt(x)``.
+
+    Parameters
+    ----------
+    num_segments:
+        Number of linear segments covering the reduced range ``[1, 4)``.
+        [9] uses a handful of segments (8–16) to stay within a few hundred
+        square microns; 16 is the default here.
+    fmt:
+        Working format; LUT entries and interpolation arithmetic are rounded
+        to this format.
+    """
+
+    #: Lower and upper bound of the reduced argument ``s``.
+    RANGE = (1.0, 4.0)
+
+    def __init__(self, num_segments: int = 16, fmt: FloatFormat | str = FLOAT32) -> None:
+        if num_segments < 2:
+            raise ValueError(f"num_segments must be >= 2, got {num_segments}")
+        self.num_segments = int(num_segments)
+        self.fmt = get_format(fmt)
+        lo, hi = self.RANGE
+        # Breakpoints are uniform in s; slopes/intercepts give the chord of
+        # 1/sqrt on each segment (endpoint interpolation, as in [9]).
+        self.breakpoints = np.linspace(lo, hi, self.num_segments + 1)
+        left = self.breakpoints[:-1]
+        right = self.breakpoints[1:]
+        f_left = 1.0 / np.sqrt(left)
+        f_right = 1.0 / np.sqrt(right)
+        slopes = (f_right - f_left) / (right - left)
+        intercepts = f_left - slopes * left
+        self.slopes = np.asarray(quantize(slopes, self.fmt))
+        self.intercepts = np.asarray(quantize(intercepts, self.fmt))
+
+    @property
+    def table_bits(self) -> int:
+        """Total LUT storage in bits (two entries per segment)."""
+        return 2 * self.num_segments * self.fmt.total_bits
+
+    def __call__(self, x: np.ndarray | float) -> np.ndarray | float:
+        scalar = np.isscalar(x) or np.ndim(x) == 0
+        values = np.atleast_1d(np.asarray(x, dtype=np.float64))
+        if np.any(values <= 0):
+            raise ValueError("LUTInverseSqrt requires strictly positive inputs")
+
+        # Range reduction: x = s * 4**q with s in [1, 4).
+        q_exp = np.floor(np.log2(values) / 2.0)
+        s = values / np.exp2(2.0 * q_exp)
+        # Guard against s landing exactly on 4.0 through rounding.
+        overflow = s >= self.RANGE[1]
+        s = np.where(overflow, s / 4.0, s)
+        q_exp = np.where(overflow, q_exp + 1.0, q_exp)
+
+        lo, hi = self.RANGE
+        seg_width = (hi - lo) / self.num_segments
+        idx = np.clip(((s - lo) / seg_width).astype(int), 0, self.num_segments - 1)
+
+        s_q = np.asarray(quantize(s, self.fmt), dtype=np.float64)
+        interp = np.asarray(
+            quantize(self.slopes[idx] * s_q + self.intercepts[idx], self.fmt),
+            dtype=np.float64,
+        )
+        result = np.asarray(
+            quantize(interp * np.exp2(-q_exp), self.fmt), dtype=np.float64
+        )
+        if scalar:
+            return float(result.reshape(()))
+        return result.reshape(np.shape(x))
+
+    def max_relative_error(self, samples: int = 4096) -> float:
+        """Worst-case relative error over a dense sweep of the reduced range."""
+        s = np.linspace(self.RANGE[0], self.RANGE[1] * 0.999999, samples)
+        approx = np.asarray(self(s))
+        exact = 1.0 / np.sqrt(s)
+        return float(np.max(np.abs(approx - exact) / exact))
+
+
+class LUTLayerNorm:
+    """Layer normalization whose ``1/sigma`` comes from :class:`LUTInverseSqrt`."""
+
+    def __init__(
+        self,
+        normalized_dim: int,
+        gamma: np.ndarray | None = None,
+        beta: np.ndarray | None = None,
+        fmt: FloatFormat | str = FLOAT32,
+        num_segments: int = 16,
+    ) -> None:
+        from repro.fpformats.arithmetic import FormatArithmetic
+
+        if normalized_dim < 1:
+            raise ValueError(f"normalized_dim must be >= 1, got {normalized_dim}")
+        self.normalized_dim = int(normalized_dim)
+        self.fmt = get_format(fmt)
+        self.lut = LUTInverseSqrt(num_segments=num_segments, fmt=self.fmt)
+        self._arith = FormatArithmetic(self.fmt)
+        self.gamma = (
+            np.asarray(self._arith.cast(np.asarray(gamma, dtype=np.float64)))
+            if gamma is not None
+            else np.ones(normalized_dim)
+        )
+        self.beta = (
+            np.asarray(self._arith.cast(np.asarray(beta, dtype=np.float64)))
+            if beta is not None
+            else np.zeros(normalized_dim)
+        )
+        if self.gamma.shape != (normalized_dim,) or self.beta.shape != (normalized_dim,):
+            raise ValueError("gamma and beta must have shape (normalized_dim,)")
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Layer-normalize ``x`` over its last axis with the LUT divider."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.normalized_dim:
+            raise ValueError(
+                f"last axis of x must be {self.normalized_dim}, got {x.shape[-1]}"
+            )
+        flat = x.reshape(-1, self.normalized_dim)
+        out = np.empty_like(flat)
+        for i in range(flat.shape[0]):
+            out[i] = self._normalize_row(flat[i])
+        return out.reshape(x.shape)
+
+    def _normalize_row(self, row: np.ndarray) -> np.ndarray:
+        arith = self._arith
+        x_q = np.asarray(arith.cast(row))
+        mean = arith.mean(x_q)
+        y = np.asarray(arith.sub(x_q, mean))
+        m = arith.sum_of_squares(y)
+        if m <= 0.0:
+            y_hat = np.zeros_like(y)
+        else:
+            inv_norm = float(self.lut(m))
+            scale = float(arith.mul(inv_norm, arith.cast(np.sqrt(self.normalized_dim))))
+            y_hat = np.asarray(arith.mul(y, scale))
+        return np.asarray(arith.add(arith.mul(y_hat, self.gamma), self.beta))

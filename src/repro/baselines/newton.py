@@ -1,0 +1,75 @@
+"""Newton–Raphson inverse square root refinement.
+
+One Newton step for ``f(y) = 1/y^2 - x`` is
+
+    y <- y * (1.5 - 0.5 * x * y * y)
+
+which is division-free and is the refinement step of the classic FISR
+algorithm.  Provided both as a format-rounded step (used inside FISR) and as
+a standalone approximation seeded from the exponent of ``x`` (a useful extra
+baseline for the ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpformats.bitops import unbiased_exponent
+from repro.fpformats.quantize import quantize
+from repro.fpformats.spec import FLOAT32, FloatFormat, get_format
+
+
+def newton_inverse_sqrt_step(
+    x: np.ndarray | float, y: np.ndarray | float, fmt: FloatFormat | str | None = None
+) -> np.ndarray | float:
+    """One Newton step ``y * (1.5 - 0.5 * x * y^2)``, optionally format-rounded."""
+    if fmt is None:
+        x64 = np.asarray(x, dtype=np.float64)
+        y64 = np.asarray(y, dtype=np.float64)
+        result = y64 * (1.5 - 0.5 * x64 * y64 * y64)
+        return float(result) if np.ndim(result) == 0 else result
+
+    fmt = get_format(fmt)
+    q = lambda v: quantize(v, fmt)  # noqa: E731 - local shorthand
+    x_q = np.asarray(q(x), dtype=np.float64)
+    y_q = np.asarray(q(y), dtype=np.float64)
+    half_x = np.asarray(q(0.5 * x_q), dtype=np.float64)
+    y_sq = np.asarray(q(y_q * y_q), dtype=np.float64)
+    prod = np.asarray(q(half_x * y_sq), dtype=np.float64)
+    bracket = np.asarray(q(1.5 - prod), dtype=np.float64)
+    result = np.asarray(q(y_q * bracket), dtype=np.float64)
+    if np.ndim(x) == 0 and np.ndim(y) == 0:
+        return float(result.reshape(()))
+    return result
+
+
+def newton_inverse_sqrt(
+    x: np.ndarray | float,
+    steps: int = 3,
+    fmt: FloatFormat | str = FLOAT32,
+) -> np.ndarray | float:
+    """Inverse square root by Newton iteration seeded from the exponent.
+
+    The seed is ``2**(-(E(x) - bias)/2)`` — the same exponent halving used by
+    IterL2Norm's ``a0`` — followed by ``steps`` Newton refinements in the
+    working format.  This isolates "exponent seed + Newton" from the full
+    FISR bit trick, which the ablation benchmarks compare against
+    IterL2Norm's fixed-point update.
+    """
+    fmt = get_format(fmt)
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    scalar = np.isscalar(x) or np.ndim(x) == 0
+    values = np.atleast_1d(np.asarray(x, dtype=np.float64))
+    if np.any(values <= 0):
+        raise ValueError("newton_inverse_sqrt requires strictly positive inputs")
+
+    exp = np.asarray(unbiased_exponent(values, fmt), dtype=np.float64)
+    seed = np.exp2(-(exp + 1.0) / 2.0)
+    y = np.asarray(quantize(seed, fmt), dtype=np.float64)
+    x_q = np.asarray(quantize(values, fmt), dtype=np.float64)
+    for _ in range(steps):
+        y = np.asarray(newton_inverse_sqrt_step(x_q, y, fmt), dtype=np.float64)
+    if scalar:
+        return float(y.reshape(()))
+    return y.reshape(np.shape(x))

@@ -1,0 +1,105 @@
+"""String-keyed registry of normalization methods.
+
+Experiments, the transformer substrate, and the benchmark harness all select
+a layer-norm implementation by name ("exact", "iterl2norm", "fisr", "lut",
+...).  The registry maps each name to a factory
+``(normalized_dim, fmt, **kwargs) -> normalizer`` where the returned object
+is callable on arrays whose last axis has length ``normalized_dim``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.fpformats.spec import FloatFormat
+
+
+class Normalizer(Protocol):
+    """Anything callable on an array and exposing ``normalized_dim``."""
+
+    normalized_dim: int
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - protocol
+        ...
+
+
+NormalizerFactory = Callable[..., Normalizer]
+
+_REGISTRY: dict[str, NormalizerFactory] = {}
+
+
+def register_normalizer(name: str, factory: NormalizerFactory) -> None:
+    """Register a normalizer factory under ``name`` (case-insensitive).
+
+    Re-registering an existing name raises, to catch accidental collisions
+    between built-in and user-defined methods.
+    """
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"normalizer {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def available_methods() -> tuple[str, ...]:
+    """Names of all registered normalization methods, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_normalizer(
+    name: str,
+    normalized_dim: int,
+    fmt: FloatFormat | str | None = None,
+    **kwargs,
+) -> Normalizer:
+    """Instantiate the normalizer registered under ``name``.
+
+    Extra keyword arguments are forwarded to the factory (e.g. ``num_steps``
+    for IterL2Norm, ``newton_steps`` for FISR).
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        known = ", ".join(available_methods())
+        raise KeyError(f"unknown normalizer {name!r}; available: {known}")
+    return _REGISTRY[key](normalized_dim, fmt=fmt, **kwargs)
+
+
+# -- built-in registrations ------------------------------------------------------
+
+
+def _make_exact(normalized_dim: int, fmt=None, eps: float = 0.0, **kwargs):
+    from repro.baselines.exact import ExactLayerNorm
+
+    return ExactLayerNorm(normalized_dim, fmt=fmt, eps=eps, **kwargs)
+
+
+def _make_iterl2norm(
+    normalized_dim: int, fmt=None, num_steps: int = 5, **kwargs
+):
+    from repro.core.layernorm import IterL2Norm, IterL2NormConfig
+    from repro.fpformats.spec import get_format
+
+    fmt_name = "fp64" if fmt is None else get_format(fmt).name
+    config = IterL2NormConfig(num_steps=num_steps, fmt=fmt_name)
+    return IterL2Norm(normalized_dim, config, **kwargs)
+
+
+def _make_fisr(normalized_dim: int, fmt=None, newton_steps: int = 1, **kwargs):
+    from repro.baselines.fisr import FISRLayerNorm
+
+    fmt = "fp32" if fmt is None else fmt
+    return FISRLayerNorm(normalized_dim, fmt=fmt, newton_steps=newton_steps, **kwargs)
+
+
+def _make_lut(normalized_dim: int, fmt=None, num_segments: int = 16, **kwargs):
+    from repro.baselines.lut_invsqrt import LUTLayerNorm
+
+    fmt = "fp32" if fmt is None else fmt
+    return LUTLayerNorm(normalized_dim, fmt=fmt, num_segments=num_segments, **kwargs)
+
+
+register_normalizer("exact", _make_exact)
+register_normalizer("iterl2norm", _make_iterl2norm)
+register_normalizer("fisr", _make_fisr)
+register_normalizer("lut", _make_lut)

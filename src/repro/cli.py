@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the experiment drivers and the auxiliary
+models:
+
+* ``precision`` — Fig. 3 sweep (and the d=384 histogram).
+* ``compare``   — Table I (IterL2Norm vs FISR at the OPT lengths).
+* ``convergence`` — Fig. 4 (error vs iteration count).
+* ``latency``   — Fig. 5 (macro latency sweep).
+* ``synthesis`` — Table II + Fig. 6 + Table III.
+* ``llm``       — Table IV (train the substrate models and swap normalizers).
+* ``traffic``   — the host-vs-on-chip data-movement motivation analysis.
+* ``throughput`` — the multi-vector batching/throughput model.
+* ``all``       — everything, in paper order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.perplexity import LLMEvalConfig
+from repro.eval.reporting import format_table
+
+
+def _cmd_precision(args) -> None:
+    from repro.experiments import fig3
+
+    print(fig3.run(trials=args.trials)[1])
+
+
+def _cmd_compare(args) -> None:
+    from repro.experiments import table1
+
+    print(table1.run(trials=args.trials)[1])
+
+
+def _cmd_convergence(args) -> None:
+    from repro.experiments import fig4
+
+    print(fig4.run(trials=args.trials)[1])
+
+
+def _cmd_latency(args) -> None:
+    from repro.experiments import fig5
+
+    print(fig5.run()[1])
+
+
+def _cmd_synthesis(args) -> None:
+    from repro.experiments import fig6, table2, table3
+
+    print(table2.run()[1])
+    print()
+    print(fig6.run()[1])
+    print()
+    print(table3.run()[1])
+
+
+def _cmd_llm(args) -> None:
+    from repro.experiments import table4
+
+    config = LLMEvalConfig(train_steps=args.train_steps)
+    if args.quick:
+        config = LLMEvalConfig(
+            tasks=("wikitext2-sim",),
+            models=("opt-125m-sim",),
+            formats=("fp32",),
+            step_counts=(3, 5, 10),
+            train_steps=min(args.train_steps, 60),
+            eval_windows=8,
+        )
+    print(table4.run(config)[1])
+
+
+def _cmd_traffic(args) -> None:
+    from repro.macro.traffic import DDR4_CHANNEL, HBM2_STACK, PCIE4_X16, TrafficModel
+
+    interfaces = {"pcie4": PCIE4_X16, "ddr4": DDR4_CHANNEL, "hbm2": HBM2_STACK}
+    model = TrafficModel(interface=interfaces[args.interface])
+    rows = [
+        model.report(args.embed_dim, tokens, fmt=args.format).as_row()
+        for tokens in (64, 256, 1024, 4096)
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                "Host-side vs on-chip layer normalization "
+                f"(d={args.embed_dim}, {args.format}, {args.interface})"
+            ),
+        )
+    )
+
+
+def _cmd_throughput(args) -> None:
+    from repro.macro.throughput import ThroughputModel
+
+    model = ThroughputModel()
+    rows = [r.as_row() for r in model.sweep((64, 128, 256, 512, 768, 1024))]
+    print(format_table(rows, title="IterL2Norm macro throughput (one instance, 100 MHz)"))
+    needed = model.macros_required(args.embed_dim, args.tokens_per_second)
+    print(
+        f"\nmacros needed for {args.tokens_per_second:g} tokens/s at d={args.embed_dim}: {needed}"
+    )
+
+
+def _cmd_all(args) -> None:
+    from repro.experiments.runner import run_all
+
+    run_all(quick=args.quick)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("precision", help="Fig. 3 precision sweep")
+    p.add_argument("--trials", type=int, default=300)
+    p.set_defaults(func=_cmd_precision)
+
+    p = sub.add_parser("compare", help="Table I IterL2Norm vs FISR")
+    p.add_argument("--trials", type=int, default=300)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("convergence", help="Fig. 4 error vs iteration count")
+    p.add_argument("--trials", type=int, default=300)
+    p.set_defaults(func=_cmd_convergence)
+
+    p = sub.add_parser("latency", help="Fig. 5 macro latency sweep")
+    p.set_defaults(func=_cmd_latency)
+
+    p = sub.add_parser("synthesis", help="Table II, Fig. 6, Table III reports")
+    p.set_defaults(func=_cmd_synthesis)
+
+    p = sub.add_parser("llm", help="Table IV LLM-level evaluation")
+    p.add_argument("--train-steps", type=int, default=150)
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=_cmd_llm)
+
+    p = sub.add_parser("traffic", help="host vs on-chip data movement analysis")
+    p.add_argument("--embed-dim", type=int, default=768)
+    p.add_argument("--format", default="fp16")
+    p.add_argument("--interface", choices=("pcie4", "ddr4", "hbm2"), default="ddr4")
+    p.set_defaults(func=_cmd_traffic)
+
+    p = sub.add_parser("throughput", help="multi-vector throughput model")
+    p.add_argument("--embed-dim", type=int, default=768)
+    p.add_argument("--tokens-per-second", type=float, default=1e5)
+    p.set_defaults(func=_cmd_throughput)
+
+    p = sub.add_parser("all", help="regenerate every table and figure")
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=_cmd_all)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

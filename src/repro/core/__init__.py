@@ -1,0 +1,76 @@
+"""Core IterL2Norm algorithm (the paper's primary contribution).
+
+The package is organised around the paper's own structure:
+
+* :mod:`~repro.core.dynamics` — the continuous dynamical system of
+  Theorem II.1: fixed points, stability, and the analytical solution
+  (Eqs. 7–9) used to derive the update-rate rule.
+* :mod:`~repro.core.iteration` — the discrete scalar iteration (Eq. 5),
+  both in exact float64 and through a format-rounded datapath.
+* :mod:`~repro.core.initialization` — the exponent-based initial value
+  ``a0`` (Eq. 6) and the update-rate rule for ``lambda`` (Eq. 10).
+* :mod:`~repro.core.layernorm` — Algorithm 1: IterL2Norm-based layer
+  normalization with scale/shift parameters, plus a plain L2-normalizer.
+* :mod:`~repro.core.metrics` — the error metrics used in the evaluation
+  (mean / max absolute deviation from the exact result).
+* :mod:`~repro.core.convergence` — convergence-rate diagnostics (iterations
+  to tolerance, per-step error traces).
+"""
+
+from repro.core.dynamics import (
+    NormalizationDynamics,
+    analytical_a,
+    analytical_k,
+    fixed_points,
+    integrate_ode,
+)
+from repro.core.initialization import (
+    initial_a,
+    initial_a_exact,
+    required_lambda,
+    update_rate,
+)
+from repro.core.iteration import (
+    IterationTrace,
+    iterate_a,
+    iterate_a_trace,
+    iterl2norm_vector,
+)
+from repro.core.layernorm import IterL2Norm, IterL2NormConfig, iterl2norm_layernorm
+from repro.core.metrics import (
+    ErrorStats,
+    absolute_error,
+    error_stats,
+    relative_error,
+)
+from repro.core.convergence import (
+    ConvergenceReport,
+    convergence_report,
+    iterations_to_tolerance,
+)
+
+__all__ = [
+    "ConvergenceReport",
+    "ErrorStats",
+    "IterL2Norm",
+    "IterL2NormConfig",
+    "IterationTrace",
+    "NormalizationDynamics",
+    "absolute_error",
+    "analytical_a",
+    "analytical_k",
+    "convergence_report",
+    "error_stats",
+    "fixed_points",
+    "initial_a",
+    "initial_a_exact",
+    "integrate_ode",
+    "iterate_a",
+    "iterate_a_trace",
+    "iterations_to_tolerance",
+    "iterl2norm_layernorm",
+    "iterl2norm_vector",
+    "relative_error",
+    "required_lambda",
+    "update_rate",
+]

@@ -1,0 +1,196 @@
+"""Ablation studies of IterL2Norm's design choices (Sec. III-B).
+
+The paper motivates two specific choices: the exponent-derived initial value
+``a0`` (Eq. 6) and the exponent-derived update rate ``lambda`` (Eq. 10).
+This module isolates each choice so the ablation benchmarks can quantify what
+it buys:
+
+* **Initialization strategies** — exponent-based (the paper), a fixed
+  constant (what a naive implementation would do), and the exact
+  ``1/sqrt(m)`` oracle (a lower bound that needs the very operation the
+  method is avoiding).
+* **Update-rate strategies** — the Eq. (10) rule, a fixed global constant,
+  and the optimal discrete rate ``0.5/m`` that requires a division.
+
+Each strategy is a named callable ``(m, fmt) -> float`` and
+:func:`ablation_study` runs every combination, reporting the iterations
+needed to reach the paper's tolerance and the error after five steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.initialization import initial_a, initial_a_exact, update_rate
+from repro.core.iteration import iterate_a_trace
+from repro.core.convergence import iterations_to_tolerance
+from repro.fpformats.spec import FLOAT32, FloatFormat, get_format
+
+#: Strategy signature: given m = ||y||^2 and the working format, return a value.
+Strategy = Callable[[float, FloatFormat], float]
+
+
+def _init_exponent(m: float, fmt: FloatFormat) -> float:
+    return initial_a(m, fmt)
+
+
+def _init_constant(m: float, fmt: FloatFormat) -> float:
+    # A format-agnostic constant; reasonable only when ||y|| ~ 1.
+    return 1.0
+
+
+def _init_oracle(m: float, fmt: FloatFormat) -> float:
+    return initial_a_exact(m)
+
+
+def _rate_exponent(m: float, fmt: FloatFormat) -> float:
+    return update_rate(m, fmt)
+
+
+def _rate_constant(m: float, fmt: FloatFormat) -> float:
+    # A fixed small step; stable for small m but hopeless for large m.
+    return 1e-3
+
+
+def _rate_oracle(m: float, fmt: FloatFormat) -> float:
+    # lambda = 0.5/m is the optimal *discrete* rate (the update becomes a
+    # Newton-like step near the fixed point), but it needs the division the
+    # hardware is avoiding.
+    return 0.5 / m
+
+
+#: Named initialization strategies for the ablation.
+INIT_STRATEGIES: dict[str, Strategy] = {
+    "exponent (Eq. 6)": _init_exponent,
+    "constant 1.0": _init_constant,
+    "oracle 1/sqrt(m)": _init_oracle,
+}
+
+#: Named update-rate strategies for the ablation.
+RATE_STRATEGIES: dict[str, Strategy] = {
+    "exponent (Eq. 10)": _rate_exponent,
+    "constant 1e-3": _rate_constant,
+    "oracle 0.5/m": _rate_oracle,
+}
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Convergence behaviour of one (init, rate) strategy combination.
+
+    Attributes
+    ----------
+    init_name, rate_name:
+        The strategy names from :data:`INIT_STRATEGIES` / :data:`RATE_STRATEGIES`.
+    mean_steps_to_tolerance:
+        Average iterations needed to bring the relative error below the
+        tolerance; ``inf`` when any trial failed to converge within the cap.
+    converged_fraction:
+        Fraction of trials that reached the tolerance within the cap.
+    mean_error_five_steps:
+        Mean relative error after exactly five iterations.
+    """
+
+    init_name: str
+    rate_name: str
+    mean_steps_to_tolerance: float
+    converged_fraction: float
+    mean_error_five_steps: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "init": self.init_name,
+            "rate": self.rate_name,
+            "mean_steps": self.mean_steps_to_tolerance,
+            "converged": self.converged_fraction,
+            "rel_err@5": self.mean_error_five_steps,
+        }
+
+
+def evaluate_strategy(
+    init: Strategy,
+    rate: Strategy,
+    norm_squares: np.ndarray,
+    fmt: FloatFormat | str = FLOAT32,
+    tolerance: float = 1e-3,
+    max_steps: int = 50,
+) -> tuple[float, float, float]:
+    """Run one strategy pair over a population of ``m`` values.
+
+    Returns ``(mean_steps, converged_fraction, mean_rel_error_at_5)``.
+    """
+    fmt = get_format(fmt)
+    steps_needed: list[float] = []
+    errors_at_five: list[float] = []
+    converged = 0
+    for m in np.asarray(norm_squares, dtype=np.float64).reshape(-1):
+        m = float(m)
+        a0 = init(m, fmt)
+        lam = rate(m, fmt)
+        trace = iterate_a_trace(m, num_steps=max_steps, lam=lam, a0=a0, fmt=fmt)
+        reached = iterations_to_tolerance(trace, tolerance)
+        if reached is None:
+            steps_needed.append(float(max_steps))
+        else:
+            steps_needed.append(float(reached))
+            converged += 1
+        target = 1.0 / np.sqrt(trace.m)
+        five = min(5, len(trace.a_history) - 1)
+        value = trace.a_history[five]
+        if np.isfinite(value):
+            errors_at_five.append(abs(value - target) / target)
+        else:
+            errors_at_five.append(np.inf)  # the strategy diverged
+    count = len(steps_needed)
+    return (
+        float(np.mean(steps_needed)),
+        converged / count,
+        float(np.mean(errors_at_five)),
+    )
+
+
+def ablation_study(
+    norm_squares: np.ndarray,
+    fmt: FloatFormat | str = FLOAT32,
+    tolerance: float = 1e-3,
+    max_steps: int = 50,
+    init_strategies: dict[str, Strategy] | None = None,
+    rate_strategies: dict[str, Strategy] | None = None,
+) -> list[AblationResult]:
+    """Run every (initialization, update-rate) combination over ``norm_squares``."""
+    init_strategies = init_strategies or INIT_STRATEGIES
+    rate_strategies = rate_strategies or RATE_STRATEGIES
+    results = []
+    for init_name, init in init_strategies.items():
+        for rate_name, rate in rate_strategies.items():
+            mean_steps, converged, err5 = evaluate_strategy(
+                init, rate, norm_squares, fmt=fmt, tolerance=tolerance, max_steps=max_steps
+            )
+            results.append(
+                AblationResult(
+                    init_name=init_name,
+                    rate_name=rate_name,
+                    mean_steps_to_tolerance=mean_steps,
+                    converged_fraction=converged,
+                    mean_error_five_steps=err5,
+                )
+            )
+    return results
+
+
+def typical_norm_squares(
+    lengths=(64, 256, 1024, 4096),
+    trials_per_length: int = 50,
+    seed: int = 0,
+) -> np.ndarray:
+    """Squared norms of mean-shifted uniform(-1, 1) vectors (the paper's inputs)."""
+    rng = np.random.default_rng(seed)
+    values = []
+    for d in lengths:
+        x = rng.uniform(-1.0, 1.0, size=(trials_per_length, int(d)))
+        y = x - x.mean(axis=1, keepdims=True)
+        values.append(np.sum(y * y, axis=1))
+    return np.concatenate(values)

@@ -1,0 +1,134 @@
+"""Convergence diagnostics for the IterL2Norm iteration (Sec. III-B, Fig. 4).
+
+The paper motivates its ``a0`` / ``lambda`` rules by how quickly the scalar
+iteration reaches the fixed point.  This module measures that directly:
+per-step error traces, the number of iterations needed to reach a tolerance,
+and a combined report used by the Fig. 4 experiment and the ablation
+benchmarks (e.g. "what if a0 were 1.0 instead of the exponent-derived
+value?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dynamics import analytical_a
+from repro.core.initialization import initial_a, update_rate
+from repro.core.iteration import IterationTrace, iterate_a_trace
+from repro.fpformats.spec import FloatFormat
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Summary of how one scalar iteration run converged.
+
+    Attributes
+    ----------
+    m:
+        The squared norm the iteration targeted.
+    lam:
+        Update rate used.
+    final_error:
+        ``|a_n - 1/sqrt(m)|`` after the last step.
+    relative_final_error:
+        ``final_error * sqrt(m)`` (error relative to the fixed point).
+    steps_to_tolerance:
+        First step index at which the relative error fell below the
+        tolerance, or ``None`` if it never did within the run.
+    error_trace:
+        Tuple of absolute errors after steps 0..n.
+    analytical_trace:
+        The continuous-time prediction of Eq. (9) at the same step indices,
+        for comparing the Euler iterate against theory.
+    """
+
+    m: float
+    lam: float
+    final_error: float
+    relative_final_error: float
+    steps_to_tolerance: int | None
+    error_trace: tuple[float, ...]
+    analytical_trace: tuple[float, ...]
+
+
+def iterations_to_tolerance(
+    trace: IterationTrace, tolerance: float = 1e-3
+) -> int | None:
+    """First step at which the *relative* error drops below ``tolerance``.
+
+    Relative error is measured against the fixed point ``1/sqrt(m)`` because
+    the paper's convergence criterion (delta_c in Sec. III-B) is a relative
+    one.  Returns ``None`` when the trace never reaches the tolerance.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    target = 1.0 / np.sqrt(trace.m)
+    errors = trace.error_history() / target
+    below = np.flatnonzero(errors <= tolerance)
+    if below.size == 0:
+        return None
+    return int(below[0])
+
+
+def convergence_report(
+    m: float,
+    num_steps: int = 10,
+    tolerance: float = 1e-3,
+    lam: float | None = None,
+    a0: float | None = None,
+    fmt: FloatFormat | str | None = None,
+) -> ConvergenceReport:
+    """Run the iteration and package its convergence behaviour.
+
+    Parameters mirror :func:`repro.core.iteration.iterate_a_trace`; the
+    report additionally carries the analytical Eq. (9) trajectory evaluated
+    at the same step indices, so callers can see how closely the Euler
+    discretization tracks the continuous dynamics.
+    """
+    trace = iterate_a_trace(m, num_steps=num_steps, lam=lam, a0=a0, fmt=fmt)
+    target = 1.0 / np.sqrt(trace.m)
+    errors = trace.error_history()
+
+    a0_used = trace.a_history[0]
+    steps_idx = np.arange(len(trace.a_history), dtype=np.float64)
+    analytical = np.abs(
+        np.asarray(analytical_a(a0_used, trace.m, trace.lam, steps_idx)) - target
+    )
+
+    return ConvergenceReport(
+        m=trace.m,
+        lam=trace.lam,
+        final_error=float(errors[-1]),
+        relative_final_error=float(errors[-1] / target),
+        steps_to_tolerance=iterations_to_tolerance(trace, tolerance),
+        error_trace=tuple(float(e) for e in errors),
+        analytical_trace=tuple(float(e) for e in analytical),
+    )
+
+
+def worst_case_steps(
+    norm_squares: np.ndarray,
+    tolerance: float = 1e-3,
+    max_steps: int = 50,
+    fmt: FloatFormat | str | None = None,
+) -> int:
+    """Largest step count needed across a population of ``m`` values.
+
+    Used by tests to confirm the paper's claim that five iterations suffice
+    for the default ``a0`` / ``lambda`` rules across widely varying input
+    norms.  Raises if any input fails to converge within ``max_steps``.
+    """
+    worst = 0
+    for m in np.asarray(norm_squares, dtype=np.float64).reshape(-1):
+        report = convergence_report(
+            float(m), num_steps=max_steps, tolerance=tolerance, fmt=fmt
+        )
+        if report.steps_to_tolerance is None:
+            raise RuntimeError(
+                f"iteration did not reach tolerance {tolerance} within "
+                f"{max_steps} steps for m={m}"
+            )
+        worst = max(worst, report.steps_to_tolerance)
+    return worst

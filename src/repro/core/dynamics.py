@@ -1,0 +1,188 @@
+"""The continuous dynamical system underlying IterL2Norm (Theorem II.1).
+
+The paper derives IterL2Norm from the vector ODE
+
+    tau * d(y~)/dt = k * y - alpha * k^2 * y~,      k = y . y~
+
+whose stable fixed point is the L2-normalized input (scaled by
+``alpha**-0.5``).  Because every trajectory started parallel to ``y`` stays
+parallel to ``y``, the system collapses to the scalar ODE of Eq. (7),
+
+    tau * da/dt = -m^2 * a * (a^2 - 1/m),           m = ||y||^2
+
+with the closed-form solution of Eq. (8)/(9).  This module implements the
+vector system, its fixed-point/stability analysis, a reference ODE
+integrator, and the analytical solutions — all of which are used by the
+tests to validate the discrete iteration against theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FixedPoint:
+    """A fixed point of the scalar dynamics for ``k = y . y~``.
+
+    Attributes
+    ----------
+    k:
+        The fixed-point value of the inner product ``k``.
+    stable:
+        Whether the fixed point is locally asymptotically stable.
+    """
+
+    k: float
+    stable: bool
+
+
+def fixed_points(norm_y: float, alpha: float = 1.0) -> tuple[FixedPoint, ...]:
+    """Fixed points of the scalar ``k`` dynamics for a given ``||y||``.
+
+    The proof of Theorem II.1 shows ``tau dk/dt = k ||y||^2 - alpha k^3``,
+    which has an unstable fixed point at ``k = 0`` and stable fixed points at
+    ``k = +/- alpha**-0.5 * ||y||``.
+
+    Parameters
+    ----------
+    norm_y:
+        The L2 norm ``||y||`` (must be positive).
+    alpha:
+        The positive constant of Theorem II.1; the paper uses ``alpha = 1``.
+    """
+    if norm_y <= 0:
+        raise ValueError(f"||y|| must be positive, got {norm_y}")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    k_star = norm_y / np.sqrt(alpha)
+    return (
+        FixedPoint(k=-k_star, stable=True),
+        FixedPoint(k=0.0, stable=False),
+        FixedPoint(k=k_star, stable=True),
+    )
+
+
+class NormalizationDynamics:
+    """The vector dynamical system of Theorem II.1 for a fixed input ``y``.
+
+    Parameters
+    ----------
+    y:
+        The (already mean-shifted) input vector.
+    alpha:
+        Positive constant; ``alpha = 1`` gives plain L2 normalization.
+    tau:
+        Time constant of the ODE.  Only the ratio ``dt / tau`` matters for
+        the discrete iteration, but keeping ``tau`` explicit matches the
+        paper's derivation.
+    """
+
+    def __init__(self, y: np.ndarray, alpha: float = 1.0, tau: float = 1.0) -> None:
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim != 1:
+            raise ValueError(f"y must be a 1-D vector, got shape {y.shape}")
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        if not np.any(y != 0):
+            raise ValueError("y must be a nonzero vector")
+        self.y = y
+        self.alpha = float(alpha)
+        self.tau = float(tau)
+        self.m = float(np.dot(y, y))
+
+    def k(self, y_tilde: np.ndarray) -> float:
+        """Inner product ``k = y . y~``."""
+        return float(np.dot(self.y, np.asarray(y_tilde, dtype=np.float64)))
+
+    def derivative(self, y_tilde: np.ndarray) -> np.ndarray:
+        """Right-hand side ``d(y~)/dt`` of Eq. (1), divided by ``tau``."""
+        y_tilde = np.asarray(y_tilde, dtype=np.float64)
+        k = self.k(y_tilde)
+        return (k * self.y - self.alpha * k * k * y_tilde) / self.tau
+
+    def steady_state(self) -> np.ndarray:
+        """The stable steady state ``alpha**-0.5 * y / ||y||``."""
+        return self.y / (np.sqrt(self.alpha) * np.linalg.norm(self.y))
+
+    def scalar_derivative(self, a: float) -> float:
+        """Right-hand side of the scalar ODE (Eq. 7) for ``y~ = a y``."""
+        m = self.m
+        return -(m * m) * a * (a * a - 1.0 / (self.alpha * m)) * self.alpha / self.tau
+
+
+def integrate_ode(
+    dynamics: NormalizationDynamics,
+    y_tilde0: np.ndarray,
+    t_end: float,
+    dt: float = 1e-3,
+) -> np.ndarray:
+    """Integrate the vector ODE with RK4 (reference trajectory for tests).
+
+    This is deliberately a plain fixed-step integrator: it exists to check
+    that the discrete Euler iteration used by IterL2Norm lands on the same
+    fixed point as a much more accurate integration of the same dynamics.
+    """
+    if t_end <= 0:
+        raise ValueError(f"t_end must be positive, got {t_end}")
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    state = np.asarray(y_tilde0, dtype=np.float64).copy()
+    steps = int(np.ceil(t_end / dt))
+    for _ in range(steps):
+        k1 = dynamics.derivative(state)
+        k2 = dynamics.derivative(state + 0.5 * dt * k1)
+        k3 = dynamics.derivative(state + 0.5 * dt * k2)
+        k4 = dynamics.derivative(state + dt * k3)
+        state = state + (dt / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+    return state
+
+
+def analytical_a(
+    a0: float, m: float, lam: float, steps: np.ndarray | int
+) -> np.ndarray | float:
+    """Closed-form trajectory of ``a`` (Eq. 9) after ``steps`` iterations.
+
+    The continuous solution is
+    ``a(n) = a0 / sqrt((1 - m a0^2) e^{-2 m n lambda} + m a0^2)``.
+    The discrete Euler iteration approaches this trajectory for small
+    ``lambda``; the evaluation section uses it to choose ``lambda``.
+    """
+    if m <= 0:
+        raise ValueError(f"m = ||y||^2 must be positive, got {m}")
+    n = np.asarray(steps, dtype=np.float64)
+    decay = (1.0 - m * a0 * a0) * np.exp(-2.0 * m * n * lam) + m * a0 * a0
+    result = a0 / np.sqrt(decay)
+    if np.ndim(steps) == 0:
+        return float(result)
+    return result
+
+
+def analytical_k(
+    k0: float, norm_y: float, alpha: float, t: np.ndarray | float, tau: float = 1.0
+) -> np.ndarray | float:
+    """Closed-form trajectory of ``k(t)`` for the scalar ``k`` dynamics.
+
+    Solves ``tau dk/dt = k ||y||^2 - alpha k^3`` (a Bernoulli equation) with
+    initial condition ``k(0) = k0``.  Used by tests to verify that the sign
+    of ``k0`` selects the stable fixed point, exactly as Theorem II.1 states.
+    """
+    if norm_y <= 0:
+        raise ValueError(f"||y|| must be positive, got {norm_y}")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    if k0 == 0.0:
+        # The unstable fixed point: the trajectory stays at zero.
+        return np.zeros_like(np.asarray(t, dtype=np.float64)) if np.ndim(t) else 0.0
+    m = norm_y * norm_y
+    t_arr = np.asarray(t, dtype=np.float64)
+    # 1/k^2 obeys a linear ODE; solve it and map back, keeping the sign of k0.
+    inv_sq = alpha / m + (1.0 / (k0 * k0) - alpha / m) * np.exp(-2.0 * m * t_arr / tau)
+    result = np.sign(k0) / np.sqrt(inv_sq)
+    if np.ndim(t) == 0:
+        return float(result)
+    return result

@@ -1,0 +1,138 @@
+"""Initialization and update-rate rules of IterL2Norm (Sec. III-B).
+
+Both rules read only the exponent field of ``m = ||y||^2``, which is why the
+hardware realization needs no division or square root:
+
+* ``a0 = 2**(-(E(m) - bias + 1) / 2)``                       (Eq. 6)
+* ``lambda > 0.345 * 2**(-(E(m) - bias))``                   (Eq. 10)
+
+``E(m)`` is the raw (biased) exponent field of ``m`` in the working format,
+so evaluating ``a0`` costs one add, one subtract, and a bit shift, and the
+``lambda`` bound costs one subtract and one multiply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpformats.bitops import unbiased_exponent
+from repro.fpformats.quantize import quantize
+from repro.fpformats.spec import FLOAT32, FloatFormat, get_format
+
+#: Constant from Eq. (10): lambda > -ln(delta_c) / (2 * n_c) * 2^-(E(m)-bias)
+#: with delta_c = 1e-3 and n_c = 5 gives 0.69/2 = 0.345 after bounding
+#: m^-1 <= 2^-(E(m)-bias).
+LAMBDA_COEFFICIENT = 0.345
+
+#: Default convergence targets used by the paper to derive Eq. (10).
+DEFAULT_TOLERANCE = 1e-3
+DEFAULT_TARGET_STEPS = 5
+
+
+def initial_a(m: float, fmt: FloatFormat | str = FLOAT32) -> float:
+    """Exponent-based initial value ``a0`` (Eq. 6).
+
+    ``a0 = 2**(-(E(m) - bias + 1) / 2)`` where ``E(m)`` is the biased
+    exponent field of ``m`` in ``fmt``.  Because
+    ``a_inf = Significand(m)**-0.5 * 2**(-(E(m)-bias)/2)`` and the
+    significand lies in ``[1, 2)``, the ratio ``a0 / a_inf`` lies in
+    ``(1/sqrt(2), 1]`` — i.e. the initial point is within 30% of the fixed
+    point before any iteration happens.
+
+    Parameters
+    ----------
+    m:
+        The squared norm ``||y||^2`` (must be positive and finite).
+    fmt:
+        Working floating-point format whose exponent field is read.
+    """
+    fmt = get_format(fmt)
+    if not np.isfinite(m) or m <= 0.0:
+        raise ValueError(f"m = ||y||^2 must be positive and finite, got {m}")
+    e_unbiased = int(unbiased_exponent(m, fmt))
+    a0 = 2.0 ** (-(e_unbiased + 1) / 2.0)
+    return float(quantize(a0, fmt))
+
+
+def initial_a_exact(m: float) -> float:
+    """The exact fixed point ``a_inf = 1/sqrt(m)`` (for analysis only).
+
+    The hardware never computes this; it exists so tests and convergence
+    studies can measure how far ``a0`` starts from the target.
+    """
+    if m <= 0.0:
+        raise ValueError(f"m must be positive, got {m}")
+    return 1.0 / np.sqrt(m)
+
+
+def required_lambda(
+    m: float,
+    tolerance: float = DEFAULT_TOLERANCE,
+    target_steps: int = DEFAULT_TARGET_STEPS,
+) -> float:
+    """Exact lower bound on lambda from the analytical solution.
+
+    From Eq. (9), the transient decays as ``exp(-2 m n lambda)``; requiring
+    it to fall below ``tolerance`` within ``target_steps`` iterations gives
+    ``lambda > -ln(tolerance) / (2 m n_c)``.  This uses a true division by
+    ``m`` and is therefore only a reference for tests — the hardware uses
+    :func:`update_rate` instead.
+    """
+    if m <= 0.0:
+        raise ValueError(f"m must be positive, got {m}")
+    if not 0.0 < tolerance < 1.0:
+        raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
+    if target_steps < 1:
+        raise ValueError(f"target_steps must be >= 1, got {target_steps}")
+    return float(-np.log(tolerance) / (2.0 * m * target_steps))
+
+
+def update_rate(
+    m: float,
+    fmt: FloatFormat | str = FLOAT32,
+    coefficient: float = LAMBDA_COEFFICIENT,
+    safety_factor: float = 1.0,
+) -> float:
+    """Division-free update rate lambda (Eq. 10).
+
+    Uses the bound ``m**-1 <= 2**(-(E(m) - bias))`` so that
+    ``lambda = coefficient * 2**(-(E(m) - bias))`` satisfies the convergence
+    condition without computing ``1/m``.
+
+    Parameters
+    ----------
+    m:
+        The squared norm ``||y||^2``.
+    fmt:
+        Working format whose exponent field of ``m`` is read.
+    coefficient:
+        The paper's 0.345 by default (delta_c = 1e-3, n_c = 5).
+    safety_factor:
+        Multiplier > 0 applied on top of the coefficient; values slightly
+        above 1 trade a little precision for faster convergence, values
+        below 1 do the opposite.  Exposed for the ablation benchmarks.
+    """
+    fmt = get_format(fmt)
+    if not np.isfinite(m) or m <= 0.0:
+        raise ValueError(f"m = ||y||^2 must be positive and finite, got {m}")
+    if coefficient <= 0.0:
+        raise ValueError(f"coefficient must be positive, got {coefficient}")
+    if safety_factor <= 0.0:
+        raise ValueError(f"safety_factor must be positive, got {safety_factor}")
+    e_unbiased = int(unbiased_exponent(m, fmt))
+    lam = coefficient * safety_factor * 2.0 ** (-e_unbiased)
+    return float(quantize(lam, fmt))
+
+
+def lambda_coefficient_for(tolerance: float, target_steps: int) -> float:
+    """Derive the Eq. (10) coefficient for custom convergence targets.
+
+    ``coefficient = -ln(tolerance) / (2 * target_steps)``, evaluated with the
+    worst-case significand bound ``Significand(m) >= 1``.  With the paper's
+    defaults (1e-3, 5) this returns ~0.69/2 ≈ 0.345.
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
+    if target_steps < 1:
+        raise ValueError(f"target_steps must be >= 1, got {target_steps}")
+    return float(-np.log(tolerance) / (2.0 * target_steps))

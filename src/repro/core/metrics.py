@@ -1,0 +1,92 @@
+"""Error metrics used throughout the paper's evaluation (Sec. V-A).
+
+The paper measures "the absolute deviation of our results from the ground
+truth (absolute error)", reporting the average and maximum over 1,000 random
+vectors per configuration (Fig. 3, Table I, Fig. 4).  This module provides
+those metrics plus relative-error variants useful for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def absolute_error(result: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Element-wise absolute deviation ``|result - reference|``."""
+    result = np.asarray(result, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if result.shape != reference.shape:
+        raise ValueError(
+            f"shape mismatch: result {result.shape} vs reference {reference.shape}"
+        )
+    return np.abs(result - reference)
+
+
+def relative_error(
+    result: np.ndarray, reference: np.ndarray, floor: float = 1e-30
+) -> np.ndarray:
+    """Element-wise relative error with a denominator floor to avoid 0/0."""
+    abs_err = absolute_error(result, reference)
+    denom = np.maximum(np.abs(np.asarray(reference, dtype=np.float64)), floor)
+    return abs_err / denom
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Summary statistics of an error population.
+
+    Attributes mirror what the paper reports: the mean and max absolute
+    error, plus a few extras (median, p99, RMS) useful when comparing
+    methods whose max errors tie (as happens for BFloat16 in Table I).
+    """
+
+    mean: float
+    max: float
+    median: float
+    p99: float
+    rms: float
+    count: int
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the statistics as a plain dictionary (for table writers)."""
+        return {
+            "mean": self.mean,
+            "max": self.max,
+            "median": self.median,
+            "p99": self.p99,
+            "rms": self.rms,
+            "count": float(self.count),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ErrorStats(mean={self.mean:.3e}, max={self.max:.3e}, n={self.count})"
+
+
+def error_stats(errors: np.ndarray) -> ErrorStats:
+    """Summarize a population of absolute errors.
+
+    Parameters
+    ----------
+    errors:
+        Array of non-negative error magnitudes (any shape; flattened).
+    """
+    flat = np.asarray(errors, dtype=np.float64).reshape(-1)
+    if flat.size == 0:
+        raise ValueError("cannot summarize an empty error array")
+    if np.any(flat < 0):
+        raise ValueError("errors must be non-negative magnitudes")
+    return ErrorStats(
+        mean=float(np.mean(flat)),
+        max=float(np.max(flat)),
+        median=float(np.median(flat)),
+        p99=float(np.percentile(flat, 99)),
+        rms=float(np.sqrt(np.mean(flat * flat))),
+        count=int(flat.size),
+    )
+
+
+def error_stats_between(result: np.ndarray, reference: np.ndarray) -> ErrorStats:
+    """Shorthand: absolute error between two arrays, summarized."""
+    return error_stats(absolute_error(result, reference))

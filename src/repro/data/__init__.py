@@ -1,0 +1,32 @@
+"""Synthetic text data substrate.
+
+The paper evaluates on WikiText-2 and Blended Skill Talk (BST), which cannot
+be downloaded offline.  This package generates two seeded synthetic corpora
+that preserve the properties the experiment depends on — two tasks with
+different token statistics flowing through the same model — plus a word-level
+tokenizer and windowed dataset utilities:
+
+* :mod:`~repro.data.tokenizer` — whitespace/word-level tokenizer with a
+  frequency-built vocabulary and special tokens.
+* :mod:`~repro.data.corpus` — Markov-chain generators for a wikitext-like
+  "encyclopedic" corpus and a BST-like two-speaker dialogue corpus.
+* :mod:`~repro.data.datasets` — train/validation splits and fixed-length
+  evaluation windows.
+"""
+
+from repro.data.tokenizer import WordTokenizer
+from repro.data.corpus import (
+    CorpusSpec,
+    generate_bst_like_corpus,
+    generate_wikitext_like_corpus,
+)
+from repro.data.datasets import TextDataset, build_dataset
+
+__all__ = [
+    "CorpusSpec",
+    "TextDataset",
+    "WordTokenizer",
+    "build_dataset",
+    "generate_bst_like_corpus",
+    "generate_wikitext_like_corpus",
+]

@@ -1,0 +1,144 @@
+"""Seeded synthetic corpora standing in for WikiText-2 and Blended Skill Talk.
+
+The normalizer-swap experiment only needs two text distributions with
+different token statistics; it does not depend on the semantics of the
+corpora.  Both generators build a small world model (topic-specific word
+pools plus sentence templates) and expand it with a seeded random generator,
+so repeated runs produce identical corpora:
+
+* :func:`generate_wikitext_like_corpus` — declarative, encyclopedic sentences
+  organised into titled sections, mimicking the structure of WikiText-2.
+* :func:`generate_bst_like_corpus` — two-speaker small-talk dialogues with
+  persona statements, mimicking Blended Skill Talk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Generation parameters for a synthetic corpus.
+
+    Attributes
+    ----------
+    name:
+        Corpus identifier ("wikitext2-sim", "bst-sim").
+    num_documents:
+        Number of articles / dialogues generated.
+    sentences_per_document:
+        Sentences (or dialogue turns) per document.
+    seed:
+        Seed of the generator; two specs with the same seed produce the same
+        text.
+    """
+
+    name: str
+    num_documents: int = 64
+    sentences_per_document: int = 12
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_documents < 1 or self.sentences_per_document < 1:
+            raise ValueError("num_documents and sentences_per_document must be >= 1")
+
+
+_WIKI_TOPICS = {
+    "river": ["valley", "delta", "basin", "tributary", "flood", "bank", "bridge", "water"],
+    "empire": ["dynasty", "emperor", "treaty", "province", "conquest", "decline", "capital", "army"],
+    "physics": ["particle", "energy", "quantum", "field", "theory", "experiment", "measurement", "wave"],
+    "music": ["symphony", "composer", "orchestra", "melody", "harmony", "concert", "movement", "chord"],
+    "island": ["coast", "volcano", "harbor", "reef", "settlement", "climate", "trade", "fishing"],
+    "railway": ["station", "locomotive", "track", "gauge", "tunnel", "freight", "signal", "junction"],
+}
+
+_WIKI_TEMPLATES = [
+    "the {a} of the {topic} was described in early records as a {b} of great importance .",
+    "during the nineteenth century the {topic} developed a notable {a} near the {b} .",
+    "historians argue that the {a} influenced the {b} more than any other {topic} .",
+    "the {topic} is known for its {a} , which remains a subject of {b} studies .",
+    "several sources document the {a} and the {b} associated with the {topic} .",
+    "in modern surveys the {topic} is classified by its {a} and its {b} .",
+]
+
+_BST_PERSONAS = [
+    "i love hiking in the mountains",
+    "i work as a chef in a small restaurant",
+    "my favorite hobby is painting landscapes",
+    "i have two dogs and a very old cat",
+    "i recently moved to a new city for work",
+    "i play the guitar in a weekend band",
+    "i am training for my first marathon",
+    "i collect vintage science fiction novels",
+]
+
+_BST_OPENERS = [
+    "hi there , how has your week been ?",
+    "hello ! what have you been up to lately ?",
+    "hey , nice to meet you . tell me about yourself .",
+    "good evening , do you have any plans for the weekend ?",
+]
+
+_BST_REPLIES = [
+    "that sounds wonderful , {persona} so i really understand .",
+    "oh interesting ! {persona} , which keeps me quite busy .",
+    "i know the feeling . {persona} and it changed my routine .",
+    "me too in a way , {persona} so we have something in common .",
+    "that must be exciting . honestly {persona} most days .",
+    "wow , tell me more . by the way {persona} .",
+]
+
+
+def generate_wikitext_like_corpus(spec: CorpusSpec | None = None) -> str:
+    """Generate an encyclopedic, WikiText-2-like corpus as a single string."""
+    spec = spec or CorpusSpec(name="wikitext2-sim")
+    rng = np.random.default_rng(spec.seed)
+    topics = list(_WIKI_TOPICS)
+    documents = []
+    for _ in range(spec.num_documents):
+        topic = topics[int(rng.integers(len(topics)))]
+        words = _WIKI_TOPICS[topic]
+        lines = [f"= the {topic} ="]
+        for _ in range(spec.sentences_per_document):
+            template = _WIKI_TEMPLATES[int(rng.integers(len(_WIKI_TEMPLATES)))]
+            a, b = rng.choice(words, size=2, replace=False)
+            lines.append(template.format(topic=topic, a=a, b=b))
+        documents.append("\n".join(lines))
+    return "\n\n".join(documents)
+
+
+def generate_bst_like_corpus(spec: CorpusSpec | None = None) -> str:
+    """Generate a two-speaker, Blended-Skill-Talk-like dialogue corpus."""
+    spec = spec or CorpusSpec(name="bst-sim", seed=1)
+    rng = np.random.default_rng(spec.seed)
+    dialogues = []
+    for _ in range(spec.num_documents):
+        persona_a = _BST_PERSONAS[int(rng.integers(len(_BST_PERSONAS)))]
+        persona_b = _BST_PERSONAS[int(rng.integers(len(_BST_PERSONAS)))]
+        lines = [f"your persona : {persona_a} .", f"partner persona : {persona_b} ."]
+        lines.append("speaker a : " + _BST_OPENERS[int(rng.integers(len(_BST_OPENERS)))])
+        for turn in range(spec.sentences_per_document):
+            persona = persona_b if turn % 2 == 0 else persona_a
+            speaker = "speaker b" if turn % 2 == 0 else "speaker a"
+            reply = _BST_REPLIES[int(rng.integers(len(_BST_REPLIES)))]
+            lines.append(f"{speaker} : " + reply.format(persona=persona))
+        dialogues.append("\n".join(lines))
+    return "\n\n".join(dialogues)
+
+
+#: Named corpus generators used by the experiments ("wikitext2-sim", "bst-sim").
+CORPUS_GENERATORS = {
+    "wikitext2-sim": generate_wikitext_like_corpus,
+    "bst-sim": generate_bst_like_corpus,
+}
+
+
+def generate_corpus(name: str, spec: CorpusSpec | None = None) -> str:
+    """Generate a named corpus ("wikitext2-sim" or "bst-sim")."""
+    if name not in CORPUS_GENERATORS:
+        known = ", ".join(sorted(CORPUS_GENERATORS))
+        raise KeyError(f"unknown corpus {name!r}; known: {known}")
+    return CORPUS_GENERATORS[name](spec)

@@ -1,0 +1,95 @@
+"""Dataset utilities: tokenized corpora, splits, and evaluation windows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.corpus import CorpusSpec, generate_corpus
+from repro.data.tokenizer import WordTokenizer
+
+
+@dataclass
+class TextDataset:
+    """A tokenized corpus with a train/validation split.
+
+    Attributes
+    ----------
+    name:
+        Corpus name the dataset was built from.
+    tokenizer:
+        The fitted :class:`~repro.data.tokenizer.WordTokenizer`.
+    train_tokens / valid_tokens:
+        1-D integer arrays of token ids.
+    """
+
+    name: str
+    tokenizer: WordTokenizer
+    train_tokens: np.ndarray
+    valid_tokens: np.ndarray
+
+    @property
+    def vocab_size(self) -> int:
+        """Vocabulary size of the fitted tokenizer."""
+        return self.tokenizer.vocab_size
+
+    def eval_windows(self, seq_len: int, max_windows: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Non-overlapping (inputs, targets) windows from the validation split.
+
+        Returns two arrays of shape ``(num_windows, seq_len)`` where targets
+        are the inputs shifted by one token — the standard language-model
+        perplexity evaluation layout.
+        """
+        if seq_len < 2:
+            raise ValueError(f"seq_len must be >= 2, got {seq_len}")
+        tokens = self.valid_tokens
+        num_windows = (tokens.size - 1) // seq_len
+        if num_windows < 1:
+            raise ValueError(
+                f"validation split of {tokens.size} tokens is too short for seq_len {seq_len}"
+            )
+        if max_windows is not None:
+            num_windows = min(num_windows, max_windows)
+        inputs = np.stack(
+            [tokens[i * seq_len : i * seq_len + seq_len] for i in range(num_windows)]
+        )
+        targets = np.stack(
+            [tokens[i * seq_len + 1 : i * seq_len + seq_len + 1] for i in range(num_windows)]
+        )
+        return inputs, targets
+
+
+def build_dataset(
+    name: str,
+    spec: CorpusSpec | None = None,
+    max_vocab_size: int = 512,
+    valid_fraction: float = 0.2,
+) -> TextDataset:
+    """Generate, tokenize, and split a named synthetic corpus.
+
+    Parameters
+    ----------
+    name:
+        "wikitext2-sim" or "bst-sim".
+    spec:
+        Optional generation parameters (document counts, seed).
+    max_vocab_size:
+        Vocabulary budget of the tokenizer.
+    valid_fraction:
+        Fraction of the token stream held out for evaluation.
+    """
+    if not 0.0 < valid_fraction < 1.0:
+        raise ValueError(f"valid_fraction must be in (0, 1), got {valid_fraction}")
+    text = generate_corpus(name, spec)
+    tokenizer = WordTokenizer(max_vocab_size=max_vocab_size).fit(text)
+    tokens = tokenizer.encode(text, append_eot=True)
+    split = int(round(tokens.size * (1.0 - valid_fraction)))
+    if split < 2 or tokens.size - split < 2:
+        raise ValueError("corpus too small to split; increase num_documents")
+    return TextDataset(
+        name=name,
+        tokenizer=tokenizer,
+        train_tokens=tokens[:split],
+        valid_tokens=tokens[split:],
+    )

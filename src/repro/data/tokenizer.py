@@ -1,0 +1,96 @@
+"""Word-level tokenizer with a frequency-built vocabulary.
+
+A deliberately simple tokenizer: lowercased whitespace/punctuation splitting,
+a vocabulary built from token frequencies with a maximum size, and the three
+special tokens the substrate needs (padding, unknown, end-of-text).  The
+Table IV reproduction only requires a stable text -> integer mapping whose
+statistics differ between the two corpora; sub-word modelling would add
+nothing to what the experiment measures.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+
+import numpy as np
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+|[.,!?;:']")
+
+
+class WordTokenizer:
+    """Word-level tokenizer with special tokens.
+
+    Special ids: 0 = ``<pad>``, 1 = ``<unk>``, 2 = ``<eot>`` (end of text).
+    """
+
+    PAD = "<pad>"
+    UNK = "<unk>"
+    EOT = "<eot>"
+    SPECIALS = (PAD, UNK, EOT)
+
+    def __init__(self, max_vocab_size: int = 512) -> None:
+        if max_vocab_size <= len(self.SPECIALS):
+            raise ValueError(
+                f"max_vocab_size must exceed the {len(self.SPECIALS)} special tokens"
+            )
+        self.max_vocab_size = int(max_vocab_size)
+        self.token_to_id: dict[str, int] = {tok: i for i, tok in enumerate(self.SPECIALS)}
+        self.id_to_token: list[str] = list(self.SPECIALS)
+
+    # -- vocabulary -------------------------------------------------------------
+    @staticmethod
+    def split(text: str) -> list[str]:
+        """Split text into lowercase word/punctuation tokens."""
+        return _TOKEN_PATTERN.findall(text.lower())
+
+    def fit(self, texts: list[str] | str) -> "WordTokenizer":
+        """Build the vocabulary from one or more documents (most frequent first)."""
+        if isinstance(texts, str):
+            texts = [texts]
+        counts: Counter[str] = Counter()
+        for text in texts:
+            counts.update(self.split(text))
+        budget = self.max_vocab_size - len(self.SPECIALS)
+        for token, _ in counts.most_common(budget):
+            if token not in self.token_to_id:
+                self.token_to_id[token] = len(self.id_to_token)
+                self.id_to_token.append(token)
+        return self
+
+    @property
+    def vocab_size(self) -> int:
+        """Current vocabulary size including special tokens."""
+        return len(self.id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return self.token_to_id[self.PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self.token_to_id[self.UNK]
+
+    @property
+    def eot_id(self) -> int:
+        return self.token_to_id[self.EOT]
+
+    # -- encode / decode ----------------------------------------------------------
+    def encode(self, text: str, append_eot: bool = False) -> np.ndarray:
+        """Encode text into an integer id array (unknown words map to <unk>)."""
+        ids = [self.token_to_id.get(tok, self.unk_id) for tok in self.split(text)]
+        if append_eot:
+            ids.append(self.eot_id)
+        return np.asarray(ids, dtype=np.int64)
+
+    def decode(self, ids: np.ndarray, skip_special: bool = True) -> str:
+        """Decode an id array back into a space-joined string."""
+        words = []
+        for i in np.asarray(ids, dtype=np.int64).reshape(-1):
+            if i < 0 or i >= self.vocab_size:
+                raise ValueError(f"token id {int(i)} outside vocabulary of size {self.vocab_size}")
+            token = self.id_to_token[int(i)]
+            if skip_special and token in self.SPECIALS:
+                continue
+            words.append(token)
+        return " ".join(words)

@@ -1,0 +1,53 @@
+"""Evaluation harness: the code behind every table and figure of the paper.
+
+* :mod:`~repro.eval.precision` — random-vector precision sweeps
+  (Fig. 3, Table I, Fig. 4).
+* :mod:`~repro.eval.latency` — macro latency sweeps (Fig. 5).
+* :mod:`~repro.eval.synthesis` — synthesis-style reports
+  (Table II, Fig. 6, Table III).
+* :mod:`~repro.eval.perplexity` — LLM-level normalizer-swap evaluation
+  (Table IV).
+* :mod:`~repro.eval.reporting` — plain-text table formatting shared by the
+  experiment drivers and the benchmark harness.
+"""
+
+from repro.eval.precision import (
+    PrecisionResult,
+    convergence_sweep,
+    error_histogram,
+    method_comparison,
+    precision_sweep,
+)
+from repro.eval.latency import LatencySweepResult, latency_sweep
+from repro.eval.synthesis import (
+    comparison_rows,
+    synthesis_rows,
+    area_power_breakdowns,
+)
+from repro.eval.perplexity import (
+    LLMEvalConfig,
+    LLMEvalResult,
+    evaluate_perplexity,
+    perplexity_experiment,
+    prepare_model,
+)
+from repro.eval.reporting import format_table
+
+__all__ = [
+    "LLMEvalConfig",
+    "LLMEvalResult",
+    "LatencySweepResult",
+    "PrecisionResult",
+    "area_power_breakdowns",
+    "comparison_rows",
+    "convergence_sweep",
+    "error_histogram",
+    "evaluate_perplexity",
+    "format_table",
+    "latency_sweep",
+    "method_comparison",
+    "perplexity_experiment",
+    "precision_sweep",
+    "prepare_model",
+    "synthesis_rows",
+]

@@ -1,0 +1,97 @@
+"""Macro latency sweeps (Fig. 5).
+
+Fig. 5 reports the measured latency of the IterL2Norm macro (five iteration
+steps) as a function of the input length ``d``, 64 <= d <= 1024.  The sweep
+here runs both the closed-form latency model and — optionally — the full
+cycle simulator on the same lengths and checks they agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.macro.latency import LatencyModel
+from repro.macro.simulator import IterL2NormMacro, MacroConfig
+
+#: Lengths swept by Fig. 5 (every chunk boundary between 64 and 1024).
+FIG5_LENGTHS = tuple(range(64, 1025, 64))
+
+
+@dataclass(frozen=True)
+class LatencySweepResult:
+    """Latency series for one configuration.
+
+    Attributes
+    ----------
+    lengths:
+        Input lengths swept.
+    cycles:
+        Latency in clock cycles for each length.
+    num_steps:
+        Iteration count used.
+    microseconds_at_100mhz:
+        The same series converted to wall-clock time at the paper's 100 MHz.
+    """
+
+    lengths: tuple[int, ...]
+    cycles: tuple[int, ...]
+    num_steps: int
+
+    @property
+    def microseconds_at_100mhz(self) -> tuple[float, ...]:
+        return tuple(c / 100.0 for c in self.cycles)
+
+    @property
+    def min_cycles(self) -> int:
+        return min(self.cycles)
+
+    @property
+    def max_cycles(self) -> int:
+        return max(self.cycles)
+
+    def as_rows(self) -> list[dict[str, float]]:
+        """Flat rows for the table writers."""
+        return [
+            {"d": d, "cycles": c, "us_at_100MHz": c / 100.0}
+            for d, c in zip(self.lengths, self.cycles)
+        ]
+
+
+def latency_sweep(
+    lengths=FIG5_LENGTHS,
+    num_steps: int = 5,
+    use_simulator: bool = False,
+    fmt: str = "fp32",
+    seed: int = 0,
+) -> LatencySweepResult:
+    """Fig. 5: latency vs input length.
+
+    Parameters
+    ----------
+    lengths:
+        Input lengths to sweep.
+    num_steps:
+        Iteration count (the paper uses five).
+    use_simulator:
+        When true, run the full functional macro simulator on random vectors
+        (slower); otherwise use the closed-form model (identical cycle
+        counts, asserted by the test suite).
+    fmt:
+        Data format for the simulator path.  Fig. 5 notes that latency does
+        not depend on the format; the simulator path lets tests verify that.
+    """
+    lengths = tuple(int(d) for d in lengths)
+    if use_simulator:
+        rng = np.random.default_rng(seed)
+        cycles = []
+        for d in lengths:
+            macro = IterL2NormMacro(MacroConfig(fmt=fmt, num_steps=num_steps))
+            result = macro.normalize(rng.uniform(-1.0, 1.0, size=d))
+            cycles.append(result.total_cycles)
+        return LatencySweepResult(lengths, tuple(cycles), num_steps)
+
+    model = LatencyModel()
+    cycles = tuple(model.total_cycles(d, num_steps) for d in lengths)
+    return LatencySweepResult(lengths, cycles, num_steps)

@@ -1,0 +1,164 @@
+"""LLM-level evaluation of IterL2Norm (Table IV).
+
+The paper replaces every layer-normalization block of pre-trained OPT-125M
+and OPT-350M with IterL2Norm and measures the perplexity change on
+WikiText-2 and Blended Skill Talk, across FP32/FP16/BFloat16 and iteration
+counts 3/4/5/10.  The reproduction follows the same protocol on the
+substrate described in DESIGN.md:
+
+1. build the synthetic stand-in corpus,
+2. train a scaled-down OPT-style model on its training split,
+3. measure the baseline perplexity with the exact normalizer whose *output*
+   is quantized to the target format,
+4. swap in IterL2Norm (running fully inside the target format) for each
+   iteration count and measure the perplexity again.
+
+Models are trained once per (task, model) pair and cached in-process so the
+3/4/5/10-step evaluations reuse the same weights, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.corpus import CorpusSpec
+from repro.data.datasets import TextDataset, build_dataset
+from repro.nn.config import OPTConfig, get_config
+from repro.nn.functional import cross_entropy, perplexity_from_loss
+from repro.nn.model import OPTLanguageModel
+from repro.nn.trainer import Trainer, TrainingConfig
+
+#: Tasks of Table IV mapped to the synthetic stand-in corpora.
+TABLE4_TASKS = ("wikitext2-sim", "bst-sim")
+#: Models of Table IV mapped to the scaled-down presets.
+TABLE4_MODELS = ("opt-125m-sim", "opt-350m-sim")
+#: Iteration counts reported in Table IV.
+TABLE4_STEPS = (3, 4, 5, 10)
+#: Formats reported in Table IV.
+TABLE4_FORMATS = ("fp32", "fp16", "bf16")
+
+
+@dataclass(frozen=True)
+class LLMEvalConfig:
+    """Configuration of one Table IV reproduction run.
+
+    The defaults keep the experiment laptop-sized; ``train_steps`` and
+    ``eval_windows`` can be raised for a higher-fidelity run.
+    """
+
+    tasks: tuple[str, ...] = TABLE4_TASKS
+    models: tuple[str, ...] = TABLE4_MODELS
+    formats: tuple[str, ...] = TABLE4_FORMATS
+    step_counts: tuple[int, ...] = TABLE4_STEPS
+    train_steps: int = 150
+    batch_size: int = 8
+    seq_len: int = 48
+    eval_windows: int = 16
+    seed: int = 0
+
+
+@dataclass
+class LLMEvalResult:
+    """One row of Table IV: a (task, model, format) cell.
+
+    ``baseline_perplexity`` corresponds to the paper's "Baseline" column and
+    ``perplexity_by_steps`` to the per-iteration-count columns; ``deltas``
+    are the differences the paper reports in parentheses.
+    """
+
+    task: str
+    model: str
+    fmt: str
+    baseline_perplexity: float
+    perplexity_by_steps: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def deltas(self) -> dict[int, float]:
+        return {
+            steps: ppl - self.baseline_perplexity
+            for steps, ppl in self.perplexity_by_steps.items()
+        }
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Flat rows (one per iteration count) for the table writers."""
+        return [
+            {
+                "task": self.task,
+                "model": self.model,
+                "format": self.fmt,
+                "baseline_ppl": self.baseline_perplexity,
+                "steps": steps,
+                "ppl": ppl,
+                "delta": ppl - self.baseline_perplexity,
+            }
+            for steps, ppl in sorted(self.perplexity_by_steps.items())
+        ]
+
+
+def prepare_model(
+    task: str,
+    model_name: str,
+    config: LLMEvalConfig,
+) -> tuple[OPTLanguageModel, TextDataset, OPTConfig]:
+    """Build the dataset and train the model used by one Table IV cell."""
+    model_config = get_config(model_name)
+    dataset = build_dataset(
+        task,
+        spec=CorpusSpec(name=task, num_documents=96, seed=config.seed),
+        max_vocab_size=model_config.vocab_size,
+    )
+    if dataset.vocab_size > model_config.vocab_size:
+        raise ValueError(
+            f"dataset vocabulary {dataset.vocab_size} exceeds model vocabulary "
+            f"{model_config.vocab_size}"
+        )
+    rng = np.random.default_rng(config.seed)
+    model = OPTLanguageModel(model_config, rng=rng)
+    trainer = Trainer(
+        model,
+        TrainingConfig(
+            num_steps=config.train_steps,
+            batch_size=config.batch_size,
+            seq_len=config.seq_len,
+            seed=config.seed,
+        ),
+    )
+    trainer.train(dataset.train_tokens)
+    return model, dataset, model_config
+
+
+def evaluate_perplexity(
+    model: OPTLanguageModel, dataset: TextDataset, config: LLMEvalConfig
+) -> float:
+    """Perplexity of the model (in eval mode) on the validation windows."""
+    model.eval()
+    inputs, targets = dataset.eval_windows(config.seq_len, max_windows=config.eval_windows)
+    logits = model(inputs)
+    loss, _ = cross_entropy(logits, targets)
+    return perplexity_from_loss(loss)
+
+
+def perplexity_experiment(config: LLMEvalConfig | None = None) -> list[LLMEvalResult]:
+    """Run the full Table IV grid and return one result per (task, model, format)."""
+    config = config or LLMEvalConfig()
+    results: list[LLMEvalResult] = []
+    for task in config.tasks:
+        for model_name in config.models:
+            model, dataset, _ = prepare_model(task, model_name, config)
+            for fmt in config.formats:
+                # Baseline: exact normalization, output quantized to the format.
+                model.replace_layernorm("exact", fmt=fmt)
+                baseline = evaluate_perplexity(model, dataset, config)
+                result = LLMEvalResult(
+                    task=task, model=model_name, fmt=fmt, baseline_perplexity=baseline
+                )
+                for steps in config.step_counts:
+                    model.replace_layernorm("iterl2norm", fmt=fmt, num_steps=steps)
+                    result.perplexity_by_steps[steps] = evaluate_perplexity(
+                        model, dataset, config
+                    )
+                model.restore_layernorm()
+                results.append(result)
+    return results

@@ -1,0 +1,199 @@
+"""Precision and convergence sweeps (Fig. 3, Table I, Fig. 4).
+
+The paper's protocol (Sec. V-A): for each input length and data format,
+normalize 1,000 random vectors drawn uniformly from (-1, 1), with five
+iteration steps, and measure the absolute deviation from the exact
+layer-normalization result computed in high precision.  The same random
+vectors are reused across methods so the comparisons in Table I are paired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.exact import exact_layernorm
+from repro.baselines.fisr import FISRLayerNorm
+from repro.core.layernorm import IterL2Norm, IterL2NormConfig
+from repro.core.metrics import ErrorStats, error_stats
+from repro.fpformats.spec import get_format
+
+#: Input lengths of Fig. 3 (the macro's supported range).
+FIG3_LENGTHS = (64, 128, 192, 256, 384, 512, 640, 768, 896, 1024)
+#: Embedding lengths of the OPT family (Table I).
+OPT_LENGTHS = (768, 1024, 2048, 2560, 4096, 5120, 7168, 9216, 12288)
+#: Default trial count (the paper uses 1,000).
+DEFAULT_TRIALS = 1000
+
+
+@dataclass(frozen=True)
+class PrecisionResult:
+    """Error statistics of one (method, format, length) configuration."""
+
+    method: str
+    fmt: str
+    length: int
+    num_steps: int
+    stats: ErrorStats
+    errors: np.ndarray = field(repr=False, compare=False, default=None)
+
+    def as_row(self) -> dict[str, object]:
+        """Flat row for the table writers."""
+        return {
+            "method": self.method,
+            "format": self.fmt,
+            "d": self.length,
+            "steps": self.num_steps,
+            "mean_err": self.stats.mean,
+            "max_err": self.stats.max,
+        }
+
+
+def _random_vectors(length: int, trials: int, seed: int) -> np.ndarray:
+    """The paper's workload: uniform(-1, 1) vectors of a given length."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=(trials, length))
+
+
+def _normalizer(method: str, length: int, fmt: str, num_steps: int, newton_steps: int):
+    method = method.lower()
+    if method == "iterl2norm":
+        return IterL2Norm(length, IterL2NormConfig(num_steps=num_steps, fmt=fmt))
+    if method == "fisr":
+        return FISRLayerNorm(length, fmt=fmt, newton_steps=newton_steps)
+    raise ValueError(f"unknown precision-sweep method {method!r}")
+
+
+def evaluate_method(
+    method: str,
+    length: int,
+    fmt: str,
+    num_steps: int = 5,
+    trials: int = DEFAULT_TRIALS,
+    seed: int = 0,
+    newton_steps: int = 1,
+    keep_errors: bool = False,
+) -> PrecisionResult:
+    """Measure the absolute error of one method on the paper's workload.
+
+    The reference is the exact layer normalization of the same vectors in
+    float64 (the paper's PyTorch-CPU ground truth).
+    """
+    get_format(fmt)  # validate early
+    vectors = _random_vectors(length, trials, seed)
+    reference = exact_layernorm(vectors)
+    normalizer = _normalizer(method, length, fmt, num_steps, newton_steps)
+    result = normalizer(vectors)
+    errors = np.abs(result - reference)
+    return PrecisionResult(
+        method=method,
+        fmt=fmt,
+        length=length,
+        num_steps=num_steps,
+        stats=error_stats(errors),
+        errors=errors if keep_errors else None,
+    )
+
+
+def precision_sweep(
+    lengths=FIG3_LENGTHS,
+    formats=("fp32", "fp16", "bf16"),
+    num_steps: int = 5,
+    trials: int = DEFAULT_TRIALS,
+    seed: int = 0,
+) -> list[PrecisionResult]:
+    """Fig. 3: IterL2Norm precision across lengths and formats."""
+    results = []
+    for fmt in formats:
+        for length in lengths:
+            results.append(
+                evaluate_method(
+                    "iterl2norm", length, fmt, num_steps=num_steps, trials=trials, seed=seed
+                )
+            )
+    return results
+
+
+def error_histogram(
+    length: int = 384,
+    fmt: str = "fp32",
+    num_steps: int = 5,
+    trials: int = DEFAULT_TRIALS,
+    seed: int = 0,
+    bins: int = 20,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fig. 3 insets: histogram of per-vector mean errors at d=384.
+
+    Returns ``(counts, bin_edges)`` of the distribution of the mean absolute
+    error of each input vector.
+    """
+    result = evaluate_method(
+        "iterl2norm", length, fmt, num_steps=num_steps, trials=trials, seed=seed, keep_errors=True
+    )
+    per_vector = result.errors.mean(axis=1)
+    counts, edges = np.histogram(per_vector, bins=bins)
+    return counts, edges
+
+
+def method_comparison(
+    lengths=OPT_LENGTHS,
+    formats=("fp32", "bf16"),
+    num_steps: int = 5,
+    trials: int = DEFAULT_TRIALS,
+    seed: int = 0,
+    newton_steps: int = 1,
+) -> list[dict[str, object]]:
+    """Table I: IterL2Norm vs FISR over the OPT embedding lengths.
+
+    Returns one row per (format, length) with both methods' mean/max error
+    and a ``winner`` field for the average-error comparison the paper makes.
+    """
+    rows = []
+    for fmt in formats:
+        for length in lengths:
+            ours = evaluate_method(
+                "iterl2norm", length, fmt, num_steps=num_steps, trials=trials, seed=seed
+            )
+            fisr = evaluate_method(
+                "fisr",
+                length,
+                fmt,
+                num_steps=num_steps,
+                trials=trials,
+                seed=seed,
+                newton_steps=newton_steps,
+            )
+            rows.append(
+                {
+                    "format": fmt,
+                    "d": length,
+                    "iterl2norm_mean": ours.stats.mean,
+                    "iterl2norm_max": ours.stats.max,
+                    "fisr_mean": fisr.stats.mean,
+                    "fisr_max": fisr.stats.max,
+                    "winner": "iterl2norm"
+                    if ours.stats.mean <= fisr.stats.mean
+                    else "fisr",
+                }
+            )
+    return rows
+
+
+def convergence_sweep(
+    length: int = 1024,
+    formats=("fp32", "fp16", "bf16"),
+    step_counts=(1, 2, 3, 4, 5, 6, 7, 8, 10, 12),
+    trials: int = DEFAULT_TRIALS,
+    seed: int = 0,
+) -> list[PrecisionResult]:
+    """Fig. 4: average error vs number of iteration steps at d=1024."""
+    results = []
+    for fmt in formats:
+        for steps in step_counts:
+            results.append(
+                evaluate_method(
+                    "iterl2norm", length, fmt, num_steps=steps, trials=trials, seed=seed
+                )
+            )
+    return results

@@ -1,0 +1,64 @@
+"""Plain-text table formatting shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def _format_value(value: object, float_format: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: list[str] | None = None,
+    float_format: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        Iterable of mappings; every row should contain the selected columns
+        (missing keys render as "-").
+    columns:
+        Column order; defaults to the keys of the first row.
+    float_format:
+        ``format()`` spec applied to float values.
+    title:
+        Optional heading printed above the table.
+    """
+    rows = [dict(r) for r in rows]
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    rendered = [
+        [_format_value(row.get(col), float_format) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered
+    ]
+    lines = ([title] if title else []) + [header, separator] + body
+    return "\n".join(lines)
+
+
+def format_breakdown(breakdown: Mapping[str, float], title: str | None = None) -> str:
+    """Render a component -> fraction mapping as a percentage list."""
+    lines = [title] if title else []
+    for key, value in breakdown.items():
+        lines.append(f"  {key:<12s} {100.0 * value:5.1f}%")
+    return "\n".join(lines)

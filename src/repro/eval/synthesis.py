@@ -1,0 +1,37 @@
+"""Synthesis-style reports (Table II, Fig. 6, Table III)."""
+
+from __future__ import annotations
+
+from repro.macro.area_power import AreaPowerReport, synthesis_report
+from repro.macro.comparison import comparison_table
+
+
+def synthesis_rows(formats=("fp32", "fp16", "bf16")) -> list[dict[str, object]]:
+    """Table II: memory / cells / area / power per format."""
+    return [report.as_row() for report in synthesis_report(tuple(formats))]
+
+
+def area_power_breakdowns(
+    formats=("fp32", "fp16", "bf16"),
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Fig. 6: per-format area and power breakdown fractions.
+
+    Returns ``{format: {"area": {component: fraction}, "power": {...}}}``.
+    """
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for report in synthesis_report(tuple(formats)):
+        out[report.fmt] = {
+            "area": report.area_fractions(),
+            "power": report.power_fractions(),
+        }
+    return out
+
+
+def full_reports(formats=("fp32", "fp16", "bf16")) -> list[AreaPowerReport]:
+    """The raw :class:`AreaPowerReport` objects (Table II + Fig. 6 data)."""
+    return synthesis_report(tuple(formats))
+
+
+def comparison_rows(include_ours: bool = True) -> list[dict[str, object]]:
+    """Table III: prior implementations plus this work."""
+    return [record.as_row() for record in comparison_table(include_ours=include_ours)]

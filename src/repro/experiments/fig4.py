@@ -1,0 +1,37 @@
+"""Fig. 4 — average error vs iteration count at d = 1024.
+
+Regenerates the convergence plot: the average absolute error of IterL2Norm
+in FP32/FP16/BFloat16 for increasing iteration counts, 1,000 random vectors
+per point.
+"""
+
+from __future__ import annotations
+
+from repro.eval.precision import convergence_sweep
+from repro.eval.reporting import format_table
+
+DEFAULT_STEP_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8, 10, 12)
+
+
+def run(
+    length: int = 1024,
+    formats=("fp32", "fp16", "bf16"),
+    step_counts=DEFAULT_STEP_COUNTS,
+    trials: int = 1000,
+    seed: int = 0,
+) -> tuple[list[dict[str, object]], str]:
+    """Run the Fig. 4 sweep and return (rows, formatted text)."""
+    results = convergence_sweep(
+        length=length, formats=formats, step_counts=step_counts, trials=trials, seed=seed
+    )
+    rows = [r.as_row() for r in results]
+    text = format_table(
+        rows,
+        columns=["format", "steps", "mean_err", "max_err"],
+        title=f"Fig. 4 - average error vs iteration steps (d={length})",
+    )
+    return rows, text
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run(trials=200)[1])

@@ -1,0 +1,44 @@
+"""Fig. 5 — macro latency vs input length.
+
+Regenerates the latency series of the IterL2Norm macro (five iteration
+steps) over 64 <= d <= 1024 using the closed-form latency model, and
+optionally cross-checks it against the cycle simulator.
+"""
+
+from __future__ import annotations
+
+from repro.eval.latency import FIG5_LENGTHS, latency_sweep
+from repro.eval.reporting import format_table
+
+
+def run(
+    lengths=FIG5_LENGTHS,
+    num_steps: int = 5,
+    cross_check_simulator: bool = True,
+) -> tuple[list[dict[str, object]], str]:
+    """Run the Fig. 5 sweep and return (rows, formatted text)."""
+    model_sweep = latency_sweep(lengths=lengths, num_steps=num_steps, use_simulator=False)
+    rows = model_sweep.as_rows()
+    lines = [
+        format_table(
+            rows,
+            columns=["d", "cycles", "us_at_100MHz"],
+            title="Fig. 5 - IterL2Norm macro latency vs input length (5 iteration steps)",
+        ),
+        f"  range: {model_sweep.min_cycles}-{model_sweep.max_cycles} cycles "
+        f"(paper reports 116-227)",
+    ]
+    if cross_check_simulator:
+        sim_sweep = latency_sweep(
+            lengths=lengths[:4], num_steps=num_steps, use_simulator=True
+        )
+        agree = all(
+            sim == model
+            for sim, model in zip(sim_sweep.cycles, model_sweep.cycles[: len(sim_sweep.cycles)])
+        )
+        lines.append(f"  cycle simulator agreement on first 4 lengths: {agree}")
+    return rows, "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run()[1])

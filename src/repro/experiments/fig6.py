@@ -1,0 +1,27 @@
+"""Fig. 6 — area and power breakdowns of the IterL2Norm macro.
+
+Regenerates the per-format area (Fig. 6a-c) and power (Fig. 6d-f) component
+breakdowns from the area/power model.  The paper does not publish the
+numeric fractions, only the pie charts; the qualitative claims it makes in
+the text — memory is the largest area component, the FP multipliers/adders
+dominate power — are asserted by the benchmark for this figure.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reporting import format_breakdown
+from repro.eval.synthesis import area_power_breakdowns
+
+
+def run(formats=("fp32", "fp16", "bf16")) -> tuple[dict[str, dict[str, dict[str, float]]], str]:
+    """Run the Fig. 6 report and return (breakdowns, formatted text)."""
+    breakdowns = area_power_breakdowns(formats)
+    lines = ["Fig. 6 - IterL2Norm macro area/power breakdowns"]
+    for fmt, parts in breakdowns.items():
+        lines.append(format_breakdown(parts["area"], title=f"{fmt} area breakdown:"))
+        lines.append(format_breakdown(parts["power"], title=f"{fmt} power breakdown:"))
+    return breakdowns, "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run()[1])

@@ -1,0 +1,80 @@
+"""Regenerate every table and figure of the paper in one run.
+
+``python -m repro.experiments.runner`` prints the full set of reproduced
+tables/figures; ``--quick`` shrinks the trial counts so the whole run
+finishes in a couple of minutes on a laptop.  EXPERIMENTS.md was produced
+from the output of this runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval.perplexity import LLMEvalConfig
+from repro.experiments import fig3, fig4, fig5, fig6, table1, table2, table3, table4
+
+
+def run_all(quick: bool = False, stream=None) -> dict[str, object]:
+    """Run every experiment; returns the raw rows keyed by experiment name."""
+    stream = stream or sys.stdout
+    trials = 200 if quick else 1000
+    results: dict[str, object] = {}
+
+    def section(name: str, rows: object, text: str, started: float) -> None:
+        results[name] = rows
+        elapsed = time.perf_counter() - started
+        stream.write(f"\n{'=' * 78}\n{name}  ({elapsed:.1f}s)\n{'=' * 78}\n{text}\n")
+
+    t = time.perf_counter()
+    rows, text = fig3.run(trials=trials)
+    section("Fig. 3", rows, text, t)
+
+    t = time.perf_counter()
+    rows, text = table1.run(trials=trials)
+    section("Table I", rows, text, t)
+
+    t = time.perf_counter()
+    rows, text = fig4.run(trials=trials)
+    section("Fig. 4", rows, text, t)
+
+    t = time.perf_counter()
+    rows, text = fig5.run()
+    section("Fig. 5", rows, text, t)
+
+    t = time.perf_counter()
+    rows, text = table2.run()
+    section("Table II", rows, text, t)
+
+    t = time.perf_counter()
+    rows, text = fig6.run()
+    section("Fig. 6", rows, text, t)
+
+    t = time.perf_counter()
+    rows, text = table3.run()
+    section("Table III", rows, text, t)
+
+    t = time.perf_counter()
+    if quick:
+        config = LLMEvalConfig(train_steps=60, eval_windows=8)
+    else:
+        config = LLMEvalConfig()
+    rows, text = table4.run(config)
+    section("Table IV", rows, text, t)
+
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced trial counts for a fast run"
+    )
+    args = parser.parse_args(argv)
+    run_all(quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Table I — IterL2Norm vs FISR precision at the OPT embedding lengths.
+
+Regenerates the paper's comparison of mean/max absolute error between
+IterL2Norm (5 iteration steps) and the fast-inverse-square-root baseline for
+the nine embedding lengths used by the OPT model family, in FP32 and
+BFloat16 (the two 8-bit-exponent formats FISR supports).
+"""
+
+from __future__ import annotations
+
+from repro.eval.precision import OPT_LENGTHS, method_comparison
+from repro.eval.reporting import format_table
+
+
+def run(
+    lengths=OPT_LENGTHS,
+    formats=("fp32", "bf16"),
+    trials: int = 1000,
+    num_steps: int = 5,
+    seed: int = 0,
+) -> tuple[list[dict[str, object]], str]:
+    """Run the Table I comparison and return (rows, formatted text)."""
+    rows = method_comparison(
+        lengths=lengths, formats=formats, num_steps=num_steps, trials=trials, seed=seed
+    )
+    text = format_table(
+        rows,
+        columns=[
+            "format",
+            "d",
+            "iterl2norm_mean",
+            "iterl2norm_max",
+            "fisr_mean",
+            "fisr_max",
+            "winner",
+        ],
+        title="Table I - IterL2Norm vs FISR (mean/max absolute error)",
+    )
+    summary_lines = []
+    for fmt in formats:
+        fmt_rows = [r for r in rows if r["format"] == fmt]
+        wins = sum(1 for r in fmt_rows if r["winner"] == "iterl2norm")
+        summary_lines.append(
+            f"  {fmt}: IterL2Norm wins on average error in {wins} of {len(fmt_rows)} lengths"
+        )
+    return rows, text + "\n" + "\n".join(summary_lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run(trials=200)[1])

@@ -1,0 +1,48 @@
+"""Table II — synthesis results of the IterL2Norm macro per data format.
+
+Regenerates the memory size, standard-cell count, area (with and without the
+Add/Mul blocks), and power of the macro for FP32/FP16/BFloat16 from the
+component-level area/power model.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reporting import format_table
+from repro.eval.synthesis import synthesis_rows
+
+#: The paper's Table II values, kept here for the side-by-side report.
+PAPER_TABLE2 = {
+    "fp32": {"memory_kib": 96.5, "cells_k": 269.3, "area_mm2": 2.4, "power_mw": 22.9},
+    "fp16": {"memory_kib": 48.3, "cells_k": 100.1, "area_mm2": 1.1, "power_mw": 8.4},
+    "bf16": {"memory_kib": 48.3, "cells_k": 87.0, "area_mm2": 1.0, "power_mw": 7.3},
+}
+
+
+def run(formats=("fp32", "fp16", "bf16")) -> tuple[list[dict[str, object]], str]:
+    """Run the Table II report and return (rows, formatted text)."""
+    rows = synthesis_rows(formats)
+    for row in rows:
+        paper = PAPER_TABLE2.get(str(row["format"]), {})
+        row["paper_area_mm2"] = paper.get("area_mm2")
+        row["paper_power_mw"] = paper.get("power_mw")
+        row["paper_cells_k"] = paper.get("cells_k")
+    text = format_table(
+        rows,
+        columns=[
+            "format",
+            "memory_kib",
+            "cells_k",
+            "paper_cells_k",
+            "area_mm2",
+            "paper_area_mm2",
+            "area_wo_addmul_mm2",
+            "power_mw",
+            "paper_power_mw",
+        ],
+        title="Table II - IterL2Norm macro synthesis results (model vs paper)",
+    )
+    return rows, text
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run()[1])

@@ -1,0 +1,34 @@
+"""Table III — comparison with previous layer-normalization hardware.
+
+Combines the literature-reported rows ([8]-[11]) with the "Ours" rows
+generated from the area/power model.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reporting import format_table
+from repro.eval.synthesis import comparison_rows
+
+
+def run(include_ours: bool = True) -> tuple[list[dict[str, object]], str]:
+    """Run the Table III report and return (rows, formatted text)."""
+    rows = comparison_rows(include_ours=include_ours)
+    text = format_table(
+        rows,
+        columns=[
+            "implementation",
+            "technology",
+            "method",
+            "operations",
+            "formats",
+            "area_mm2",
+            "power_w",
+            "clock_mhz",
+        ],
+        title="Table III - comparison with previous layer normalization implementations",
+    )
+    return rows, text
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run()[1])

@@ -1,0 +1,43 @@
+"""Table IV — LLM-level evaluation of IterL2Norm.
+
+Trains the scaled-down OPT-style models on the two synthetic corpora,
+replaces their layer normalization with IterL2Norm at 3/4/5/10 iteration
+steps in FP32/FP16/BFloat16, and reports the perplexity alongside the exact
+baseline — the reproduction of the paper's normalizer-swap experiment
+(see DESIGN.md for the substitution of models and corpora).
+"""
+
+from __future__ import annotations
+
+from repro.eval.perplexity import LLMEvalConfig, perplexity_experiment
+from repro.eval.reporting import format_table
+
+
+def run(config: LLMEvalConfig | None = None) -> tuple[list[dict[str, object]], str]:
+    """Run the Table IV grid and return (rows, formatted text)."""
+    results = perplexity_experiment(config)
+    rows = [row for result in results for row in result.as_rows()]
+    text = format_table(
+        rows,
+        columns=["task", "model", "format", "baseline_ppl", "steps", "ppl", "delta"],
+        float_format=".4f",
+        title="Table IV - perplexity with IterL2Norm replacing layer normalization",
+    )
+    return rows, text
+
+
+def run_quick() -> tuple[list[dict[str, object]], str]:
+    """A reduced grid (one format, fewer training steps) for smoke tests."""
+    config = LLMEvalConfig(
+        tasks=("wikitext2-sim",),
+        models=("opt-125m-sim",),
+        formats=("fp32",),
+        step_counts=(3, 5, 10),
+        train_steps=40,
+        eval_windows=8,
+    )
+    return run(config)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run_quick()[1])

@@ -1,0 +1,127 @@
+"""Format-aware arithmetic: every operation rounds to the target format.
+
+The IterL2Norm macro's Mul and Add blocks are "tailored to each data format"
+(Sec. IV of the paper): their outputs are registers of the format's width, so
+each arithmetic result is rounded before being consumed by the next stage.
+:class:`FormatArithmetic` emulates this by quantizing the result of every
+elementary operation.  Reductions mirror the macro's adder-tree structure so
+the accumulation order — and hence the rounding error — matches the hardware
+rather than NumPy's pairwise ``sum``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpformats.quantize import quantize
+from repro.fpformats.spec import FloatFormat, get_format
+
+
+class FormatArithmetic:
+    """Arithmetic wrapper that quantizes after every operation.
+
+    Parameters
+    ----------
+    fmt:
+        Target format (name or :class:`FloatFormat`).
+    tree_fan_in:
+        Fan-in of the emulated adder trees used by :meth:`tree_sum`.  The
+        macro uses 8-input adder trees; the default matches that.
+    """
+
+    def __init__(self, fmt: FloatFormat | str, tree_fan_in: int = 8) -> None:
+        if tree_fan_in < 2:
+            raise ValueError(f"tree_fan_in must be >= 2, got {tree_fan_in}")
+        self.fmt = get_format(fmt)
+        self.tree_fan_in = int(tree_fan_in)
+
+    # -- elementary operations -------------------------------------------------
+    def cast(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Quantize a value into the working format."""
+        return quantize(x, self.fmt)
+
+    def add(self, a, b):
+        """Format-rounded addition."""
+        return quantize(np.asarray(a, dtype=np.float64) + np.asarray(b, dtype=np.float64), self.fmt)
+
+    def sub(self, a, b):
+        """Format-rounded subtraction."""
+        return quantize(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64), self.fmt)
+
+    def mul(self, a, b):
+        """Format-rounded multiplication."""
+        return quantize(np.asarray(a, dtype=np.float64) * np.asarray(b, dtype=np.float64), self.fmt)
+
+    def fma(self, a, b, c):
+        """Multiply-add with rounding after each of the two operations.
+
+        The macro has separate Mul and Add blocks (no fused MAC), so the
+        product is rounded before the addition.
+        """
+        return self.add(self.mul(a, b), c)
+
+    # -- reductions -------------------------------------------------------------
+    def tree_sum(self, values: np.ndarray, axis: int | None = None) -> np.ndarray | float:
+        """Sum using balanced k-ary adder trees with per-level rounding.
+
+        This mirrors the Add block of the macro: values are grouped into
+        ``tree_fan_in``-wide chunks whose sums are rounded, then those partial
+        sums are reduced the same way until a single value remains.  The
+        reduction is vectorized across the non-reduced axes, so batched rows
+        (e.g. every token of a transformer activation) reduce in one pass.
+        """
+        x = np.asarray(values, dtype=np.float64)
+        if axis is None:
+            reduced = self._tree_reduce_last_axis(
+                np.atleast_2d(np.asarray(quantize(x.reshape(-1), self.fmt)))
+            )
+            return float(reduced.reshape(()))
+        x = np.moveaxis(x, axis, -1)
+        out_shape = x.shape[:-1]
+        flat = np.asarray(quantize(x.reshape(-1, x.shape[-1]), self.fmt), dtype=np.float64)
+        result = self._tree_reduce_last_axis(flat)
+        if out_shape == ():
+            return float(result.reshape(()))
+        return result.reshape(out_shape)
+
+    def _tree_reduce_last_axis(self, rows: np.ndarray) -> np.ndarray:
+        """Reduce the last axis of a 2-D array level by level (vectorized)."""
+        if rows.shape[-1] == 0:
+            return np.zeros(rows.shape[0], dtype=np.float64)
+        current = rows
+        k = self.tree_fan_in
+        while current.shape[-1] > 1:
+            pad = (-current.shape[-1]) % k
+            if pad:
+                current = np.concatenate(
+                    [current, np.zeros((current.shape[0], pad))], axis=-1
+                )
+            grouped = current.reshape(current.shape[0], -1, k)
+            current = np.asarray(
+                quantize(grouped.sum(axis=-1), self.fmt), dtype=np.float64
+            )
+            current = current.reshape(current.shape[0], -1)
+        return current[:, 0]
+
+    def dot(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Inner product: element-wise rounded products, then a tree sum."""
+        products = self.mul(a, b)
+        return float(self.tree_sum(np.asarray(products)))
+
+    def sum_of_squares(self, a: np.ndarray) -> float:
+        """``||a||^2`` computed through the format-rounded datapath."""
+        return self.dot(a, a)
+
+    def mean(self, a: np.ndarray) -> float:
+        """Mean computed as tree-sum followed by a rounded multiply by 1/d.
+
+        The macro multiplies by a pre-stored ``1/d`` constant (itself stored
+        in the working format) rather than dividing.
+        """
+        a = np.asarray(a, dtype=np.float64)
+        total = self.tree_sum(a)
+        inv_d = self.cast(1.0 / a.size)
+        return float(self.mul(total, inv_d))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FormatArithmetic({self.fmt.name}, fan_in={self.tree_fan_in})"

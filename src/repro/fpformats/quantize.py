@@ -1,0 +1,124 @@
+"""Round-to-nearest-even quantization of arrays to an emulated format.
+
+Quantization is the single primitive that turns float64 NumPy math into a
+faithful emulation of FP16/BFloat16/FP32 datapaths: every intermediate value
+is rounded to the target format before it is used again, exactly as a
+hardware register of that width would store it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpformats.spec import FLOAT32, FLOAT16, FLOAT64, FloatFormat, get_format
+
+
+def _quantize_via_numpy(x: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Round-trip through a native NumPy dtype (fast path for fp32/fp16)."""
+    with np.errstate(over="ignore"):
+        return x.astype(dtype).astype(np.float64)
+
+
+def _quantize_generic(x: np.ndarray, fmt: FloatFormat) -> np.ndarray:
+    """Round-to-nearest-even quantization for an arbitrary format.
+
+    Works by scaling each value so its ulp becomes 1.0, rounding with
+    :func:`numpy.rint` (which implements ties-to-even), and scaling back.
+    Overflow saturates to infinity, matching IEEE round-to-nearest behaviour
+    where values at or beyond ``(max_finite + 0.5 ulp)`` become inf.
+    """
+    out = np.array(x, dtype=np.float64, copy=True)
+    finite = np.isfinite(out) & (out != 0.0)
+    if not np.any(finite):
+        return out
+
+    vals = out[finite]
+    mag = np.abs(vals)
+
+    # Unbiased exponent of each magnitude (float64 frexp is exact here).
+    _, exp = np.frexp(mag)
+    unbiased = exp - 1
+
+    # Clamp to the subnormal range: exponents below min_normal use the fixed
+    # subnormal ulp so that gradual underflow rounds correctly.
+    if fmt.supports_subnormals:
+        effective_exp = np.maximum(unbiased, fmt.min_normal_exponent)
+    else:
+        effective_exp = unbiased
+
+    ulp = np.exp2(effective_exp.astype(np.float64) - fmt.mantissa_bits)
+    quantized = np.rint(vals / ulp) * ulp
+
+    if not fmt.supports_subnormals:
+        too_small = np.abs(quantized) < fmt.min_positive_normal
+        quantized = np.where(too_small, 0.0, quantized)
+
+    # Rounding may bump a value into the next binade; recompute overflow after.
+    max_finite = fmt.max_finite
+    overflow_threshold = max_finite + 0.5 * np.exp2(
+        float(fmt.max_normal_exponent - fmt.mantissa_bits)
+    )
+    overflowed = np.abs(quantized) >= overflow_threshold
+    quantized = np.where(overflowed, np.sign(vals) * np.inf, quantized)
+    # Values between max_finite and the threshold round down to max_finite.
+    saturate = (~overflowed) & (np.abs(quantized) > max_finite)
+    quantized = np.where(saturate, np.sign(vals) * max_finite, quantized)
+
+    out[finite] = quantized
+    return out
+
+
+def quantize(
+    values: np.ndarray | float, fmt: FloatFormat | str
+) -> np.ndarray | float:
+    """Quantize values to ``fmt`` using round-to-nearest-even.
+
+    Scalars in, scalar (Python float) out; arrays in, float64 arrays out.
+    ``fp64`` quantization is the identity.  ``fp32`` and ``fp16`` use native
+    NumPy dtypes (bit-exact and fast); every other format goes through the
+    generic ulp-scaling path.
+    """
+    fmt = get_format(fmt)
+    scalar = np.isscalar(values) or np.ndim(values) == 0
+    x = np.asarray(values, dtype=np.float64)
+
+    if fmt == FLOAT64:
+        result = np.array(x, copy=True)
+    elif fmt == FLOAT32:
+        result = _quantize_via_numpy(x, np.dtype(np.float32))
+    elif fmt == FLOAT16:
+        result = _quantize_via_numpy(x, np.dtype(np.float16))
+    else:
+        result = _quantize_generic(x, fmt)
+
+    if scalar:
+        return float(result.reshape(()))
+    return result
+
+
+def quantization_step(values: np.ndarray | float, fmt: FloatFormat | str) -> np.ndarray:
+    """Return the ulp (unit in the last place) of each value in ``fmt``.
+
+    Useful for precision analyses: the worst-case rounding error of a single
+    quantization is half an ulp.
+    """
+    fmt = get_format(fmt)
+    x = np.atleast_1d(np.asarray(values, dtype=np.float64))
+    mag = np.abs(x)
+    _, exp = np.frexp(np.where(mag > 0, mag, 1.0))
+    unbiased = np.maximum(exp - 1, fmt.min_normal_exponent)
+    ulp = np.exp2(unbiased.astype(np.float64) - fmt.mantissa_bits)
+    if np.ndim(values) == 0:
+        return ulp.reshape(())
+    return ulp.reshape(np.shape(values))
+
+
+def representable(values: np.ndarray | float, fmt: FloatFormat | str) -> np.ndarray:
+    """Return a boolean mask of values exactly representable in ``fmt``."""
+    fmt = get_format(fmt)
+    x = np.asarray(values, dtype=np.float64)
+    q = np.asarray(quantize(x, fmt))
+    same = (q == x) | (np.isnan(q) & np.isnan(x))
+    if np.ndim(values) == 0:
+        return same.reshape(())
+    return same

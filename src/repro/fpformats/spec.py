@@ -1,0 +1,155 @@
+"""Declarative floating-point format specifications.
+
+A :class:`FloatFormat` captures everything the rest of the library needs to
+emulate a binary floating-point format: the exponent width, the mantissa
+(fraction) width, and the exponent bias.  The paper uses three formats —
+FP32, FP16, and BFloat16 — but the IterL2Norm algorithm itself only relies on
+the bias and the ability to read an exponent field (Eq. 6 and Eq. 10), so the
+spec is kept fully generic and custom formats can be declared freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """A binary floating-point format ``(sign, exponent, mantissa)``.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"fp32"``.
+    exponent_bits:
+        Width of the exponent field in bits.
+    mantissa_bits:
+        Width of the stored fraction field in bits (excluding the implicit
+        leading one of normal numbers).
+    supports_subnormals:
+        Whether gradual underflow is emulated.  All paper formats support
+        subnormals; turning this off clamps tiny values to zero.
+    """
+
+    name: str
+    exponent_bits: int
+    mantissa_bits: int
+    supports_subnormals: bool = True
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.exponent_bits < 2:
+            raise ValueError(f"exponent_bits must be >= 2, got {self.exponent_bits}")
+        if self.mantissa_bits < 1:
+            raise ValueError(f"mantissa_bits must be >= 1, got {self.mantissa_bits}")
+        if self.exponent_bits + self.mantissa_bits + 1 > 64:
+            raise ValueError("formats wider than 64 bits are not supported")
+
+    @property
+    def bias(self) -> int:
+        """IEEE exponent bias, ``2**(exponent_bits-1) - 1``."""
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage width including the sign bit."""
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    @property
+    def max_exponent_field(self) -> int:
+        """Largest raw exponent field value (reserved for inf/NaN)."""
+        return (1 << self.exponent_bits) - 1
+
+    @property
+    def max_normal_exponent(self) -> int:
+        """Largest unbiased exponent of a finite normal number."""
+        return self.max_exponent_field - 1 - self.bias
+
+    @property
+    def min_normal_exponent(self) -> int:
+        """Smallest unbiased exponent of a normal number."""
+        return 1 - self.bias
+
+    @property
+    def max_finite(self) -> float:
+        """Largest representable finite magnitude."""
+        significand = 2.0 - 2.0 ** (-self.mantissa_bits)
+        return significand * 2.0**self.max_normal_exponent
+
+    @property
+    def min_positive_normal(self) -> float:
+        """Smallest positive normal magnitude."""
+        return 2.0**self.min_normal_exponent
+
+    @property
+    def min_positive_subnormal(self) -> float:
+        """Smallest positive subnormal magnitude (or normal, if disabled)."""
+        if not self.supports_subnormals:
+            return self.min_positive_normal
+        return 2.0 ** (self.min_normal_exponent - self.mantissa_bits)
+
+    @property
+    def machine_epsilon(self) -> float:
+        """Spacing between 1.0 and the next larger representable value."""
+        return 2.0**-self.mantissa_bits
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}(e{self.exponent_bits}m{self.mantissa_bits}, "
+            f"bias={self.bias})"
+        )
+
+
+FLOAT64 = FloatFormat(
+    "fp64", exponent_bits=11, mantissa_bits=52, description="IEEE 754 binary64"
+)
+FLOAT32 = FloatFormat(
+    "fp32", exponent_bits=8, mantissa_bits=23, description="IEEE 754 binary32"
+)
+FLOAT16 = FloatFormat(
+    "fp16", exponent_bits=5, mantissa_bits=10, description="IEEE 754 binary16"
+)
+BFLOAT16 = FloatFormat(
+    "bf16", exponent_bits=8, mantissa_bits=7, description="Google brain float16"
+)
+# 8-bit formats (OCP FP8): not evaluated by the paper, exposed for the
+# extension experiment that pushes IterL2Norm below 16 bits.
+FLOAT8_E4M3 = FloatFormat(
+    "fp8_e4m3", exponent_bits=4, mantissa_bits=3, description="OCP FP8 E4M3 (no saturation mode)"
+)
+FLOAT8_E5M2 = FloatFormat(
+    "fp8_e5m2", exponent_bits=5, mantissa_bits=2, description="OCP FP8 E5M2"
+)
+
+#: Registry of the named formats used throughout the library.
+FORMATS: dict[str, FloatFormat] = {
+    "fp64": FLOAT64,
+    "fp32": FLOAT32,
+    "fp16": FLOAT16,
+    "bf16": BFLOAT16,
+    "bfloat16": BFLOAT16,
+    "float64": FLOAT64,
+    "float32": FLOAT32,
+    "float16": FLOAT16,
+    "fp8_e4m3": FLOAT8_E4M3,
+    "fp8_e5m2": FLOAT8_E5M2,
+    "e4m3": FLOAT8_E4M3,
+    "e5m2": FLOAT8_E5M2,
+}
+
+
+def get_format(fmt: str | FloatFormat) -> FloatFormat:
+    """Resolve a format name or pass a :class:`FloatFormat` through.
+
+    Raises
+    ------
+    KeyError
+        If ``fmt`` is a string that does not name a registered format.
+    """
+    if isinstance(fmt, FloatFormat):
+        return fmt
+    key = fmt.lower()
+    if key not in FORMATS:
+        known = ", ".join(sorted(set(FORMATS)))
+        raise KeyError(f"unknown float format {fmt!r}; known formats: {known}")
+    return FORMATS[key]

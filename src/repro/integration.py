@@ -1,0 +1,178 @@
+"""Bridging the transformer substrate and the hardware macro model.
+
+Two pieces live here:
+
+* :class:`MacroBackedLayerNorm` — a normalizer (registry-compatible) that
+  routes every row through the cycle-accurate
+  :class:`~repro.macro.simulator.IterL2NormMacro`, accumulating the cycles it
+  would cost in hardware.  Functionally it matches the pure-algorithm
+  :class:`~repro.core.layernorm.IterL2Norm` bit for bit (the macro unit tests
+  assert that), so it is only worth the simulation overhead when the cycle
+  accounting is the point.
+* :func:`normalization_cost_report` — the integrator's question: for a given
+  OPT configuration and token rate, how many normalizations per token, how
+  many macro cycles per token, and how many macro instances keep up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.macro.latency import LatencyModel
+from repro.macro.simulator import IterL2NormMacro, MacroConfig
+from repro.macro.throughput import ThroughputModel
+from repro.nn.config import OPTConfig
+
+
+class MacroBackedLayerNorm:
+    """Layer normalization executed on the IterL2Norm macro simulator.
+
+    Parameters
+    ----------
+    normalized_dim:
+        Length of the normalized axis (must fit the macro's buffer).
+    fmt:
+        Macro data format.
+    num_steps:
+        Iteration count programmed into the macro.
+    gamma, beta:
+        Affine parameters (default: ones / zeros).
+
+    Attributes
+    ----------
+    cycles_consumed:
+        Total macro cycles spent since construction (or the last
+        :meth:`reset_counters` call).
+    vectors_normalized:
+        Number of rows processed.
+    """
+
+    def __init__(
+        self,
+        normalized_dim: int,
+        fmt: str | None = "fp32",
+        num_steps: int = 5,
+        gamma: np.ndarray | None = None,
+        beta: np.ndarray | None = None,
+    ) -> None:
+        fmt = fmt or "fp32"
+        config = MacroConfig(fmt=fmt, num_steps=num_steps)
+        if normalized_dim > config.max_vector_length:
+            raise ValueError(
+                f"normalized_dim {normalized_dim} exceeds the macro capacity "
+                f"{config.max_vector_length}"
+            )
+        self.normalized_dim = int(normalized_dim)
+        self.macro = IterL2NormMacro(config)
+        self.gamma = np.ones(normalized_dim) if gamma is None else np.asarray(gamma, dtype=np.float64)
+        self.beta = np.zeros(normalized_dim) if beta is None else np.asarray(beta, dtype=np.float64)
+        if self.gamma.shape != (normalized_dim,) or self.beta.shape != (normalized_dim,):
+            raise ValueError("gamma and beta must have shape (normalized_dim,)")
+        self.cycles_consumed = 0
+        self.vectors_normalized = 0
+
+    def reset_counters(self) -> None:
+        """Zero the cycle and vector counters."""
+        self.cycles_consumed = 0
+        self.vectors_normalized = 0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Normalize ``x`` row by row on the macro, accumulating cycles."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.normalized_dim:
+            raise ValueError(
+                f"last axis of x must be {self.normalized_dim}, got {x.shape[-1]}"
+            )
+        flat = x.reshape(-1, self.normalized_dim)
+        outputs, cycles, results = self.macro.normalize_batch(flat, self.gamma, self.beta)
+        self.cycles_consumed += cycles
+        self.vectors_normalized += len(results)
+        return outputs.reshape(x.shape)
+
+
+@dataclass(frozen=True)
+class NormalizationCostReport:
+    """Per-token normalization cost of an OPT-style model on the macro.
+
+    Attributes
+    ----------
+    model_name:
+        Configuration the report was computed for.
+    embed_dim:
+        Normalized-axis length.
+    layernorms_per_token:
+        LayerNorm applications per generated token (2 per block + final).
+    cycles_per_normalization:
+        Macro cycles for one d-long vector (Fig. 5 value).
+    cycles_per_token:
+        ``layernorms_per_token * cycles_per_normalization``.
+    microseconds_per_token:
+        The same at the given clock.
+    macros_for_realtime:
+        Macro instances needed to sustain ``target_tokens_per_second``.
+    """
+
+    model_name: str
+    embed_dim: int
+    layernorms_per_token: int
+    cycles_per_normalization: int
+    cycles_per_token: int
+    microseconds_per_token: float
+    target_tokens_per_second: float
+    macros_for_realtime: int
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "model": self.model_name,
+            "d": self.embed_dim,
+            "LN/token": self.layernorms_per_token,
+            "cycles/LN": self.cycles_per_normalization,
+            "cycles/token": self.cycles_per_token,
+            "us/token": round(self.microseconds_per_token, 3),
+            "macros_needed": self.macros_for_realtime,
+        }
+
+
+def normalization_cost_report(
+    config: OPTConfig,
+    num_steps: int = 5,
+    clock_mhz: float = 100.0,
+    target_tokens_per_second: float = 1e4,
+) -> NormalizationCostReport:
+    """How much IterL2Norm hardware an OPT-style decoder needs per token.
+
+    During autoregressive decoding each new token activates every layer norm
+    in the stack exactly once, so the normalization demand is
+    ``num_layernorms`` d-long vectors per token.
+    """
+    if clock_mhz <= 0:
+        raise ValueError(f"clock_mhz must be positive, got {clock_mhz}")
+    if target_tokens_per_second <= 0:
+        raise ValueError(
+            f"target_tokens_per_second must be positive, got {target_tokens_per_second}"
+        )
+    latency = LatencyModel()
+    d = config.embed_dim
+    cycles_per_norm = latency.total_cycles(d, num_steps)
+    norms_per_token = config.num_layernorms
+    cycles_per_token = cycles_per_norm * norms_per_token
+
+    throughput = ThroughputModel(clock_mhz=clock_mhz)
+    macros = throughput.macros_required(
+        d, target_tokens_per_second * norms_per_token, num_steps
+    )
+    return NormalizationCostReport(
+        model_name=config.name,
+        embed_dim=d,
+        layernorms_per_token=norms_per_token,
+        cycles_per_normalization=cycles_per_norm,
+        cycles_per_token=cycles_per_token,
+        microseconds_per_token=cycles_per_token / clock_mhz,
+        target_tokens_per_second=target_tokens_per_second,
+        macros_for_realtime=macros,
+    )

@@ -1,0 +1,53 @@
+"""Cycle-approximate simulator and cost models of the IterL2Norm macro.
+
+The paper's Sec. IV describes a hardware macro built from an Input buffer of
+eight banks (16 x 8 elements each), gamma/beta parameter buffers, a partial-
+sum buffer, a Mul block with 64 multipliers, an Add block with eight 8-input
+L1 adder trees plus one L2 tree, and a set of controllers that sequence the
+normalization.  This package models all of it:
+
+* :mod:`~repro.macro.buffers` — the four on-chip buffers with bank/row
+  addressing and capacity checks.
+* :mod:`~repro.macro.blocks` — the Add and Mul blocks (functional behaviour
+  through :class:`~repro.fpformats.arithmetic.FormatArithmetic` plus their
+  two-cycle latencies).
+* :mod:`~repro.macro.controllers` — the controllers of Fig. 1a/Fig. 2 as
+  small state machines producing per-phase cycle counts and values.
+* :mod:`~repro.macro.simulator` — the top-level macro: functional result +
+  cycle-by-cycle latency for a full layer normalization.
+* :mod:`~repro.macro.latency` — the closed-form latency model (Fig. 5).
+* :mod:`~repro.macro.memory` — buffer sizing per format (Table II memory
+  column).
+* :mod:`~repro.macro.area_power` — area/power component model (Table II,
+  Fig. 6), anchored to the paper's synthesis totals.
+* :mod:`~repro.macro.comparison` — prior-work records for Table III.
+"""
+
+from repro.macro.buffers import InputBuffer, ParamBuffer, PartialSumBuffer
+from repro.macro.blocks import AddBlock, MulBlock
+from repro.macro.simulator import IterL2NormMacro, MacroConfig, MacroResult
+from repro.macro.latency import LatencyModel, latency_cycles
+from repro.macro.memory import MemoryReport, memory_report
+from repro.macro.area_power import AreaPowerModel, AreaPowerReport, synthesis_report
+from repro.macro.comparison import COMPARISON_TABLE, ImplementationRecord, comparison_table
+
+__all__ = [
+    "AddBlock",
+    "AreaPowerModel",
+    "AreaPowerReport",
+    "COMPARISON_TABLE",
+    "ImplementationRecord",
+    "InputBuffer",
+    "IterL2NormMacro",
+    "LatencyModel",
+    "MacroConfig",
+    "MacroResult",
+    "MemoryReport",
+    "MulBlock",
+    "ParamBuffer",
+    "PartialSumBuffer",
+    "comparison_table",
+    "latency_cycles",
+    "memory_report",
+    "synthesis_report",
+]

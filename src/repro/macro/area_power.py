@@ -1,0 +1,202 @@
+"""Area / power / cell-count model of the IterL2Norm macro (Table II, Fig. 6).
+
+The paper synthesizes the macro in the Synopsys SAED 32/28nm educational PDK
+at 1.05 V / 100 MHz and reports, per format, the on-chip memory, the standard
+cell count, the area (with and without the Add/Mul blocks), and the power
+(Table II), plus area/power breakdowns (Fig. 6).  Without the PDK we model
+each component with first-order complexity laws and calibrate the three
+technology coefficients against the paper's own totals:
+
+* a floating-point multiplier costs ``(m+1)^2 + 8*e`` area units (mantissa
+  array multiplier plus exponent adder), a floating-point adder costs
+  ``4*(m+1)*log2(m+1) + 8*e`` (alignment shifter plus mantissa adder), where
+  ``m``/``e`` are the mantissa/exponent widths;
+* buffers cost area/power per stored bit;
+* the controllers cost a fixed overhead.
+
+The coefficients (area per unit, per bit, fixed) are fitted so that the
+model reproduces Table II for FP32/FP16/BFloat16 exactly; the value of the
+model is that it then yields self-consistent breakdowns (Fig. 6) and
+extrapolates to other formats and buffer geometries for the ablation
+benchmarks.  The qualitative paper claims hold by construction of the
+component structure, not the fit: memory dominates area, the multipliers and
+adders dominate power, and BFloat16 logic is smaller than FP16 logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fpformats.spec import FloatFormat, get_format
+from repro.macro.blocks import AddBlock, MulBlock
+from repro.macro.buffers import BANK_ROWS, MAX_VECTOR_LENGTH
+from repro.macro.memory import MemoryReport, memory_report
+
+#: Number of multipliers in the Mul block.
+NUM_MULTIPLIERS = MulBlock.LANES
+#: Number of two-input adders in the Add block (nine 8-input trees).
+NUM_ADDERS = 9 * 7
+
+# Calibration coefficients (fitted to Table II; see the module docstring).
+#: Area in um^2 per datapath "area unit".
+AREA_PER_DATAPATH_UNIT = 9.6
+#: Area in um^2 per buffered bit (register-file style storage in SAED).
+AREA_PER_MEMORY_BIT = 14.2
+#: Fixed controller area in um^2 plus a small per-word-bit term.
+AREA_CONTROL_FIXED = 100_000.0
+AREA_CONTROL_PER_WORD_BIT = 4_000.0
+
+#: Standard cells per datapath area unit / per memory bit / fixed control.
+CELLS_PER_DATAPATH_UNIT = 3.17
+CELLS_PER_MEMORY_BIT = 0.1965
+CELLS_CONTROL_FIXED = 19_400.0
+
+#: Power in mW per datapath area unit / per memory bit / fixed control.
+POWER_PER_DATAPATH_UNIT = 2.664e-4
+POWER_PER_MEMORY_BIT = 2.226e-5
+POWER_CONTROL_FIXED = 1.33
+
+
+def multiplier_area_units(fmt: FloatFormat) -> float:
+    """First-order complexity of one floating-point multiplier."""
+    m = fmt.mantissa_bits + 1  # include the implicit leading one
+    return float(m * m + 8 * fmt.exponent_bits)
+
+
+def adder_area_units(fmt: FloatFormat) -> float:
+    """First-order complexity of one floating-point adder."""
+    m = fmt.mantissa_bits + 1
+    return float(4.0 * m * np.log2(m) + 8 * fmt.exponent_bits)
+
+
+@dataclass(frozen=True)
+class AreaPowerReport:
+    """Synthesis-style report for one macro configuration.
+
+    Areas are in mm^2, power in mW, memory in kib — the units of Table II.
+    The component dictionaries carry the Fig. 6 breakdowns.
+    """
+
+    fmt: str
+    memory_kib: float
+    cell_count: float
+    area_mm2: float
+    area_without_datapath_mm2: float
+    power_mw: float
+    area_breakdown_mm2: dict[str, float]
+    power_breakdown_mw: dict[str, float]
+
+    def area_fractions(self) -> dict[str, float]:
+        """Fig. 6a-c style area fractions (components sum to 1)."""
+        total = sum(self.area_breakdown_mm2.values())
+        return {k: v / total for k, v in self.area_breakdown_mm2.items()}
+
+    def power_fractions(self) -> dict[str, float]:
+        """Fig. 6d-f style power fractions (components sum to 1)."""
+        total = sum(self.power_breakdown_mw.values())
+        return {k: v / total for k, v in self.power_breakdown_mw.items()}
+
+    def as_row(self) -> dict[str, float | str]:
+        """Flat row for the Table II writer."""
+        return {
+            "format": self.fmt,
+            "memory_kib": round(self.memory_kib, 2),
+            "cells_k": round(self.cell_count / 1e3, 1),
+            "area_mm2": round(self.area_mm2, 2),
+            "area_wo_addmul_mm2": round(self.area_without_datapath_mm2, 2),
+            "power_mw": round(self.power_mw, 1),
+        }
+
+
+class AreaPowerModel:
+    """Component-level area/power model of the IterL2Norm macro."""
+
+    def __init__(
+        self,
+        num_multipliers: int = NUM_MULTIPLIERS,
+        num_adders: int = NUM_ADDERS,
+        max_vector_length: int = MAX_VECTOR_LENGTH,
+        partial_sum_entries: int = BANK_ROWS,
+    ) -> None:
+        if min(num_multipliers, num_adders) < 1:
+            raise ValueError("datapath must contain at least one multiplier and adder")
+        self.num_multipliers = int(num_multipliers)
+        self.num_adders = int(num_adders)
+        self.max_vector_length = int(max_vector_length)
+        self.partial_sum_entries = int(partial_sum_entries)
+
+    # -- component models -------------------------------------------------------
+    def datapath_units(self, fmt: FloatFormat) -> dict[str, float]:
+        """Area units of the Mul and Add blocks."""
+        return {
+            "mul_block": self.num_multipliers * multiplier_area_units(fmt),
+            "add_block": self.num_adders * adder_area_units(fmt),
+        }
+
+    def memory(self, fmt: FloatFormat) -> MemoryReport:
+        """Buffer sizing used by the area/power estimates."""
+        return memory_report(
+            fmt,
+            max_vector_length=self.max_vector_length,
+            partial_sum_entries=self.partial_sum_entries,
+        )
+
+    # -- report ------------------------------------------------------------------
+    def report(self, fmt: FloatFormat | str) -> AreaPowerReport:
+        """Full Table II / Fig. 6 style report for one format."""
+        fmt = get_format(fmt)
+        units = self.datapath_units(fmt)
+        datapath_units = units["mul_block"] + units["add_block"]
+        mem = self.memory(fmt)
+        bits = mem.total_bits
+
+        area_mul = units["mul_block"] * AREA_PER_DATAPATH_UNIT / 1e6
+        area_add = units["add_block"] * AREA_PER_DATAPATH_UNIT / 1e6
+        area_mem = bits * AREA_PER_MEMORY_BIT / 1e6
+        area_ctrl = (
+            AREA_CONTROL_FIXED + AREA_CONTROL_PER_WORD_BIT * fmt.total_bits
+        ) / 1e6
+        area_breakdown = {
+            "memory": area_mem,
+            "mul_block": area_mul,
+            "add_block": area_add,
+            "control": area_ctrl,
+        }
+        area_total = sum(area_breakdown.values())
+
+        cells = (
+            datapath_units * CELLS_PER_DATAPATH_UNIT
+            + bits * CELLS_PER_MEMORY_BIT
+            + CELLS_CONTROL_FIXED
+        )
+
+        power_mul = units["mul_block"] * POWER_PER_DATAPATH_UNIT
+        power_add = units["add_block"] * POWER_PER_DATAPATH_UNIT
+        power_mem = bits * POWER_PER_MEMORY_BIT
+        power_ctrl = POWER_CONTROL_FIXED
+        power_breakdown = {
+            "memory": power_mem,
+            "mul_block": power_mul,
+            "add_block": power_add,
+            "control": power_ctrl,
+        }
+        power_total = sum(power_breakdown.values())
+
+        return AreaPowerReport(
+            fmt=fmt.name,
+            memory_kib=mem.total_kib,
+            cell_count=cells,
+            area_mm2=area_total,
+            area_without_datapath_mm2=area_total - area_mul - area_add,
+            power_mw=power_total,
+            area_breakdown_mm2=area_breakdown,
+            power_breakdown_mw=power_breakdown,
+        )
+
+
+def synthesis_report(formats: tuple[str, ...] = ("fp32", "fp16", "bf16")) -> list[AreaPowerReport]:
+    """Table II: one :class:`AreaPowerReport` per requested format."""
+    model = AreaPowerModel()
+    return [model.report(fmt) for fmt in formats]

@@ -1,0 +1,113 @@
+"""The Add and Mul datapath blocks of the IterL2Norm macro (Fig. 1a/1c).
+
+* The **Add block** contains eight 8-input L1 adder trees feeding one
+  8-input L2 adder tree, so it can reduce a 64-element chunk to a single sum
+  per invocation.  It is also used element-wise (as 64 parallel adders) for
+  the mean-shift and the beta addition.
+* The **Mul block** contains 64 parallel multipliers used for the inner
+  product, the final scaling by ``a * sqrt(d)``, and the gamma scaling.
+
+Both blocks are format-specific in hardware but share a two-cycle latency
+(Sec. IV).  Functionally they run through
+:class:`~repro.fpformats.arithmetic.FormatArithmetic`, so every intermediate
+value is rounded to the macro's word width; the latency constants are
+consumed by the simulator and the closed-form latency model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpformats.arithmetic import FormatArithmetic
+from repro.fpformats.spec import FloatFormat, get_format
+
+#: Pipeline latency of the Add and Mul blocks, in clock cycles (Sec. IV).
+BLOCK_LATENCY_CYCLES = 2
+
+
+class AddBlock:
+    """Eight 8-input L1 adder trees plus one L2 tree, and 64 element adders."""
+
+    #: Number of L1 trees (also the fan-in of every tree).
+    NUM_L1_TREES = 8
+    TREE_FAN_IN = 8
+    #: Elements reduced per invocation.
+    LANES = NUM_L1_TREES * TREE_FAN_IN
+
+    def __init__(self, fmt: FloatFormat | str = "fp32") -> None:
+        self.fmt = get_format(fmt)
+        self.latency = BLOCK_LATENCY_CYCLES
+        self._arith = FormatArithmetic(self.fmt, tree_fan_in=self.TREE_FAN_IN)
+        self.invocations = 0
+
+    def reduce_chunk(self, chunk: np.ndarray) -> float:
+        """Sum up to 64 elements through the L1/L2 adder-tree hierarchy."""
+        chunk = np.asarray(chunk, dtype=np.float64)
+        if chunk.size > self.LANES:
+            raise ValueError(
+                f"Add block reduces at most {self.LANES} elements, got {chunk.size}"
+            )
+        self.invocations += 1
+        padded = np.zeros(self.LANES)
+        padded[: chunk.size] = chunk
+        # L1: eight 8-input trees, each producing one rounded partial sum.
+        l1 = np.asarray(
+            [self._arith.tree_sum(padded[i * 8 : (i + 1) * 8]) for i in range(8)]
+        )
+        # L2: one 8-input tree over the L1 outputs.
+        return float(self._arith.tree_sum(l1))
+
+    def reduce_partials(self, partials: np.ndarray) -> float:
+        """Reduce buffered partial sums (at most 16 of them, Sec. IV)."""
+        partials = np.asarray(partials, dtype=np.float64)
+        if partials.size > self.LANES:
+            raise ValueError(
+                f"Add block reduces at most {self.LANES} partials, got {partials.size}"
+            )
+        self.invocations += 1
+        return float(self._arith.tree_sum(partials))
+
+    def elementwise_add(self, a: np.ndarray, b: np.ndarray | float) -> np.ndarray:
+        """64-lane element-wise addition (mean shift, beta add)."""
+        self.invocations += 1
+        return np.asarray(self._arith.add(a, b))
+
+    def elementwise_sub(self, a: np.ndarray, b: np.ndarray | float) -> np.ndarray:
+        """64-lane element-wise subtraction (mean shift)."""
+        self.invocations += 1
+        return np.asarray(self._arith.sub(a, b))
+
+    def scalar_add(self, a: float, b: float) -> float:
+        """Single-lane addition used by the iteration controller."""
+        self.invocations += 1
+        return float(self._arith.add(a, b))
+
+    def scalar_sub(self, a: float, b: float) -> float:
+        """Single-lane subtraction used by the iteration controller."""
+        self.invocations += 1
+        return float(self._arith.sub(a, b))
+
+
+class MulBlock:
+    """64 parallel format-specific multipliers."""
+
+    LANES = 64
+
+    def __init__(self, fmt: FloatFormat | str = "fp32") -> None:
+        self.fmt = get_format(fmt)
+        self.latency = BLOCK_LATENCY_CYCLES
+        self._arith = FormatArithmetic(self.fmt)
+        self.invocations = 0
+
+    def elementwise_mul(self, a: np.ndarray, b: np.ndarray | float) -> np.ndarray:
+        """64-lane element-wise multiplication."""
+        a = np.asarray(a, dtype=np.float64)
+        if a.size > self.LANES:
+            raise ValueError(f"Mul block has {self.LANES} lanes, got {a.size} elements")
+        self.invocations += 1
+        return np.asarray(self._arith.mul(a, b))
+
+    def scalar_mul(self, a: float, b: float) -> float:
+        """Single-lane multiplication used by the iteration controller."""
+        self.invocations += 1
+        return float(self._arith.mul(a, b))

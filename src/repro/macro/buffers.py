@@ -1,0 +1,216 @@
+"""On-chip buffers of the IterL2Norm macro (Fig. 1a/1b).
+
+The macro holds four memories:
+
+* the **Input buffer** — eight parallel banks (``nb = 8``), each storing
+  ``hb x wb = 16 x 8`` elements, for a maximum single-vector length of
+  ``d_max = nb * hb * wb = 1024``.  A ``d``-long vector is striped across the
+  banks so that row ``i`` of bank ``b`` holds
+  ``x[wb*(b + nb*i) : wb*(b + nb*i + 1)]``, letting the eight banks deliver
+  one 64-element chunk per read because they share a read pointer;
+* the **gamma** and **beta** buffers — same capacity, holding the affine
+  parameters;
+* the **Partial sum buffer** — up to ``hb = 16`` partial sums produced by the
+  Add block while reducing a long vector chunk by chunk.
+
+The classes here model both the addressing (so tests can verify the striping
+of Fig. 1b) and the capacity limits (so the simulator rejects vectors the
+real macro could not hold).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpformats.quantize import quantize
+from repro.fpformats.spec import FloatFormat, get_format
+
+#: Number of parallel banks in the Input buffer.
+NUM_BANKS = 8
+#: Rows per bank.
+BANK_ROWS = 16
+#: Elements per bank row.
+BANK_WIDTH = 8
+#: Elements delivered per shared-read-pointer access (one chunk).
+CHUNK_ELEMS = NUM_BANKS * BANK_WIDTH
+#: Maximum single-vector length the Input buffer can hold.
+MAX_VECTOR_LENGTH = NUM_BANKS * BANK_ROWS * BANK_WIDTH
+
+
+class InputBuffer:
+    """The eight-bank Input buffer with the Fig. 1b striping.
+
+    Parameters
+    ----------
+    fmt:
+        Element format; values are quantized on write, as a real memory of
+        that word width would store them.
+    num_banks, bank_rows, bank_width:
+        Geometry knobs (default to the paper's 8 x 16 x 8).
+    """
+
+    def __init__(
+        self,
+        fmt: FloatFormat | str = "fp32",
+        num_banks: int = NUM_BANKS,
+        bank_rows: int = BANK_ROWS,
+        bank_width: int = BANK_WIDTH,
+    ) -> None:
+        if min(num_banks, bank_rows, bank_width) < 1:
+            raise ValueError("buffer geometry parameters must all be >= 1")
+        self.fmt = get_format(fmt)
+        self.num_banks = int(num_banks)
+        self.bank_rows = int(bank_rows)
+        self.bank_width = int(bank_width)
+        self.banks = np.zeros((self.num_banks, self.bank_rows, self.bank_width))
+        self.writes = 0
+        self.reads = 0
+
+    @property
+    def chunk_elems(self) -> int:
+        """Elements read per shared-pointer access (one row of every bank)."""
+        return self.num_banks * self.bank_width
+
+    @property
+    def capacity(self) -> int:
+        """Total number of elements the buffer can store."""
+        return self.num_banks * self.bank_rows * self.bank_width
+
+    def element_address(self, index: int) -> tuple[int, int, int]:
+        """Map a flat vector index to ``(bank, row, column)`` per Fig. 1b.
+
+        Row ``i`` of bank ``b`` stores elements
+        ``wb*(b + nb*i) .. wb*(b + nb*i) + wb - 1``; inverting that mapping,
+        element ``index`` lives at chunk ``index // (nb*wb)``, bank
+        ``(index // wb) % nb``, column ``index % wb``.
+        """
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"element index {index} outside capacity {self.capacity}")
+        row = index // self.chunk_elems
+        bank = (index // self.bank_width) % self.num_banks
+        col = index % self.bank_width
+        return bank, row, col
+
+    def load_vector(self, x: np.ndarray, offset_rows: int = 0) -> None:
+        """Write a vector into the buffer starting at chunk row ``offset_rows``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError(f"expected a 1-D vector, got shape {x.shape}")
+        rows_needed = int(np.ceil(x.size / self.chunk_elems))
+        if offset_rows + rows_needed > self.bank_rows:
+            raise ValueError(
+                f"vector of length {x.size} starting at row {offset_rows} does not "
+                f"fit in {self.bank_rows} rows"
+            )
+        x_q = np.asarray(quantize(x, self.fmt))
+        for i, value in enumerate(x_q):
+            bank, row, col = self.element_address(i + offset_rows * self.chunk_elems)
+            self.banks[bank, row, col] = value
+        self.writes += rows_needed
+
+    def read_chunk(self, chunk_index: int, length: int | None = None) -> np.ndarray:
+        """Read one 64-element chunk (row ``chunk_index`` of all banks).
+
+        ``length`` limits the number of valid elements (the tail chunk of a
+        vector whose length is not a multiple of 64); the rest are returned
+        as zeros, exactly what the macro feeds to its adder trees.
+        """
+        if not 0 <= chunk_index < self.bank_rows:
+            raise IndexError(f"chunk index {chunk_index} outside 0..{self.bank_rows - 1}")
+        self.reads += 1
+        chunk = np.zeros(self.chunk_elems)
+        n = self.chunk_elems if length is None else min(length, self.chunk_elems)
+        for j in range(n):
+            bank = (j // self.bank_width) % self.num_banks
+            col = j % self.bank_width
+            chunk[j] = self.banks[bank, chunk_index, col]
+        return chunk
+
+    def write_chunk(self, chunk_index: int, values: np.ndarray, length: int | None = None) -> None:
+        """Write one chunk back (used by the Shift controller for ``y``)."""
+        if not 0 <= chunk_index < self.bank_rows:
+            raise IndexError(f"chunk index {chunk_index} outside 0..{self.bank_rows - 1}")
+        values = np.asarray(values, dtype=np.float64)
+        if values.size != self.chunk_elems:
+            raise ValueError(
+                f"chunk write must provide {self.chunk_elems} values, got {values.size}"
+            )
+        values_q = np.asarray(quantize(values, self.fmt))
+        n = self.chunk_elems if length is None else min(length, self.chunk_elems)
+        for j in range(n):
+            bank = (j // self.bank_width) % self.num_banks
+            col = j % self.bank_width
+            self.banks[bank, chunk_index, col] = values_q[j]
+        self.writes += 1
+
+    def read_vector(self, length: int, offset_rows: int = 0) -> np.ndarray:
+        """Read back a full vector of ``length`` elements (test helper)."""
+        chunks = int(np.ceil(length / self.chunk_elems))
+        out = np.zeros(chunks * self.chunk_elems)
+        for c in range(chunks):
+            out[c * self.chunk_elems : (c + 1) * self.chunk_elems] = self.read_chunk(
+                c + offset_rows
+            )
+        return out[:length]
+
+
+class ParamBuffer:
+    """The gamma or beta parameter buffer (same capacity as the Input buffer)."""
+
+    def __init__(self, fmt: FloatFormat | str = "fp32", capacity: int = MAX_VECTOR_LENGTH) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.fmt = get_format(fmt)
+        self.capacity = int(capacity)
+        self.values = np.zeros(self.capacity)
+        self.loaded_length = 0
+
+    def load(self, values: np.ndarray) -> None:
+        """Load the parameter vector (quantized to the buffer's format)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError(f"expected a 1-D vector, got shape {values.shape}")
+        if values.size > self.capacity:
+            raise ValueError(
+                f"parameter vector of length {values.size} exceeds capacity {self.capacity}"
+            )
+        self.values[: values.size] = np.asarray(quantize(values, self.fmt))
+        self.loaded_length = values.size
+
+    def read_chunk(self, chunk_index: int, chunk_elems: int = CHUNK_ELEMS) -> np.ndarray:
+        """Read a 64-element chunk of the parameter vector (zero padded)."""
+        start = chunk_index * chunk_elems
+        if start >= self.capacity:
+            raise IndexError(f"chunk {chunk_index} outside parameter buffer")
+        end = min(start + chunk_elems, self.capacity)
+        out = np.zeros(chunk_elems)
+        out[: end - start] = self.values[start:end]
+        return out
+
+
+class PartialSumBuffer:
+    """The Partial sum buffer: up to ``capacity`` chunk sums awaiting reduction."""
+
+    def __init__(self, fmt: FloatFormat | str = "fp32", capacity: int = BANK_ROWS) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.fmt = get_format(fmt)
+        self.capacity = int(capacity)
+        self._values: list[float] = []
+
+    def push(self, value: float) -> None:
+        """Append one partial sum (quantized)."""
+        if len(self._values) >= self.capacity:
+            raise OverflowError(
+                f"partial sum buffer overflow: capacity {self.capacity} exceeded"
+            )
+        self._values.append(float(quantize(value, self.fmt)))
+
+    def drain(self) -> np.ndarray:
+        """Return all buffered partial sums and clear the buffer."""
+        values = np.asarray(self._values, dtype=np.float64)
+        self._values = []
+        return values
+
+    def __len__(self) -> int:
+        return len(self._values)

@@ -1,0 +1,149 @@
+"""Prior-work comparison records (Table III).
+
+Table III of the paper compares the IterL2Norm macro with four previously
+published layer-normalization hardware implementations.  Those rows are
+literature-reported numbers, so this module stores them as structured
+records; the "Ours" rows are generated live from
+:mod:`repro.macro.area_power` so that the comparison table always reflects
+the current model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.macro.area_power import synthesis_report
+
+
+@dataclass(frozen=True)
+class ImplementationRecord:
+    """One row of Table III.
+
+    ``area_mm2`` / ``power_w`` / ``clock_mhz`` are ``None`` when the source
+    publication does not report them (marked "-" in the paper).
+    """
+
+    name: str
+    reference: str
+    technology: str
+    method: str
+    operations: tuple[str, ...]
+    data_formats: tuple[str, ...]
+    area_mm2: float | None = None
+    power_w: float | None = None
+    clock_mhz: float | None = None
+    notes: str = ""
+    per_format_area_mm2: dict[str, float] = field(default_factory=dict)
+    per_format_power_w: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def division_free(self) -> bool:
+        """Whether the implementation avoids explicit division."""
+        return "division" not in self.operations
+
+    def as_row(self) -> dict[str, object]:
+        """Flat row for the Table III writer."""
+        return {
+            "implementation": self.name,
+            "technology": self.technology,
+            "method": self.method,
+            "operations": ", ".join(self.operations),
+            "formats": ", ".join(self.data_formats),
+            "area_mm2": self.area_mm2,
+            "power_w": self.power_w,
+            "clock_mhz": self.clock_mhz,
+        }
+
+
+#: Literature rows of Table III (numbers as reported by the cited papers).
+COMPARISON_TABLE: tuple[ImplementationRecord, ...] = (
+    ImplementationRecord(
+        name="SwiftTron",
+        reference="[8] Marchisio et al., IJCNN 2023",
+        technology="65nm CMOS",
+        method="approximate SQRT (integer iterative)",
+        operations=("addition", "division", "bit shift"),
+        data_formats=("INT32",),
+        area_mm2=68.3,
+        power_w=2.0,
+        clock_mhz=143.0,
+        notes="Full accelerator; integer-only arithmetic with explicit division.",
+    ),
+    ImplementationRecord(
+        name="NN-LUT",
+        reference="[9] Yu et al., DAC 2022",
+        technology="7nm CMOS",
+        method="approximate 1/SQRT (piecewise-linear LUT)",
+        operations=("multiplication", "addition"),
+        data_formats=("INT32", "FP32", "FP16"),
+        area_mm2=None,
+        power_w=None,
+        clock_mhz=None,
+        notes="Per-operator LUT unit; areas are per-instance in um^2.",
+        per_format_area_mm2={
+            "int32": 1008.9e-6,
+            "fp32": 1133.6e-6,
+            "fp16": 498.4e-6,
+        },
+        per_format_power_w={
+            "int32": 59.1e-6,
+            "fp32": 43.7e-6,
+            "fp16": 25.0e-6,
+        },
+    ),
+    ImplementationRecord(
+        name="PIM-GPT",
+        reference="[10] Wu et al., npj Unconv. Comput. 2024",
+        technology="28nm CMOS",
+        method="FISR",
+        operations=("multiplication", "addition", "bit shift"),
+        data_formats=("BFloat16",),
+        area_mm2=None,
+        power_w=None,
+        clock_mhz=1000.0,
+        notes="Implementation details and overheads not published.",
+    ),
+    ImplementationRecord(
+        name="SOLE",
+        reference="[11] Wang et al., ICCAD 2023",
+        technology="28nm CMOS",
+        method="layer normalization with dynamic compression",
+        operations=("multiplication", "addition", "bit shift"),
+        data_formats=("INT8",),
+        area_mm2=None,
+        power_w=None,
+        clock_mhz=1000.0,
+        notes="Low-precision statistics with power-of-two factor quantization.",
+    ),
+)
+
+
+def our_records() -> tuple[ImplementationRecord, ...]:
+    """The "Ours" rows of Table III, generated from the area/power model."""
+    rows = []
+    for report in synthesis_report(("fp32", "fp16", "bf16")):
+        rows.append(
+            ImplementationRecord(
+                name=f"IterL2Norm ({report.fmt})",
+                reference="this work",
+                technology="32/28nm CMOS",
+                method="IterL2Norm",
+                operations=("multiplication", "addition"),
+                data_formats=(report.fmt.upper(),),
+                area_mm2=round(report.area_mm2, 2),
+                power_w=round(report.power_mw / 1e3, 4),
+                clock_mhz=100.0,
+                notes=(
+                    "area without Add/Mul blocks: "
+                    f"{report.area_without_datapath_mm2:.2f} mm^2"
+                ),
+            )
+        )
+    return tuple(rows)
+
+
+def comparison_table(include_ours: bool = True) -> tuple[ImplementationRecord, ...]:
+    """All rows of Table III, optionally including the generated "Ours" rows."""
+    if include_ours:
+        return COMPARISON_TABLE + our_records()
+    return COMPARISON_TABLE

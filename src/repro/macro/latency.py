@@ -1,0 +1,105 @@
+"""Closed-form latency model of the IterL2Norm macro (Fig. 5).
+
+Fig. 5 of the paper reports a latency of 116–227 cycles for input lengths
+64 <= d <= 1024 with five iteration steps, and notes that "the latency
+scales with the number of chunks ceil(d / (nb*wb)) of the input length"
+because every major phase streams the vector chunk by chunk.
+
+The closed-form model here sums the per-phase cycle expressions of
+:mod:`repro.macro.controllers`; it therefore agrees cycle-for-cycle with the
+simulator (a unit test asserts this) while being cheap enough to sweep over
+thousands of configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.macro.blocks import BLOCK_LATENCY_CYCLES
+from repro.macro.buffers import CHUNK_ELEMS
+from repro.macro.controllers import PHASE_HANDOFF_CYCLES, IterationController
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Analytic latency model parameterized by the macro's architecture.
+
+    Attributes
+    ----------
+    chunk_elems:
+        Elements processed per chunk (64 for the paper's nb=8, wb=8 macro).
+    block_latency:
+        Pipeline latency of the Add/Mul blocks (2 cycles).
+    handoff_cycles:
+        Controller hand-off cost charged once per phase transition.
+    """
+
+    chunk_elems: int = CHUNK_ELEMS
+    block_latency: int = BLOCK_LATENCY_CYCLES
+    handoff_cycles: int = PHASE_HANDOFF_CYCLES
+
+    def chunks(self, d: int) -> int:
+        """Number of 64-element chunks needed for a d-long vector."""
+        if d < 1:
+            raise ValueError(f"vector length must be >= 1, got {d}")
+        return int(np.ceil(d / self.chunk_elems))
+
+    def mean_cycles(self, d: int) -> int:
+        """Mean phase: chunk reads + adder drain + partial reduce + 1/d mul."""
+        return self.chunks(d) + 3 * self.block_latency
+
+    def shift_cycles(self, d: int) -> int:
+        """Mean-shift phase: read+write per chunk + adder drain."""
+        return 2 * self.chunks(d) + self.block_latency
+
+    def norm_cycles(self, d: int) -> int:
+        """Inner-product phase: chunk reads + mul + add + partial reduce."""
+        return self.chunks(d) + 3 * self.block_latency
+
+    def iteration_cycles(self, num_steps: int) -> int:
+        """Initialization, ``num_steps`` updates, and the final a*sqrt(d)."""
+        ctrl = IterationController
+        return (
+            ctrl.INIT_CYCLES + num_steps * ctrl.CYCLES_PER_STEP + ctrl.FINAL_SCALE_CYCLES
+        )
+
+    def output_cycles(self, d: int) -> int:
+        """Output phase: three chunk traversals + two mul drains + add drain."""
+        return 3 * self.chunks(d) + 3 * self.block_latency
+
+    def control_cycles(self) -> int:
+        """Main-controller hand-offs: one per phase plus the start command."""
+        return self.handoff_cycles * 6
+
+    def total_cycles(self, d: int, num_steps: int = 5) -> int:
+        """End-to-end normalization latency for one d-long vector."""
+        return (
+            self.mean_cycles(d)
+            + self.shift_cycles(d)
+            + self.norm_cycles(d)
+            + self.iteration_cycles(num_steps)
+            + self.output_cycles(d)
+            + self.control_cycles()
+        )
+
+    def breakdown(self, d: int, num_steps: int = 5) -> dict[str, int]:
+        """Per-phase cycle breakdown (keys match the simulator's)."""
+        return {
+            "mean": self.mean_cycles(d),
+            "shift": self.shift_cycles(d),
+            "norm_squared": self.norm_cycles(d),
+            "iteration": self.iteration_cycles(num_steps),
+            "output": self.output_cycles(d),
+            "control": self.control_cycles(),
+        }
+
+    def sweep(self, lengths, num_steps: int = 5) -> list[tuple[int, int]]:
+        """Latency for each length in ``lengths`` (the Fig. 5 series)."""
+        return [(int(d), self.total_cycles(int(d), num_steps)) for d in lengths]
+
+
+def latency_cycles(d: int, num_steps: int = 5) -> int:
+    """Latency of the default (paper-configuration) macro for one vector."""
+    return LatencyModel().total_cycles(d, num_steps)

@@ -1,0 +1,88 @@
+"""On-chip memory sizing of the IterL2Norm macro (Table II, memory column).
+
+The memory requirement follows directly from the architecture: the Input,
+gamma, and beta buffers each store ``d_max = 1024`` elements of the working
+format, and the Partial sum buffer stores up to 16 partial sums.  For FP32
+that is 3 x 32 kib + 0.5 kib = 96.5 kib; for the 16-bit formats everything
+halves to 48.25 kib, which the paper rounds to 48.3 kib.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpformats.spec import FloatFormat, get_format
+from repro.macro.buffers import BANK_ROWS, MAX_VECTOR_LENGTH
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Bit-exact sizing of every buffer in the macro.
+
+    All sizes are in kibibits (kib), matching the unit used by Table II.
+    """
+
+    fmt: str
+    input_buffer_kib: float
+    gamma_buffer_kib: float
+    beta_buffer_kib: float
+    partial_sum_kib: float
+
+    @property
+    def total_kib(self) -> float:
+        """Total on-chip memory in kib."""
+        return (
+            self.input_buffer_kib
+            + self.gamma_buffer_kib
+            + self.beta_buffer_kib
+            + self.partial_sum_kib
+        )
+
+    @property
+    def total_bits(self) -> int:
+        """Total on-chip memory in bits."""
+        return int(round(self.total_kib * 1024))
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary for the table writers."""
+        return {
+            "input_buffer_kib": self.input_buffer_kib,
+            "gamma_buffer_kib": self.gamma_buffer_kib,
+            "beta_buffer_kib": self.beta_buffer_kib,
+            "partial_sum_kib": self.partial_sum_kib,
+            "total_kib": self.total_kib,
+        }
+
+
+def memory_report(
+    fmt: FloatFormat | str,
+    max_vector_length: int = MAX_VECTOR_LENGTH,
+    partial_sum_entries: int = BANK_ROWS,
+) -> MemoryReport:
+    """Compute the macro's buffer sizes for a given element format.
+
+    Parameters
+    ----------
+    fmt:
+        Element format stored in the buffers.
+    max_vector_length:
+        Capacity of the Input / gamma / beta buffers in elements (1024 in
+        the paper's configuration, for every format).
+    partial_sum_entries:
+        Capacity of the Partial sum buffer in entries (16 in the paper).
+    """
+    fmt = get_format(fmt)
+    if max_vector_length < 1:
+        raise ValueError(f"max_vector_length must be >= 1, got {max_vector_length}")
+    if partial_sum_entries < 1:
+        raise ValueError(f"partial_sum_entries must be >= 1, got {partial_sum_entries}")
+    word = fmt.total_bits
+    vector_buffer_kib = max_vector_length * word / 1024.0
+    partial_kib = partial_sum_entries * word / 1024.0
+    return MemoryReport(
+        fmt=fmt.name,
+        input_buffer_kib=vector_buffer_kib,
+        gamma_buffer_kib=vector_buffer_kib,
+        beta_buffer_kib=vector_buffer_kib,
+        partial_sum_kib=partial_kib,
+    )

@@ -1,0 +1,266 @@
+"""Top-level IterL2Norm macro simulator (Sec. IV).
+
+:class:`IterL2NormMacro` wires the buffers, the Add/Mul blocks, and the
+controllers together, runs the full normalization sequence for one or more
+buffered input vectors, and reports both the numerical result and the cycle
+count per phase.  It is the object the Fig. 5 latency experiment and the
+macro unit tests drive; the closed-form model in
+:mod:`repro.macro.latency` is validated against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fpformats.spec import FloatFormat, get_format
+from repro.macro.blocks import AddBlock, MulBlock
+from repro.macro.buffers import (
+    BANK_ROWS,
+    BANK_WIDTH,
+    NUM_BANKS,
+    InputBuffer,
+    ParamBuffer,
+    PartialSumBuffer,
+)
+from repro.macro.controllers import (
+    PHASE_HANDOFF_CYCLES,
+    IterationController,
+    MeanController,
+    NormController,
+    OutputController,
+    PhaseResult,
+    ShiftController,
+)
+
+
+@dataclass(frozen=True)
+class MacroConfig:
+    """Static configuration of an IterL2Norm macro instance.
+
+    Attributes
+    ----------
+    fmt:
+        Data format of the datapath and buffers ("fp32", "fp16", "bf16").
+    num_steps:
+        Programmable iteration count ``n_c`` (the paper's default is 5).
+    num_banks, bank_rows, bank_width:
+        Input buffer geometry; defaults are the paper's 8 x 16 x 8.
+    """
+
+    fmt: str = "fp32"
+    num_steps: int = 5
+    num_banks: int = NUM_BANKS
+    bank_rows: int = BANK_ROWS
+    bank_width: int = BANK_WIDTH
+
+    def __post_init__(self) -> None:
+        get_format(self.fmt)
+        if self.num_steps < 0:
+            raise ValueError(f"num_steps must be non-negative, got {self.num_steps}")
+        if min(self.num_banks, self.bank_rows, self.bank_width) < 1:
+            raise ValueError("buffer geometry parameters must all be >= 1")
+
+    @property
+    def max_vector_length(self) -> int:
+        """Largest single vector the Input buffer can hold (d_max)."""
+        return self.num_banks * self.bank_rows * self.bank_width
+
+    @property
+    def chunk_elems(self) -> int:
+        """Elements processed per chunk (nb * wb)."""
+        return self.num_banks * self.bank_width
+
+
+@dataclass
+class MacroResult:
+    """Result of normalizing one input vector on the macro.
+
+    Attributes
+    ----------
+    output:
+        The layer-normalized vector ``z``.
+    total_cycles:
+        End-to-end latency in clock cycles (excluding data loading, matching
+        the paper's Fig. 5 which reports normalization latency).
+    phase_cycles:
+        Mapping of phase name to its cycle cost.
+    mean, norm_squared, scale:
+        Intermediate values (useful for debugging and for the unit tests
+        that compare the macro against the pure-algorithm implementation).
+    """
+
+    output: np.ndarray
+    total_cycles: int
+    phase_cycles: dict[str, int] = field(default_factory=dict)
+    mean: float = 0.0
+    norm_squared: float = 0.0
+    scale: float = 0.0
+
+
+class IterL2NormMacro:
+    """Functional + cycle-approximate model of the IterL2Norm macro."""
+
+    def __init__(self, config: MacroConfig | None = None) -> None:
+        self.config = config or MacroConfig()
+        self.fmt: FloatFormat = get_format(self.config.fmt)
+
+        self.input_buffer = InputBuffer(
+            self.fmt,
+            num_banks=self.config.num_banks,
+            bank_rows=self.config.bank_rows,
+            bank_width=self.config.bank_width,
+        )
+        self.gamma_buffer = ParamBuffer(self.fmt, capacity=self.config.max_vector_length)
+        self.beta_buffer = ParamBuffer(self.fmt, capacity=self.config.max_vector_length)
+        self.partial_sum_buffer = PartialSumBuffer(self.fmt, capacity=self.config.bank_rows)
+
+        self.add_block = AddBlock(self.fmt)
+        self.mul_block = MulBlock(self.fmt)
+
+        self._mean_ctrl = MeanController(self.add_block, self.mul_block, self.partial_sum_buffer)
+        self._shift_ctrl = ShiftController(self.add_block)
+        self._norm_ctrl = NormController(self.add_block, self.mul_block, self.partial_sum_buffer)
+        self._iter_ctrl = IterationController(self.add_block, self.mul_block, self.fmt)
+        self._out_ctrl = OutputController(self.add_block, self.mul_block)
+
+    # -- data loading ------------------------------------------------------------
+    def load(
+        self,
+        x: np.ndarray,
+        gamma: np.ndarray | None = None,
+        beta: np.ndarray | None = None,
+    ) -> None:
+        """Load an input vector and its affine parameters into the buffers."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError(f"input must be a 1-D vector, got shape {x.shape}")
+        d = x.size
+        if d < 1:
+            raise ValueError("input vector must be non-empty")
+        if d > self.config.max_vector_length:
+            raise ValueError(
+                f"input length {d} exceeds the macro's d_max "
+                f"{self.config.max_vector_length}"
+            )
+        self.input_buffer.load_vector(x)
+        self.gamma_buffer.load(
+            np.ones(d) if gamma is None else np.asarray(gamma, dtype=np.float64)
+        )
+        self.beta_buffer.load(
+            np.zeros(d) if beta is None else np.asarray(beta, dtype=np.float64)
+        )
+        self._loaded_length = d
+
+    # -- normalization -----------------------------------------------------------
+    def run(self) -> MacroResult:
+        """Run the full normalization sequence on the loaded vector."""
+        if not hasattr(self, "_loaded_length"):
+            raise RuntimeError("no input vector loaded; call load() first")
+        d = self._loaded_length
+        num_steps = self.config.num_steps
+
+        phases: list[PhaseResult] = []
+        mean_res = self._mean_ctrl.execute(self.input_buffer, d)
+        phases.append(mean_res)
+        shift_res = self._shift_ctrl.execute(self.input_buffer, d, mean_res.value)
+        phases.append(shift_res)
+        norm_res = self._norm_ctrl.execute(self.input_buffer, d)
+        phases.append(norm_res)
+        iter_res = self._iter_ctrl.execute(norm_res.value, d, num_steps)
+        phases.append(iter_res)
+        out_res = self._out_ctrl.execute(
+            self.input_buffer, self.gamma_buffer, self.beta_buffer, d, iter_res.value
+        )
+        phases.append(out_res)
+
+        # One hand-off before the first phase (start command) plus one after
+        # every phase, matching the main-controller sequencing of Sec. IV.
+        handoff = PHASE_HANDOFF_CYCLES * (len(phases) + 1)
+        phase_cycles = {p.name: p.cycles for p in phases}
+        phase_cycles["control"] = handoff
+        total = sum(phase_cycles.values())
+
+        return MacroResult(
+            output=np.asarray(out_res.value),
+            total_cycles=total,
+            phase_cycles=phase_cycles,
+            mean=float(mean_res.value),
+            norm_squared=float(norm_res.value),
+            scale=float(iter_res.value),
+        )
+
+    def normalize(
+        self,
+        x: np.ndarray,
+        gamma: np.ndarray | None = None,
+        beta: np.ndarray | None = None,
+    ) -> MacroResult:
+        """Convenience wrapper: load then run."""
+        self.load(x, gamma, beta)
+        return self.run()
+
+    # -- multi-vector operation ----------------------------------------------------
+    def normalize_batch(
+        self,
+        vectors: np.ndarray,
+        gamma: np.ndarray | None = None,
+        beta: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, int, list[MacroResult]]:
+        """Normalize several equal-length vectors sequentially (Sec. IV).
+
+        The paper notes that when ``d`` is smaller than the buffer capacity,
+        ``floor(d_max / d)`` input vectors can be buffered together and
+        normalized one after another.  This models that mode: vectors are
+        grouped into buffer fills, each vector is normalized by the usual
+        five-phase sequence, and the per-fill data-loading cost (one cycle
+        per 64-element chunk) is added once per fill.
+
+        Parameters
+        ----------
+        vectors:
+            Array of shape ``(num_vectors, d)``.
+        gamma, beta:
+            Shared affine parameters of shape ``(d,)``.
+
+        Returns
+        -------
+        (outputs, total_cycles, per_vector_results):
+            ``outputs`` has the same shape as ``vectors``; ``total_cycles``
+            includes the buffer-fill loading cost; ``per_vector_results``
+            are the individual :class:`MacroResult` objects.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ValueError(f"vectors must be (num_vectors, d), got shape {vectors.shape}")
+        num_vectors, d = vectors.shape
+        if num_vectors < 1:
+            raise ValueError("at least one vector is required")
+        if d > self.config.max_vector_length:
+            raise ValueError(
+                f"vector length {d} exceeds the macro's d_max "
+                f"{self.config.max_vector_length}"
+            )
+
+        vectors_per_fill = max(self.config.max_vector_length // d, 1)
+        chunks_per_vector = int(np.ceil(d / self.config.chunk_elems))
+        outputs = np.empty_like(vectors)
+        results: list[MacroResult] = []
+        total_cycles = 0
+        for start in range(0, num_vectors, vectors_per_fill):
+            fill = vectors[start : start + vectors_per_fill]
+            # One load cycle per chunk streamed into the Input buffer.
+            total_cycles += fill.shape[0] * chunks_per_vector
+            for offset, vector in enumerate(fill):
+                result = self.normalize(vector, gamma, beta)
+                outputs[start + offset] = result.output
+                results.append(result)
+                total_cycles += result.total_cycles
+        return outputs, total_cycles, results
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IterL2NormMacro(fmt={self.fmt.name}, steps={self.config.num_steps}, "
+            f"d_max={self.config.max_vector_length})"
+        )

@@ -1,0 +1,129 @@
+"""Multi-vector scheduling and throughput of the IterL2Norm macro.
+
+Sec. IV notes that when the input length ``d`` is smaller than the buffer
+capacity, "multiple (floor(d_max/d)) input vectors can be buffered and
+sequentially normalized".  This module models that batching: how many vectors
+fit per buffer fill, the cycle cost of normalizing a whole batch (buffer
+reloads included), the resulting throughput in vectors per second, and how
+many macro instances are needed to keep up with a MatMul engine producing
+tokens at a given rate — the sizing question an integrator would actually ask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.macro.buffers import MAX_VECTOR_LENGTH
+from repro.macro.latency import LatencyModel
+
+#: Cycles to stream one 64-element chunk into the Input buffer through the
+#: input channel (one chunk write per cycle, matching the shared write port).
+LOAD_CYCLES_PER_CHUNK = 1
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Throughput of the macro for a given vector length and iteration count.
+
+    Attributes
+    ----------
+    embed_dim:
+        Vector length ``d``.
+    vectors_per_fill:
+        How many vectors fit in the Input buffer at once (floor(d_max/d)).
+    cycles_per_vector:
+        Normalization cycles for one vector (Fig. 5 value).
+    load_cycles_per_fill:
+        Cycles spent refilling the Input buffer for one batch.
+    cycles_per_batch:
+        Total cycles to load and normalize one buffer fill.
+    vectors_per_second:
+        Sustained throughput at the configured clock.
+    """
+
+    embed_dim: int
+    clock_mhz: float
+    vectors_per_fill: int
+    cycles_per_vector: int
+    load_cycles_per_fill: int
+    cycles_per_batch: int
+
+    @property
+    def effective_cycles_per_vector(self) -> float:
+        """Amortized cycles per vector including buffer reload."""
+        return self.cycles_per_batch / self.vectors_per_fill
+
+    @property
+    def vectors_per_second(self) -> float:
+        return self.clock_mhz * 1e6 / self.effective_cycles_per_vector
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "d": self.embed_dim,
+            "vectors_per_fill": self.vectors_per_fill,
+            "cycles_per_vector": self.cycles_per_vector,
+            "effective_cycles": round(self.effective_cycles_per_vector, 1),
+            "vectors_per_sec": self.vectors_per_second,
+        }
+
+
+class ThroughputModel:
+    """Batched-throughput model of one or more IterL2Norm macro instances."""
+
+    def __init__(
+        self,
+        clock_mhz: float = 100.0,
+        max_vector_length: int = MAX_VECTOR_LENGTH,
+        latency_model: LatencyModel | None = None,
+    ) -> None:
+        if clock_mhz <= 0:
+            raise ValueError(f"clock_mhz must be positive, got {clock_mhz}")
+        if max_vector_length < 1:
+            raise ValueError(f"max_vector_length must be >= 1, got {max_vector_length}")
+        self.clock_mhz = float(clock_mhz)
+        self.max_vector_length = int(max_vector_length)
+        self.latency = latency_model or LatencyModel()
+
+    def vectors_per_fill(self, embed_dim: int) -> int:
+        """floor(d_max / d): how many vectors one buffer fill holds."""
+        if not 1 <= embed_dim <= self.max_vector_length:
+            raise ValueError(
+                f"embed_dim must be in 1..{self.max_vector_length}, got {embed_dim}"
+            )
+        return self.max_vector_length // embed_dim
+
+    def report(self, embed_dim: int, num_steps: int = 5) -> ThroughputReport:
+        """Throughput report for one vector length."""
+        per_fill = self.vectors_per_fill(embed_dim)
+        cycles_per_vector = self.latency.total_cycles(embed_dim, num_steps)
+        chunks_per_fill = per_fill * self.latency.chunks(embed_dim)
+        load_cycles = chunks_per_fill * LOAD_CYCLES_PER_CHUNK
+        cycles_per_batch = load_cycles + per_fill * cycles_per_vector
+        return ThroughputReport(
+            embed_dim=int(embed_dim),
+            clock_mhz=self.clock_mhz,
+            vectors_per_fill=per_fill,
+            cycles_per_vector=cycles_per_vector,
+            load_cycles_per_fill=load_cycles,
+            cycles_per_batch=cycles_per_batch,
+        )
+
+    def sweep(self, lengths, num_steps: int = 5) -> list[ThroughputReport]:
+        """Reports for a series of vector lengths."""
+        return [self.report(int(d), num_steps) for d in lengths]
+
+    def macros_required(
+        self, embed_dim: int, tokens_per_second: float, num_steps: int = 5
+    ) -> int:
+        """Macro instances needed to normalize ``tokens_per_second`` rows.
+
+        This is the sizing question for co-integration with a MatMul engine:
+        each decoder sub-block emits one d-long row per token, and the
+        normalizer bank must keep up.
+        """
+        if tokens_per_second <= 0:
+            raise ValueError(f"tokens_per_second must be positive, got {tokens_per_second}")
+        per_macro = self.report(embed_dim, num_steps).vectors_per_second
+        return int(np.ceil(tokens_per_second / per_macro))

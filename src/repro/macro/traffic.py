@@ -1,0 +1,193 @@
+"""Host-vs-on-chip data-movement model (the paper's motivation, Sec. I).
+
+The introduction argues that transformer inference is memory-bound and that
+sending every sub-block output back to the host just to run layer
+normalization adds DRAM traffic, latency, and energy; performing the
+normalization on the accelerator die removes that round trip.  This module
+quantifies the argument: given a model shape, a data format, and a memory
+interface, it reports the DRAM bytes and channel occupancy that host-side
+normalization would add, the access energy of both options, and the on-chip
+macro latency.  It backs the `traffic` CLI command and the motivation
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpformats.spec import FloatFormat, get_format
+from repro.macro.latency import LatencyModel
+
+#: DRAM access energy per bit, in picojoules.  Representative DDR/LPDDR-class
+#: figure used for first-order energy comparisons (order of magnitude is what
+#: matters for the host-vs-on-chip argument).
+DRAM_ENERGY_PJ_PER_BIT = 15.0
+#: On-chip SRAM access energy per bit, in picojoules.
+SRAM_ENERGY_PJ_PER_BIT = 0.5
+
+
+@dataclass(frozen=True)
+class MemoryInterface:
+    """A host<->accelerator memory link.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports (e.g. "PCIe4x16", "HBM2").
+    bandwidth_gb_s:
+        Sustained bandwidth in gigabytes per second.
+    latency_us:
+        Fixed per-transfer latency (round-trip initiation cost).
+    """
+
+    name: str
+    bandwidth_gb_s: float
+    latency_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gb_s <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_gb_s}")
+        if self.latency_us < 0:
+            raise ValueError(f"latency must be non-negative, got {self.latency_us}")
+
+    def transfer_time_us(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` over this interface, in microseconds."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        return self.latency_us + num_bytes / (self.bandwidth_gb_s * 1e3)
+
+
+#: Representative interfaces for the comparison.
+PCIE4_X16 = MemoryInterface("PCIe4 x16", bandwidth_gb_s=32.0, latency_us=5.0)
+DDR4_CHANNEL = MemoryInterface("DDR4 channel", bandwidth_gb_s=25.6, latency_us=0.1)
+HBM2_STACK = MemoryInterface("HBM2 stack", bandwidth_gb_s=410.0, latency_us=0.05)
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Data movement of layer normalization for one batch of token vectors.
+
+    All byte counts cover both directions (activations out to the normalizer
+    and normalized results back).
+    """
+
+    fmt: str
+    embed_dim: int
+    num_tokens: int
+    host_bytes_moved: float
+    host_transfer_time_us: float
+    host_energy_uj: float
+    onchip_bytes_moved: float
+    onchip_time_us: float
+    onchip_energy_uj: float
+
+    @property
+    def traffic_saving_bytes(self) -> float:
+        """DRAM bytes avoided by normalizing on-chip."""
+        return self.host_bytes_moved
+
+    @property
+    def dram_occupancy_avoided_us(self) -> float:
+        """DRAM-channel time freed for weight streaming by staying on-chip.
+
+        In a memory-bound decoder this bandwidth, not the normalization
+        latency itself, is the scarce resource (Sec. I of the paper).
+        """
+        return self.host_transfer_time_us
+
+    @property
+    def energy_ratio(self) -> float:
+        """Host (DRAM) energy divided by on-chip (SRAM) energy."""
+        return self.host_energy_uj / self.onchip_energy_uj
+
+    def as_row(self) -> dict[str, float | str]:
+        """Flat row for the table writers."""
+        return {
+            "format": self.fmt,
+            "d": self.embed_dim,
+            "tokens": self.num_tokens,
+            "dram_traffic_MB": self.host_bytes_moved / 1e6,
+            "dram_occupancy_us": self.dram_occupancy_avoided_us,
+            "host_energy_uJ": self.host_energy_uj,
+            "onchip_latency_us": self.onchip_time_us,
+            "onchip_energy_uJ": self.onchip_energy_uj,
+            "energy_ratio": self.energy_ratio,
+        }
+
+
+class TrafficModel:
+    """Compares host-side and on-chip layer normalization data movement.
+
+    Parameters
+    ----------
+    interface:
+        The host link activations would cross for host-side normalization.
+    clock_mhz:
+        Clock of the on-chip IterL2Norm macro (the paper synthesizes 100 MHz).
+    macros:
+        Number of IterL2Norm macro instances working in parallel on-chip.
+    """
+
+    def __init__(
+        self,
+        interface: MemoryInterface = DDR4_CHANNEL,
+        clock_mhz: float = 100.0,
+        macros: int = 1,
+    ) -> None:
+        if clock_mhz <= 0:
+            raise ValueError(f"clock_mhz must be positive, got {clock_mhz}")
+        if macros < 1:
+            raise ValueError(f"macros must be >= 1, got {macros}")
+        self.interface = interface
+        self.clock_mhz = float(clock_mhz)
+        self.macros = int(macros)
+        self._latency = LatencyModel()
+
+    def report(
+        self,
+        embed_dim: int,
+        num_tokens: int,
+        fmt: FloatFormat | str = "fp16",
+        num_steps: int = 5,
+    ) -> TrafficReport:
+        """Traffic/time/energy of normalizing ``num_tokens`` activation rows."""
+        fmt = get_format(fmt)
+        if embed_dim < 1 or num_tokens < 1:
+            raise ValueError("embed_dim and num_tokens must be >= 1")
+        bytes_per_vector = embed_dim * fmt.total_bits / 8.0
+
+        # Host path: every activation row leaves the accelerator and the
+        # normalized row comes back (2x), paying DRAM energy both ways.
+        host_bytes = 2.0 * bytes_per_vector * num_tokens
+        host_time = self.interface.transfer_time_us(host_bytes)
+        host_energy = host_bytes * 8.0 * DRAM_ENERGY_PJ_PER_BIT / 1e6  # uJ
+
+        # On-chip path: rows stay in the macro's SRAM buffers; the cost is the
+        # macro latency (vectors processed sequentially per macro instance)
+        # and SRAM access energy for the same bytes.
+        cycles_per_vector = self._latency.total_cycles(embed_dim, num_steps)
+        vectors_per_macro = -(-num_tokens // self.macros)  # ceil division
+        onchip_time = cycles_per_vector * vectors_per_macro / self.clock_mhz
+        onchip_bytes = 2.0 * bytes_per_vector * num_tokens
+        onchip_energy = onchip_bytes * 8.0 * SRAM_ENERGY_PJ_PER_BIT / 1e6
+
+        return TrafficReport(
+            fmt=fmt.name,
+            embed_dim=embed_dim,
+            num_tokens=num_tokens,
+            host_bytes_moved=host_bytes,
+            host_transfer_time_us=host_time,
+            host_energy_uj=host_energy,
+            onchip_bytes_moved=onchip_bytes,
+            onchip_time_us=onchip_time,
+            onchip_energy_uj=onchip_energy,
+        )
+
+    def sweep_tokens(
+        self,
+        embed_dim: int,
+        token_counts,
+        fmt: FloatFormat | str = "fp16",
+    ) -> list[TrafficReport]:
+        """One report per token count (used by the motivation example)."""
+        return [self.report(embed_dim, int(n), fmt) for n in token_counts]

@@ -1,0 +1,113 @@
+"""Masked multi-head self-attention (the paper's decoder sub-block)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import causal_mask, softmax, softmax_backward
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+
+
+class MultiHeadSelfAttention(Module):
+    """Causal multi-head self-attention with separate Q/K/V/O projections.
+
+    Parameters
+    ----------
+    embed_dim:
+        Model (embedding) dimension ``d_model``.
+    num_heads:
+        Number of attention heads; must divide ``embed_dim``.
+    dropout:
+        Dropout probability applied to the attention weights while training.
+    rng:
+        Random generator used for weight initialization and dropout.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if embed_dim % num_heads != 0:
+            raise ValueError(
+                f"embed_dim {embed_dim} must be divisible by num_heads {num_heads}"
+            )
+        rng = rng or np.random.default_rng()
+        self.embed_dim = int(embed_dim)
+        self.num_heads = int(num_heads)
+        self.head_dim = embed_dim // num_heads
+
+        self.q_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.k_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.v_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.out_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+        self._cache: dict[str, np.ndarray] | None = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """(batch, seq, d_model) -> (batch, heads, seq, head_dim)."""
+        b, s, _ = x.shape
+        return x.reshape(b, s, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """(batch, heads, seq, head_dim) -> (batch, seq, d_model)."""
+        b, h, s, hd = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, s, h * hd)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3 or x.shape[-1] != self.embed_dim:
+            raise ValueError(
+                f"expected input of shape (batch, seq, {self.embed_dim}), got {x.shape}"
+            )
+        b, s, _ = x.shape
+        q = self._split_heads(self.q_proj(x))
+        k = self._split_heads(self.k_proj(x))
+        v = self._split_heads(self.v_proj(x))
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale + causal_mask(s)
+        weights = softmax(scores, axis=-1)
+        weights_dropped = self.attn_dropout(weights)
+        context = weights_dropped @ v
+        out = self.out_proj(self._merge_heads(context))
+
+        self._cache = {
+            "q": q,
+            "k": k,
+            "v": v,
+            "weights": weights,
+            "weights_dropped": weights_dropped,
+            "scale": np.asarray(scale),
+        }
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cache = self._cache
+        q, k, v = cache["q"], cache["k"], cache["v"]
+        weights = cache["weights"]
+        weights_dropped = cache["weights_dropped"]
+        scale = float(cache["scale"])
+
+        grad_context_merged = self.out_proj.backward(np.asarray(grad_output, dtype=np.float64))
+        b, s, _ = grad_context_merged.shape
+        grad_context = self._split_heads(grad_context_merged)
+
+        grad_weights_dropped = grad_context @ v.transpose(0, 1, 3, 2)
+        grad_v = weights_dropped.transpose(0, 1, 3, 2) @ grad_context
+
+        grad_weights = self.attn_dropout.backward(grad_weights_dropped)
+        grad_scores = softmax_backward(grad_weights, weights, axis=-1)
+
+        grad_q = (grad_scores @ k) * scale
+        grad_k = (grad_scores.transpose(0, 1, 3, 2) @ q) * scale
+
+        grad_x = self.q_proj.backward(self._merge_heads(grad_q))
+        grad_x = grad_x + self.k_proj.backward(self._merge_heads(grad_k))
+        grad_x = grad_x + self.v_proj.backward(self._merge_heads(grad_v))
+        return grad_x

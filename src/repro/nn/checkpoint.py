@@ -1,0 +1,61 @@
+"""Model checkpointing: save/load OPT-style models as ``.npz`` archives.
+
+The Table IV reproduction trains its substrate models in-process, but a
+downstream user will want to train once and re-evaluate the normalizer swap
+many times.  A checkpoint stores the model configuration (so the architecture
+can be rebuilt) together with every parameter array from
+:meth:`repro.nn.module.Module.state_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.config import OPTConfig
+from repro.nn.model import OPTLanguageModel
+
+#: Reserved key holding the JSON-encoded configuration inside the archive.
+_CONFIG_KEY = "__config_json__"
+
+
+def save_checkpoint(model: OPTLanguageModel, path: str | Path) -> Path:
+    """Save a model's configuration and parameters to ``path`` (``.npz``).
+
+    Returns the path actually written (a ``.npz`` suffix is enforced).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    state = model.state_dict()
+    if _CONFIG_KEY in state:
+        raise ValueError(f"parameter name collides with reserved key {_CONFIG_KEY!r}")
+    config_blob = np.frombuffer(
+        json.dumps(asdict(model.config)).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **state, **{_CONFIG_KEY: config_blob})
+    return path
+
+
+def load_checkpoint(path: str | Path) -> OPTLanguageModel:
+    """Rebuild a model from a checkpoint written by :func:`save_checkpoint`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+    with np.load(path) as archive:
+        if _CONFIG_KEY not in archive:
+            raise KeyError(f"{path} is not a repro checkpoint (missing config entry)")
+        config_dict = json.loads(bytes(archive[_CONFIG_KEY].tobytes()).decode("utf-8"))
+        config = OPTConfig(**config_dict)
+        state = {
+            name: archive[name] for name in archive.files if name != _CONFIG_KEY
+        }
+    model = OPTLanguageModel(config, rng=np.random.default_rng(0))
+    model.load_state_dict(state)
+    model.eval()
+    return model

@@ -1,0 +1,153 @@
+"""Stateless neural-network functions and their gradients.
+
+Everything here operates on float64 NumPy arrays.  Gradients are implemented
+explicitly (matching the module-level backward passes) and are verified by
+finite differences in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: sqrt(2/pi), used by the tanh approximation of GELU (the variant OPT uses
+#: is the exact erf GELU; we implement both).
+_GELU_CONST = np.sqrt(2.0 / np.pi)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def softmax_backward(grad_output: np.ndarray, softmax_output: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Gradient of softmax given the upstream gradient and its own output."""
+    s = softmax_output
+    inner = np.sum(grad_output * s, axis=axis, keepdims=True)
+    return s * (grad_output - inner)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit (the activation OPT's FFN uses)."""
+    return np.maximum(x, 0.0)
+
+
+def relu_backward(grad_output: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Gradient of ReLU with respect to its input."""
+    return grad_output * (x > 0.0)
+
+
+def gelu(x: np.ndarray, approximate: bool = True) -> np.ndarray:
+    """Gaussian error linear unit.
+
+    ``approximate=True`` uses the tanh approximation (cheap and the common
+    hardware-friendly choice); ``False`` uses the exact erf formulation.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if approximate:
+        return 0.5 * x * (1.0 + np.tanh(_GELU_CONST * (x + 0.044715 * x**3)))
+    from scipy.special import erf  # local import: scipy optional elsewhere
+
+    return 0.5 * x * (1.0 + erf(x / np.sqrt(2.0)))
+
+
+def gelu_backward(grad_output: np.ndarray, x: np.ndarray, approximate: bool = True) -> np.ndarray:
+    """Gradient of GELU with respect to its input."""
+    x = np.asarray(x, dtype=np.float64)
+    if approximate:
+        inner = _GELU_CONST * (x + 0.044715 * x**3)
+        tanh_inner = np.tanh(inner)
+        sech2 = 1.0 - tanh_inner**2
+        d_inner = _GELU_CONST * (1.0 + 3 * 0.044715 * x**2)
+        grad = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+        return grad_output * grad
+    from scipy.special import erf
+
+    phi = np.exp(-0.5 * x * x) / np.sqrt(2.0 * np.pi)
+    grad = 0.5 * (1.0 + erf(x / np.sqrt(2.0))) + x * phi
+    return grad_output * grad
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer indices into ``num_classes`` columns."""
+    indices = np.asarray(indices, dtype=np.int64)
+    if np.any(indices < 0) or np.any(indices >= num_classes):
+        raise ValueError("indices out of range for one_hot encoding")
+    out = np.zeros(indices.shape + (num_classes,), dtype=np.float64)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+def cross_entropy(
+    logits: np.ndarray, targets: np.ndarray, ignore_index: int | None = None
+) -> tuple[float, np.ndarray]:
+    """Token-level cross-entropy loss and its gradient with respect to logits.
+
+    Parameters
+    ----------
+    logits:
+        Array of shape ``(..., vocab)``.
+    targets:
+        Integer array of shape ``(...,)`` with the target class per position.
+    ignore_index:
+        Optional target value to exclude from the loss (padding).
+
+    Returns
+    -------
+    (loss, grad):
+        ``loss`` is the mean negative log-likelihood over non-ignored
+        positions; ``grad`` has the same shape as ``logits`` and is already
+        divided by the number of counted positions.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.shape[:-1] != targets.shape:
+        raise ValueError(
+            f"targets shape {targets.shape} must match logits shape "
+            f"{logits.shape[:-1]}"
+        )
+    vocab = logits.shape[-1]
+    flat_logits = logits.reshape(-1, vocab)
+    flat_targets = targets.reshape(-1)
+
+    if ignore_index is not None:
+        mask = flat_targets != ignore_index
+    else:
+        mask = np.ones(flat_targets.shape, dtype=bool)
+    count = int(mask.sum())
+    if count == 0:
+        return 0.0, np.zeros_like(logits)
+
+    logp = log_softmax(flat_logits, axis=-1)
+    safe_targets = np.where(mask, flat_targets, 0)
+    picked = logp[np.arange(flat_targets.size), safe_targets]
+    loss = float(-np.sum(picked[mask]) / count)
+
+    probs = np.exp(logp)
+    grad = probs.copy()
+    grad[np.arange(flat_targets.size), safe_targets] -= 1.0
+    grad[~mask] = 0.0
+    grad /= count
+    return loss, grad.reshape(logits.shape)
+
+
+def perplexity_from_loss(mean_nll: float) -> float:
+    """Perplexity ``exp(mean negative log-likelihood)``."""
+    return float(np.exp(mean_nll))
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Additive causal attention mask: 0 on/below the diagonal, -inf above."""
+    if seq_len < 1:
+        raise ValueError(f"seq_len must be >= 1, got {seq_len}")
+    mask = np.triu(np.full((seq_len, seq_len), -np.inf), k=1)
+    return mask

@@ -1,0 +1,68 @@
+"""Autoregressive text generation helpers (greedy and top-k sampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import softmax
+from repro.nn.model import OPTLanguageModel
+
+
+def generate(
+    model: OPTLanguageModel,
+    prompt_ids: np.ndarray,
+    max_new_tokens: int = 32,
+    temperature: float = 1.0,
+    top_k: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Generate tokens autoregressively from a prompt.
+
+    Parameters
+    ----------
+    model:
+        The language model (put into eval mode by this function).
+    prompt_ids:
+        1-D array of prompt token ids.
+    max_new_tokens:
+        Number of tokens to append.
+    temperature:
+        Softmax temperature; ``0`` (or very small) degenerates to greedy.
+    top_k:
+        When set, sample only from the ``top_k`` most likely tokens.
+    rng:
+        Random generator for sampling (greedy decoding ignores it).
+
+    Returns
+    -------
+    numpy.ndarray
+        1-D array containing the prompt followed by the generated tokens.
+    """
+    if max_new_tokens < 0:
+        raise ValueError(f"max_new_tokens must be non-negative, got {max_new_tokens}")
+    if temperature < 0:
+        raise ValueError(f"temperature must be non-negative, got {temperature}")
+    if top_k is not None and top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+
+    rng = rng or np.random.default_rng()
+    model.eval()
+    tokens = list(np.asarray(prompt_ids, dtype=np.int64).reshape(-1))
+    if not tokens:
+        raise ValueError("prompt_ids must contain at least one token")
+
+    max_pos = model.config.max_position
+    for _ in range(max_new_tokens):
+        context = np.asarray(tokens[-max_pos:], dtype=np.int64)[None, :]
+        logits = model(context)[0, -1]
+        if temperature <= 1e-8:
+            next_token = int(np.argmax(logits))
+        else:
+            scaled = logits / temperature
+            if top_k is not None and top_k < scaled.size:
+                cutoff = np.partition(scaled, -top_k)[-top_k]
+                scaled = np.where(scaled < cutoff, -np.inf, scaled)
+            probs = softmax(scaled)
+            next_token = int(rng.choice(probs.size, p=probs))
+        tokens.append(next_token)
+    return np.asarray(tokens, dtype=np.int64)

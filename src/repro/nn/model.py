@@ -1,0 +1,167 @@
+"""The OPT-style decoder-only language model and the normalizer swap.
+
+:class:`OPTLanguageModel` stacks token + positional embeddings, a series of
+pre-LN decoder blocks, a final LayerNorm, and a tied output projection.  It
+supports full backpropagation (for the small training runs that produce the
+Table IV models) and — central to the reproduction —
+:meth:`OPTLanguageModel.replace_layernorm`, which substitutes every
+LayerNorm's evaluation path with an approximate normalizer (IterL2Norm, FISR,
+LUT, or exact-in-format) while reusing the trained gamma/beta, exactly as the
+paper does when it replaces the normalization blocks of the pre-trained OPT
+models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.registry import get_normalizer
+from repro.nn.block import TransformerDecoderBlock
+from repro.nn.config import OPTConfig
+from repro.nn.functional import cross_entropy
+from repro.nn.layers import Dropout, Embedding, LayerNorm
+from repro.nn.module import Module
+
+
+class OPTLanguageModel(Module):
+    """Decoder-only language model with swappable layer normalization.
+
+    Parameters
+    ----------
+    config:
+        An :class:`~repro.nn.config.OPTConfig` describing the architecture.
+    rng:
+        Random generator for weight initialization (pass a seeded generator
+        for reproducible models).
+    """
+
+    def __init__(self, config: OPTConfig, rng: np.random.Generator | None = None) -> None:
+        rng = rng or np.random.default_rng()
+        self.config = config
+
+        self.token_embedding = Embedding(config.vocab_size, config.embed_dim, rng=rng)
+        self.position_embedding = Embedding(config.max_position, config.embed_dim, rng=rng)
+        self.embed_dropout = Dropout(config.dropout, rng=rng)
+        self.blocks = [
+            TransformerDecoderBlock(
+                config.embed_dim, config.num_heads, config.ffn_dim, dropout=config.dropout, rng=rng
+            )
+            for _ in range(config.num_layers)
+        ]
+        self.final_norm = LayerNorm(config.embed_dim)
+        self._cache_hidden: np.ndarray | None = None
+        self._cache_token_ids: np.ndarray | None = None
+
+    # -- forward -------------------------------------------------------------------
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        """Compute next-token logits of shape ``(batch, seq, vocab)``.
+
+        The output projection is tied to the token-embedding matrix, as in
+        OPT, so logits are ``hidden @ E^T``.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 2:
+            raise ValueError(f"token_ids must be (batch, seq), got shape {token_ids.shape}")
+        batch, seq = token_ids.shape
+        if seq > self.config.max_position:
+            raise ValueError(
+                f"sequence length {seq} exceeds max_position {self.config.max_position}"
+            )
+
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        hidden = self.token_embedding(token_ids) + self.position_embedding(positions)
+        hidden = self.embed_dropout(hidden)
+        for block in self.blocks:
+            hidden = block(hidden)
+        hidden = self.final_norm(hidden)
+
+        self._cache_hidden = hidden
+        self._cache_token_ids = token_ids
+        return hidden @ self.token_embedding.weight.data.T
+
+    def loss(self, token_ids: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        """Cross-entropy loss of next-token prediction; returns (loss, logits)."""
+        logits = self.forward(token_ids)
+        loss, self._cache_logit_grad = cross_entropy(logits, targets)
+        return loss, logits
+
+    # -- backward ------------------------------------------------------------------
+    def backward(self, grad_logits: np.ndarray | None = None) -> None:
+        """Backpropagate from the logits gradient through the whole model.
+
+        When called with no argument, uses the gradient cached by
+        :meth:`loss`.
+        """
+        if grad_logits is None:
+            grad_logits = getattr(self, "_cache_logit_grad", None)
+            if grad_logits is None:
+                raise RuntimeError("no cached loss gradient; call loss() first")
+        if self._cache_hidden is None or self._cache_token_ids is None:
+            raise RuntimeError("backward called before forward")
+
+        hidden = self._cache_hidden
+        grad_logits = np.asarray(grad_logits, dtype=np.float64)
+
+        # Tied projection: logits = hidden @ E^T.
+        embed = self.token_embedding.weight
+        grad_hidden = grad_logits @ embed.data
+        flat_grad_logits = grad_logits.reshape(-1, self.config.vocab_size)
+        flat_hidden = hidden.reshape(-1, self.config.embed_dim)
+        embed.grad += flat_grad_logits.T @ flat_hidden
+
+        grad_hidden = self.final_norm.backward(grad_hidden)
+        for block in reversed(self.blocks):
+            grad_hidden = block.backward(grad_hidden)
+        grad_hidden = self.embed_dropout.backward(grad_hidden)
+
+        # Embedding lookups: token and positional tables.
+        self.token_embedding.backward(grad_hidden)
+        self.position_embedding.backward(grad_hidden)
+
+    # -- layer-norm swap -------------------------------------------------------------
+    def layer_norms(self) -> list[LayerNorm]:
+        """Every LayerNorm in the model (two per block plus the final one)."""
+        norms: list[LayerNorm] = []
+        for block in self.blocks:
+            norms.extend(block.layer_norms())
+        norms.append(self.final_norm)
+        return norms
+
+    def replace_layernorm(self, method: str, fmt: str | None = None, **kwargs) -> None:
+        """Swap the evaluation-time normalizer of every LayerNorm.
+
+        Parameters
+        ----------
+        method:
+            A name registered in :mod:`repro.baselines.registry`
+            ("exact", "iterl2norm", "fisr", "lut").
+        fmt:
+            Working floating-point format for the replacement normalizer.
+        kwargs:
+            Extra arguments for the normalizer factory (``num_steps`` for
+            IterL2Norm, ``newton_steps`` for FISR, ...).
+
+        The replacement reuses each LayerNorm's trained gamma/beta and only
+        affects evaluation mode; training mode still uses the exact,
+        differentiable LayerNorm.
+        """
+        for norm in self.layer_norms():
+            norm.eval_normalizer = get_normalizer(
+                method,
+                norm.normalized_dim,
+                fmt=fmt,
+                gamma=norm.gamma.data.copy(),
+                beta=norm.beta.data.copy(),
+                **kwargs,
+            )
+
+    def restore_layernorm(self) -> None:
+        """Remove any evaluation-time normalizer replacement."""
+        for norm in self.layer_norms():
+            norm.eval_normalizer = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OPTLanguageModel({self.config.name}, layers={self.config.num_layers}, "
+            f"d={self.config.embed_dim}, params={self.num_parameters()})"
+        )

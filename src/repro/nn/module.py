@@ -1,0 +1,148 @@
+"""Parameter and module base classes for the NumPy transformer substrate.
+
+The substrate uses explicit forward/backward methods (no autograd): each
+module caches what its backward pass needs during ``forward`` and exposes
+``backward(grad_output) -> grad_input``, accumulating parameter gradients in
+``Parameter.grad``.  This keeps the implementation transparent, dependency
+free, and easy to unit test with finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    Attributes
+    ----------
+    data:
+        The parameter values (float64).
+    grad:
+        Accumulated gradient of the loss with respect to ``data``; zeroed by
+        :meth:`zero_grad`.
+    name:
+        Dotted path assigned when the owning module tree is constructed;
+        used by optimizers and checkpointing.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad = np.zeros_like(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all substrate modules.
+
+    Subclasses register parameters as attributes of type :class:`Parameter`
+    and sub-modules as attributes of type :class:`Module`;
+    :meth:`parameters` and :meth:`named_parameters` walk the resulting tree.
+    """
+
+    training: bool = True
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad_output):  # pragma: no cover - abstract
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement a backward pass"
+        )
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- parameter traversal -----------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs for the whole subtree."""
+        for attr, value in vars(self).items():
+            full = f"{prefix}.{attr}" if prefix else attr
+            if isinstance(value, Parameter):
+                value.name = full
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(full)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{full}.{i}")
+                    elif isinstance(item, Parameter):
+                        item.name = f"{full}.{i}"
+                        yield f"{full}.{i}", item
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters of the subtree, in traversal order."""
+        return [p for _, p in self.named_parameters()]
+
+    def zero_grad(self) -> None:
+        """Zero every parameter gradient in the subtree."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in the subtree."""
+        return sum(p.data.size for p in self.parameters())
+
+    # -- train / eval mode --------------------------------------------------------
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every sub-module."""
+        yield self
+        for value in vars(self).items().__iter__():
+            pass
+        for attr, value in vars(self).items():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def train(self) -> "Module":
+        """Put the subtree in training mode (enables dropout)."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Put the subtree in evaluation mode (disables dropout)."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    # -- state dict ----------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameter arrays keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter arrays saved by :meth:`state_dict` (strict)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {value.shape} vs {param.data.shape}"
+                )
+            param.data = value.copy()

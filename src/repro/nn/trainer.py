@@ -1,0 +1,129 @@
+"""Minimal training loop for the NumPy transformer substrate.
+
+Table IV of the paper evaluates IterL2Norm inside *pre-trained* OPT models.
+Since no pre-trained weights are available offline, the reproduction trains
+small OPT-style models on the synthetic corpora with this trainer first, and
+only then performs the normalizer swap.  The trainer is deliberately small:
+seeded batching over fixed-length token windows, Adam updates, optional
+gradient clipping, and a loss history for the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.model import OPTLanguageModel
+from repro.nn.optimizer import Adam
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of a training run.
+
+    Attributes
+    ----------
+    num_steps:
+        Number of optimizer updates.
+    batch_size:
+        Sequences per batch.
+    seq_len:
+        Window length of each training sequence.
+    learning_rate:
+        Adam learning rate.
+    grad_clip:
+        Global-norm gradient clipping threshold (``None`` disables it).
+    seed:
+        Seed of the batching generator.
+    log_every:
+        Record the loss every this many steps.
+    """
+
+    num_steps: int = 200
+    batch_size: int = 8
+    seq_len: int = 64
+    learning_rate: float = 3e-3
+    grad_clip: float | None = 1.0
+    seed: int = 0
+    log_every: int = 10
+
+    def __post_init__(self) -> None:
+        if self.num_steps < 1 or self.batch_size < 1 or self.seq_len < 2:
+            raise ValueError("num_steps, batch_size must be >= 1 and seq_len >= 2")
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {self.learning_rate}")
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a training run: loss curve and final loss."""
+
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("training produced no recorded losses")
+        return self.losses[-1]
+
+    @property
+    def initial_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("training produced no recorded losses")
+        return self.losses[0]
+
+
+class Trainer:
+    """Train an :class:`~repro.nn.model.OPTLanguageModel` on a token stream."""
+
+    def __init__(self, model: OPTLanguageModel, config: TrainingConfig | None = None) -> None:
+        self.model = model
+        self.config = config or TrainingConfig()
+        self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+        self._rng = np.random.default_rng(self.config.seed)
+
+    def sample_batch(self, tokens: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Draw a batch of (input, target) windows from a 1-D token stream."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        seq_len = self.config.seq_len
+        if tokens.size < seq_len + 1:
+            raise ValueError(
+                f"token stream of length {tokens.size} is shorter than seq_len+1 "
+                f"({seq_len + 1})"
+            )
+        max_start = tokens.size - seq_len - 1
+        starts = self._rng.integers(0, max_start + 1, size=self.config.batch_size)
+        inputs = np.stack([tokens[s : s + seq_len] for s in starts])
+        targets = np.stack([tokens[s + 1 : s + seq_len + 1] for s in starts])
+        return inputs, targets
+
+    def _clip_gradients(self) -> None:
+        clip = self.config.grad_clip
+        if clip is None:
+            return
+        total = 0.0
+        params = self.model.parameters()
+        for p in params:
+            total += float(np.sum(p.grad * p.grad))
+        norm = np.sqrt(total)
+        if norm > clip:
+            scale = clip / (norm + 1e-12)
+            for p in params:
+                p.grad *= scale
+
+    def train(self, tokens: np.ndarray) -> TrainingResult:
+        """Run the configured number of steps over the token stream."""
+        self.model.train()
+        result = TrainingResult()
+        for step in range(self.config.num_steps):
+            inputs, targets = self.sample_batch(tokens)
+            self.optimizer.zero_grad()
+            loss, _ = self.model.loss(inputs, targets)
+            self.model.backward()
+            self._clip_gradients()
+            self.optimizer.step()
+            if step % self.config.log_every == 0 or step == self.config.num_steps - 1:
+                result.losses.append(float(loss))
+        self.model.eval()
+        return result

@@ -1,0 +1,137 @@
+"""Terminal (ASCII) plotting for the reproduced figures.
+
+The paper's figures are line plots, histograms, and pie charts.  In an
+offline, matplotlib-free environment the experiment drivers still benefit
+from a quick visual check, so this module renders:
+
+* :func:`line_plot` — one or more (x, y) series on a character grid with a
+  logarithmic-y option (used for Fig. 3/4/5 style plots);
+* :func:`bar_chart` — labelled horizontal bars (used for the Fig. 6
+  breakdowns and the histogram insets of Fig. 3).
+
+The functions return strings so they compose with the reporting utilities
+and can be asserted on in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _scale(values: np.ndarray, size: int, log: bool) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64)
+    if log:
+        if np.any(values <= 0):
+            raise ValueError("logarithmic scaling requires strictly positive values")
+        values = np.log10(values)
+    lo, hi = float(values.min()), float(values.max())
+    if hi == lo:
+        return np.full(values.shape, (size - 1) // 2, dtype=int)
+    return np.round((values - lo) / (hi - lo) * (size - 1)).astype(int)
+
+
+def line_plot(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render one or more series as an ASCII scatter/line plot.
+
+    Parameters
+    ----------
+    series:
+        Mapping of label to ``(x, y)`` arrays.  Each series gets its own
+        marker character (cycled from ``*+ox#@``).
+    width, height:
+        Character-grid dimensions of the plotting area.
+    log_y:
+        Plot ``log10(y)`` instead of ``y``.
+    title:
+        Optional heading.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if width < 10 or height < 4:
+        raise ValueError("plot area too small (need width >= 10, height >= 4)")
+    markers = "*+ox#@"
+
+    all_x = np.concatenate([np.asarray(x, dtype=np.float64) for x, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, dtype=np.float64) for _, y in series.values()])
+    if any(np.asarray(x).size != np.asarray(y).size for x, y in series.values()):
+        raise ValueError("every series must have matching x and y lengths")
+
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    for idx, (label, (x, y)) in enumerate(series.items()):
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x_hi == x_lo:
+            cols = np.full(x.shape, (width - 1) // 2, dtype=int)
+        else:
+            cols = np.round((x - x_lo) / (x_hi - x_lo) * (width - 1)).astype(int)
+        # Scale y against the global range so series are comparable.
+        combined = np.concatenate([all_y, y])
+        rows = _scale(combined, height, log_y)[all_y.size :]
+        marker = markers[idx % len(markers)]
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+
+    y_label_hi = f"{all_y.max():.3g}"
+    y_label_lo = f"{all_y.min():.3g}"
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        prefix = y_label_hi if i == 0 else (y_label_lo if i == height - 1 else "")
+        lines.append(f"{prefix:>10s} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':11s}{x_lo:<10.4g}{'':{max(width - 20, 1)}s}{x_hi:>10.4g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: dict[str, float],
+    width: int = 40,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render a labelled horizontal bar chart.
+
+    Bars are scaled so the largest value spans ``width`` characters; each row
+    shows the label, the bar, and the numeric value.
+    """
+    if not values:
+        raise ValueError("at least one value is required")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar_chart expects non-negative values")
+    peak = max(values.values())
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        length = 0 if peak == 0 else int(round(value / peak * width))
+        bar = "#" * length
+        lines.append(f"{label:<{label_width}s} |{bar:<{width}s}| {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def histogram_chart(
+    counts: np.ndarray,
+    edges: np.ndarray,
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Render a histogram (e.g. the Fig. 3 insets) as a bar chart."""
+    counts = np.asarray(counts)
+    edges = np.asarray(edges, dtype=np.float64)
+    if counts.size + 1 != edges.size:
+        raise ValueError("edges must have one more element than counts")
+    labels = {
+        f"[{edges[i]:.1e}, {edges[i + 1]:.1e})": float(counts[i]) for i in range(counts.size)
+    }
+    return bar_chart(labels, width=width, title=title)

@@ -1,0 +1,111 @@
+"""Tests for the exact layer-norm / L2-norm baselines (the ground truth)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import ExactLayerNorm, exact_l2_normalize, exact_layernorm
+
+
+class TestExactL2Normalize:
+    def test_unit_norm(self, rng):
+        y = rng.normal(size=100)
+        assert np.linalg.norm(exact_l2_normalize(y)) == pytest.approx(1.0, rel=1e-12)
+
+    def test_zero_vector(self):
+        np.testing.assert_array_equal(exact_l2_normalize(np.zeros(8)), np.zeros(8))
+
+    def test_axis_argument(self, rng):
+        x = rng.normal(size=(5, 20))
+        norms = np.linalg.norm(exact_l2_normalize(x, axis=-1), axis=-1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-12)
+
+    def test_direction_preserved(self, rng):
+        y = rng.normal(size=30)
+        normalized = exact_l2_normalize(y)
+        np.testing.assert_allclose(normalized * np.linalg.norm(y), y, rtol=1e-12)
+
+
+class TestExactLayerNorm:
+    def test_zero_mean_unit_std(self, rng):
+        x = rng.normal(5.0, 3.0, size=(10, 64))
+        z = exact_layernorm(x)
+        np.testing.assert_allclose(z.mean(axis=-1), 0.0, atol=1e-12)
+        np.testing.assert_allclose(z.std(axis=-1), 1.0, rtol=1e-12)
+
+    def test_affine_parameters(self, rng):
+        x = rng.normal(size=(4, 16))
+        gamma = rng.uniform(0.5, 2.0, 16)
+        beta = rng.normal(size=16)
+        z = exact_layernorm(x, gamma, beta)
+        z_plain = exact_layernorm(x)
+        np.testing.assert_allclose(z, z_plain * gamma + beta, rtol=1e-12)
+
+    def test_eps_matches_torch_formula(self, rng):
+        x = rng.normal(size=(3, 8))
+        eps = 1e-5
+        z = exact_layernorm(x, eps=eps)
+        mean = x.mean(-1, keepdims=True)
+        var = x.var(-1, keepdims=True)
+        np.testing.assert_allclose(z, (x - mean) / np.sqrt(var + eps), rtol=1e-12)
+
+    def test_constant_row_without_eps(self):
+        z = exact_layernorm(np.full((2, 8), 3.0))
+        np.testing.assert_array_equal(z, np.zeros((2, 8)))
+
+    def test_relation_to_l2_normalization(self, rng):
+        """Step 2 of the paper: y/sigma == sqrt(d) * y / ||y|| for centered y."""
+        d = 48
+        x = rng.normal(size=d)
+        y = x - x.mean()
+        np.testing.assert_allclose(
+            exact_layernorm(x), np.sqrt(d) * exact_l2_normalize(y), rtol=1e-10
+        )
+
+
+class TestExactLayerNormModule:
+    def test_matches_functional(self, rng):
+        x = rng.normal(size=(6, 32))
+        module = ExactLayerNorm(32)
+        np.testing.assert_array_equal(module(x), exact_layernorm(x))
+
+    def test_output_quantization(self, rng):
+        from repro.fpformats.quantize import quantize
+
+        x = rng.normal(size=(4, 16))
+        module = ExactLayerNorm(16, fmt="bf16")
+        out = module(x)
+        np.testing.assert_array_equal(out, np.asarray(quantize(out, "bf16")))
+
+    def test_affine(self, rng):
+        gamma, beta = rng.uniform(0.5, 1.5, 24), rng.normal(size=24)
+        module = ExactLayerNorm(24, gamma=gamma, beta=beta)
+        x = rng.normal(size=(2, 24))
+        np.testing.assert_allclose(module(x), exact_layernorm(x, gamma, beta), rtol=1e-12)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ExactLayerNorm(0)
+        with pytest.raises(ValueError):
+            ExactLayerNorm(8, gamma=np.ones(7))
+        module = ExactLayerNorm(8)
+        with pytest.raises(ValueError):
+            module(rng.normal(size=(2, 9)))
+
+
+# -- property-based tests -----------------------------------------------------------
+
+
+@given(
+    st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2, max_size=64),
+    st.floats(min_value=-100, max_value=100),
+)
+@settings(max_examples=100, deadline=None)
+def test_exact_layernorm_shift_invariance(values, shift):
+    x = np.asarray(values)
+    if x.std() < 1e-9:
+        return  # constant rows are a separate case
+    np.testing.assert_allclose(
+        exact_layernorm(x), exact_layernorm(x + shift), atol=1e-6
+    )

@@ -1,0 +1,144 @@
+"""Tests for the fast inverse square root baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import exact_layernorm
+from repro.baselines.fisr import (
+    FISRLayerNorm,
+    fast_inverse_sqrt,
+    fisr_l2_normalize,
+    fisr_magic_constant,
+)
+
+
+class TestMagicConstant:
+    def test_fp32_reproduces_quake_constant(self):
+        """The derived constant matches the famous 0x5f3759df up to ~1 part in 1e6."""
+        magic = fisr_magic_constant("fp32")
+        assert abs(magic - 0x5F3759DF) <= 2048  # within a few mantissa LSBs
+
+    def test_fp32_leading_bits(self):
+        assert fisr_magic_constant("fp32") >> 16 == 0x5F37
+
+    def test_bf16_constant(self):
+        assert fisr_magic_constant("bf16") == 0x5F37
+
+    def test_fp16_constant_range(self):
+        magic = fisr_magic_constant("fp16")
+        assert 0x5900 <= magic <= 0x5A00  # ~1.5 * 2^10 * (15 - sigma)
+
+
+class TestFastInverseSqrt:
+    def test_accuracy_with_one_newton_step(self, rng):
+        x = rng.uniform(1e-3, 1e6, size=2000)
+        approx = np.asarray(fast_inverse_sqrt(x, "fp32", newton_steps=1))
+        rel = np.abs(approx - 1.0 / np.sqrt(x)) * np.sqrt(x)
+        assert rel.max() < 2e-3  # classic FISR bound ~1.75e-3
+
+    def test_accuracy_improves_with_newton_steps(self, rng):
+        x = rng.uniform(0.1, 100.0, size=500)
+        errors = []
+        for steps in (0, 1, 2):
+            approx = np.asarray(fast_inverse_sqrt(x, "fp32", newton_steps=steps))
+            errors.append(np.mean(np.abs(approx - 1.0 / np.sqrt(x)) * np.sqrt(x)))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_scalar_interface(self):
+        assert fast_inverse_sqrt(4.0, "fp32") == pytest.approx(0.5, rel=2e-3)
+        assert isinstance(fast_inverse_sqrt(4.0, "fp32"), float)
+
+    def test_bf16_coarser_than_fp32(self, rng):
+        x = rng.uniform(0.5, 50.0, size=500)
+        err32 = np.abs(np.asarray(fast_inverse_sqrt(x, "fp32")) - 1 / np.sqrt(x))
+        err16 = np.abs(np.asarray(fast_inverse_sqrt(x, "bf16")) - 1 / np.sqrt(x))
+        assert err16.mean() > err32.mean()
+
+    def test_magic_override(self):
+        default = fast_inverse_sqrt(2.0, "fp32", newton_steps=0)
+        shifted = fast_inverse_sqrt(2.0, "fp32", newton_steps=0, magic=0x5F000000)
+        assert default != shifted
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fast_inverse_sqrt(0.0, "fp32")
+        with pytest.raises(ValueError):
+            fast_inverse_sqrt(np.array([1.0, -2.0]), "fp32")
+
+
+class TestFISRL2Normalize:
+    def test_near_unit_norm(self, rng):
+        y = rng.uniform(-1, 1, size=256)
+        normalized = fisr_l2_normalize(y, "fp32")
+        assert np.linalg.norm(normalized) == pytest.approx(1.0, rel=5e-3)
+
+    def test_zero_vector(self):
+        np.testing.assert_array_equal(fisr_l2_normalize(np.zeros(8), "fp32"), np.zeros(8))
+
+    def test_scale_by_sqrt_d(self, rng):
+        y = rng.uniform(-1, 1, size=64)
+        scaled = fisr_l2_normalize(y, "fp32", scale_by_sqrt_d=True)
+        assert np.linalg.norm(scaled) == pytest.approx(8.0, rel=5e-3)
+
+    def test_rejects_matrix(self, rng):
+        with pytest.raises(ValueError):
+            fisr_l2_normalize(rng.normal(size=(2, 8)), "fp32")
+
+
+class TestFISRLayerNorm:
+    def test_error_band_fp32(self, rng):
+        layer = FISRLayerNorm(384, fmt="fp32")
+        x = rng.uniform(-1, 1, size=(200, 384))
+        err = np.abs(layer(x) - exact_layernorm(x))
+        assert err.mean() < 5e-3
+
+    def test_error_band_bf16(self, rng):
+        layer = FISRLayerNorm(384, fmt="bf16")
+        x = rng.uniform(-1, 1, size=(100, 384))
+        err = np.abs(layer(x) - exact_layernorm(x))
+        assert err.mean() < 2e-2
+
+    def test_affine_params(self, rng):
+        gamma, beta = rng.uniform(0.5, 1.5, 64), rng.normal(size=64)
+        layer = FISRLayerNorm(64, gamma=gamma, beta=beta, fmt="fp32", newton_steps=3)
+        x = rng.normal(size=(8, 64))
+        np.testing.assert_allclose(layer(x), exact_layernorm(x, gamma, beta), atol=2e-3)
+
+    def test_constant_row(self):
+        layer = FISRLayerNorm(16, fmt="fp32")
+        np.testing.assert_allclose(layer(np.full((2, 16), 5.0)), 0.0, atol=1e-12)
+
+    def test_preserves_shape(self, rng):
+        layer = FISRLayerNorm(32, fmt="bf16")
+        assert layer(rng.normal(size=(2, 3, 32))).shape == (2, 3, 32)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            FISRLayerNorm(0)
+        with pytest.raises(ValueError):
+            FISRLayerNorm(8, gamma=np.ones(3))
+        with pytest.raises(ValueError):
+            FISRLayerNorm(8)(rng.normal(size=(2, 9)))
+
+
+# -- property-based tests -----------------------------------------------------------
+
+
+@given(st.floats(min_value=1e-6, max_value=1e12))
+@settings(max_examples=200, deadline=None)
+def test_fisr_relative_error_bound(x):
+    """One Newton step keeps the relative error below the classic 0.2% bound."""
+    approx = fast_inverse_sqrt(x, "fp32", newton_steps=1)
+    rel = abs(approx - 1.0 / np.sqrt(x)) * np.sqrt(x)
+    assert rel < 2.5e-3
+
+
+@given(st.floats(min_value=1e-3, max_value=1e6))
+@settings(max_examples=100, deadline=None)
+def test_fisr_initial_guess_within_ten_percent(x):
+    """Even with zero Newton steps the bit-trick guess is within ~6%."""
+    approx = fast_inverse_sqrt(x, "fp32", newton_steps=0)
+    rel = abs(approx - 1.0 / np.sqrt(x)) * np.sqrt(x)
+    assert rel < 0.1

@@ -1,0 +1,195 @@
+"""Tests for the LUT, integer, and Newton baselines and the method registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import exact_layernorm
+from repro.baselines.int_sqrt import integer_isqrt, integer_layernorm, quantize_to_int
+from repro.baselines.lut_invsqrt import LUTInverseSqrt, LUTLayerNorm
+from repro.baselines.newton import newton_inverse_sqrt, newton_inverse_sqrt_step
+from repro.baselines.registry import available_methods, get_normalizer, register_normalizer
+
+
+class TestLUTInverseSqrt:
+    def test_accuracy_16_segments(self, rng):
+        lut = LUTInverseSqrt(num_segments=16, fmt="fp32")
+        x = rng.uniform(1e-3, 1e5, size=2000)
+        approx = np.asarray(lut(x))
+        rel = np.abs(approx - 1.0 / np.sqrt(x)) * np.sqrt(x)
+        assert rel.max() < 5e-3
+
+    def test_more_segments_more_accurate(self):
+        coarse = LUTInverseSqrt(num_segments=4).max_relative_error()
+        fine = LUTInverseSqrt(num_segments=64).max_relative_error()
+        assert fine < coarse
+
+    def test_range_reduction_consistency(self):
+        lut = LUTInverseSqrt()
+        # x and 4x differ exactly by a factor of 2 in the result.
+        assert float(lut(2.0)) == pytest.approx(2.0 * float(lut(8.0)), rel=1e-6)
+
+    def test_table_bits(self):
+        lut = LUTInverseSqrt(num_segments=8, fmt="fp16")
+        assert lut.table_bits == 2 * 8 * 16
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            LUTInverseSqrt(num_segments=1)
+        with pytest.raises(ValueError):
+            LUTInverseSqrt()(0.0)
+
+    def test_scalar_interface(self):
+        assert isinstance(LUTInverseSqrt()(3.0), float)
+
+
+class TestLUTLayerNorm:
+    def test_error_band(self, rng):
+        layer = LUTLayerNorm(256, fmt="fp32", num_segments=32)
+        x = rng.uniform(-1, 1, size=(50, 256))
+        err = np.abs(layer(x) - exact_layernorm(x))
+        assert err.mean() < 5e-3
+
+    def test_constant_row(self):
+        layer = LUTLayerNorm(8)
+        np.testing.assert_allclose(layer(np.full((1, 8), 2.0)), 0.0, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LUTLayerNorm(0)
+        with pytest.raises(ValueError):
+            LUTLayerNorm(8, gamma=np.ones(5))
+
+
+class TestIntegerSqrt:
+    def test_exact_squares(self):
+        for n in (0, 1, 4, 9, 16, 144, 10**12):
+            assert integer_isqrt(n) == int(np.sqrt(n))
+
+    def test_floor_behaviour(self):
+        assert integer_isqrt(15) == 3
+        assert integer_isqrt(17) == 4
+        assert integer_isqrt(2) == 1
+
+    def test_large_values(self):
+        n = (10**18 + 7) ** 2
+        assert integer_isqrt(n) == 10**18 + 7
+        assert integer_isqrt(n - 1) == 10**18 + 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            integer_isqrt(-1)
+
+
+class TestQuantizeToInt:
+    def test_roundtrip(self, rng):
+        x = rng.uniform(-1, 1, size=100)
+        q = quantize_to_int(x, scale=2.0**-10)
+        np.testing.assert_allclose(q * 2.0**-10, x, atol=2.0**-11 + 1e-12)
+
+    def test_clipping(self):
+        q = quantize_to_int(np.array([1e20]), scale=1.0, bits=8)
+        assert q[0] == 127
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_to_int(np.ones(3), scale=0.0)
+        with pytest.raises(ValueError):
+            quantize_to_int(np.ones(3), scale=1.0, bits=1)
+
+
+class TestIntegerLayerNorm:
+    def test_approximates_exact_layernorm(self, rng):
+        x = rng.uniform(-1, 1, size=512)
+        ours = integer_layernorm(x)
+        exact = exact_layernorm(x)
+        assert np.abs(ours - exact).mean() < 5e-3
+
+    def test_constant_input(self):
+        np.testing.assert_array_equal(integer_layernorm(np.full(16, 3.0)), np.zeros(16))
+
+    def test_affine(self, rng):
+        x = rng.uniform(-1, 1, size=64)
+        gamma, beta = rng.uniform(0.5, 1.5, 64), rng.normal(size=64)
+        ours = integer_layernorm(x, gamma=gamma, beta=beta)
+        np.testing.assert_allclose(ours, exact_layernorm(x, gamma, beta), atol=2e-2)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            integer_layernorm(rng.normal(size=(2, 4)))
+        with pytest.raises(ValueError):
+            integer_layernorm(np.array([]))
+
+
+class TestNewton:
+    def test_newton_step_improves_estimate(self):
+        x, y = 4.0, 0.4
+        better = newton_inverse_sqrt_step(x, y)
+        assert abs(better - 0.5) < abs(y - 0.5)
+
+    def test_newton_full_accuracy(self, rng):
+        x = rng.uniform(1e-3, 1e5, size=500)
+        approx = np.asarray(newton_inverse_sqrt(x, steps=4, fmt="fp32"))
+        rel = np.abs(approx - 1.0 / np.sqrt(x)) * np.sqrt(x)
+        assert rel.max() < 1e-4
+
+    def test_zero_steps_is_exponent_seed(self):
+        seed = newton_inverse_sqrt(2.0, steps=0, fmt="fp32")
+        assert seed == pytest.approx(2.0 ** (-1.0), rel=1e-6)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            newton_inverse_sqrt(-1.0)
+        with pytest.raises(ValueError):
+            newton_inverse_sqrt(1.0, steps=-1)
+
+
+class TestRegistry:
+    def test_builtin_methods_present(self):
+        methods = available_methods()
+        for name in ("exact", "iterl2norm", "fisr", "lut"):
+            assert name in methods
+
+    def test_factories_produce_working_normalizers(self, rng):
+        x = rng.uniform(-1, 1, size=(4, 64))
+        exact = exact_layernorm(x)
+        for name in ("exact", "iterl2norm", "fisr", "lut"):
+            normalizer = get_normalizer(name, 64, fmt="fp32")
+            out = normalizer(x)
+            assert out.shape == x.shape
+            assert np.abs(out - exact).mean() < 1e-2
+
+    def test_kwargs_forwarded(self, rng):
+        normalizer = get_normalizer("iterl2norm", 32, fmt="fp32", num_steps=2)
+        assert normalizer.config.num_steps == 2
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            get_normalizer("does-not-exist", 8)
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError):
+            register_normalizer("exact", lambda d, fmt=None: None)
+
+    def test_case_insensitive(self):
+        normalizer = get_normalizer("ITERL2NORM", 16, fmt="fp64")
+        assert normalizer.normalized_dim == 16
+
+
+# -- property-based tests -----------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10**15))
+@settings(max_examples=200, deadline=None)
+def test_integer_isqrt_definition(n):
+    root = integer_isqrt(n)
+    assert root * root <= n < (root + 1) * (root + 1)
+
+
+@given(st.floats(min_value=1e-3, max_value=1e6))
+@settings(max_examples=100, deadline=None)
+def test_lut_relative_error_bound(x):
+    lut = LUTInverseSqrt(num_segments=16, fmt="fp32")
+    rel = abs(float(lut(x)) - 1.0 / np.sqrt(x)) * np.sqrt(x)
+    assert rel < 5e-3

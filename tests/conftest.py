@@ -1,0 +1,30 @@
+"""Shared fixtures for the IterL2Norm reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator shared by the tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def uniform_vector(rng: np.random.Generator) -> np.ndarray:
+    """A 384-long uniform(-1, 1) vector (the paper's inset length)."""
+    return rng.uniform(-1.0, 1.0, size=384)
+
+
+@pytest.fixture
+def uniform_batch(rng: np.random.Generator) -> np.ndarray:
+    """A small batch of uniform(-1, 1) vectors of length 128."""
+    return rng.uniform(-1.0, 1.0, size=(16, 128))
+
+
+@pytest.fixture(params=["fp32", "fp16", "bf16"])
+def paper_format(request) -> str:
+    """Parametrized fixture over the three formats the paper evaluates."""
+    return request.param

@@ -1,0 +1,73 @@
+"""Tests for the convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    convergence_report,
+    iterations_to_tolerance,
+    worst_case_steps,
+)
+from repro.core.iteration import iterate_a_trace
+
+
+class TestIterationsToTolerance:
+    def test_converged_trace(self):
+        trace = iterate_a_trace(100.0, num_steps=20)
+        steps = iterations_to_tolerance(trace, tolerance=1e-3)
+        assert steps is not None
+        assert steps <= 6  # the paper's five plus slack for worst-case significand
+
+    def test_unconverged_trace_returns_none(self):
+        # A tiny lambda cannot converge in two steps.
+        trace = iterate_a_trace(100.0, num_steps=2, lam=1e-6)
+        assert iterations_to_tolerance(trace, tolerance=1e-6) is None
+
+    def test_rejects_bad_tolerance(self):
+        trace = iterate_a_trace(4.0, num_steps=2)
+        with pytest.raises(ValueError):
+            iterations_to_tolerance(trace, tolerance=0.0)
+
+    def test_zero_steps_when_a0_exact(self):
+        trace = iterate_a_trace(4.0, num_steps=3, a0=0.5)
+        assert iterations_to_tolerance(trace, tolerance=1e-6) == 0
+
+
+class TestConvergenceReport:
+    def test_report_fields(self):
+        report = convergence_report(50.0, num_steps=10)
+        assert report.m == 50.0
+        assert len(report.error_trace) == 11
+        assert len(report.analytical_trace) == 11
+        assert report.final_error == report.error_trace[-1]
+        assert report.relative_final_error == pytest.approx(
+            report.final_error * np.sqrt(50.0)
+        )
+
+    def test_final_error_small_after_ten_steps(self, rng):
+        for m in rng.uniform(0.1, 1e4, size=20):
+            report = convergence_report(float(m), num_steps=10)
+            assert report.relative_final_error < 1e-4
+
+    def test_analytical_trace_decreases(self):
+        report = convergence_report(64.0, num_steps=10)
+        analytic = np.asarray(report.analytical_trace)
+        assert analytic[-1] < analytic[0]
+
+    def test_format_option(self):
+        report = convergence_report(12.3, num_steps=5, fmt="bf16")
+        # In bf16 the error floor is set by the 7-bit mantissa.
+        assert report.relative_final_error < 2e-2
+
+
+class TestWorstCaseSteps:
+    def test_paper_claim_five_steps(self, rng):
+        """With the paper's a0/lambda rules, <= 5-6 steps reach 0.1% everywhere."""
+        ms = rng.uniform(1e-2, 1e4, size=100)
+        worst = worst_case_steps(ms, tolerance=1e-3, max_steps=20)
+        assert worst <= 6
+
+    def test_raises_when_never_converging(self):
+        with pytest.raises(RuntimeError):
+            # m just above 1 starts ~30% away; one step cannot reach 1e-9.
+            worst_case_steps(np.array([1.0 + 1e-7]), tolerance=1e-9, max_steps=1)

@@ -1,0 +1,165 @@
+"""Tests for the continuous dynamics of Theorem II.1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamics import (
+    NormalizationDynamics,
+    analytical_a,
+    analytical_k,
+    fixed_points,
+    integrate_ode,
+)
+
+
+class TestFixedPoints:
+    def test_three_fixed_points(self):
+        points = fixed_points(norm_y=2.0, alpha=1.0)
+        assert len(points) == 3
+        assert sorted(p.k for p in points) == [-2.0, 0.0, 2.0]
+
+    def test_zero_is_unstable_others_stable(self):
+        points = {p.k: p.stable for p in fixed_points(norm_y=3.0)}
+        assert points[0.0] is False
+        assert points[3.0] is True
+        assert points[-3.0] is True
+
+    def test_alpha_scaling(self):
+        points = fixed_points(norm_y=2.0, alpha=4.0)
+        assert max(p.k for p in points) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fixed_points(0.0)
+        with pytest.raises(ValueError):
+            fixed_points(1.0, alpha=-1.0)
+
+
+class TestVectorDynamics:
+    def test_steady_state_is_normalized(self, rng):
+        y = rng.normal(size=32)
+        dyn = NormalizationDynamics(y)
+        steady = dyn.steady_state()
+        assert np.linalg.norm(steady) == pytest.approx(1.0, rel=1e-12)
+        np.testing.assert_allclose(steady, y / np.linalg.norm(y), rtol=1e-12)
+
+    def test_steady_state_with_alpha(self, rng):
+        y = rng.normal(size=16)
+        dyn = NormalizationDynamics(y, alpha=4.0)
+        assert np.linalg.norm(dyn.steady_state()) == pytest.approx(0.5, rel=1e-12)
+
+    def test_derivative_vanishes_at_steady_state(self, rng):
+        y = rng.normal(size=16)
+        dyn = NormalizationDynamics(y)
+        deriv = dyn.derivative(dyn.steady_state())
+        np.testing.assert_allclose(deriv, 0.0, atol=1e-12)
+
+    def test_ode_integration_converges_to_steady_state(self, rng):
+        y = rng.normal(size=8)
+        dyn = NormalizationDynamics(y)
+        y_tilde0 = 0.1 * y / np.dot(y, y)  # positive k0
+        final = integrate_ode(dyn, y_tilde0, t_end=20.0 / dyn.m, dt=0.05 / dyn.m)
+        np.testing.assert_allclose(final, dyn.steady_state(), rtol=1e-5, atol=1e-8)
+
+    def test_negative_initial_k_converges_to_negative_fixed_point(self, rng):
+        y = rng.normal(size=8)
+        dyn = NormalizationDynamics(y)
+        y_tilde0 = -0.1 * y / np.dot(y, y)  # negative k0
+        final = integrate_ode(dyn, y_tilde0, t_end=20.0 / dyn.m, dt=0.05 / dyn.m)
+        np.testing.assert_allclose(final, -dyn.steady_state(), rtol=1e-5, atol=1e-8)
+
+    def test_trajectory_stays_parallel_to_y(self, rng):
+        y = rng.normal(size=8)
+        dyn = NormalizationDynamics(y)
+        state = 0.2 * y / np.dot(y, y)
+        for _ in range(50):
+            state = state + (0.01 / dyn.m) * dyn.derivative(state) * dyn.tau
+            cosine = np.dot(state, y) / (np.linalg.norm(state) * np.linalg.norm(y))
+            assert cosine == pytest.approx(1.0, abs=1e-10)
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(ValueError):
+            NormalizationDynamics(np.zeros(4))
+        with pytest.raises(ValueError):
+            NormalizationDynamics(rng.normal(size=(2, 2)))
+        with pytest.raises(ValueError):
+            NormalizationDynamics(rng.normal(size=4), alpha=0.0)
+        with pytest.raises(ValueError):
+            NormalizationDynamics(rng.normal(size=4), tau=-1.0)
+
+    def test_integrate_rejects_bad_steps(self, rng):
+        dyn = NormalizationDynamics(rng.normal(size=4))
+        with pytest.raises(ValueError):
+            integrate_ode(dyn, np.ones(4), t_end=0.0)
+        with pytest.raises(ValueError):
+            integrate_ode(dyn, np.ones(4), t_end=1.0, dt=0.0)
+
+
+class TestAnalyticalSolutions:
+    def test_analytical_a_limit(self):
+        m = 10.0
+        a_inf = analytical_a(a0=0.2, m=m, lam=0.05, steps=10_000)
+        assert a_inf == pytest.approx(1.0 / np.sqrt(m), rel=1e-9)
+
+    def test_analytical_a_initial_value(self):
+        assert analytical_a(a0=0.3, m=5.0, lam=0.1, steps=0) == pytest.approx(0.3)
+
+    def test_analytical_a_monotone_increase_from_below(self):
+        m = 4.0
+        trajectory = np.asarray(analytical_a(0.1, m, 0.05, np.arange(50)))
+        assert np.all(np.diff(trajectory) > 0)
+        assert np.all(trajectory <= 1.0 / np.sqrt(m) + 1e-12)
+
+    def test_analytical_a_rejects_nonpositive_m(self):
+        with pytest.raises(ValueError):
+            analytical_a(0.1, 0.0, 0.1, 5)
+
+    def test_analytical_k_limits(self):
+        k_inf = analytical_k(k0=0.5, norm_y=3.0, alpha=1.0, t=1e3)
+        assert k_inf == pytest.approx(3.0, rel=1e-9)
+        k_neg = analytical_k(k0=-0.5, norm_y=3.0, alpha=1.0, t=1e3)
+        assert k_neg == pytest.approx(-3.0, rel=1e-9)
+
+    def test_analytical_k_zero_stays_zero(self):
+        assert analytical_k(0.0, 2.0, 1.0, 5.0) == 0.0
+
+    def test_analytical_k_matches_derivative(self):
+        # d/dt (1/k^2) check via small finite difference.
+        k0, norm_y, alpha = 0.7, 2.0, 1.0
+        dt = 1e-6
+        k_t = analytical_k(k0, norm_y, alpha, 1.0)
+        k_t_dt = analytical_k(k0, norm_y, alpha, 1.0 + dt)
+        numeric = (k_t_dt - k_t) / dt
+        analytic = k_t * norm_y**2 - alpha * k_t**3
+        assert numeric == pytest.approx(analytic, rel=1e-4)
+
+    def test_analytical_k_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            analytical_k(1.0, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            analytical_k(1.0, 1.0, -1.0, 1.0)
+
+
+# -- property-based tests -----------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=0.01, max_value=1e4),
+    st.floats(min_value=0.01, max_value=0.9),
+)
+@settings(max_examples=100, deadline=None)
+def test_analytical_a_always_converges_to_inverse_norm(m, ratio):
+    """For any positive m and a0 below the fixed point, Eq. (9) -> 1/sqrt(m)."""
+    a0 = ratio / np.sqrt(m)
+    lam = 0.5 / m
+    a_final = analytical_a(a0, m, lam, 200)
+    assert a_final == pytest.approx(1.0 / np.sqrt(m), rel=1e-6)
+
+
+@given(st.floats(min_value=0.1, max_value=100.0))
+@settings(max_examples=50, deadline=None)
+def test_fixed_points_match_theorem(norm_y):
+    stable = [p.k for p in fixed_points(norm_y) if p.stable]
+    assert sorted(stable) == pytest.approx([-norm_y, norm_y])

@@ -1,0 +1,149 @@
+"""Tests for the a0 initialization (Eq. 6) and update-rate rule (Eq. 10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.initialization import (
+    LAMBDA_COEFFICIENT,
+    initial_a,
+    initial_a_exact,
+    lambda_coefficient_for,
+    required_lambda,
+    update_rate,
+)
+
+
+class TestInitialA:
+    def test_power_of_two_inputs(self):
+        # m = 4: E(m)-bias = 2, a0 = 2^(-3/2); a_inf = 0.5.
+        assert initial_a(4.0, "fp32") == pytest.approx(2.0 ** (-1.5), rel=1e-6)
+
+    def test_ratio_bound_from_paper(self, rng):
+        """0.7 < a0 / a_inf <= 1 for any positive m (Sec. III-B)."""
+        for m in rng.uniform(1e-6, 1e6, size=500):
+            ratio = initial_a(float(m), "fp32") / initial_a_exact(float(m))
+            assert 0.7 < ratio <= 1.0 + 1e-6
+
+    def test_ratio_lower_bound_is_sqrt_half(self):
+        # The worst case is a significand just above 1 (a_inf = 1, a0 = 2^-0.5).
+        m = 1.0 + 1e-12
+        ratio = initial_a(m, "fp64") / initial_a_exact(m)
+        assert ratio == pytest.approx(1.0 / np.sqrt(2.0), rel=1e-6)
+
+    def test_same_result_for_fp32_and_bf16(self):
+        # Both formats share the exponent layout, and a0 only reads E(m).
+        # Odd unbiased exponents give integer halved exponents, so a0 is a
+        # power of two and format-independent.
+        for m in (0.125, 8.0, 512.0):
+            assert initial_a(m, "fp32") == initial_a(m, "bf16")
+
+    def test_fp16_bias_is_used(self):
+        # The unbiased exponent is what matters, so fp16 gives the same a0
+        # as fp32 when the halved exponent is an integer (m = 8 -> a0 = 0.25).
+        assert initial_a(8.0, "fp16") == initial_a(8.0, "fp32") == 0.25
+
+    def test_rejects_nonpositive_or_nonfinite(self):
+        for bad in (0.0, -1.0, np.inf, np.nan):
+            with pytest.raises(ValueError):
+                initial_a(bad, "fp32")
+
+    def test_initial_a_exact(self):
+        assert initial_a_exact(16.0) == 0.25
+        with pytest.raises(ValueError):
+            initial_a_exact(0.0)
+
+
+class TestUpdateRate:
+    def test_formula_for_power_of_two(self):
+        # m = 8 -> E(m)-bias = 3 -> lambda = 0.345 / 8.
+        assert update_rate(8.0, "fp32") == pytest.approx(0.345 / 8.0, rel=1e-6)
+
+    def test_lambda_times_m_in_paper_band(self, rng):
+        """lambda * m lies in [0.345, 0.69) - the band implied by Eq. (10)."""
+        for m in rng.uniform(1e-3, 1e5, size=500):
+            product = update_rate(float(m), "fp32") * float(m)
+            assert 0.345 * (1 - 1e-6) <= product < 0.69 * (1 + 1e-3)
+
+    def test_safety_factor(self):
+        base = update_rate(10.0, "fp32")
+        assert update_rate(10.0, "fp32", safety_factor=2.0) == pytest.approx(
+            2.0 * base, rel=1e-6
+        )
+
+    def test_custom_coefficient(self):
+        assert update_rate(8.0, "fp32", coefficient=0.5) == pytest.approx(0.0625, rel=1e-6)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            update_rate(-1.0)
+        with pytest.raises(ValueError):
+            update_rate(1.0, coefficient=0.0)
+        with pytest.raises(ValueError):
+            update_rate(1.0, safety_factor=0.0)
+
+    def test_discrete_stability(self, rng):
+        """lambda * m < 1 guarantees the Euler update is locally stable."""
+        for m in rng.uniform(1e-3, 1e6, size=200):
+            assert update_rate(float(m), "fp32") * float(m) < 1.0
+
+
+class TestRequiredLambda:
+    def test_reference_bound_is_tighter_than_hardware_rule_worst_case(self):
+        # For a significand of exactly 1 the hardware rule equals the bound/2;
+        # the reference bound uses the true 1/m.
+        m = 16.0
+        exact = required_lambda(m)
+        hardware = update_rate(m, "fp32")
+        assert exact == pytest.approx(-np.log(1e-3) / (2 * m * 5), rel=1e-12)
+        assert hardware >= exact * 0.49  # paper uses the lower end of the m^-1 range
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            required_lambda(0.0)
+        with pytest.raises(ValueError):
+            required_lambda(1.0, tolerance=2.0)
+        with pytest.raises(ValueError):
+            required_lambda(1.0, target_steps=0)
+
+
+class TestLambdaCoefficient:
+    def test_paper_constant(self):
+        """delta_c = 1e-3 and n_c = 5 give the paper's 0.345 coefficient."""
+        coeff = lambda_coefficient_for(1e-3, 5)
+        assert coeff == pytest.approx(0.6908, rel=1e-3) or coeff == pytest.approx(
+            0.345 * 2, rel=1e-2
+        )
+        # The hardware constant is half of this (worst-case significand bound).
+        assert LAMBDA_COEFFICIENT == pytest.approx(coeff / 2.0, rel=2e-2)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            lambda_coefficient_for(0.0, 5)
+        with pytest.raises(ValueError):
+            lambda_coefficient_for(0.5, 0)
+
+
+# -- property-based tests -----------------------------------------------------------
+
+
+@given(st.floats(min_value=1e-6, max_value=1e6))
+@settings(max_examples=200, deadline=None)
+def test_initial_a_is_exponent_halving(m):
+    """log2(a0) is (minus) half an integer, up to fp32 quantization of a0."""
+    a0 = initial_a(m, "fp32")
+    log2 = np.log2(a0)
+    assert log2 == pytest.approx(round(log2 * 2) / 2, abs=1e-6)
+
+
+@given(st.floats(min_value=1e-6, max_value=1e6))
+@settings(max_examples=200, deadline=None)
+def test_update_rate_satisfies_convergence_inequality_within_band(m):
+    """Eq. (10)'s lambda keeps the 5-step transient below ~3.2% of its start.
+
+    exp(-2 m n lambda) with lambda*m >= 0.345 and n = 5 is at most e^-3.45.
+    """
+    lam = update_rate(m, "fp32")
+    transient = np.exp(-2.0 * m * 5 * lam)
+    assert transient <= np.exp(-3.45) * (1 + 1e-3)

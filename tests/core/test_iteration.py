@@ -1,0 +1,168 @@
+"""Tests for the discrete IterL2Norm scalar iteration and vector normalizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamics import analytical_a
+from repro.core.iteration import (
+    iterate_a,
+    iterate_a_batch,
+    iterate_a_trace,
+    iterl2norm_vector,
+)
+
+
+class TestScalarIteration:
+    def test_converges_to_inverse_norm(self, rng):
+        for m in rng.uniform(0.01, 1e4, size=50):
+            a = iterate_a(float(m), num_steps=30)
+            assert a == pytest.approx(1.0 / np.sqrt(m), rel=1e-9)
+
+    def test_five_steps_reach_paper_tolerance(self, rng):
+        """Five steps land within ~0.2% of the fixed point for any m (fp64)."""
+        for m in rng.uniform(0.01, 1e4, size=200):
+            a = iterate_a(float(m), num_steps=5)
+            rel_err = abs(a - 1.0 / np.sqrt(m)) * np.sqrt(m)
+            assert rel_err < 4e-3
+
+    def test_zero_steps_returns_a0(self):
+        trace = iterate_a_trace(4.0, num_steps=0)
+        assert trace.final_a == trace.a_history[0]
+        assert trace.num_steps == 0
+
+    def test_trace_lengths(self):
+        trace = iterate_a_trace(10.0, num_steps=7)
+        assert len(trace.a_history) == 8
+        assert len(trace.delta_history) == 7
+
+    def test_error_history_decreases(self):
+        trace = iterate_a_trace(123.4, num_steps=8)
+        errors = trace.error_history()
+        assert errors[-1] < errors[0]
+        # Monotone decrease for the default (under-relaxed) update rate.
+        assert np.all(np.diff(errors) <= 1e-15)
+
+    def test_explicit_lambda_and_a0(self):
+        a = iterate_a(4.0, num_steps=50, lam=0.05, a0=0.1)
+        assert a == pytest.approx(0.5, rel=1e-6)
+
+    def test_format_rounded_iteration_stays_in_format(self):
+        from repro.fpformats.quantize import quantize
+
+        trace = iterate_a_trace(37.5, num_steps=5, fmt="bf16")
+        for a in trace.a_history:
+            assert a == quantize(a, "bf16")
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            iterate_a(-1.0)
+        with pytest.raises(ValueError):
+            iterate_a(np.nan)
+        with pytest.raises(ValueError):
+            iterate_a(1.0, num_steps=-1)
+
+    def test_tracks_analytical_solution_for_small_lambda(self):
+        """With a small lambda the Euler iterate follows Eq. (9) closely."""
+        m, lam, a0 = 9.0, 0.002, 0.2
+        trace = iterate_a_trace(m, num_steps=40, lam=lam, a0=a0)
+        analytic = np.asarray(analytical_a(a0, m, lam, np.arange(41)))
+        np.testing.assert_allclose(trace.a_history, analytic, rtol=2e-2)
+
+
+class TestBatchIteration:
+    def test_matches_scalar_iteration_exactly(self, rng):
+        ms = rng.uniform(0.01, 5e3, size=64)
+        for fmt in (None, "fp32", "bf16"):
+            batch = iterate_a_batch(ms, num_steps=5, fmt=fmt)
+            scalar = np.array([iterate_a(float(m), num_steps=5, fmt=fmt) for m in ms])
+            np.testing.assert_array_equal(batch, scalar)
+
+    def test_zero_m_gives_zero_a(self):
+        result = iterate_a_batch(np.array([4.0, 0.0, 1.0]))
+        assert result[1] == 0.0
+        assert result[0] > 0 and result[2] > 0
+
+    def test_scalar_input_gives_length_one_array(self):
+        result = iterate_a_batch(2.0)
+        assert result.shape == (1,)
+
+    def test_preserves_shape(self, rng):
+        ms = rng.uniform(0.1, 10.0, size=(3, 4))
+        assert iterate_a_batch(ms).shape == (3, 4)
+
+    def test_rejects_negative_steps(self):
+        with pytest.raises(ValueError):
+            iterate_a_batch(np.array([1.0]), num_steps=-2)
+
+
+class TestVectorNormalizer:
+    def test_unit_norm_output(self, uniform_vector):
+        normalized = iterl2norm_vector(uniform_vector, num_steps=20)
+        assert np.linalg.norm(normalized) == pytest.approx(1.0, rel=1e-6)
+
+    def test_direction_preserved(self, uniform_vector):
+        normalized = iterl2norm_vector(uniform_vector, num_steps=10)
+        cosine = np.dot(normalized, uniform_vector) / (
+            np.linalg.norm(normalized) * np.linalg.norm(uniform_vector)
+        )
+        assert cosine == pytest.approx(1.0, abs=1e-12)
+
+    def test_scale_by_sqrt_d(self, uniform_vector):
+        d = uniform_vector.size
+        scaled = iterl2norm_vector(uniform_vector, num_steps=20, scale_by_sqrt_d=True)
+        assert np.linalg.norm(scaled) == pytest.approx(np.sqrt(d), rel=1e-5)
+
+    def test_matches_exact_l2_normalization(self, rng):
+        from repro.baselines.exact import exact_l2_normalize
+
+        y = rng.normal(size=256)
+        ours = iterl2norm_vector(y, num_steps=25)
+        np.testing.assert_allclose(ours, exact_l2_normalize(y), atol=1e-9)
+
+    def test_zero_vector_maps_to_zero(self):
+        assert np.all(iterl2norm_vector(np.zeros(16)) == 0.0)
+
+    def test_format_error_band_fp32(self, rng):
+        """In fp32 with 5 steps the error stays in the paper's 1e-3 band."""
+        y = rng.uniform(-1, 1, size=512)
+        ours = iterl2norm_vector(y, num_steps=5, fmt="fp32")
+        exact = y / np.linalg.norm(y)
+        assert np.max(np.abs(ours - exact)) < 5e-3
+
+    def test_rejects_bad_shapes(self, rng):
+        with pytest.raises(ValueError):
+            iterl2norm_vector(rng.normal(size=(4, 4)))
+        with pytest.raises(ValueError):
+            iterl2norm_vector(np.array([]))
+
+
+# -- property-based tests -----------------------------------------------------------
+
+
+@given(st.floats(min_value=1e-4, max_value=1e6))
+@settings(max_examples=200, deadline=None)
+def test_iteration_converges_for_any_positive_m(m):
+    a = iterate_a(m, num_steps=40)
+    assert a == pytest.approx(1.0 / np.sqrt(m), rel=1e-8)
+
+
+@given(st.floats(min_value=1e-4, max_value=1e6), st.integers(min_value=0, max_value=8))
+@settings(max_examples=200, deadline=None)
+def test_iterate_never_overshoots_into_negative(m, steps):
+    """a stays positive for the paper's a0/lambda rules."""
+    trace = iterate_a_trace(m, num_steps=steps)
+    assert all(a > 0 for a in trace.a_history)
+
+
+@given(
+    st.lists(st.floats(min_value=-100.0, max_value=100.0), min_size=2, max_size=128).filter(
+        lambda v: any(abs(x) > 1e-3 for x in v)
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_vector_normalizer_produces_unit_norm(values):
+    y = np.asarray(values)
+    normalized = iterl2norm_vector(y, num_steps=30)
+    assert np.linalg.norm(normalized) == pytest.approx(1.0, rel=1e-5)

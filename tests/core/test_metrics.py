@@ -1,0 +1,94 @@
+"""Tests for the error metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    ErrorStats,
+    absolute_error,
+    error_stats,
+    error_stats_between,
+    relative_error,
+)
+
+
+class TestAbsoluteError:
+    def test_basic(self):
+        np.testing.assert_array_equal(
+            absolute_error(np.array([1.0, 2.0]), np.array([1.5, 1.0])),
+            np.array([0.5, 1.0]),
+        )
+
+    def test_zero_for_identical(self, rng):
+        x = rng.normal(size=20)
+        assert np.all(absolute_error(x, x) == 0.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            absolute_error(np.zeros(3), np.zeros(4))
+
+
+class TestRelativeError:
+    def test_basic(self):
+        rel = relative_error(np.array([1.1]), np.array([1.0]))
+        assert rel[0] == pytest.approx(0.1)
+
+    def test_floor_prevents_division_by_zero(self):
+        rel = relative_error(np.array([1e-3]), np.array([0.0]), floor=1e-6)
+        assert np.isfinite(rel[0])
+
+
+class TestErrorStats:
+    def test_values(self):
+        stats = error_stats(np.array([0.0, 1.0, 2.0, 3.0]))
+        assert stats.mean == 1.5
+        assert stats.max == 3.0
+        assert stats.median == 1.5
+        assert stats.count == 4
+        assert stats.rms == pytest.approx(np.sqrt(14 / 4))
+
+    def test_flattens_input(self):
+        stats = error_stats(np.ones((2, 3)))
+        assert stats.count == 6
+        assert stats.mean == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            error_stats(np.array([]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            error_stats(np.array([-0.1]))
+
+    def test_as_dict_roundtrip(self):
+        stats = error_stats(np.array([1.0, 2.0]))
+        d = stats.as_dict()
+        assert d["mean"] == stats.mean
+        assert d["max"] == stats.max
+        assert set(d) == {"mean", "max", "median", "p99", "rms", "count"}
+
+    def test_between_helper(self, rng):
+        a, b = rng.normal(size=50), rng.normal(size=50)
+        stats = error_stats_between(a, b)
+        assert stats.max == pytest.approx(np.abs(a - b).max())
+
+    def test_is_frozen(self):
+        stats = error_stats(np.array([1.0]))
+        with pytest.raises(Exception):
+            stats.mean = 0.0  # type: ignore[misc]
+
+
+# -- property-based tests -----------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_error_stats_orderings(errors):
+    stats = error_stats(np.asarray(errors))
+    tol = 1e-9 * (1.0 + stats.max)
+    assert 0.0 <= stats.median <= stats.max + tol
+    assert stats.mean <= stats.max + tol
+    assert stats.p99 <= stats.max + tol
+    assert stats.rms >= stats.mean - tol  # RMS >= arithmetic mean

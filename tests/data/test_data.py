@@ -1,0 +1,164 @@
+"""Tests for the tokenizer, synthetic corpora, and dataset utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.corpus import (
+    CorpusSpec,
+    generate_bst_like_corpus,
+    generate_corpus,
+    generate_wikitext_like_corpus,
+)
+from repro.data.datasets import build_dataset
+from repro.data.tokenizer import WordTokenizer
+
+
+class TestWordTokenizer:
+    def test_special_tokens(self):
+        tok = WordTokenizer()
+        assert tok.pad_id == 0
+        assert tok.unk_id == 1
+        assert tok.eot_id == 2
+        assert tok.vocab_size == 3
+
+    def test_fit_and_encode(self):
+        tok = WordTokenizer(max_vocab_size=32).fit("the cat sat on the mat . the cat .")
+        ids = tok.encode("the cat")
+        assert len(ids) == 2
+        assert ids[0] != tok.unk_id
+
+    def test_unknown_words_map_to_unk(self):
+        tok = WordTokenizer(max_vocab_size=16).fit("alpha beta gamma")
+        ids = tok.encode("delta")
+        assert list(ids) == [tok.unk_id]
+
+    def test_frequency_truncation(self):
+        text = "common " * 100 + "rare1 rare2 rare3 rare4 rare5"
+        tok = WordTokenizer(max_vocab_size=5).fit(text)  # 3 specials + 2 words
+        assert tok.vocab_size == 5
+        assert "common" in tok.token_to_id
+
+    def test_decode_roundtrip(self):
+        tok = WordTokenizer(max_vocab_size=64).fit("hello world , nice day !")
+        text = "hello world !"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_append_eot(self):
+        tok = WordTokenizer().fit("a b c")
+        ids = tok.encode("a", append_eot=True)
+        assert ids[-1] == tok.eot_id
+
+    def test_decode_skips_specials(self):
+        tok = WordTokenizer().fit("x y")
+        assert tok.decode(np.array([tok.pad_id, tok.eot_id])) == ""
+
+    def test_decode_rejects_out_of_range(self):
+        tok = WordTokenizer().fit("x")
+        with pytest.raises(ValueError):
+            tok.decode(np.array([999]))
+
+    def test_case_insensitive(self):
+        tok = WordTokenizer().fit("Hello HELLO hello")
+        assert tok.vocab_size == 4  # specials + "hello"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WordTokenizer(max_vocab_size=3)
+
+
+class TestCorpora:
+    def test_wikitext_like_deterministic(self):
+        a = generate_wikitext_like_corpus(CorpusSpec("w", seed=7))
+        b = generate_wikitext_like_corpus(CorpusSpec("w", seed=7))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_wikitext_like_corpus(CorpusSpec("w", seed=1))
+        b = generate_wikitext_like_corpus(CorpusSpec("w", seed=2))
+        assert a != b
+
+    def test_wikitext_structure(self):
+        text = generate_wikitext_like_corpus(CorpusSpec("w", num_documents=5, seed=0))
+        assert text.count("= the") == 5  # one heading per document
+
+    def test_bst_structure(self):
+        text = generate_bst_like_corpus(CorpusSpec("b", num_documents=3, seed=0))
+        assert text.count("your persona :") == 3
+        assert "speaker a :" in text and "speaker b :" in text
+
+    def test_corpora_have_different_statistics(self):
+        wiki = generate_wikitext_like_corpus()
+        bst = generate_bst_like_corpus()
+        wiki_words = set(wiki.split())
+        bst_words = set(bst.split())
+        overlap = len(wiki_words & bst_words) / min(len(wiki_words), len(bst_words))
+        assert overlap < 0.5  # the two tasks look different to the model
+
+    def test_named_generator(self):
+        assert "persona" in generate_corpus("bst-sim")
+        with pytest.raises(KeyError):
+            generate_corpus("unknown-corpus")
+
+    def test_size_scaling(self):
+        small = generate_wikitext_like_corpus(CorpusSpec("w", num_documents=4))
+        large = generate_wikitext_like_corpus(CorpusSpec("w", num_documents=64))
+        assert len(large) > len(small) * 8
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            CorpusSpec("x", num_documents=0)
+
+
+class TestBuildDataset:
+    def test_build_and_split(self):
+        ds = build_dataset("wikitext2-sim", max_vocab_size=256)
+        assert ds.train_tokens.size > ds.valid_tokens.size
+        assert ds.vocab_size <= 256
+        assert ds.train_tokens.dtype == np.int64
+
+    def test_tokens_within_vocab(self):
+        ds = build_dataset("bst-sim", max_vocab_size=128)
+        assert ds.train_tokens.max() < ds.vocab_size
+        assert ds.valid_tokens.min() >= 0
+
+    def test_eval_windows(self):
+        ds = build_dataset("wikitext2-sim")
+        inputs, targets = ds.eval_windows(seq_len=32, max_windows=4)
+        assert inputs.shape == (4, 32)
+        np.testing.assert_array_equal(inputs[:, 1:], targets[:, :-1])
+
+    def test_eval_windows_validation(self):
+        ds = build_dataset("wikitext2-sim")
+        with pytest.raises(ValueError):
+            ds.eval_windows(seq_len=1)
+        with pytest.raises(ValueError):
+            ds.eval_windows(seq_len=10**6)
+
+    def test_valid_fraction_validation(self):
+        with pytest.raises(ValueError):
+            build_dataset("wikitext2-sim", valid_fraction=0.0)
+
+    def test_deterministic(self):
+        a = build_dataset("bst-sim", spec=CorpusSpec("bst-sim", seed=3))
+        b = build_dataset("bst-sim", spec=CorpusSpec("bst-sim", seed=3))
+        np.testing.assert_array_equal(a.train_tokens, b.train_tokens)
+
+
+# -- property-based tests -----------------------------------------------------------
+
+
+@given(st.text(alphabet=st.characters(whitelist_categories=("Ll", "Nd", "Zs")), max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_tokenizer_encode_never_fails_after_fit(text):
+    tok = WordTokenizer(max_vocab_size=64).fit("some base corpus text")
+    ids = tok.encode(text)
+    assert np.all((ids >= 0) & (ids < tok.vocab_size))
+
+
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_corpus_generation_is_pure(num_docs, seed):
+    spec = CorpusSpec("w", num_documents=num_docs, seed=seed)
+    assert generate_wikitext_like_corpus(spec) == generate_wikitext_like_corpus(spec)

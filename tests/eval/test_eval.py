@@ -1,0 +1,145 @@
+"""Tests for the evaluation harness (precision, latency, synthesis, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.latency import FIG5_LENGTHS, latency_sweep
+from repro.eval.precision import (
+    OPT_LENGTHS,
+    convergence_sweep,
+    error_histogram,
+    evaluate_method,
+    method_comparison,
+    precision_sweep,
+)
+from repro.eval.reporting import format_breakdown, format_table
+from repro.eval.synthesis import area_power_breakdowns, comparison_rows, synthesis_rows
+
+
+class TestEvaluateMethod:
+    def test_iterl2norm_fp32_error_band(self):
+        result = evaluate_method("iterl2norm", 384, "fp32", trials=50, seed=0)
+        assert result.stats.mean < 5e-3
+        assert result.stats.count == 50 * 384
+
+    def test_fisr_error_band(self):
+        result = evaluate_method("fisr", 384, "fp32", trials=50, seed=0)
+        assert result.stats.mean < 5e-3
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            evaluate_method("magic", 64, "fp32", trials=2)
+
+    def test_seed_reproducibility(self):
+        a = evaluate_method("iterl2norm", 128, "bf16", trials=20, seed=3)
+        b = evaluate_method("iterl2norm", 128, "bf16", trials=20, seed=3)
+        assert a.stats.mean == b.stats.mean
+
+    def test_as_row(self):
+        row = evaluate_method("iterl2norm", 64, "fp16", trials=5).as_row()
+        assert row["d"] == 64 and row["format"] == "fp16"
+
+
+class TestSweeps:
+    def test_precision_sweep_shape(self):
+        results = precision_sweep(lengths=(64, 128), formats=("fp32",), trials=10)
+        assert len(results) == 2
+        assert {r.length for r in results} == {64, 128}
+
+    def test_error_histogram(self):
+        counts, edges = error_histogram(length=128, fmt="fp32", trials=20, bins=10)
+        assert counts.sum() == 20
+        assert len(edges) == 11
+
+    def test_method_comparison_winner_field(self):
+        rows = method_comparison(lengths=(768,), formats=("fp32",), trials=20)
+        assert len(rows) == 1
+        assert rows[0]["winner"] in ("iterl2norm", "fisr")
+        assert rows[0]["iterl2norm_mean"] > 0
+
+    def test_convergence_sweep_error_decreases(self):
+        results = convergence_sweep(
+            length=256, formats=("fp32",), step_counts=(1, 3, 5), trials=30
+        )
+        errors = [r.stats.mean for r in results]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_fp16_bf16_floor_higher_than_fp32(self):
+        """Fig. 4's ordering: the fp32 floor is below the 16-bit floors."""
+        by_fmt = {}
+        for fmt in ("fp32", "fp16", "bf16"):
+            result = evaluate_method("iterl2norm", 256, fmt, num_steps=10, trials=30)
+            by_fmt[fmt] = result.stats.mean
+        assert by_fmt["fp32"] < by_fmt["fp16"]
+        assert by_fmt["fp32"] < by_fmt["bf16"]
+
+    def test_opt_lengths_constant(self):
+        assert OPT_LENGTHS[0] == 768 and OPT_LENGTHS[-1] == 12288 and len(OPT_LENGTHS) == 9
+
+
+class TestLatencySweep:
+    def test_model_sweep_range(self):
+        sweep = latency_sweep()
+        assert sweep.lengths == FIG5_LENGTHS
+        assert abs(sweep.min_cycles - 116) <= 10
+        assert abs(sweep.max_cycles - 227) <= 10
+
+    def test_monotone(self):
+        sweep = latency_sweep()
+        assert list(sweep.cycles) == sorted(sweep.cycles)
+
+    def test_simulator_agrees_with_model(self):
+        model = latency_sweep(lengths=(64, 128, 256), use_simulator=False)
+        sim = latency_sweep(lengths=(64, 128, 256), use_simulator=True)
+        assert model.cycles == sim.cycles
+
+    def test_microseconds_conversion(self):
+        sweep = latency_sweep(lengths=(64,))
+        assert sweep.microseconds_at_100mhz[0] == sweep.cycles[0] / 100.0
+
+    def test_as_rows(self):
+        rows = latency_sweep(lengths=(64, 128)).as_rows()
+        assert rows[0]["d"] == 64 and "cycles" in rows[0]
+
+
+class TestSynthesisRows:
+    def test_table2_rows(self):
+        rows = synthesis_rows()
+        assert [r["format"] for r in rows] == ["fp32", "fp16", "bf16"]
+        assert rows[0]["memory_kib"] == 96.5
+
+    def test_breakdowns_structure(self):
+        breakdowns = area_power_breakdowns(("fp32",))
+        assert set(breakdowns["fp32"]) == {"area", "power"}
+        assert sum(breakdowns["fp32"]["area"].values()) == pytest.approx(1.0)
+
+    def test_comparison_rows(self):
+        rows = comparison_rows()
+        names = [r["implementation"] for r in rows]
+        assert "SwiftTron" in names
+        assert any("IterL2Norm" in n for n in names)
+        assert len(comparison_rows(include_ours=False)) == 4
+
+
+class TestReporting:
+    def test_format_table_basic(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "10" in lines[3]
+
+    def test_format_table_with_title_and_columns(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"], title="T")
+        assert text.startswith("T\n")
+        assert "a" not in text.splitlines()[1]
+
+    def test_format_table_missing_keys(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "-" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_breakdown(self):
+        text = format_breakdown({"memory": 0.6, "logic": 0.4}, title="Area")
+        assert "60.0%" in text and text.startswith("Area")

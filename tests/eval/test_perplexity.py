@@ -1,0 +1,97 @@
+"""Tests for the LLM-level (Table IV) evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.eval.perplexity import (
+    LLMEvalConfig,
+    LLMEvalResult,
+    evaluate_perplexity,
+    perplexity_experiment,
+    prepare_model,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return LLMEvalConfig(
+        tasks=("wikitext2-sim",),
+        models=("opt-125m-sim",),
+        formats=("fp32",),
+        step_counts=(3, 10),
+        train_steps=30,
+        batch_size=4,
+        seq_len=32,
+        eval_windows=6,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def trained(quick_config):
+    return prepare_model("wikitext2-sim", "opt-125m-sim", quick_config)
+
+
+class TestPrepareModel:
+    def test_model_and_dataset_compatible(self, trained, quick_config):
+        model, dataset, config = trained
+        assert dataset.vocab_size <= config.vocab_size
+        assert model.config.name == "opt-125m-sim"
+
+    def test_training_happened(self, trained, quick_config):
+        model, dataset, _ = trained
+        ppl = evaluate_perplexity(model, dataset, quick_config)
+        # A trained model must beat the uniform baseline over the vocabulary.
+        assert ppl < dataset.vocab_size * 0.5
+
+
+class TestEvaluatePerplexity:
+    def test_perplexity_positive_and_finite(self, trained, quick_config):
+        model, dataset, _ = trained
+        ppl = evaluate_perplexity(model, dataset, quick_config)
+        assert np.isfinite(ppl) and ppl > 1.0
+
+    def test_swap_changes_perplexity_marginally(self, trained, quick_config):
+        model, dataset, _ = trained
+        model.replace_layernorm("exact", fmt="fp32")
+        baseline = evaluate_perplexity(model, dataset, quick_config)
+        model.replace_layernorm("iterl2norm", fmt="fp32", num_steps=5)
+        swapped = evaluate_perplexity(model, dataset, quick_config)
+        model.restore_layernorm()
+        assert abs(swapped - baseline) / baseline < 0.02
+
+    def test_more_steps_closer_to_baseline(self, trained, quick_config):
+        """The Table IV trend: the delta shrinks as iterations increase."""
+        model, dataset, _ = trained
+        model.replace_layernorm("exact", fmt="fp32")
+        baseline = evaluate_perplexity(model, dataset, quick_config)
+        deltas = {}
+        for steps in (1, 3, 10):
+            model.replace_layernorm("iterl2norm", fmt="fp32", num_steps=steps)
+            deltas[steps] = abs(evaluate_perplexity(model, dataset, quick_config) - baseline)
+        model.restore_layernorm()
+        assert deltas[10] <= deltas[1]
+        assert deltas[10] < 0.01 * baseline
+
+
+class TestPerplexityExperiment:
+    def test_grid_structure(self, quick_config):
+        results = perplexity_experiment(quick_config)
+        assert len(results) == 1
+        result = results[0]
+        assert isinstance(result, LLMEvalResult)
+        assert set(result.perplexity_by_steps) == {3, 10}
+        assert result.baseline_perplexity > 1.0
+
+    def test_deltas_and_rows(self, quick_config):
+        result = perplexity_experiment(quick_config)[0]
+        rows = result.as_rows()
+        assert len(rows) == 2
+        for row in rows:
+            assert row["delta"] == pytest.approx(
+                row["ppl"] - result.baseline_perplexity
+            )
+
+    def test_delta_at_ten_steps_is_tiny(self, quick_config):
+        result = perplexity_experiment(quick_config)[0]
+        assert abs(result.deltas[10]) < 0.01 * result.baseline_perplexity

@@ -1,0 +1,92 @@
+"""Tests for the a0 / lambda ablation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.ablation import (
+    INIT_STRATEGIES,
+    RATE_STRATEGIES,
+    ablation_study,
+    evaluate_strategy,
+    typical_norm_squares,
+)
+
+
+@pytest.fixture(scope="module")
+def norm_squares():
+    return typical_norm_squares(lengths=(64, 512, 4096), trials_per_length=15, seed=0)
+
+
+class TestTypicalNormSquares:
+    def test_positive_and_scaled_with_length(self):
+        ms = typical_norm_squares(lengths=(64,), trials_per_length=20)
+        assert np.all(ms > 0)
+        # Uniform(-1,1) mean-shifted: E[m] ~ d/3.
+        assert 10 < ms.mean() < 35
+
+    def test_deterministic(self):
+        a = typical_norm_squares(seed=5, trials_per_length=3)
+        b = typical_norm_squares(seed=5, trials_per_length=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestEvaluateStrategy:
+    def test_paper_strategies_converge_fast(self, norm_squares):
+        mean_steps, converged, err5 = evaluate_strategy(
+            INIT_STRATEGIES["exponent (Eq. 6)"],
+            RATE_STRATEGIES["exponent (Eq. 10)"],
+            norm_squares,
+        )
+        assert converged == 1.0
+        assert mean_steps <= 6.0
+        assert err5 < 5e-3
+
+    def test_oracle_init_converges_immediately(self, norm_squares):
+        mean_steps, converged, _ = evaluate_strategy(
+            INIT_STRATEGIES["oracle 1/sqrt(m)"],
+            RATE_STRATEGIES["exponent (Eq. 10)"],
+            norm_squares,
+        )
+        assert converged == 1.0
+        assert mean_steps == 0.0
+
+    def test_constant_rate_fails_for_large_norms(self, norm_squares):
+        _, converged, _ = evaluate_strategy(
+            INIT_STRATEGIES["exponent (Eq. 6)"],
+            RATE_STRATEGIES["constant 1e-3"],
+            norm_squares,
+            max_steps=20,
+        )
+        assert converged < 1.0
+
+
+class TestAblationStudy:
+    def test_grid_shape(self, norm_squares):
+        results = ablation_study(norm_squares, max_steps=20)
+        assert len(results) == len(INIT_STRATEGIES) * len(RATE_STRATEGIES)
+        assert len({(r.init_name, r.rate_name) for r in results}) == len(results)
+
+    def test_paper_choice_is_best_divisionfree_option(self, norm_squares):
+        """Eq. 6 + Eq. 10 beats every other division-free combination."""
+        results = {(r.init_name, r.rate_name): r for r in ablation_study(norm_squares, max_steps=30)}
+        paper = results[("exponent (Eq. 6)", "exponent (Eq. 10)")]
+        division_free_alternatives = [
+            results[("constant 1.0", "exponent (Eq. 10)")],
+            results[("constant 1.0", "constant 1e-3")],
+            results[("exponent (Eq. 6)", "constant 1e-3")],
+        ]
+        for alt in division_free_alternatives:
+            assert paper.converged_fraction >= alt.converged_fraction
+            assert paper.mean_steps_to_tolerance <= alt.mean_steps_to_tolerance
+
+    def test_as_row(self, norm_squares):
+        row = ablation_study(norm_squares[:5], max_steps=10)[0].as_row()
+        assert set(row) == {"init", "rate", "mean_steps", "converged", "rel_err@5"}
+
+    def test_custom_strategies(self, norm_squares):
+        results = ablation_study(
+            norm_squares[:5],
+            init_strategies={"only": INIT_STRATEGIES["exponent (Eq. 6)"]},
+            rate_strategies={"only": RATE_STRATEGIES["exponent (Eq. 10)"]},
+        )
+        assert len(results) == 1

@@ -1,0 +1,157 @@
+"""Tests for the macro-backed normalizer, multi-vector mode, FP8 extension."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import exact_layernorm
+from repro.core.layernorm import IterL2Norm, IterL2NormConfig
+from repro.experiments.extension_fp8 import mixed_precision_layernorm, run as run_fp8
+from repro.fpformats.quantize import quantize
+from repro.fpformats.spec import FLOAT8_E4M3, FLOAT8_E5M2, get_format
+from repro.integration import MacroBackedLayerNorm, normalization_cost_report
+from repro.macro.latency import LatencyModel
+from repro.macro.simulator import IterL2NormMacro, MacroConfig
+from repro.nn.config import get_config
+
+
+class TestFP8Formats:
+    def test_registered(self):
+        assert get_format("fp8_e4m3") is FLOAT8_E4M3
+        assert get_format("e5m2") is FLOAT8_E5M2
+
+    def test_biases(self):
+        assert FLOAT8_E4M3.bias == 7
+        assert FLOAT8_E5M2.bias == 15
+
+    def test_quantization_granularity(self):
+        # E4M3 has a 3-bit mantissa: steps of 1/8 around 1.0.
+        assert quantize(1.125, "fp8_e4m3") == 1.125
+        assert quantize(1.05, "fp8_e4m3") == 1.0
+        # E5M2 has a 2-bit mantissa: steps of 1/4 around 1.0.
+        assert quantize(1.25, "fp8_e5m2") == 1.25
+        assert quantize(1.1, "fp8_e5m2") == 1.0
+
+    def test_iteration_runs_in_fp8(self):
+        from repro.core.iteration import iterate_a
+
+        a = iterate_a(37.5, num_steps=5, fmt="fp8_e4m3")
+        assert a == quantize(a, "fp8_e4m3")
+        # Within the format's resolution of the true value.
+        assert abs(a - 1 / np.sqrt(37.5)) / (1 / np.sqrt(37.5)) < 0.15
+
+
+class TestMixedPrecisionLayerNorm:
+    def test_bf16_scalar_matches_plain_bf16_band(self, rng):
+        x = rng.uniform(-1, 1, size=(30, 256))
+        out = mixed_precision_layernorm(x, "bf16")
+        err = np.abs(out - exact_layernorm(x)).mean()
+        assert err < 1e-2
+
+    def test_fp8_scalar_coarser_but_usable(self, rng):
+        x = rng.uniform(-1, 1, size=(30, 256))
+        errs = {}
+        for fmt in ("bf16", "fp8_e4m3", "fp8_e5m2"):
+            out = mixed_precision_layernorm(x, fmt)
+            errs[fmt] = np.abs(out - exact_layernorm(x)).mean()
+        assert errs["bf16"] < errs["fp8_e4m3"]
+        assert errs["bf16"] < errs["fp8_e5m2"]
+        # Both 8-bit variants remain usable normalizations (few-percent error).
+        assert errs["fp8_e4m3"] < 0.2
+        assert errs["fp8_e5m2"] < 0.2
+
+    def test_run_driver(self):
+        rows, text = run_fp8(lengths=(64,), trials=20)
+        assert len(rows) == 3
+        assert "Extension" in text
+
+
+class TestMultiVectorMacro:
+    def test_batch_matches_individual_runs(self, rng):
+        macro = IterL2NormMacro(MacroConfig(fmt="fp32"))
+        vectors = rng.uniform(-1, 1, size=(5, 128))
+        outputs, cycles, results = macro.normalize_batch(vectors)
+        assert len(results) == 5
+        for i in range(5):
+            single = IterL2NormMacro(MacroConfig(fmt="fp32")).normalize(vectors[i])
+            np.testing.assert_array_equal(outputs[i], single.output)
+
+    def test_cycle_accounting_includes_loads(self, rng):
+        macro = IterL2NormMacro(MacroConfig(fmt="fp32"))
+        vectors = rng.uniform(-1, 1, size=(4, 64))
+        _, cycles, results = macro.normalize_batch(vectors)
+        per_vector = sum(r.total_cycles for r in results)
+        assert cycles == per_vector + 4  # one load cycle per 64-element chunk
+
+    def test_validation(self, rng):
+        macro = IterL2NormMacro()
+        with pytest.raises(ValueError):
+            macro.normalize_batch(rng.uniform(size=64))
+        with pytest.raises(ValueError):
+            macro.normalize_batch(rng.uniform(size=(1, 2000)))
+
+
+class TestMacroBackedLayerNorm:
+    def test_matches_pure_algorithm(self, rng):
+        d = 96
+        gamma = rng.uniform(0.5, 1.5, d)
+        beta = rng.normal(size=d)
+        macro_ln = MacroBackedLayerNorm(d, fmt="fp32", num_steps=5, gamma=gamma, beta=beta)
+        module = IterL2Norm(d, IterL2NormConfig(num_steps=5, fmt="fp32"), gamma=gamma, beta=beta)
+        x = rng.uniform(-1, 1, size=(6, d))
+        np.testing.assert_array_equal(macro_ln(x), module(x))
+
+    def test_cycle_counters(self, rng):
+        d = 128
+        macro_ln = MacroBackedLayerNorm(d, fmt="fp32")
+        x = rng.uniform(-1, 1, size=(3, d))
+        macro_ln(x)
+        assert macro_ln.vectors_normalized == 3
+        expected = 3 * LatencyModel().total_cycles(d, 5) + 3 * 2  # + load cycles
+        assert macro_ln.cycles_consumed == expected
+        macro_ln.reset_counters()
+        assert macro_ln.cycles_consumed == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MacroBackedLayerNorm(2048)
+        with pytest.raises(ValueError):
+            MacroBackedLayerNorm(8, gamma=np.ones(9))
+        with pytest.raises(ValueError):
+            MacroBackedLayerNorm(8)(np.zeros((2, 9)))
+
+
+class TestNormalizationCostReport:
+    def test_opt125m_report(self):
+        report = normalization_cost_report(get_config("opt-125m"))
+        assert report.layernorms_per_token == 25
+        assert report.cycles_per_normalization == LatencyModel().total_cycles(768, 5)
+        assert report.cycles_per_token == 25 * report.cycles_per_normalization
+        assert report.macros_for_realtime >= 1
+
+    def test_bigger_model_costs_more(self):
+        small = normalization_cost_report(get_config("opt-125m"))
+        large = normalization_cost_report(get_config("opt-350m"))
+        assert large.cycles_per_token > small.cycles_per_token
+
+    def test_higher_token_rate_needs_more_macros(self):
+        low = normalization_cost_report(get_config("opt-125m"), target_tokens_per_second=1e3)
+        high = normalization_cost_report(get_config("opt-125m"), target_tokens_per_second=1e6)
+        assert high.macros_for_realtime > low.macros_for_realtime
+
+    def test_as_row(self):
+        row = normalization_cost_report(get_config("opt-test")).as_row()
+        assert set(row) == {
+            "model",
+            "d",
+            "LN/token",
+            "cycles/LN",
+            "cycles/token",
+            "us/token",
+            "macros_needed",
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalization_cost_report(get_config("opt-test"), clock_mhz=0.0)
+        with pytest.raises(ValueError):
+            normalization_cost_report(get_config("opt-test"), target_tokens_per_second=0.0)

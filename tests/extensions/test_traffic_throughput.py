@@ -1,0 +1,129 @@
+"""Tests for the data-movement and throughput models."""
+
+import numpy as np
+import pytest
+
+from repro.macro.latency import LatencyModel
+from repro.macro.throughput import ThroughputModel
+from repro.macro.traffic import (
+    DDR4_CHANNEL,
+    HBM2_STACK,
+    PCIE4_X16,
+    MemoryInterface,
+    TrafficModel,
+)
+
+
+class TestMemoryInterface:
+    def test_transfer_time(self):
+        iface = MemoryInterface("test", bandwidth_gb_s=10.0, latency_us=1.0)
+        # 10 GB/s = 10 KB/us; 100 KB takes 10 us + 1 us latency.
+        assert iface.transfer_time_us(100e3) == pytest.approx(11.0)
+
+    def test_presets_ordering(self):
+        assert HBM2_STACK.bandwidth_gb_s > PCIE4_X16.bandwidth_gb_s
+        assert DDR4_CHANNEL.latency_us < PCIE4_X16.latency_us
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryInterface("bad", bandwidth_gb_s=0.0)
+        with pytest.raises(ValueError):
+            MemoryInterface("bad", bandwidth_gb_s=1.0, latency_us=-1.0)
+        with pytest.raises(ValueError):
+            DDR4_CHANNEL.transfer_time_us(-1.0)
+
+
+class TestTrafficModel:
+    def test_bytes_scale_with_format_and_tokens(self):
+        model = TrafficModel()
+        fp32 = model.report(768, 128, fmt="fp32")
+        fp16 = model.report(768, 128, fmt="fp16")
+        assert fp32.host_bytes_moved == pytest.approx(2 * fp16.host_bytes_moved)
+        more_tokens = model.report(768, 256, fmt="fp16")
+        assert more_tokens.host_bytes_moved == pytest.approx(2 * fp16.host_bytes_moved)
+
+    def test_exact_byte_count(self):
+        report = TrafficModel().report(768, 1, fmt="fp16")
+        assert report.host_bytes_moved == 2 * 768 * 2  # out and back, 2 B/element
+
+    def test_energy_ratio_is_dram_vs_sram(self):
+        report = TrafficModel().report(1024, 64, fmt="bf16")
+        assert report.energy_ratio == pytest.approx(30.0)  # 15 pJ/bit vs 0.5 pJ/bit
+        assert report.host_energy_uj > report.onchip_energy_uj
+
+    def test_onchip_time_uses_macro_latency(self):
+        model = TrafficModel(clock_mhz=100.0, macros=1)
+        report = model.report(768, 10, fmt="fp16")
+        expected = LatencyModel().total_cycles(768, 5) * 10 / 100.0
+        assert report.onchip_time_us == pytest.approx(expected)
+
+    def test_multiple_macros_divide_time(self):
+        one = TrafficModel(macros=1).report(768, 100, fmt="fp16")
+        four = TrafficModel(macros=4).report(768, 100, fmt="fp16")
+        assert four.onchip_time_us == pytest.approx(one.onchip_time_us / 4.0)
+
+    def test_dram_occupancy_positive(self):
+        report = TrafficModel().report(512, 32)
+        assert report.dram_occupancy_avoided_us > 0
+        assert report.traffic_saving_bytes == report.host_bytes_moved
+
+    def test_as_row_and_sweep(self):
+        model = TrafficModel()
+        rows = [r.as_row() for r in model.sweep_tokens(256, (16, 64))]
+        assert len(rows) == 2
+        assert rows[1]["dram_traffic_MB"] > rows[0]["dram_traffic_MB"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficModel(clock_mhz=0.0)
+        with pytest.raises(ValueError):
+            TrafficModel(macros=0)
+        with pytest.raises(ValueError):
+            TrafficModel().report(0, 10)
+
+
+class TestThroughputModel:
+    def test_vectors_per_fill(self):
+        model = ThroughputModel()
+        assert model.vectors_per_fill(1024) == 1
+        assert model.vectors_per_fill(512) == 2
+        assert model.vectors_per_fill(64) == 16
+        assert model.vectors_per_fill(768) == 1
+
+    def test_report_consistency(self):
+        model = ThroughputModel()
+        report = model.report(256, num_steps=5)
+        assert report.cycles_per_vector == LatencyModel().total_cycles(256, 5)
+        assert report.cycles_per_batch == (
+            report.load_cycles_per_fill + report.vectors_per_fill * report.cycles_per_vector
+        )
+        assert report.effective_cycles_per_vector > report.cycles_per_vector / report.vectors_per_fill
+
+    def test_throughput_decreases_with_length(self):
+        model = ThroughputModel()
+        rates = [model.report(d).vectors_per_second for d in (64, 256, 1024)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_throughput_at_paper_clock(self):
+        # d=1024 takes ~222 cycles + 16 load cycles at 100 MHz -> ~420k vectors/s.
+        rate = ThroughputModel(clock_mhz=100.0).report(1024).vectors_per_second
+        assert 3e5 < rate < 5e5
+
+    def test_macros_required(self):
+        model = ThroughputModel()
+        assert model.macros_required(768, 1e5) == 1
+        assert model.macros_required(768, 5e6) > 1
+        assert model.macros_required(768, 1.0) == 1
+
+    def test_sweep_and_rows(self):
+        rows = [r.as_row() for r in ThroughputModel().sweep((64, 128))]
+        assert rows[0]["d"] == 64
+        assert rows[0]["vectors_per_fill"] == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputModel(clock_mhz=-1.0)
+        with pytest.raises(ValueError):
+            ThroughputModel().vectors_per_fill(2048)
+        with pytest.raises(ValueError):
+            ThroughputModel().macros_required(64, 0.0)

@@ -1,0 +1,124 @@
+"""Tests for the ASCII visualization helpers and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.viz import bar_chart, histogram_chart, line_plot
+
+
+class TestLinePlot:
+    def test_basic_render(self):
+        x = np.arange(10)
+        text = line_plot({"series": (x, x**2)}, width=30, height=8, title="squares")
+        lines = text.splitlines()
+        assert lines[0] == "squares"
+        assert any("*" in line for line in lines)
+        assert "series" in lines[-1]
+
+    def test_multiple_series_distinct_markers(self):
+        x = np.arange(5)
+        text = line_plot({"a": (x, x), "b": (x, 2 * x)}, width=20, height=6)
+        assert "*" in text and "+" in text
+
+    def test_log_scale(self):
+        x = np.arange(1, 6)
+        text = line_plot({"s": (x, 10.0**x)}, log_y=True, width=20, height=6)
+        assert "1e+05" in text or "100000" in text or "1e+05" in text.replace(" ", "")
+
+    def test_constant_series(self):
+        x = np.arange(4)
+        text = line_plot({"flat": (x, np.ones(4))}, width=20, height=5)
+        assert "*" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"s": (np.arange(3), np.arange(4))})
+        with pytest.raises(ValueError):
+            line_plot({"s": (np.arange(3), np.arange(3))}, width=5)
+        with pytest.raises(ValueError):
+            line_plot({"s": (np.arange(3), np.array([0.0, 1.0, 2.0]))}, log_y=True)
+
+
+class TestBarChart:
+    def test_render_and_scaling(self):
+        text = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_title_and_unit(self):
+        text = bar_chart({"x": 3.0}, title="T", unit=" mW")
+        assert text.startswith("T")
+        assert "3 mW" in text
+
+    def test_zero_values(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+
+class TestHistogramChart:
+    def test_render(self):
+        counts = np.array([5, 2, 1])
+        edges = np.array([0.0, 0.1, 0.2, 0.3])
+        text = histogram_chart(counts, edges, title="H")
+        assert text.startswith("H")
+        assert text.count("|") == 6  # two per bar
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram_chart(np.array([1, 2]), np.array([0.0, 1.0]))
+
+
+class TestCLI:
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in (
+            "precision",
+            "compare",
+            "convergence",
+            "latency",
+            "synthesis",
+            "llm",
+            "traffic",
+            "throughput",
+            "all",
+        ):
+            assert command in text
+
+    def test_latency_command(self, capsys):
+        assert main(["latency"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out and "116" in out or "117" in out
+
+    def test_synthesis_command(self, capsys):
+        assert main(["synthesis"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out and "Table III" in out
+
+    def test_traffic_command(self, capsys):
+        assert main(["traffic", "--embed-dim", "256", "--interface", "hbm2"]) == 0
+        out = capsys.readouterr().out
+        assert "on-chip" in out and "energy_ratio" in out
+
+    def test_throughput_command(self, capsys):
+        assert main(["throughput", "--tokens-per-second", "1e6"]) == 0
+        out = capsys.readouterr().out
+        assert "macros needed" in out
+
+    def test_precision_command_small(self, capsys):
+        assert main(["precision", "--trials", "5"]) == 0
+        assert "Fig. 3" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,144 @@
+"""Unit and property-based tests for bit-level float encode/decode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpformats.bitops import (
+    decode_bits,
+    encode_bits,
+    exponent_field,
+    significand_value,
+    unbiased_exponent,
+)
+from repro.fpformats.quantize import quantize
+from repro.fpformats.spec import BFLOAT16, FLOAT16, FLOAT32
+
+
+class TestEncodeAgainstNumpy:
+    def test_fp32_bit_patterns_match_numpy(self, rng):
+        x = rng.normal(size=500) * 10.0**rng.integers(-20, 20, size=500)
+        ours = np.asarray(encode_bits(x, "fp32"), dtype=np.uint64)
+        theirs = np.frombuffer(
+            np.asarray(x, dtype=np.float32).tobytes(), dtype=np.uint32
+        ).astype(np.uint64)
+        np.testing.assert_array_equal(ours, theirs)
+
+    def test_fp16_bit_patterns_match_numpy(self, rng):
+        x = rng.normal(size=500)
+        ours = np.asarray(encode_bits(x, "fp16"), dtype=np.uint64)
+        theirs = np.frombuffer(
+            np.asarray(x, dtype=np.float16).tobytes(), dtype=np.uint16
+        ).astype(np.uint64)
+        np.testing.assert_array_equal(ours, theirs)
+
+    def test_known_fp32_constants(self):
+        assert int(encode_bits(1.0, "fp32")) == 0x3F800000
+        assert int(encode_bits(-2.0, "fp32")) == 0xC0000000
+        assert int(encode_bits(0.0, "fp32")) == 0x00000000
+
+    def test_known_bf16_constants(self):
+        assert int(encode_bits(1.0, "bf16")) == 0x3F80
+        assert int(encode_bits(-1.0, "bf16")) == 0xBF80
+
+    def test_infinity_and_nan(self):
+        assert int(encode_bits(np.inf, "fp32")) == 0x7F800000
+        assert int(encode_bits(-np.inf, "fp32")) == 0xFF800000
+        nan_bits = int(encode_bits(np.nan, "fp32"))
+        assert (nan_bits >> 23) & 0xFF == 0xFF
+        assert nan_bits & 0x7FFFFF != 0
+
+
+class TestDecode:
+    def test_roundtrip_simple_values(self):
+        for value in (1.0, -3.5, 0.15625, 1024.0, -2.0**-10):
+            for fmt in ("fp32", "fp16", "bf16"):
+                q = quantize(value, fmt)
+                assert float(decode_bits(encode_bits(q, fmt), fmt)) == q
+
+    def test_decode_special_values(self):
+        assert float(decode_bits(0x7F800000, "fp32")) == np.inf
+        assert float(decode_bits(0xFF800000, "fp32")) == -np.inf
+        assert np.isnan(float(decode_bits(0x7FC00000, "fp32")))
+        assert float(decode_bits(0, "fp32")) == 0.0
+
+    def test_decode_subnormal(self):
+        # Smallest fp32 subnormal has bit pattern 1.
+        assert float(decode_bits(1, "fp32")) == 2.0**-149
+
+
+class TestExponentField:
+    def test_exponent_of_powers_of_two(self):
+        assert int(exponent_field(1.0, "fp32")) == 127
+        assert int(exponent_field(2.0, "fp32")) == 128
+        assert int(exponent_field(0.5, "fp32")) == 126
+        assert int(exponent_field(1.0, "fp16")) == 15
+
+    def test_exponent_field_is_floor_log2_plus_bias(self, rng):
+        x = rng.uniform(0.01, 1000.0, size=300)
+        fields = np.asarray(exponent_field(x, "fp32"), dtype=np.int64)
+        expected = np.floor(np.log2(x)).astype(np.int64) + 127
+        np.testing.assert_array_equal(fields, expected)
+
+    def test_unbiased_exponent(self):
+        assert int(unbiased_exponent(8.0, "fp32")) == 3
+        assert int(unbiased_exponent(0.25, "bf16")) == -2
+
+    def test_exponent_matches_across_8bit_exponent_formats(self, rng):
+        # Quantize to bf16 first: rounding can carry into the next binade, so
+        # the comparison is only meaningful for values both formats represent.
+        x = np.asarray(quantize(rng.uniform(0.01, 100.0, size=100), "bf16"))
+        np.testing.assert_array_equal(
+            np.asarray(unbiased_exponent(x, "fp32")),
+            np.asarray(unbiased_exponent(x, "bf16")),
+        )
+
+
+class TestSignificand:
+    def test_significand_in_unit_range(self, rng):
+        x = rng.uniform(0.01, 1000.0, size=200)
+        sig = np.asarray(significand_value(x, "fp32"))
+        assert np.all(sig >= 1.0)
+        assert np.all(sig < 2.0)
+
+    def test_significand_of_power_of_two_is_one(self):
+        assert float(significand_value(4.0, "fp32")) == 1.0
+
+    def test_significand_of_zero_is_zero(self):
+        assert float(significand_value(0.0, "fp32")) == 0.0
+
+    def test_reconstruction(self, rng):
+        x = np.asarray(quantize(rng.uniform(0.1, 50.0, size=100), "bf16"))
+        sig = np.asarray(significand_value(x, "bf16"))
+        exp = np.asarray(unbiased_exponent(x, "bf16"), dtype=np.float64)
+        np.testing.assert_allclose(sig * np.exp2(exp), np.abs(x), rtol=1e-12)
+
+
+# -- property-based tests -----------------------------------------------------------
+
+
+@given(st.floats(min_value=-1e30, max_value=1e30, allow_nan=False, allow_infinity=False))
+@settings(max_examples=300, deadline=None)
+def test_encode_decode_roundtrip_is_quantization(value):
+    for fmt in (FLOAT32, FLOAT16, BFLOAT16):
+        q = quantize(value, fmt)
+        roundtrip = float(decode_bits(encode_bits(value, fmt), fmt))
+        if np.isnan(q):
+            assert np.isnan(roundtrip)
+        else:
+            assert roundtrip == q
+
+
+@given(st.integers(min_value=0, max_value=2**16 - 1))
+@settings(max_examples=300, deadline=None)
+def test_decode_encode_roundtrip_bf16_bit_patterns(bits):
+    value = float(decode_bits(bits, "bf16"))
+    if np.isnan(value):
+        return  # many NaN payloads collapse to the canonical quiet NaN
+    re_encoded = int(encode_bits(value, "bf16"))
+    # -0.0 canonicalizes to +0.0 through the float64 round trip.
+    if bits == 0x8000:
+        assert re_encoded in (0x0000, 0x8000)
+    else:
+        assert re_encoded == bits

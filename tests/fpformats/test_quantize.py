@@ -1,0 +1,172 @@
+"""Unit and property-based tests for format quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpformats.quantize import quantization_step, quantize, representable
+from repro.fpformats.spec import BFLOAT16, FLOAT16, FLOAT32, FloatFormat
+
+
+class TestNativeFormats:
+    def test_fp32_matches_numpy_cast(self, rng):
+        x = rng.normal(size=1000) * 10.0**rng.integers(-10, 10, size=1000)
+        expected = x.astype(np.float32).astype(np.float64)
+        np.testing.assert_array_equal(quantize(x, "fp32"), expected)
+
+    def test_fp16_matches_numpy_cast(self, rng):
+        x = rng.normal(size=1000)
+        expected = x.astype(np.float16).astype(np.float64)
+        np.testing.assert_array_equal(quantize(x, "fp16"), expected)
+
+    def test_fp64_is_identity(self, rng):
+        x = rng.normal(size=100)
+        np.testing.assert_array_equal(quantize(x, "fp64"), x)
+
+    def test_scalar_in_scalar_out(self):
+        result = quantize(1.0000001, "fp32")
+        assert isinstance(result, float)
+
+    def test_array_in_array_out(self):
+        result = quantize(np.array([1.0, 2.0]), "fp32")
+        assert isinstance(result, np.ndarray)
+
+
+class TestBFloat16:
+    def test_bf16_exactly_representable_values(self):
+        # bf16 has a 7-bit mantissa: 1 + k/128 are representable.
+        for k in range(128):
+            value = 1.0 + k / 128.0
+            assert quantize(value, "bf16") == value
+
+    def test_bf16_rounds_to_nearest(self):
+        # 1 + 1/256 is exactly halfway between 1 and 1+1/128 -> ties to even (1.0).
+        assert quantize(1.0 + 1.0 / 256.0, "bf16") == 1.0
+        # 1 + 3/256 is halfway between 1+1/128 and 1+2/128 -> ties to even (1+2/128).
+        assert quantize(1.0 + 3.0 / 256.0, "bf16") == 1.0 + 2.0 / 128.0
+
+    def test_bf16_just_above_halfway_rounds_up(self):
+        assert quantize(1.0 + 1.0 / 256.0 + 1e-9, "bf16") == 1.0 + 1.0 / 128.0
+
+    def test_bf16_overflow_to_inf(self):
+        assert np.isinf(quantize(1e39, "bf16"))
+        assert quantize(-1e39, "bf16") == -np.inf
+
+    def test_bf16_preserves_sign_of_zero_magnitude(self):
+        assert quantize(0.0, "bf16") == 0.0
+
+    def test_bf16_special_values(self):
+        assert np.isnan(quantize(np.nan, "bf16"))
+        assert quantize(np.inf, "bf16") == np.inf
+        assert quantize(-np.inf, "bf16") == -np.inf
+
+    def test_bf16_subnormal(self):
+        tiny = BFLOAT16.min_positive_subnormal
+        assert quantize(tiny, "bf16") == tiny
+        assert quantize(tiny * 0.4, "bf16") == 0.0
+
+    def test_bf16_matches_fp32_truncation_range(self, rng):
+        # Every bf16 value is also an fp32 value.
+        x = rng.normal(size=500)
+        q = quantize(x, "bf16")
+        np.testing.assert_array_equal(q, quantize(q, "fp32"))
+
+
+class TestQuantizationStep:
+    def test_ulp_of_one(self):
+        assert quantization_step(1.0, "fp32") == 2.0**-23
+        assert quantization_step(1.0, "bf16") == 2.0**-7
+
+    def test_ulp_scales_with_binade(self):
+        assert quantization_step(4.0, "fp16") == 4.0 * 2.0**-10 / 2.0 * 2.0
+        assert quantization_step(1024.0, "bf16") == 1024.0 * 2.0**-7
+
+    def test_half_ulp_error_bound(self, rng):
+        x = rng.uniform(0.1, 100.0, size=2000)
+        err = np.abs(np.asarray(quantize(x, "bf16")) - x)
+        assert np.all(err <= 0.5 * np.asarray(quantization_step(x, "bf16")) + 1e-300)
+
+
+class TestRepresentable:
+    def test_powers_of_two_representable_everywhere(self):
+        for fmt in ("fp32", "fp16", "bf16"):
+            assert representable(0.5, fmt)
+            assert representable(2.0, fmt)
+            assert representable(1024.0, fmt)
+
+    def test_non_representable(self):
+        assert not representable(0.1, "bf16")
+        assert not representable(1.0 + 2.0**-20, "bf16")
+
+    def test_representable_array(self):
+        mask = representable(np.array([1.0, 0.1, 2.0]), "bf16")
+        assert list(mask) == [True, False, True]
+
+
+class TestGenericFormats:
+    def test_e4m3_like_format(self):
+        fp8 = FloatFormat("e4m3", exponent_bits=4, mantissa_bits=3)
+        assert quantize(1.125, fp8) == 1.125  # 1 + 1/8 representable
+        assert quantize(1.0625, fp8) == 1.0  # halfway, ties to even
+        assert quantize(1.03, fp8) == 1.0
+
+    def test_generic_path_matches_native_fp16(self, rng):
+        # Force the generic path by constructing an equivalent custom format.
+        custom = FloatFormat("custom_half", exponent_bits=5, mantissa_bits=10)
+        x = rng.normal(size=2000) * 10.0**rng.integers(-4, 4, size=2000)
+        generic = quantize(x, custom)
+        native = x.astype(np.float16).astype(np.float64)
+        np.testing.assert_array_equal(generic, native)
+
+
+# -- property-based tests -----------------------------------------------------------
+
+finite_floats = st.floats(
+    min_value=-1e30, max_value=1e30, allow_nan=False, allow_infinity=False
+)
+
+
+@given(finite_floats)
+@settings(max_examples=200, deadline=None)
+def test_quantize_is_idempotent(value):
+    for fmt in ("fp32", "fp16", "bf16"):
+        once = quantize(value, fmt)
+        twice = quantize(once, fmt)
+        assert once == twice or (np.isnan(once) and np.isnan(twice)) or (
+            np.isinf(once) and np.isinf(twice)
+        )
+
+
+@given(finite_floats)
+@settings(max_examples=200, deadline=None)
+def test_quantize_preserves_sign(value):
+    q = quantize(value, "bf16")
+    if value > 0:
+        assert q >= 0
+    elif value < 0:
+        assert q <= 0
+    else:
+        assert q == 0
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_quantize_is_monotone(values):
+    x = np.sort(np.asarray(values))
+    q = np.asarray(quantize(x, "bf16"))
+    finite = np.isfinite(q)
+    assert np.all(np.diff(q[finite]) >= 0)
+
+
+@given(st.floats(min_value=1e-30, max_value=1e30, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_quantize_relative_error_bounded_by_epsilon(value):
+    from repro.fpformats.spec import get_format
+
+    for fmt, eps in (("fp32", 2.0**-24), ("fp16", 2.0**-11), ("bf16", 2.0**-8)):
+        spec = get_format(fmt)
+        if not spec.min_positive_normal <= abs(value) <= spec.max_finite:
+            continue  # overflow / subnormal range: relative bound does not apply
+        q = quantize(value, fmt)
+        assert abs(q - value) <= eps * abs(value) * (1 + 1e-12)

@@ -1,0 +1,105 @@
+"""Unit tests for the floating-point format specifications."""
+
+import pytest
+
+from repro.fpformats.spec import (
+    BFLOAT16,
+    FLOAT16,
+    FLOAT32,
+    FLOAT64,
+    FloatFormat,
+    get_format,
+)
+
+
+class TestFormatProperties:
+    def test_fp32_bias(self):
+        assert FLOAT32.bias == 127
+
+    def test_fp16_bias(self):
+        assert FLOAT16.bias == 15
+
+    def test_bf16_bias(self):
+        assert BFLOAT16.bias == 127
+
+    def test_fp64_bias(self):
+        assert FLOAT64.bias == 1023
+
+    def test_total_bits(self):
+        assert FLOAT32.total_bits == 32
+        assert FLOAT16.total_bits == 16
+        assert BFLOAT16.total_bits == 16
+        assert FLOAT64.total_bits == 64
+
+    def test_bf16_and_fp32_share_exponent_range(self):
+        assert BFLOAT16.exponent_bits == FLOAT32.exponent_bits
+        assert BFLOAT16.bias == FLOAT32.bias
+        assert BFLOAT16.max_normal_exponent == FLOAT32.max_normal_exponent
+
+    def test_machine_epsilon(self):
+        assert FLOAT32.machine_epsilon == 2.0**-23
+        assert FLOAT16.machine_epsilon == 2.0**-10
+        assert BFLOAT16.machine_epsilon == 2.0**-7
+
+    def test_max_finite_fp32(self):
+        import numpy as np
+
+        assert FLOAT32.max_finite == pytest.approx(float(np.finfo(np.float32).max))
+
+    def test_max_finite_fp16(self):
+        assert FLOAT16.max_finite == 65504.0
+
+    def test_min_positive_normal_fp32(self):
+        assert FLOAT32.min_positive_normal == 2.0**-126
+
+    def test_min_positive_subnormal_fp32(self):
+        assert FLOAT32.min_positive_subnormal == 2.0**-149
+
+    def test_subnormals_disabled(self):
+        fmt = FloatFormat("flush", exponent_bits=8, mantissa_bits=7, supports_subnormals=False)
+        assert fmt.min_positive_subnormal == fmt.min_positive_normal
+
+    def test_max_exponent_field(self):
+        assert FLOAT32.max_exponent_field == 255
+        assert FLOAT16.max_exponent_field == 31
+
+
+class TestValidation:
+    def test_rejects_tiny_exponent(self):
+        with pytest.raises(ValueError):
+            FloatFormat("bad", exponent_bits=1, mantissa_bits=4)
+
+    def test_rejects_zero_mantissa(self):
+        with pytest.raises(ValueError):
+            FloatFormat("bad", exponent_bits=5, mantissa_bits=0)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            FloatFormat("bad", exponent_bits=20, mantissa_bits=60)
+
+    def test_custom_format_allowed(self):
+        e4m3 = FloatFormat("e4m3", exponent_bits=4, mantissa_bits=3)
+        assert e4m3.bias == 7
+        assert e4m3.total_bits == 8
+
+
+class TestRegistry:
+    def test_get_format_by_name(self):
+        assert get_format("fp32") is FLOAT32
+        assert get_format("bfloat16") is BFLOAT16
+        assert get_format("float16") is FLOAT16
+
+    def test_get_format_case_insensitive(self):
+        assert get_format("FP32") is FLOAT32
+        assert get_format("BF16") is BFLOAT16
+
+    def test_get_format_passthrough(self):
+        assert get_format(FLOAT16) is FLOAT16
+
+    def test_get_format_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown float format"):
+            get_format("fp8")
+
+    def test_formats_are_frozen(self):
+        with pytest.raises(Exception):
+            FLOAT32.mantissa_bits = 10  # type: ignore[misc]

@@ -1,0 +1,133 @@
+"""Cross-module integration tests.
+
+These tests exercise full paths through the library: algorithm vs macro vs
+baseline consistency, the normalizer registry inside the transformer, and a
+miniature version of each paper experiment running end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExactLayerNorm,
+    FISRLayerNorm,
+    IterL2Norm,
+    IterL2NormConfig,
+    exact_layernorm,
+    get_normalizer,
+    iterl2norm_vector,
+)
+from repro.baselines.exact import exact_l2_normalize
+from repro.core.initialization import initial_a, update_rate
+from repro.core.iteration import iterate_a_trace
+from repro.data.datasets import build_dataset
+from repro.macro.latency import LatencyModel
+from repro.macro.simulator import IterL2NormMacro, MacroConfig
+from repro.nn.config import get_config
+from repro.nn.model import OPTLanguageModel
+from repro.nn.trainer import Trainer, TrainingConfig
+
+
+class TestAlgorithmMacroConsistency:
+    def test_three_implementations_agree(self, rng, paper_format):
+        """Pure algorithm, layer-norm module, and macro agree bit-exactly."""
+        d = 320
+        x = rng.uniform(-1, 1, size=d)
+        module_out = IterL2Norm(d, IterL2NormConfig(num_steps=5, fmt=paper_format))(x)
+        macro_out = IterL2NormMacro(MacroConfig(fmt=paper_format)).normalize(x).output
+        np.testing.assert_array_equal(module_out, macro_out)
+
+    def test_vector_normalizer_consistent_with_layernorm(self, rng):
+        """Algorithm 1 is Step-2 L2 normalization of the mean-shifted input."""
+        d = 200
+        x = rng.uniform(-1, 1, size=d)
+        y = x - x.mean()
+        via_vector = np.sqrt(d) * iterl2norm_vector(y, num_steps=30)
+        via_layernorm = IterL2Norm(d, IterL2NormConfig(num_steps=30))(x)
+        np.testing.assert_allclose(via_vector, via_layernorm, atol=1e-9)
+
+    def test_macro_latency_model_full_sweep_agreement(self, rng):
+        """Closed-form latency equals the simulator for every chunk count."""
+        model = LatencyModel()
+        for chunks in range(1, 17):
+            d = 64 * chunks
+            sim = IterL2NormMacro(MacroConfig()).normalize(rng.uniform(-1, 1, d))
+            assert sim.total_cycles == model.total_cycles(d)
+
+
+class TestMethodOrdering:
+    def test_error_ordering_across_methods(self, rng):
+        """Exact < IterL2Norm(fp32) comparable to FISR(fp32) << bf16 variants."""
+        d = 512
+        x = rng.uniform(-1, 1, size=(64, d))
+        reference = exact_layernorm(x)
+
+        exact32 = ExactLayerNorm(d, fmt="fp32")(x)
+        iter32 = IterL2Norm(d, IterL2NormConfig(5, "fp32"))(x)
+        fisr32 = FISRLayerNorm(d, fmt="fp32")(x)
+        iter16 = IterL2Norm(d, IterL2NormConfig(5, "bf16"))(x)
+
+        err = lambda z: np.abs(z - reference).mean()  # noqa: E731
+        assert err(exact32) < err(iter32)
+        assert err(iter32) < err(iter16)
+        assert err(fisr32) < err(iter16)
+        assert err(iter32) < 5e-3 and err(fisr32) < 5e-3
+
+    def test_registry_round_trip_in_model(self, rng):
+        """Every registered normalizer can be swapped into the model."""
+        model = OPTLanguageModel(get_config("opt-test"), rng=rng)
+        model.eval()
+        ids = rng.integers(0, 64, size=(1, 12))
+        baseline = model(ids)
+        for method in ("exact", "iterl2norm", "fisr", "lut"):
+            model.replace_layernorm(method, fmt="fp32")
+            out = model(ids)
+            assert np.all(np.isfinite(out))
+            np.testing.assert_allclose(out, baseline, atol=0.1)
+        model.restore_layernorm()
+
+
+class TestHardwareRulesInsideFullPath:
+    def test_initialization_rules_used_by_layernorm(self, rng):
+        """The layer norm's internal iteration uses Eq. (6)/(10) values."""
+        d = 128
+        x = rng.uniform(-1, 1, size=d)
+        y = x - x.mean()
+        m = float(y @ y)
+        trace = iterate_a_trace(m, num_steps=5, fmt="fp32")
+        assert trace.a_history[0] == initial_a(m, "fp32")
+        assert trace.lam == update_rate(m, "fp32")
+
+    def test_normalized_output_close_to_unit_sphere(self, rng):
+        for d in (64, 200, 1024):
+            x = rng.uniform(-1, 1, size=d)
+            y = x - x.mean()
+            out = iterl2norm_vector(y, num_steps=5, fmt="fp32")
+            assert np.linalg.norm(out) == pytest.approx(1.0, rel=5e-3)
+            np.testing.assert_allclose(
+                out, exact_l2_normalize(y), atol=5e-3
+            )
+
+
+class TestMiniLLMPipeline:
+    def test_train_swap_evaluate(self, rng):
+        """A miniature Table IV: train, swap the normalizer, compare perplexity."""
+        dataset = build_dataset("bst-sim", max_vocab_size=64)
+        config = get_config("opt-test")
+        model = OPTLanguageModel(config, rng=rng)
+        trainer = Trainer(model, TrainingConfig(num_steps=40, batch_size=4, seq_len=16, seed=1))
+        result = trainer.train(np.clip(dataset.train_tokens, 0, config.vocab_size - 1))
+        assert result.final_loss < result.initial_loss
+
+        inputs, targets = dataset.eval_windows(16, max_windows=4)
+        inputs = np.clip(inputs, 0, config.vocab_size - 1)
+        targets = np.clip(targets, 0, config.vocab_size - 1)
+
+        from repro.nn.functional import cross_entropy, perplexity_from_loss
+
+        model.eval()
+        model.replace_layernorm("exact", fmt="fp32")
+        baseline = perplexity_from_loss(cross_entropy(model(inputs), targets)[0])
+        model.replace_layernorm("iterl2norm", fmt="fp32", num_steps=5)
+        swapped = perplexity_from_loss(cross_entropy(model(inputs), targets)[0])
+        assert abs(swapped - baseline) / baseline < 0.02

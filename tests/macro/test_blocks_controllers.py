@@ -1,0 +1,146 @@
+"""Tests for the Add/Mul blocks and the phase controllers."""
+
+import numpy as np
+import pytest
+
+from repro.fpformats.arithmetic import FormatArithmetic
+from repro.macro.blocks import AddBlock, MulBlock
+from repro.macro.buffers import InputBuffer, ParamBuffer, PartialSumBuffer
+from repro.macro.controllers import (
+    IterationController,
+    MeanController,
+    NormController,
+    OutputController,
+    ShiftController,
+)
+
+
+class TestAddBlock:
+    def test_reduce_chunk_matches_tree_sum(self, rng):
+        add = AddBlock("fp32")
+        chunk = rng.uniform(-1, 1, size=64)
+        arith = FormatArithmetic("fp32", tree_fan_in=8)
+        assert add.reduce_chunk(chunk) == pytest.approx(arith.tree_sum(chunk), abs=0)
+
+    def test_reduce_partial_chunk(self, rng):
+        add = AddBlock("fp64")
+        chunk = rng.uniform(-1, 1, size=40)
+        assert add.reduce_chunk(chunk) == pytest.approx(chunk.sum(), rel=1e-12)
+
+    def test_reduce_rejects_oversized(self, rng):
+        add = AddBlock("fp32")
+        with pytest.raises(ValueError):
+            add.reduce_chunk(rng.uniform(size=65))
+        with pytest.raises(ValueError):
+            add.reduce_partials(rng.uniform(size=65))
+
+    def test_elementwise_ops(self, rng):
+        add = AddBlock("fp64")
+        a, b = rng.normal(size=64), rng.normal(size=64)
+        np.testing.assert_array_equal(add.elementwise_add(a, b), a + b)
+        np.testing.assert_array_equal(add.elementwise_sub(a, b), a - b)
+        assert add.scalar_add(1.5, 2.5) == 4.0
+        assert add.scalar_sub(1.5, 2.5) == -1.0
+
+    def test_latency_constant(self):
+        assert AddBlock("fp32").latency == 2
+        assert MulBlock("bf16").latency == 2
+
+    def test_invocation_counter(self, rng):
+        add = AddBlock("fp32")
+        add.reduce_chunk(rng.uniform(size=64))
+        add.scalar_add(1.0, 2.0)
+        assert add.invocations == 2
+
+
+class TestMulBlock:
+    def test_elementwise(self, rng):
+        mul = MulBlock("fp64")
+        a, b = rng.normal(size=64), rng.normal(size=64)
+        np.testing.assert_array_equal(mul.elementwise_mul(a, b), a * b)
+
+    def test_scalar(self):
+        mul = MulBlock("bf16")
+        assert mul.scalar_mul(1.5, 2.0) == 3.0
+
+    def test_lane_limit(self, rng):
+        mul = MulBlock("fp32")
+        with pytest.raises(ValueError):
+            mul.elementwise_mul(rng.uniform(size=65), 2.0)
+
+    def test_results_quantized(self):
+        mul = MulBlock("bf16")
+        result = mul.scalar_mul(1.0 + 2.0**-7, 1.0 + 2.0**-7)
+        from repro.fpformats.quantize import quantize
+
+        assert result == quantize(result, "bf16")
+
+
+def _loaded_macro_parts(rng, d=192, fmt="fp64"):
+    buffer = InputBuffer(fmt)
+    x = rng.uniform(-1, 1, size=d)
+    buffer.load_vector(x)
+    add, mul = AddBlock(fmt), MulBlock(fmt)
+    psum = PartialSumBuffer(fmt, capacity=16)
+    return buffer, add, mul, psum, x
+
+
+class TestControllers:
+    def test_mean_controller(self, rng):
+        buffer, add, mul, psum, x = _loaded_macro_parts(rng)
+        result = MeanController(add, mul, psum).execute(buffer, x.size)
+        assert result.value == pytest.approx(x.mean(), rel=1e-10)
+        assert result.cycles == int(np.ceil(x.size / 64)) + 6
+
+    def test_shift_controller(self, rng):
+        buffer, add, mul, psum, x = _loaded_macro_parts(rng)
+        mean = x.mean()
+        result = ShiftController(add).execute(buffer, x.size, mean)
+        np.testing.assert_allclose(buffer.read_vector(x.size), x - mean, rtol=1e-12)
+        assert result.cycles == 2 * int(np.ceil(x.size / 64)) + 2
+
+    def test_shift_preserves_tail_padding(self, rng):
+        """Mean-shifting a non-multiple-of-64 vector must not touch the padding."""
+        buffer, add, mul, psum, x = _loaded_macro_parts(rng, d=100)
+        ShiftController(add).execute(buffer, 100, x.mean())
+        tail = buffer.read_chunk(1)
+        np.testing.assert_array_equal(tail[36:], np.zeros(28))
+
+    def test_norm_controller(self, rng):
+        buffer, add, mul, psum, x = _loaded_macro_parts(rng)
+        result = NormController(add, mul, psum).execute(buffer, x.size)
+        assert result.value == pytest.approx(float(x @ x), rel=1e-10)
+
+    def test_iteration_controller_initial_values(self):
+        ctrl = IterationController(AddBlock("fp32"), MulBlock("fp32"), "fp32")
+        a0, lam = ctrl.initial_values(8.0)
+        assert a0 == pytest.approx(0.25, rel=1e-6)
+        assert lam == pytest.approx(0.345 / 8.0, rel=1e-6)
+
+    def test_iteration_controller_converges(self):
+        ctrl = IterationController(AddBlock("fp64"), MulBlock("fp64"), "fp64")
+        d, m = 64, 21.7
+        result = ctrl.execute(m, d, num_steps=20)
+        assert result.value == pytest.approx(np.sqrt(d) / np.sqrt(m), rel=1e-6)
+        assert result.cycles == 4 + 20 * 12 + 2
+
+    def test_iteration_controller_zero_m(self):
+        ctrl = IterationController(AddBlock("fp32"), MulBlock("fp32"), "fp32")
+        result = ctrl.execute(0.0, 64, num_steps=5)
+        assert result.value == 0.0
+
+    def test_output_controller(self, rng):
+        buffer, add, mul, psum, x = _loaded_macro_parts(rng)
+        d = x.size
+        mean = x.mean()
+        ShiftController(add).execute(buffer, d, mean)
+        gamma_buf, beta_buf = ParamBuffer("fp64", 1024), ParamBuffer("fp64", 1024)
+        gamma, beta = rng.uniform(0.5, 1.5, d), rng.normal(size=d)
+        gamma_buf.load(gamma)
+        beta_buf.load(beta)
+        y = x - mean
+        scale = np.sqrt(d) / np.linalg.norm(y)
+        result = OutputController(add, mul).execute(buffer, gamma_buf, beta_buf, d, scale)
+        expected = gamma * (y * scale) + beta
+        np.testing.assert_allclose(result.value, expected, rtol=1e-10)
+        assert result.cycles == 3 * int(np.ceil(d / 64)) + 6

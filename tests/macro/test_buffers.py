@@ -1,0 +1,189 @@
+"""Tests for the macro's on-chip buffers and the Fig. 1b data organization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.macro.buffers import (
+    CHUNK_ELEMS,
+    MAX_VECTOR_LENGTH,
+    InputBuffer,
+    ParamBuffer,
+    PartialSumBuffer,
+)
+
+
+class TestGeometryConstants:
+    def test_paper_geometry(self):
+        assert CHUNK_ELEMS == 64
+        assert MAX_VECTOR_LENGTH == 1024
+
+
+class TestInputBuffer:
+    def test_capacity(self):
+        buffer = InputBuffer("fp32")
+        assert buffer.capacity == 1024
+        assert buffer.chunk_elems == 64
+
+    def test_fig1b_striping(self):
+        """Row i of bank b stores x[wb*(b + nb*i) : wb*(b + nb*i + 1)]."""
+        buffer = InputBuffer("fp32")
+        # Element index 0 -> bank 0, row 0, col 0.
+        assert buffer.element_address(0) == (0, 0, 0)
+        # Element 8 starts bank 1's first row.
+        assert buffer.element_address(8) == (1, 0, 0)
+        # Element 64 wraps to bank 0, row 1.
+        assert buffer.element_address(64) == (0, 1, 0)
+        # Element wb*(b + nb*i) with b=3, i=2 -> bank 3, row 2.
+        assert buffer.element_address(8 * (3 + 8 * 2)) == (3, 2, 0)
+
+    def test_roundtrip(self, rng):
+        buffer = InputBuffer("fp32")
+        x = rng.uniform(-1, 1, size=384)
+        buffer.load_vector(x)
+        read_back = buffer.read_vector(384)
+        np.testing.assert_array_equal(read_back, np.asarray(x, dtype=np.float32))
+
+    def test_chunk_read_matches_slices(self, rng):
+        buffer = InputBuffer("fp64")
+        x = rng.uniform(-1, 1, size=256)
+        buffer.load_vector(x)
+        for c in range(4):
+            np.testing.assert_array_equal(buffer.read_chunk(c), x[c * 64 : (c + 1) * 64])
+
+    def test_partial_tail_chunk_zero_padded(self, rng):
+        buffer = InputBuffer("fp64")
+        x = rng.uniform(-1, 1, size=100)
+        buffer.load_vector(x)
+        chunk = buffer.read_chunk(1, length=36)
+        np.testing.assert_array_equal(chunk[:36], x[64:100])
+        np.testing.assert_array_equal(chunk[36:], np.zeros(28))
+
+    def test_write_chunk(self, rng):
+        buffer = InputBuffer("fp64")
+        x = rng.uniform(-1, 1, size=128)
+        buffer.load_vector(x)
+        new_chunk = rng.uniform(-1, 1, size=64)
+        buffer.write_chunk(1, new_chunk)
+        np.testing.assert_array_equal(buffer.read_chunk(1), new_chunk)
+        np.testing.assert_array_equal(buffer.read_chunk(0), x[:64])
+
+    def test_values_quantized_to_format(self):
+        buffer = InputBuffer("bf16")
+        buffer.load_vector(np.array([1.0 + 2.0**-12]))
+        assert buffer.read_chunk(0)[0] == 1.0
+
+    def test_capacity_enforced(self, rng):
+        buffer = InputBuffer("fp32")
+        with pytest.raises(ValueError):
+            buffer.load_vector(rng.uniform(size=1025))
+
+    def test_offset_rows(self, rng):
+        buffer = InputBuffer("fp64")
+        a = rng.uniform(-1, 1, size=64)
+        b = rng.uniform(-1, 1, size=64)
+        buffer.load_vector(a, offset_rows=0)
+        buffer.load_vector(b, offset_rows=1)
+        np.testing.assert_array_equal(buffer.read_vector(64, offset_rows=1), b)
+        np.testing.assert_array_equal(buffer.read_vector(64, offset_rows=0), a)
+
+    def test_invalid_addresses(self, rng):
+        buffer = InputBuffer("fp32")
+        with pytest.raises(IndexError):
+            buffer.element_address(1024)
+        with pytest.raises(IndexError):
+            buffer.read_chunk(16)
+        with pytest.raises(ValueError):
+            buffer.write_chunk(0, np.zeros(10))
+        with pytest.raises(ValueError):
+            buffer.load_vector(rng.uniform(size=(2, 4)))
+
+    def test_access_counters(self, rng):
+        buffer = InputBuffer("fp32")
+        buffer.load_vector(rng.uniform(size=128))
+        buffer.read_chunk(0)
+        buffer.read_chunk(1)
+        assert buffer.reads == 2
+        assert buffer.writes == 2  # two chunk rows written by the load
+
+    def test_custom_geometry(self):
+        buffer = InputBuffer("fp16", num_banks=4, bank_rows=2, bank_width=4)
+        assert buffer.capacity == 32
+        assert buffer.chunk_elems == 16
+        with pytest.raises(ValueError):
+            InputBuffer("fp16", num_banks=0)
+
+
+class TestParamBuffer:
+    def test_load_and_read(self, rng):
+        buffer = ParamBuffer("fp64", capacity=256)
+        gamma = rng.uniform(0.5, 1.5, size=200)
+        buffer.load(gamma)
+        np.testing.assert_array_equal(buffer.read_chunk(0), gamma[:64])
+        chunk3 = buffer.read_chunk(3)
+        np.testing.assert_array_equal(chunk3[:8], gamma[192:200])
+        np.testing.assert_array_equal(chunk3[8:], np.zeros(56))
+
+    def test_capacity_enforced(self, rng):
+        buffer = ParamBuffer("fp32", capacity=64)
+        with pytest.raises(ValueError):
+            buffer.load(rng.uniform(size=65))
+        with pytest.raises(IndexError):
+            buffer.read_chunk(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParamBuffer("fp32", capacity=0)
+        with pytest.raises(ValueError):
+            ParamBuffer("fp32").load(np.ones((2, 2)))
+
+
+class TestPartialSumBuffer:
+    def test_push_and_drain(self):
+        buffer = PartialSumBuffer("fp64", capacity=4)
+        for v in (1.0, 2.0, 3.0):
+            buffer.push(v)
+        assert len(buffer) == 3
+        np.testing.assert_array_equal(buffer.drain(), [1.0, 2.0, 3.0])
+        assert len(buffer) == 0
+
+    def test_overflow(self):
+        buffer = PartialSumBuffer("fp32", capacity=2)
+        buffer.push(1.0)
+        buffer.push(2.0)
+        with pytest.raises(OverflowError):
+            buffer.push(3.0)
+
+    def test_quantizes_entries(self):
+        buffer = PartialSumBuffer("bf16", capacity=2)
+        buffer.push(1.0 + 2.0**-12)
+        assert buffer.drain()[0] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartialSumBuffer("fp32", capacity=0)
+
+
+# -- property-based tests -----------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=1023))
+@settings(max_examples=200, deadline=None)
+def test_striping_is_a_bijection(index):
+    """Every flat index maps to a unique (bank, row, col) and back."""
+    buffer = InputBuffer("fp32")
+    bank, row, col = buffer.element_address(index)
+    assert 0 <= bank < 8 and 0 <= row < 16 and 0 <= col < 8
+    reconstructed = 8 * (bank + 8 * row) + col
+    assert reconstructed == index
+
+
+@given(st.integers(min_value=1, max_value=1024), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_load_read_roundtrip_any_length(length, seed):
+    rng = np.random.default_rng(seed)
+    buffer = InputBuffer("fp64")
+    x = rng.uniform(-1, 1, size=length)
+    buffer.load_vector(x)
+    np.testing.assert_array_equal(buffer.read_vector(length), x)

@@ -1,0 +1,209 @@
+"""Tests for the latency, memory, area/power, and comparison models."""
+
+import numpy as np
+import pytest
+
+from repro.macro.area_power import (
+    AreaPowerModel,
+    adder_area_units,
+    multiplier_area_units,
+    synthesis_report,
+)
+from repro.macro.comparison import COMPARISON_TABLE, comparison_table, our_records
+from repro.macro.latency import LatencyModel, latency_cycles
+from repro.macro.memory import memory_report
+from repro.fpformats.spec import BFLOAT16, FLOAT16, FLOAT32
+
+
+class TestLatencyModel:
+    def test_chunk_count(self):
+        model = LatencyModel()
+        assert model.chunks(64) == 1
+        assert model.chunks(65) == 2
+        assert model.chunks(1024) == 16
+
+    def test_paper_range(self):
+        """Fig. 5 reports 116-227 cycles over 64 <= d <= 1024."""
+        assert abs(latency_cycles(64) - 116) <= 10
+        assert abs(latency_cycles(1024) - 227) <= 10
+
+    def test_affine_in_chunk_count(self):
+        """Latency is an affine function of ceil(d/64)."""
+        model = LatencyModel()
+        cycles = [model.total_cycles(64 * c) for c in range(1, 17)]
+        diffs = set(np.diff(cycles))
+        assert len(diffs) == 1  # constant increment per extra chunk
+
+    def test_same_latency_within_chunk(self):
+        model = LatencyModel()
+        assert model.total_cycles(65) == model.total_cycles(128)
+        assert model.total_cycles(1) == model.total_cycles(64)
+
+    def test_breakdown_sums_to_total(self):
+        model = LatencyModel()
+        breakdown = model.breakdown(384)
+        assert sum(breakdown.values()) == model.total_cycles(384)
+
+    def test_iteration_steps_term(self):
+        model = LatencyModel()
+        assert model.total_cycles(64, num_steps=6) - model.total_cycles(64, num_steps=5) == 12
+
+    def test_sweep(self):
+        model = LatencyModel()
+        sweep = model.sweep([64, 128])
+        assert sweep == [(64, model.total_cycles(64)), (128, model.total_cycles(128))]
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            LatencyModel().chunks(0)
+
+
+class TestMemoryReport:
+    def test_fp32_totals_match_paper(self):
+        report = memory_report("fp32")
+        assert report.input_buffer_kib == 32.0
+        assert report.total_kib == 96.5
+
+    def test_fp16_bf16_half_of_fp32(self):
+        fp32 = memory_report("fp32").total_kib
+        for fmt in ("fp16", "bf16"):
+            assert memory_report(fmt).total_kib == pytest.approx(fp32 / 2.0)
+            assert memory_report(fmt).total_kib == pytest.approx(48.25)
+
+    def test_partial_sum_sizes(self):
+        assert memory_report("fp32").partial_sum_kib == 0.5
+        assert memory_report("fp16").partial_sum_kib == 0.25
+
+    def test_total_bits(self):
+        assert memory_report("fp32").total_bits == int(96.5 * 1024)
+
+    def test_custom_geometry(self):
+        report = memory_report("fp32", max_vector_length=512, partial_sum_entries=8)
+        assert report.input_buffer_kib == 16.0
+
+    def test_as_dict(self):
+        d = memory_report("bf16").as_dict()
+        assert d["total_kib"] == pytest.approx(48.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            memory_report("fp32", max_vector_length=0)
+        with pytest.raises(ValueError):
+            memory_report("fp32", partial_sum_entries=0)
+
+
+class TestAreaPowerModel:
+    def test_datapath_complexity_ordering(self):
+        """FP32 > FP16 > BF16 in logic complexity (Sec. V-C)."""
+        assert (
+            multiplier_area_units(FLOAT32)
+            > multiplier_area_units(FLOAT16)
+            > multiplier_area_units(BFLOAT16)
+        )
+        assert adder_area_units(FLOAT32) > adder_area_units(FLOAT16) > adder_area_units(BFLOAT16)
+
+    def test_table2_totals_close_to_paper(self):
+        paper = {
+            "fp32": (269.3, 2.4, 22.9),
+            "fp16": (100.1, 1.1, 8.4),
+            "bf16": (87.0, 1.0, 7.3),
+        }
+        for report in synthesis_report():
+            cells_k, area, power = paper[report.fmt]
+            assert report.cell_count / 1e3 == pytest.approx(cells_k, rel=0.02)
+            assert report.area_mm2 == pytest.approx(area, rel=0.08)
+            assert report.power_mw == pytest.approx(power, rel=0.02)
+
+    def test_area_without_datapath_close_to_paper(self):
+        paper = {"fp32": 1.7, "fp16": 0.8, "bf16": 0.8}
+        for report in synthesis_report():
+            assert report.area_without_datapath_mm2 == pytest.approx(
+                paper[report.fmt], rel=0.12
+            )
+
+    def test_memory_is_largest_area_component(self):
+        """Fig. 6a-c: the buffers dominate the macro area for every format."""
+        for report in synthesis_report():
+            breakdown = report.area_breakdown_mm2
+            assert breakdown["memory"] == max(breakdown.values())
+
+    def test_datapath_dominates_power(self):
+        """Fig. 6d-f: multipliers + adders dominate the power for every format."""
+        for report in synthesis_report():
+            breakdown = report.power_breakdown_mw
+            datapath = breakdown["mul_block"] + breakdown["add_block"]
+            assert datapath > breakdown["memory"]
+            assert datapath > breakdown["control"]
+            assert datapath > 0.5 * report.power_mw
+
+    def test_fractions_sum_to_one(self):
+        for report in synthesis_report():
+            assert sum(report.area_fractions().values()) == pytest.approx(1.0)
+            assert sum(report.power_fractions().values()) == pytest.approx(1.0)
+
+    def test_fp32_roughly_twice_fp16(self):
+        reports = {r.fmt: r for r in synthesis_report()}
+        assert reports["fp32"].area_mm2 / reports["fp16"].area_mm2 == pytest.approx(2.2, rel=0.15)
+        assert reports["fp32"].power_mw / reports["fp16"].power_mw == pytest.approx(2.7, rel=0.15)
+
+    def test_bf16_smaller_than_fp16(self):
+        reports = {r.fmt: r for r in synthesis_report()}
+        assert reports["bf16"].cell_count < reports["fp16"].cell_count
+        assert reports["bf16"].power_mw < reports["fp16"].power_mw
+
+    def test_as_row_keys(self):
+        row = synthesis_report()[0].as_row()
+        assert set(row) == {
+            "format",
+            "memory_kib",
+            "cells_k",
+            "area_mm2",
+            "area_wo_addmul_mm2",
+            "power_mw",
+        }
+
+    def test_custom_datapath_scales_area(self):
+        small = AreaPowerModel(num_multipliers=16, num_adders=16).report("fp32")
+        large = AreaPowerModel(num_multipliers=128, num_adders=128).report("fp32")
+        assert large.area_mm2 > small.area_mm2
+        assert large.cell_count > small.cell_count
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AreaPowerModel(num_multipliers=0)
+
+
+class TestComparisonTable:
+    def test_literature_rows_present(self):
+        names = {r.name for r in COMPARISON_TABLE}
+        assert names == {"SwiftTron", "NN-LUT", "PIM-GPT", "SOLE"}
+
+    def test_swifttron_numbers(self):
+        swifttron = next(r for r in COMPARISON_TABLE if r.name == "SwiftTron")
+        assert swifttron.area_mm2 == 68.3
+        assert swifttron.power_w == 2.0
+        assert not swifttron.division_free
+
+    def test_ours_rows_generated(self):
+        ours = our_records()
+        assert len(ours) == 3
+        for record in ours:
+            assert record.division_free
+            assert record.clock_mhz == 100.0
+            assert record.area_mm2 is not None and record.area_mm2 < 3.0
+
+    def test_iterl2norm_macro_much_smaller_than_swifttron(self):
+        """The headline Table III contrast: mm^2-scale vs 68.3 mm^2, mW vs 2 W."""
+        swifttron = next(r for r in COMPARISON_TABLE if r.name == "SwiftTron")
+        for record in our_records():
+            assert record.area_mm2 < swifttron.area_mm2 / 20
+            assert record.power_w < swifttron.power_w / 50
+
+    def test_full_table_rows(self):
+        assert len(comparison_table(include_ours=True)) == 7
+        assert len(comparison_table(include_ours=False)) == 4
+
+    def test_as_row(self):
+        row = COMPARISON_TABLE[0].as_row()
+        assert row["implementation"] == "SwiftTron"
+        assert "division" in row["operations"]

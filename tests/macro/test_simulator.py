@@ -1,0 +1,148 @@
+"""Tests for the top-level macro simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import exact_layernorm
+from repro.core.layernorm import IterL2Norm, IterL2NormConfig
+from repro.macro.latency import LatencyModel
+from repro.macro.simulator import IterL2NormMacro, MacroConfig
+
+
+class TestMacroConfig:
+    def test_defaults(self):
+        config = MacroConfig()
+        assert config.max_vector_length == 1024
+        assert config.chunk_elems == 64
+        assert config.num_steps == 5
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            MacroConfig(fmt="fp12")
+        with pytest.raises(ValueError):
+            MacroConfig(num_steps=-1)
+        with pytest.raises(ValueError):
+            MacroConfig(num_banks=0)
+
+
+class TestFunctionalEquivalence:
+    def test_matches_iterl2norm_module_bitexactly(self, rng, paper_format):
+        """The macro and the pure-algorithm module produce identical outputs."""
+        d = 384
+        x = rng.uniform(-1, 1, size=d)
+        macro = IterL2NormMacro(MacroConfig(fmt=paper_format, num_steps=5))
+        module = IterL2Norm(d, IterL2NormConfig(num_steps=5, fmt=paper_format))
+        np.testing.assert_array_equal(macro.normalize(x).output, module(x))
+
+    def test_with_affine_parameters(self, rng):
+        d = 256
+        x = rng.uniform(-1, 1, size=d)
+        gamma, beta = rng.uniform(0.5, 1.5, d), rng.normal(size=d)
+        macro = IterL2NormMacro(MacroConfig(fmt="fp32"))
+        result = macro.normalize(x, gamma, beta)
+        expected = exact_layernorm(x, gamma, beta)
+        assert np.abs(result.output - expected).mean() < 5e-3
+
+    def test_error_band_against_exact(self, rng, paper_format):
+        d = 512
+        x = rng.uniform(-1, 1, size=d)
+        macro = IterL2NormMacro(MacroConfig(fmt=paper_format))
+        err = np.abs(macro.normalize(x).output - exact_layernorm(x))
+        assert err.mean() < 2e-2
+
+    def test_intermediate_values_reported(self, rng):
+        d = 128
+        x = rng.uniform(-1, 1, size=d)
+        macro = IterL2NormMacro(MacroConfig(fmt="fp64", num_steps=25))
+        result = macro.normalize(x)
+        assert result.mean == pytest.approx(x.mean(), rel=1e-10)
+        assert result.norm_squared == pytest.approx(float((x - x.mean()) @ (x - x.mean())), rel=1e-10)
+        assert result.scale == pytest.approx(np.sqrt(d) / np.sqrt(result.norm_squared), rel=1e-8)
+
+
+class TestLatencyBehaviour:
+    def test_latency_matches_closed_form_model(self, rng):
+        model = LatencyModel()
+        for d in (64, 100, 384, 1000, 1024):
+            macro = IterL2NormMacro(MacroConfig(fmt="fp32"))
+            result = macro.normalize(rng.uniform(-1, 1, size=d))
+            assert result.total_cycles == model.total_cycles(d, 5)
+
+    def test_latency_independent_of_format(self, rng):
+        """Fig. 5: 'the latency does not rely on the data format'."""
+        x = rng.uniform(-1, 1, size=320)
+        cycles = {
+            fmt: IterL2NormMacro(MacroConfig(fmt=fmt)).normalize(x).total_cycles
+            for fmt in ("fp32", "fp16", "bf16")
+        }
+        assert len(set(cycles.values())) == 1
+
+    def test_latency_in_paper_range(self, rng):
+        """116-227 cycles for 64 <= d <= 1024 (within a few cycles)."""
+        low = IterL2NormMacro(MacroConfig()).normalize(rng.uniform(-1, 1, 64)).total_cycles
+        high = IterL2NormMacro(MacroConfig()).normalize(rng.uniform(-1, 1, 1024)).total_cycles
+        assert abs(low - 116) <= 10
+        assert abs(high - 227) <= 10
+
+    def test_latency_monotone_in_length(self, rng):
+        cycles = [
+            IterL2NormMacro(MacroConfig()).normalize(rng.uniform(-1, 1, d)).total_cycles
+            for d in (64, 128, 256, 512, 1024)
+        ]
+        assert cycles == sorted(cycles)
+
+    def test_latency_scales_with_iteration_count(self, rng):
+        x = rng.uniform(-1, 1, 128)
+        c3 = IterL2NormMacro(MacroConfig(num_steps=3)).normalize(x).total_cycles
+        c10 = IterL2NormMacro(MacroConfig(num_steps=10)).normalize(x).total_cycles
+        assert c10 - c3 == 7 * 12  # CYCLES_PER_STEP per extra step
+
+    def test_phase_breakdown_sums_to_total(self, rng):
+        result = IterL2NormMacro(MacroConfig()).normalize(rng.uniform(-1, 1, 384))
+        assert sum(result.phase_cycles.values()) == result.total_cycles
+        assert set(result.phase_cycles) == {
+            "mean",
+            "shift",
+            "norm_squared",
+            "iteration",
+            "output",
+            "control",
+        }
+
+
+class TestErrorHandling:
+    def test_run_without_load_raises(self):
+        with pytest.raises(RuntimeError):
+            IterL2NormMacro().run()
+
+    def test_oversized_vector_rejected(self, rng):
+        with pytest.raises(ValueError):
+            IterL2NormMacro().load(rng.uniform(size=1025))
+
+    def test_empty_and_matrix_inputs_rejected(self, rng):
+        with pytest.raises(ValueError):
+            IterL2NormMacro().load(np.array([]))
+        with pytest.raises(ValueError):
+            IterL2NormMacro().load(rng.uniform(size=(2, 8)))
+
+    def test_constant_vector(self):
+        result = IterL2NormMacro(MacroConfig(fmt="fp32")).normalize(np.full(64, 3.0))
+        np.testing.assert_array_equal(result.output, np.zeros(64))
+
+
+# -- property-based tests -----------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=2, max_value=256),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_macro_equals_module_for_any_length(d, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=d)
+    macro_out = IterL2NormMacro(MacroConfig(fmt="fp32")).normalize(x).output
+    module_out = IterL2Norm(d, IterL2NormConfig(num_steps=5, fmt="fp32"))(x)
+    np.testing.assert_array_equal(macro_out, module_out)

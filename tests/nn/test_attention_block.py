@@ -1,0 +1,132 @@
+"""Tests for multi-head attention and the decoder block, including gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.block import FeedForward, TransformerDecoderBlock
+
+
+def numeric_input_gradient(module, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat_x, flat_g = x.reshape(-1), grad.reshape(-1)
+    for i in range(flat_x.size):
+        original = flat_x[i]
+        flat_x[i] = original + eps
+        plus = float(np.sum(module.forward(x)))
+        flat_x[i] = original - eps
+        minus = float(np.sum(module.forward(x)))
+        flat_x[i] = original
+        flat_g[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self, rng):
+        attn = MultiHeadSelfAttention(16, 4, rng=rng)
+        out = attn(rng.normal(size=(2, 5, 16)))
+        assert out.shape == (2, 5, 16)
+
+    def test_causality(self, rng):
+        """Changing a future token must not change earlier outputs."""
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        x = rng.normal(size=(1, 6, 8))
+        out1 = attn(x)
+        x_modified = x.copy()
+        x_modified[0, 5] += 10.0
+        out2 = attn(x_modified)
+        np.testing.assert_allclose(out1[0, :5], out2[0, :5], atol=1e-12)
+        assert not np.allclose(out1[0, 5], out2[0, 5])
+
+    def test_input_gradient_matches_numeric(self, rng):
+        attn = MultiHeadSelfAttention(6, 2, rng=rng)
+        x = rng.normal(size=(1, 4, 6))
+        out = attn(x)
+        analytic = attn.backward(np.ones_like(out))
+        numeric = numeric_input_gradient(attn, x.copy())
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_parameter_gradients_nonzero(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        x = rng.normal(size=(2, 3, 8))
+        attn.backward(np.ones_like(attn(x)))
+        for name, param in attn.named_parameters():
+            assert np.any(param.grad != 0.0), f"zero gradient for {name}"
+
+    def test_head_divisibility(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3, rng=rng)
+
+    def test_input_validation(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        with pytest.raises(ValueError):
+            attn(rng.normal(size=(2, 5, 9)))
+        with pytest.raises(RuntimeError):
+            MultiHeadSelfAttention(8, 2, rng=rng).backward(np.ones((1, 2, 8)))
+
+    def test_single_token_sequence(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        assert attn(rng.normal(size=(3, 1, 8))).shape == (3, 1, 8)
+
+
+class TestFeedForward:
+    def test_forward_shape(self, rng):
+        ffn = FeedForward(8, 32, rng=rng)
+        assert ffn(rng.normal(size=(2, 5, 8))).shape == (2, 5, 8)
+
+    def test_input_gradient(self, rng):
+        ffn = FeedForward(5, 11, rng=rng)
+        x = rng.normal(size=(1, 3, 5))
+        out = ffn(x)
+        analytic = ffn.backward(np.ones_like(out))
+        numeric = numeric_input_gradient(ffn, x.copy())
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_backward_before_forward(self, rng):
+        with pytest.raises(RuntimeError):
+            FeedForward(4, 8, rng=rng).backward(np.ones((1, 2, 4)))
+
+
+class TestTransformerDecoderBlock:
+    def test_forward_shape(self, rng):
+        block = TransformerDecoderBlock(16, 4, 32, rng=rng)
+        assert block(rng.normal(size=(2, 7, 16))).shape == (2, 7, 16)
+
+    def test_residual_path_preserves_scale(self, rng):
+        """Pre-LN residual blocks keep the input signal in the output."""
+        block = TransformerDecoderBlock(16, 4, 32, rng=rng)
+        x = rng.normal(size=(1, 5, 16)) * 100.0
+        out = block(x)
+        correlation = np.corrcoef(out.reshape(-1), x.reshape(-1))[0, 1]
+        assert correlation > 0.99
+
+    def test_input_gradient_matches_numeric(self, rng):
+        block = TransformerDecoderBlock(6, 2, 12, rng=rng)
+        x = rng.normal(size=(1, 3, 6))
+        out = block(x)
+        analytic = block.backward(np.ones_like(out))
+        numeric = numeric_input_gradient(block, x.copy())
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_all_parameters_receive_gradients(self, rng):
+        block = TransformerDecoderBlock(8, 2, 16, rng=rng)
+        x = rng.normal(size=(2, 4, 8))
+        block.backward(np.ones_like(block(x)))
+        for name, param in block.named_parameters():
+            assert np.any(param.grad != 0.0), f"zero gradient for {name}"
+
+    def test_layer_norms_accessor(self, rng):
+        block = TransformerDecoderBlock(8, 2, 16, rng=rng)
+        norms = block.layer_norms()
+        assert len(norms) == 2
+        assert norms[0] is block.attn_norm
+        assert norms[1] is block.ffn_norm
+
+    def test_causality_through_block(self, rng):
+        block = TransformerDecoderBlock(8, 2, 16, rng=rng)
+        x = rng.normal(size=(1, 5, 8))
+        out1 = block(x)
+        x2 = x.copy()
+        x2[0, 4] += 5.0
+        out2 = block(x2)
+        np.testing.assert_allclose(out1[0, :4], out2[0, :4], atol=1e-12)

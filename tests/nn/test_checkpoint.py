@@ -1,0 +1,66 @@
+"""Tests for model checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.nn.checkpoint import load_checkpoint, save_checkpoint
+from repro.nn.config import get_config
+from repro.nn.model import OPTLanguageModel
+
+
+@pytest.fixture
+def model(rng):
+    return OPTLanguageModel(get_config("opt-test"), rng=rng)
+
+
+class TestCheckpointRoundTrip:
+    def test_parameters_identical_after_reload(self, model, tmp_path):
+        path = save_checkpoint(model, tmp_path / "model.npz")
+        restored = load_checkpoint(path)
+        original = model.state_dict()
+        reloaded = restored.state_dict()
+        assert set(original) == set(reloaded)
+        for name in original:
+            np.testing.assert_array_equal(original[name], reloaded[name])
+
+    def test_logits_identical_after_reload(self, model, tmp_path, rng):
+        ids = rng.integers(0, 64, size=(2, 8))
+        model.eval()
+        expected = model(ids)
+        restored = load_checkpoint(save_checkpoint(model, tmp_path / "m"))
+        np.testing.assert_array_equal(restored(ids), expected)
+
+    def test_config_preserved(self, model, tmp_path):
+        restored = load_checkpoint(save_checkpoint(model, tmp_path / "m.npz"))
+        assert restored.config == model.config
+
+    def test_suffix_enforced(self, model, tmp_path):
+        path = save_checkpoint(model, tmp_path / "weights.bin")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_nested_directory_created(self, model, tmp_path):
+        path = save_checkpoint(model, tmp_path / "a" / "b" / "model.npz")
+        assert path.exists()
+
+    def test_swap_after_reload(self, model, tmp_path, rng):
+        """A reloaded model still supports the normalizer swap."""
+        restored = load_checkpoint(save_checkpoint(model, tmp_path / "m.npz"))
+        ids = rng.integers(0, 64, size=(1, 8))
+        baseline = restored(ids)
+        restored.replace_layernorm("iterl2norm", fmt="fp32", num_steps=5)
+        swapped = restored(ids)
+        np.testing.assert_allclose(swapped, baseline, atol=0.05)
+        assert not np.array_equal(swapped, baseline)
+
+
+class TestCheckpointErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_non_checkpoint_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.ones(3))
+        with pytest.raises(KeyError):
+            load_checkpoint(path)

@@ -1,0 +1,189 @@
+"""Tests for the stateless NN functions and their gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.functional import (
+    causal_mask,
+    cross_entropy,
+    gelu,
+    gelu_backward,
+    log_softmax,
+    one_hot,
+    perplexity_from_loss,
+    relu,
+    relu_backward,
+    softmax,
+    softmax_backward,
+)
+
+
+def numeric_gradient(f, x, eps=1e-6):
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = f(x)
+        flat[i] = original - eps
+        minus = f(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestSoftmax:
+    def test_sums_to_one(self, rng):
+        x = rng.normal(size=(4, 10))
+        np.testing.assert_allclose(softmax(x).sum(axis=-1), 1.0, rtol=1e-12)
+
+    def test_stability_with_large_inputs(self):
+        x = np.array([1e4, 1e4 + 1.0])
+        s = softmax(x)
+        assert np.all(np.isfinite(s))
+        assert s[1] > s[0]
+
+    def test_log_softmax_consistency(self, rng):
+        x = rng.normal(size=(3, 7))
+        np.testing.assert_allclose(log_softmax(x), np.log(softmax(x)), rtol=1e-10)
+
+    def test_softmax_backward_matches_numeric(self, rng):
+        x = rng.normal(size=(2, 5))
+        upstream = rng.normal(size=(2, 5))
+
+        def scalar_loss(inp):
+            return float(np.sum(softmax(inp) * upstream))
+
+        numeric = numeric_gradient(scalar_loss, x.copy())
+        analytic = softmax_backward(upstream, softmax(x))
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+
+class TestActivations:
+    def test_relu(self):
+        np.testing.assert_array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_relu_backward(self, rng):
+        x = rng.normal(size=20)
+        grad = relu_backward(np.ones(20), x)
+        np.testing.assert_array_equal(grad, (x > 0).astype(float))
+
+    def test_gelu_values(self):
+        assert gelu(0.0) == 0.0
+        assert gelu(3.0) == pytest.approx(3.0, abs=0.01)
+        assert gelu(-3.0) == pytest.approx(0.0, abs=0.01)
+
+    def test_gelu_exact_vs_approximate(self, rng):
+        x = rng.normal(size=100)
+        np.testing.assert_allclose(gelu(x, True), gelu(x, False), atol=2e-3)
+
+    def test_gelu_backward_matches_numeric(self, rng):
+        x = rng.normal(size=10)
+        numeric = numeric_gradient(lambda v: float(np.sum(gelu(v))), x.copy())
+        np.testing.assert_allclose(gelu_backward(np.ones(10), x), numeric, atol=1e-6)
+
+
+class TestOneHot:
+    def test_encoding(self):
+        out = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_loss(self):
+        logits = np.zeros((2, 3, 8))
+        targets = np.zeros((2, 3), dtype=np.int64)
+        loss, grad = cross_entropy(logits, targets)
+        assert loss == pytest.approx(np.log(8))
+        assert grad.shape == logits.shape
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((1, 2, 4), -100.0)
+        logits[0, 0, 1] = 100.0
+        logits[0, 1, 2] = 100.0
+        loss, _ = cross_entropy(logits, np.array([[1, 2]]))
+        assert loss < 1e-6
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.normal(size=(2, 3, 5))
+        targets = rng.integers(0, 5, size=(2, 3))
+
+        def loss_fn(lg):
+            return cross_entropy(lg, targets)[0]
+
+        numeric = numeric_gradient(loss_fn, logits.copy())
+        _, analytic = cross_entropy(logits, targets)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_ignore_index(self, rng):
+        logits = rng.normal(size=(1, 4, 6))
+        targets = np.array([[1, 2, 0, 0]])
+        loss_all, _ = cross_entropy(logits, targets)
+        loss_masked, grad = cross_entropy(logits, targets, ignore_index=0)
+        assert loss_masked != loss_all
+        assert np.all(grad[0, 2:] == 0.0)
+
+    def test_all_ignored(self):
+        loss, grad = cross_entropy(np.zeros((1, 2, 3)), np.zeros((1, 2), dtype=int), ignore_index=0)
+        assert loss == 0.0
+        assert np.all(grad == 0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((2, 3, 4)), np.zeros((2, 4), dtype=int))
+
+    def test_perplexity(self):
+        assert perplexity_from_loss(0.0) == 1.0
+        assert perplexity_from_loss(np.log(20.0)) == pytest.approx(20.0)
+
+
+class TestCausalMask:
+    def test_shape_and_structure(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert np.all(mask[np.tril_indices(4)] == 0.0)
+        assert np.all(np.isinf(mask[np.triu_indices(4, k=1)]))
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            causal_mask(0)
+
+    def test_masked_softmax_is_causal(self, rng):
+        scores = rng.normal(size=(4, 4)) + causal_mask(4)
+        weights = softmax(scores, axis=-1)
+        assert np.all(weights[np.triu_indices(4, k=1)] == 0.0)
+        np.testing.assert_allclose(weights.sum(-1), 1.0)
+
+
+# -- property-based tests -----------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=-50, max_value=50), min_size=2, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_softmax_invariant_to_shift(values):
+    x = np.asarray(values)
+    np.testing.assert_allclose(softmax(x), softmax(x + 7.3), atol=1e-10)
+
+
+@given(
+    st.integers(min_value=2, max_value=16),
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_cross_entropy_nonnegative_and_bounded(vocab, seq, seed):
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(1, seq, vocab))
+    targets = rng.integers(0, vocab, size=(1, seq))
+    loss, grad = cross_entropy(logits, targets)
+    assert loss >= 0.0
+    # Gradient rows sum to ~0 (softmax minus one-hot, averaged).
+    np.testing.assert_allclose(grad.sum(axis=-1), 0.0, atol=1e-10)

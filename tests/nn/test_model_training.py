@@ -1,0 +1,281 @@
+"""Tests for the OPT-style language model, optimizers, trainer, and generation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.config import OPT_CONFIGS, OPTConfig, get_config
+from repro.nn.generation import generate
+from repro.nn.model import OPTLanguageModel
+from repro.nn.module import Parameter
+from repro.nn.optimizer import SGD, Adam
+from repro.nn.trainer import Trainer, TrainingConfig
+
+
+@pytest.fixture
+def tiny_model(rng):
+    return OPTLanguageModel(get_config("opt-test"), rng=rng)
+
+
+class TestConfig:
+    def test_presets_exist(self):
+        for name in ("opt-125m", "opt-350m", "opt-125m-sim", "opt-350m-sim", "opt-test"):
+            assert name in OPT_CONFIGS
+
+    def test_paper_shapes(self):
+        cfg125 = get_config("opt-125m")
+        cfg350 = get_config("opt-350m")
+        assert (cfg125.embed_dim, cfg125.num_layers, cfg125.num_heads) == (768, 12, 12)
+        assert (cfg350.embed_dim, cfg350.num_layers, cfg350.num_heads) == (1024, 24, 16)
+
+    def test_sim_models_preserve_ordering(self):
+        small = get_config("opt-125m-sim")
+        large = get_config("opt-350m-sim")
+        assert large.embed_dim > small.embed_dim
+        assert large.num_layers > small.num_layers
+
+    def test_num_layernorms(self):
+        assert get_config("opt-125m").num_layernorms == 25
+        assert get_config("opt-test").num_layernorms == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OPTConfig("bad", 10, 10, embed_dim=10, num_layers=1, num_heads=3, ffn_dim=10)
+        with pytest.raises(KeyError):
+            get_config("opt-13b")
+
+
+class TestModelForward:
+    def test_logits_shape(self, tiny_model, rng):
+        ids = rng.integers(0, 64, size=(2, 8))
+        assert tiny_model(ids).shape == (2, 8, 64)
+
+    def test_causality_of_logits(self, tiny_model, rng):
+        ids = rng.integers(0, 64, size=(1, 6))
+        logits1 = tiny_model(ids)
+        ids2 = ids.copy()
+        ids2[0, 5] = (ids2[0, 5] + 1) % 64
+        logits2 = tiny_model(ids2)
+        np.testing.assert_allclose(logits1[0, :5], logits2[0, :5], atol=1e-10)
+
+    def test_sequence_length_limit(self, tiny_model, rng):
+        with pytest.raises(ValueError):
+            tiny_model(rng.integers(0, 64, size=(1, 33)))
+
+    def test_rejects_1d_input(self, tiny_model):
+        with pytest.raises(ValueError):
+            tiny_model(np.array([1, 2, 3]))
+
+    def test_loss_positive(self, tiny_model, rng):
+        ids = rng.integers(0, 64, size=(2, 8))
+        targets = rng.integers(0, 64, size=(2, 8))
+        loss, logits = tiny_model.loss(ids, targets)
+        assert loss > 0
+        assert logits.shape == (2, 8, 64)
+
+    def test_layer_norm_count(self, tiny_model):
+        assert len(tiny_model.layer_norms()) == tiny_model.config.num_layernorms
+
+    def test_parameter_count_positive(self, tiny_model):
+        assert tiny_model.num_parameters() > 10_000
+
+
+class TestModelBackward:
+    def test_gradients_flow_to_all_parameters(self, tiny_model, rng):
+        ids = rng.integers(0, 64, size=(2, 8))
+        targets = rng.integers(0, 64, size=(2, 8))
+        tiny_model.zero_grad()
+        tiny_model.loss(ids, targets)
+        tiny_model.backward()
+        zero_grads = [
+            name
+            for name, p in tiny_model.named_parameters()
+            if not np.any(p.grad != 0.0)
+        ]
+        assert zero_grads == []
+
+    def test_embedding_gradient_matches_numeric(self, rng):
+        """Spot-check the full-model gradient on a few embedding entries."""
+        model = OPTLanguageModel(get_config("opt-test"), rng=rng)
+        ids = rng.integers(0, 64, size=(1, 4))
+        targets = rng.integers(0, 64, size=(1, 4))
+        model.zero_grad()
+        model.loss(ids, targets)
+        model.backward()
+        param = model.token_embedding.weight
+        analytic = param.grad.copy()
+
+        eps = 1e-5
+        token = int(ids[0, 0])
+        for j in (0, 7, 15):
+            original = param.data[token, j]
+            param.data[token, j] = original + eps
+            plus, _ = model.loss(ids, targets)
+            param.data[token, j] = original - eps
+            minus, _ = model.loss(ids, targets)
+            param.data[token, j] = original
+            numeric = (plus - minus) / (2 * eps)
+            assert analytic[token, j] == pytest.approx(numeric, abs=1e-4)
+
+    def test_backward_without_loss_raises(self, tiny_model):
+        with pytest.raises(RuntimeError):
+            tiny_model.backward()
+
+
+class TestLayerNormSwap:
+    def test_swap_changes_eval_output_only_slightly(self, tiny_model, rng):
+        ids = rng.integers(0, 64, size=(2, 8))
+        tiny_model.eval()
+        baseline = tiny_model(ids)
+        tiny_model.replace_layernorm("iterl2norm", fmt="fp32", num_steps=5)
+        swapped = tiny_model(ids)
+        assert not np.array_equal(baseline, swapped)
+        np.testing.assert_allclose(baseline, swapped, atol=0.05)
+
+    def test_restore(self, tiny_model, rng):
+        ids = rng.integers(0, 64, size=(1, 8))
+        tiny_model.eval()
+        baseline = tiny_model(ids)
+        tiny_model.replace_layernorm("iterl2norm", fmt="bf16", num_steps=3)
+        tiny_model.restore_layernorm()
+        np.testing.assert_array_equal(tiny_model(ids), baseline)
+
+    def test_swap_reuses_trained_gamma_beta(self, tiny_model, rng):
+        for norm in tiny_model.layer_norms():
+            norm.gamma.data = rng.uniform(0.5, 1.5, norm.normalized_dim)
+        tiny_model.replace_layernorm("exact", fmt=None)
+        for norm in tiny_model.layer_norms():
+            np.testing.assert_array_equal(norm.eval_normalizer.gamma, norm.gamma.data)
+
+    def test_training_mode_unaffected_by_swap(self, tiny_model, rng):
+        ids = rng.integers(0, 64, size=(1, 8))
+        tiny_model.train()
+        before = tiny_model(ids)
+        tiny_model.replace_layernorm("iterl2norm", fmt="bf16", num_steps=3)
+        tiny_model.train()
+        np.testing.assert_array_equal(tiny_model(ids), before)
+
+
+class TestOptimizers:
+    def test_sgd_reduces_quadratic(self):
+        param = Parameter(np.array([5.0]))
+        opt = SGD([param], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            param.grad = 2 * param.data  # d/dx x^2
+            opt.step()
+        assert abs(param.data[0]) < 1e-3
+
+    def test_sgd_momentum(self):
+        param = Parameter(np.array([5.0]))
+        opt = SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(300):
+            opt.zero_grad()
+            param.grad = 2 * param.data
+            opt.step()
+        assert abs(param.data[0]) < 1e-2
+
+    def test_adam_reduces_quadratic(self):
+        param = Parameter(np.array([3.0, -4.0]))
+        opt = Adam([param], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            param.grad = 2 * param.data
+            opt.step()
+        assert np.all(np.abs(param.data) < 1e-2)
+
+    def test_adam_weight_decay(self):
+        param = Parameter(np.array([1.0]))
+        opt = Adam([param], lr=0.01, weight_decay=0.1)
+        opt.zero_grad()
+        param.grad = np.zeros(1)
+        opt.step()
+        assert param.data[0] < 1.0
+
+    def test_validation(self):
+        param = Parameter(np.ones(1))
+        with pytest.raises(ValueError):
+            Adam([param], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([param], momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam([param], betas=(1.0, 0.9))
+
+
+class TestTrainer:
+    def test_training_reduces_loss(self, rng):
+        model = OPTLanguageModel(get_config("opt-test"), rng=rng)
+        # A highly regular token stream is easy to learn in a few steps.
+        tokens = np.tile(np.arange(16), 200)
+        trainer = Trainer(model, TrainingConfig(num_steps=60, batch_size=4, seq_len=16, seed=0))
+        result = trainer.train(tokens)
+        assert result.final_loss < result.initial_loss * 0.8
+
+    def test_sample_batch_shapes_and_shift(self, rng):
+        model = OPTLanguageModel(get_config("opt-test"), rng=rng)
+        trainer = Trainer(model, TrainingConfig(num_steps=1, batch_size=3, seq_len=8))
+        tokens = np.arange(100) % 64
+        inputs, targets = trainer.sample_batch(tokens)
+        assert inputs.shape == targets.shape == (3, 8)
+        np.testing.assert_array_equal(inputs[:, 1:], targets[:, :-1])
+
+    def test_short_stream_rejected(self, rng):
+        model = OPTLanguageModel(get_config("opt-test"), rng=rng)
+        trainer = Trainer(model, TrainingConfig(num_steps=1, seq_len=16))
+        with pytest.raises(ValueError):
+            trainer.sample_batch(np.arange(10))
+
+    def test_gradient_clipping_bounds_update(self, rng):
+        model = OPTLanguageModel(get_config("opt-test"), rng=rng)
+        trainer = Trainer(model, TrainingConfig(num_steps=1, grad_clip=0.5))
+        for p in model.parameters():
+            p.grad = np.full_like(p.data, 10.0)
+        trainer._clip_gradients()
+        total = np.sqrt(sum(float(np.sum(p.grad**2)) for p in model.parameters()))
+        assert total == pytest.approx(0.5, rel=1e-6)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(num_steps=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=0.0)
+
+
+class TestGeneration:
+    def test_greedy_is_deterministic(self, tiny_model):
+        prompt = np.array([1, 2, 3])
+        out1 = generate(tiny_model, prompt, max_new_tokens=5, temperature=0.0)
+        out2 = generate(tiny_model, prompt, max_new_tokens=5, temperature=0.0)
+        np.testing.assert_array_equal(out1, out2)
+        assert out1.size == 8
+
+    def test_prompt_is_prefix(self, tiny_model):
+        prompt = np.array([4, 5])
+        out = generate(tiny_model, prompt, max_new_tokens=3, temperature=0.0)
+        np.testing.assert_array_equal(out[:2], prompt)
+
+    def test_sampling_with_top_k(self, tiny_model):
+        out = generate(
+            tiny_model,
+            np.array([1]),
+            max_new_tokens=4,
+            temperature=1.0,
+            top_k=5,
+            rng=np.random.default_rng(0),
+        )
+        assert out.size == 5
+        assert np.all((out >= 0) & (out < 64))
+
+    def test_context_window_clipping(self, tiny_model):
+        prompt = np.arange(40) % 64  # longer than max_position=32
+        out = generate(tiny_model, prompt, max_new_tokens=1, temperature=0.0)
+        assert out.size == 41
+
+    def test_validation(self, tiny_model):
+        with pytest.raises(ValueError):
+            generate(tiny_model, np.array([]), max_new_tokens=1)
+        with pytest.raises(ValueError):
+            generate(tiny_model, np.array([1]), max_new_tokens=-1)
+        with pytest.raises(ValueError):
+            generate(tiny_model, np.array([1]), top_k=0)

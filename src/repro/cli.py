@@ -20,25 +20,24 @@ import argparse
 import sys
 
 from repro.eval.perplexity import LLMEvalConfig
-from repro.eval.reporting import format_table
 
 
 def _cmd_precision(args) -> None:
     from repro.experiments import fig3
 
-    print(fig3.run(trials=args.trials)[1])
+    print(fig3.run(trials=args.trials, seed=args.seed)[1])
 
 
 def _cmd_compare(args) -> None:
     from repro.experiments import table1
 
-    print(table1.run(trials=args.trials)[1])
+    print(table1.run(trials=args.trials, seed=args.seed)[1])
 
 
 def _cmd_convergence(args) -> None:
     from repro.experiments import fig4
 
-    print(fig4.run(trials=args.trials)[1])
+    print(fig4.run(trials=args.trials, seed=args.seed)[1])
 
 
 def _cmd_latency(args) -> None:
@@ -74,41 +73,35 @@ def _cmd_llm(args) -> None:
 
 
 def _cmd_traffic(args) -> None:
-    from repro.macro.traffic import DDR4_CHANNEL, HBM2_STACK, PCIE4_X16, TrafficModel
+    from repro.experiments.reports import run_traffic_job
 
-    interfaces = {"pcie4": PCIE4_X16, "ddr4": DDR4_CHANNEL, "hbm2": HBM2_STACK}
-    model = TrafficModel(interface=interfaces[args.interface])
-    rows = [
-        model.report(args.embed_dim, tokens, fmt=args.format).as_row()
-        for tokens in (64, 256, 1024, 4096)
-    ]
     print(
-        format_table(
-            rows,
-            title=(
-                "Host-side vs on-chip layer normalization "
-                f"(d={args.embed_dim}, {args.format}, {args.interface})"
-            ),
-        )
+        run_traffic_job(
+            embed_dim=args.embed_dim, fmt=args.format, interface=args.interface
+        )[1]
     )
 
 
 def _cmd_throughput(args) -> None:
-    from repro.macro.throughput import ThroughputModel
+    from repro.experiments.reports import run_throughput_job
 
-    model = ThroughputModel()
-    rows = [r.as_row() for r in model.sweep((64, 128, 256, 512, 768, 1024))]
-    print(format_table(rows, title="IterL2Norm macro throughput (one instance, 100 MHz)"))
-    needed = model.macros_required(args.embed_dim, args.tokens_per_second)
     print(
-        f"\nmacros needed for {args.tokens_per_second:g} tokens/s at d={args.embed_dim}: {needed}"
+        run_throughput_job(
+            embed_dim=args.embed_dim, tokens_per_second=args.tokens_per_second
+        )[1]
     )
 
 
 def _cmd_all(args) -> None:
     from repro.experiments.runner import run_all
 
-    run_all(quick=args.quick)
+    run_all(
+        quick=args.quick,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        seed=args.seed,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -117,14 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("precision", help="Fig. 3 precision sweep")
     p.add_argument("--trials", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_precision)
 
     p = sub.add_parser("compare", help="Table I IterL2Norm vs FISR")
     p.add_argument("--trials", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("convergence", help="Fig. 4 error vs iteration count")
     p.add_argument("--trials", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_convergence)
 
     p = sub.add_parser("latency", help="Fig. 5 macro latency sweep")
@@ -149,8 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tokens-per-second", type=float, default=1e5)
     p.set_defaults(func=_cmd_throughput)
 
+    from repro.engine.options import add_engine_arguments
+
     p = sub.add_parser("all", help="regenerate every table and figure")
     p.add_argument("--quick", action="store_true")
+    add_engine_arguments(p)
     p.set_defaults(func=_cmd_all)
 
     return parser

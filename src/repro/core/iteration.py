@@ -152,9 +152,15 @@ def iterate_a_batch(
     if num_steps < 0:
         raise ValueError(f"num_steps must be non-negative, got {num_steps}")
     work_fmt = _resolve_format(fmt)
-    m_arr = np.asarray(quantize(np.asarray(m, dtype=np.float64), work_fmt))
-    m_arr = np.atleast_1d(m_arr).astype(np.float64)
-    positive = m_arr > 0.0
+    m_input = np.atleast_1d(np.asarray(m, dtype=np.float64))
+    positive = m_input > 0.0
+    m_arr = np.asarray(quantize(m_input, work_fmt), dtype=np.float64)
+    m_arr = np.atleast_1d(m_arr)
+    # Positive entries that underflow to zero in the working format fall back
+    # to the smallest representable positive value, exactly as iterate_a does.
+    underflowed = positive & (m_arr <= 0.0)
+    if np.any(underflowed):
+        m_arr = np.where(underflowed, work_fmt.min_positive_subnormal, m_arr)
     # Use 1.0 as a placeholder for non-positive entries so the exponent read
     # and the arithmetic stay finite; the result is masked to zero at the end.
     m_safe = np.where(positive, m_arr, 1.0)

@@ -93,5 +93,5 @@ def latency_sweep(
         return LatencySweepResult(lengths, tuple(cycles), num_steps)
 
     model = LatencyModel()
-    cycles = tuple(model.total_cycles(d, num_steps) for d in lengths)
+    cycles = tuple(int(c) for c in model.total_cycles_batch(lengths, num_steps))
     return LatencySweepResult(lengths, cycles, num_steps)

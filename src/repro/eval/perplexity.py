@@ -135,9 +135,75 @@ def evaluate_perplexity(
     """Perplexity of the model (in eval mode) on the validation windows."""
     model.eval()
     inputs, targets = dataset.eval_windows(config.seq_len, max_windows=config.eval_windows)
+    return _windows_perplexity(model, inputs, targets)
+
+
+def _windows_perplexity(
+    model: OPTLanguageModel, inputs: np.ndarray, targets: np.ndarray
+) -> float:
+    """One batched forward over pre-built eval windows."""
     logits = model(inputs)
     loss, _ = cross_entropy(logits, targets)
     return perplexity_from_loss(loss)
+
+
+def evaluate_perplexity_variants(
+    model: OPTLanguageModel,
+    dataset: TextDataset,
+    config: LLMEvalConfig,
+    variants: list[tuple[str, dict]],
+) -> list[float]:
+    """Perplexity under a sequence of normalizer variants, sharing windows.
+
+    ``variants`` is a list of ``(method, kwargs)`` pairs passed to
+    :meth:`~repro.nn.model.OPTLanguageModel.replace_layernorm`.  The eval
+    windows are built once and every variant reuses the same batched
+    forward-pass inputs — the normalizer is swapped per variant, not
+    re-derived per forward pass.  The model's normalizers are restored
+    before returning.
+    """
+    model.eval()
+    inputs, targets = dataset.eval_windows(config.seq_len, max_windows=config.eval_windows)
+    perplexities: list[float] = []
+    try:
+        for method, kwargs in variants:
+            model.replace_layernorm(method, **kwargs)
+            perplexities.append(_windows_perplexity(model, inputs, targets))
+    finally:
+        model.restore_layernorm()
+    return perplexities
+
+
+def perplexity_cell(
+    task: str, model_name: str, config: LLMEvalConfig
+) -> list[LLMEvalResult]:
+    """One (task, model) cell of Table IV: train once, sweep all variants.
+
+    This is the unit of work the experiment engine schedules — cells are
+    independent (each trains its own model from ``config.seed``), so the
+    Table IV grid parallelizes across processes.
+    """
+    model, dataset, _ = prepare_model(task, model_name, config)
+    variants: list[tuple[str, dict]] = []
+    for fmt in config.formats:
+        # Baseline: exact normalization, output quantized to the format.
+        variants.append(("exact", {"fmt": fmt}))
+        for steps in config.step_counts:
+            variants.append(("iterl2norm", {"fmt": fmt, "num_steps": steps}))
+    perplexities = evaluate_perplexity_variants(model, dataset, config, variants)
+
+    results: list[LLMEvalResult] = []
+    cursor = 0
+    for fmt in config.formats:
+        result = LLMEvalResult(
+            task=task, model=model_name, fmt=fmt, baseline_perplexity=perplexities[cursor]
+        )
+        cursor += 1
+        for steps in config.step_counts:
+            result.perplexity_by_steps[steps] = perplexities[cursor]
+            cursor += 1
+        results.append(result)
+    return results
 
 
 def perplexity_experiment(config: LLMEvalConfig | None = None) -> list[LLMEvalResult]:
@@ -146,19 +212,5 @@ def perplexity_experiment(config: LLMEvalConfig | None = None) -> list[LLMEvalRe
     results: list[LLMEvalResult] = []
     for task in config.tasks:
         for model_name in config.models:
-            model, dataset, _ = prepare_model(task, model_name, config)
-            for fmt in config.formats:
-                # Baseline: exact normalization, output quantized to the format.
-                model.replace_layernorm("exact", fmt=fmt)
-                baseline = evaluate_perplexity(model, dataset, config)
-                result = LLMEvalResult(
-                    task=task, model=model_name, fmt=fmt, baseline_perplexity=baseline
-                )
-                for steps in config.step_counts:
-                    model.replace_layernorm("iterl2norm", fmt=fmt, num_steps=steps)
-                    result.perplexity_by_steps[steps] = evaluate_perplexity(
-                        model, dataset, config
-                    )
-                model.restore_layernorm()
-                results.append(result)
+            results.extend(perplexity_cell(task, model_name, config))
     return results

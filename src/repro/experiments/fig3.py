@@ -40,5 +40,26 @@ def run(
     return rows, text + "\n" + "\n".join(hist_lines)
 
 
+def job(
+    lengths=FIG3_LENGTHS,
+    formats=("fp32", "fp16", "bf16"),
+    trials: int = 1000,
+    num_steps: int = 5,
+    seed: int = 0,
+):
+    """Declare the Fig. 3 sweep as a schedulable engine job."""
+    from repro.engine.job import engine_job
+
+    return engine_job(
+        "Fig. 3",
+        "repro.experiments.fig3:run",
+        seed=seed,
+        lengths=lengths,
+        formats=formats,
+        trials=trials,
+        num_steps=num_steps,
+    )
+
+
 if __name__ == "__main__":  # pragma: no cover - manual invocation
     print(run(trials=200)[1])

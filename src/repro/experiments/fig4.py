@@ -33,5 +33,26 @@ def run(
     return rows, text
 
 
+def job(
+    length: int = 1024,
+    formats=("fp32", "fp16", "bf16"),
+    step_counts=DEFAULT_STEP_COUNTS,
+    trials: int = 1000,
+    seed: int = 0,
+):
+    """Declare the Fig. 4 convergence sweep as a schedulable engine job."""
+    from repro.engine.job import engine_job
+
+    return engine_job(
+        "Fig. 4",
+        "repro.experiments.fig4:run",
+        seed=seed,
+        length=length,
+        formats=formats,
+        step_counts=step_counts,
+        trials=trials,
+    )
+
+
 if __name__ == "__main__":  # pragma: no cover - manual invocation
     print(run(trials=200)[1])

@@ -15,6 +15,7 @@ def run(
     lengths=FIG5_LENGTHS,
     num_steps: int = 5,
     cross_check_simulator: bool = True,
+    seed: int = 0,
 ) -> tuple[list[dict[str, object]], str]:
     """Run the Fig. 5 sweep and return (rows, formatted text)."""
     model_sweep = latency_sweep(lengths=lengths, num_steps=num_steps, use_simulator=False)
@@ -30,7 +31,7 @@ def run(
     ]
     if cross_check_simulator:
         sim_sweep = latency_sweep(
-            lengths=lengths[:4], num_steps=num_steps, use_simulator=True
+            lengths=lengths[:4], num_steps=num_steps, use_simulator=True, seed=seed
         )
         agree = all(
             sim == model
@@ -38,6 +39,25 @@ def run(
         )
         lines.append(f"  cycle simulator agreement on first 4 lengths: {agree}")
     return rows, "\n".join(lines)
+
+
+def job(
+    lengths=FIG5_LENGTHS,
+    num_steps: int = 5,
+    cross_check_simulator: bool = True,
+    seed: int = 0,
+):
+    """Declare the Fig. 5 latency sweep as a schedulable engine job."""
+    from repro.engine.job import engine_job
+
+    return engine_job(
+        "Fig. 5",
+        "repro.experiments.fig5:run",
+        seed=seed,
+        lengths=lengths,
+        num_steps=num_steps,
+        cross_check_simulator=cross_check_simulator,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -23,5 +23,17 @@ def run(formats=("fp32", "fp16", "bf16")) -> tuple[dict[str, dict[str, dict[str,
     return breakdowns, "\n".join(lines)
 
 
+def job(formats=("fp32", "fp16", "bf16")):
+    """Declare the Fig. 6 breakdown report as a schedulable engine job.
+
+    The report is fully deterministic (no RNG), so the job is unseeded.
+    """
+    from repro.engine.job import engine_job
+
+    return engine_job(
+        "Fig. 6", "repro.experiments.fig6:run", seeded=False, formats=formats
+    )
+
+
 if __name__ == "__main__":  # pragma: no cover - manual invocation
     print(run()[1])

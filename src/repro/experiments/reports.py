@@ -1,0 +1,102 @@
+"""Auxiliary benchmark reports (traffic and throughput) as engine jobs.
+
+The host-vs-on-chip data-movement analysis and the multi-vector throughput
+model are not paper tables, but they are part of the benchmark suite, so
+they get the same declarative job treatment as ``fig3`` … ``table4``:
+a ``run_*_job`` entry point returning ``(rows, text)`` plus a ``*_job``
+factory the scheduler (and the CLI) can use.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reporting import format_table
+
+#: Token counts swept by the traffic report.
+TRAFFIC_TOKEN_COUNTS = (64, 256, 1024, 4096)
+#: Vector lengths swept by the throughput report.
+THROUGHPUT_LENGTHS = (64, 128, 256, 512, 768, 1024)
+
+
+def run_traffic_job(
+    embed_dim: int = 768,
+    fmt: str = "fp16",
+    interface: str = "ddr4",
+    token_counts=TRAFFIC_TOKEN_COUNTS,
+) -> tuple[list[dict[str, object]], str]:
+    """Host-side vs on-chip data movement for a sweep of token counts."""
+    from repro.macro.traffic import DDR4_CHANNEL, HBM2_STACK, PCIE4_X16, TrafficModel
+
+    interfaces = {"pcie4": PCIE4_X16, "ddr4": DDR4_CHANNEL, "hbm2": HBM2_STACK}
+    if interface not in interfaces:
+        raise KeyError(f"unknown interface {interface!r}; known: {sorted(interfaces)}")
+    model = TrafficModel(interface=interfaces[interface])
+    rows = [
+        model.report(embed_dim, int(tokens), fmt=fmt).as_row()
+        for tokens in token_counts
+    ]
+    text = format_table(
+        rows,
+        title=(
+            "Host-side vs on-chip layer normalization "
+            f"(d={embed_dim}, {fmt}, {interface})"
+        ),
+    )
+    return rows, text
+
+
+def run_throughput_job(
+    embed_dim: int = 768,
+    tokens_per_second: float = 1e5,
+    lengths=THROUGHPUT_LENGTHS,
+) -> tuple[list[dict[str, object]], str]:
+    """Single-macro throughput sweep plus the macros-needed sizing answer."""
+    from repro.macro.throughput import ThroughputModel
+
+    model = ThroughputModel()
+    rows = [r.as_row() for r in model.sweep(tuple(int(d) for d in lengths))]
+    needed = model.macros_required(embed_dim, tokens_per_second)
+    text = format_table(
+        rows, title="IterL2Norm macro throughput (one instance, 100 MHz)"
+    ) + (
+        f"\n\nmacros needed for {tokens_per_second:g} tokens/s at "
+        f"d={embed_dim}: {needed}"
+    )
+    return rows, text
+
+
+def traffic_job(
+    embed_dim: int = 768,
+    fmt: str = "fp16",
+    interface: str = "ddr4",
+    token_counts=TRAFFIC_TOKEN_COUNTS,
+):
+    """Declare the traffic report as a schedulable engine job."""
+    from repro.engine.job import engine_job
+
+    return engine_job(
+        "Traffic",
+        "repro.experiments.reports:run_traffic_job",
+        seeded=False,
+        embed_dim=embed_dim,
+        fmt=fmt,
+        interface=interface,
+        token_counts=token_counts,
+    )
+
+
+def throughput_job(
+    embed_dim: int = 768,
+    tokens_per_second: float = 1e5,
+    lengths=THROUGHPUT_LENGTHS,
+):
+    """Declare the throughput report as a schedulable engine job."""
+    from repro.engine.job import engine_job
+
+    return engine_job(
+        "Throughput",
+        "repro.experiments.reports:run_throughput_job",
+        seeded=False,
+        embed_dim=embed_dim,
+        tokens_per_second=tokens_per_second,
+        lengths=lengths,
+    )

@@ -4,65 +4,116 @@
 tables/figures; ``--quick`` shrinks the trial counts so the whole run
 finishes in a couple of minutes on a laptop.  EXPERIMENTS.md was produced
 from the output of this runner.
+
+The runner is built on :mod:`repro.engine`: each experiment is declared as
+a seedable :class:`~repro.engine.job.Job`, fanned out over a process pool
+(``--jobs N``), and keyed into a content-addressed disk cache so a repeated
+invocation replays the stored tables near-instantly (``--no-cache`` forces
+recomputation, ``--cache-dir`` relocates the store).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
+from repro.engine import Job, ResultCache, run_jobs
+from repro.engine.options import add_engine_arguments
 from repro.eval.perplexity import LLMEvalConfig
 from repro.experiments import fig3, fig4, fig5, fig6, table1, table2, table3, table4
 
+#: Sections whose jobs are merged back into one table after scheduling.
+_MERGED_SECTIONS = {"Table IV": table4.merge_cell_rows}
 
-def run_all(quick: bool = False, stream=None) -> dict[str, object]:
-    """Run every experiment; returns the raw rows keyed by experiment name."""
-    stream = stream or sys.stdout
+
+def build_sections(
+    quick: bool = False, seed: int = 0
+) -> list[tuple[str, list[Job]]]:
+    """Declare the paper's experiments as (section title, jobs) groups.
+
+    Most sections are a single job; Table IV fans out into one job per
+    (task, model) cell so its training runs parallelize.
+    """
     trials = 200 if quick else 1000
-    results: dict[str, object] = {}
-
-    def section(name: str, rows: object, text: str, started: float) -> None:
-        results[name] = rows
-        elapsed = time.perf_counter() - started
-        stream.write(f"\n{'=' * 78}\n{name}  ({elapsed:.1f}s)\n{'=' * 78}\n{text}\n")
-
-    t = time.perf_counter()
-    rows, text = fig3.run(trials=trials)
-    section("Fig. 3", rows, text, t)
-
-    t = time.perf_counter()
-    rows, text = table1.run(trials=trials)
-    section("Table I", rows, text, t)
-
-    t = time.perf_counter()
-    rows, text = fig4.run(trials=trials)
-    section("Fig. 4", rows, text, t)
-
-    t = time.perf_counter()
-    rows, text = fig5.run()
-    section("Fig. 5", rows, text, t)
-
-    t = time.perf_counter()
-    rows, text = table2.run()
-    section("Table II", rows, text, t)
-
-    t = time.perf_counter()
-    rows, text = fig6.run()
-    section("Fig. 6", rows, text, t)
-
-    t = time.perf_counter()
-    rows, text = table3.run()
-    section("Table III", rows, text, t)
-
-    t = time.perf_counter()
     if quick:
-        config = LLMEvalConfig(train_steps=60, eval_windows=8)
+        llm_config = LLMEvalConfig(train_steps=60, eval_windows=8, seed=seed)
     else:
-        config = LLMEvalConfig()
-    rows, text = table4.run(config)
-    section("Table IV", rows, text, t)
+        llm_config = LLMEvalConfig(seed=seed)
+    return [
+        ("Fig. 3", [fig3.job(trials=trials, seed=seed)]),
+        ("Table I", [table1.job(trials=trials, seed=seed)]),
+        ("Fig. 4", [fig4.job(trials=trials, seed=seed)]),
+        ("Fig. 5", [fig5.job(seed=seed)]),
+        ("Table II", [table2.job()]),
+        ("Fig. 6", [fig6.job()]),
+        ("Table III", [table3.job()]),
+        ("Table IV", table4.jobs(llm_config)),
+    ]
 
+
+def run_all(
+    quick: bool = False,
+    stream=None,
+    jobs: int = 1,
+    cache_dir=None,
+    no_cache: bool = False,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> dict[str, object]:
+    """Run every experiment; returns the raw rows keyed by experiment name.
+
+    Parameters
+    ----------
+    quick:
+        Reduced trial counts for a fast run.
+    stream:
+        Output stream (default stdout).
+    jobs:
+        Worker processes for the scheduler; ``1`` runs serially in-process.
+    cache_dir:
+        Result-cache directory (default ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro``).
+    no_cache:
+        Skip cache lookups (results are still stored for the next run).
+    seed:
+        RNG seed threaded through every job, so repeated runs — and cache
+        replays — are bit-identical.
+    use_cache:
+        ``False`` disables the cache entirely (no lookups, no writes);
+        used by tests that must not touch the user's cache directory.
+    """
+    stream = stream or sys.stdout
+    sections = build_sections(quick=quick, seed=seed)
+    flat = [job for _, group in sections for job in group]
+    cache = ResultCache(cache_dir) if use_cache else None
+    # Per-job progress goes to stderr so long runs show liveness without
+    # interleaving into the table output on stdout.
+    outcomes = run_jobs(
+        flat, max_workers=jobs, cache=cache, no_cache=no_cache, stream=sys.stderr
+    )
+
+    results: dict[str, object] = {}
+    cursor = 0
+    for name, group in sections:
+        group_outcomes = outcomes[cursor : cursor + len(group)]
+        cursor += len(group)
+        if name in _MERGED_SECTIONS:
+            rows, text = _MERGED_SECTIONS[name]([o.rows for o in group_outcomes])
+        else:
+            rows, text = group_outcomes[0].rows, group_outcomes[0].text
+        results[name] = rows
+        fresh = [o for o in group_outcomes if not o.cached]
+        if not fresh:
+            original = sum(o.elapsed for o in group_outcomes)
+            timing = f"cached, originally {original:.1f}s"
+        elif len(fresh) < len(group_outcomes):
+            computed = sum(o.elapsed for o in fresh)
+            timing = (
+                f"{computed:.1f}s + {len(group_outcomes) - len(fresh)} cached cells"
+            )
+        else:
+            timing = f"{sum(o.elapsed for o in fresh):.1f}s"
+        stream.write(f"\n{'=' * 78}\n{name}  ({timing})\n{'=' * 78}\n{text}\n")
     return results
 
 
@@ -71,8 +122,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="reduced trial counts for a fast run"
     )
+    add_engine_arguments(parser)
     args = parser.parse_args(argv)
-    run_all(quick=args.quick)
+    run_all(
+        quick=args.quick,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        seed=args.seed,
+    )
     return 0
 
 

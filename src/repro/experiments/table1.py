@@ -46,5 +46,26 @@ def run(
     return rows, text + "\n" + "\n".join(summary_lines)
 
 
+def job(
+    lengths=OPT_LENGTHS,
+    formats=("fp32", "bf16"),
+    trials: int = 1000,
+    num_steps: int = 5,
+    seed: int = 0,
+):
+    """Declare the Table I comparison as a schedulable engine job."""
+    from repro.engine.job import engine_job
+
+    return engine_job(
+        "Table I",
+        "repro.experiments.table1:run",
+        seed=seed,
+        lengths=lengths,
+        formats=formats,
+        trials=trials,
+        num_steps=num_steps,
+    )
+
+
 if __name__ == "__main__":  # pragma: no cover - manual invocation
     print(run(trials=200)[1])

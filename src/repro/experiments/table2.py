@@ -44,5 +44,17 @@ def run(formats=("fp32", "fp16", "bf16")) -> tuple[list[dict[str, object]], str]
     return rows, text
 
 
+def job(formats=("fp32", "fp16", "bf16")):
+    """Declare the Table II synthesis report as a schedulable engine job.
+
+    The report is fully deterministic (no RNG), so the job is unseeded.
+    """
+    from repro.engine.job import engine_job
+
+    return engine_job(
+        "Table II", "repro.experiments.table2:run", seeded=False, formats=formats
+    )
+
+
 if __name__ == "__main__":  # pragma: no cover - manual invocation
     print(run()[1])

@@ -30,5 +30,20 @@ def run(include_ours: bool = True) -> tuple[list[dict[str, object]], str]:
     return rows, text
 
 
+def job(include_ours: bool = True):
+    """Declare the Table III comparison as a schedulable engine job.
+
+    The report is fully deterministic (no RNG), so the job is unseeded.
+    """
+    from repro.engine.job import engine_job
+
+    return engine_job(
+        "Table III",
+        "repro.experiments.table3:run",
+        seeded=False,
+        include_ours=include_ours,
+    )
+
+
 if __name__ == "__main__":  # pragma: no cover - manual invocation
     print(run()[1])

@@ -9,21 +9,85 @@ baseline — the reproduction of the paper's normalizer-swap experiment
 
 from __future__ import annotations
 
-from repro.eval.perplexity import LLMEvalConfig, perplexity_experiment
+from repro.eval.perplexity import LLMEvalConfig, perplexity_cell, perplexity_experiment
 from repro.eval.reporting import format_table
+
+#: Column layout shared by the single-run and merged-cell table writers.
+TABLE4_COLUMNS = ["task", "model", "format", "baseline_ppl", "steps", "ppl", "delta"]
+TABLE4_TITLE = "Table IV - perplexity with IterL2Norm replacing layer normalization"
+
+
+def format_rows(rows: list[dict[str, object]]) -> str:
+    """Render Table IV rows with the canonical column layout."""
+    return format_table(rows, columns=TABLE4_COLUMNS, float_format=".4f", title=TABLE4_TITLE)
 
 
 def run(config: LLMEvalConfig | None = None) -> tuple[list[dict[str, object]], str]:
     """Run the Table IV grid and return (rows, formatted text)."""
     results = perplexity_experiment(config)
     rows = [row for result in results for row in result.as_rows()]
-    text = format_table(
-        rows,
-        columns=["task", "model", "format", "baseline_ppl", "steps", "ppl", "delta"],
-        float_format=".4f",
-        title="Table IV - perplexity with IterL2Norm replacing layer normalization",
-    )
-    return rows, text
+    return rows, format_rows(rows)
+
+
+def run_cell_job(
+    task: str,
+    model: str,
+    seed: int = 0,
+    **config_kwargs,
+) -> tuple[list[dict[str, object]], str]:
+    """Engine entry point for one (task, model) cell of the Table IV grid.
+
+    ``config_kwargs`` are the remaining :class:`LLMEvalConfig` fields
+    (``formats``, ``step_counts``, ``train_steps``, ...); sequence-valued
+    fields may arrive as lists after a cache round-trip.
+    """
+    for key in ("formats", "step_counts"):
+        if key in config_kwargs:
+            config_kwargs[key] = tuple(config_kwargs[key])
+    config = LLMEvalConfig(tasks=(task,), models=(model,), seed=seed, **config_kwargs)
+    results = perplexity_cell(task, model, config)
+    rows = [row for result in results for row in result.as_rows()]
+    return rows, format_rows(rows)
+
+
+def jobs(config: LLMEvalConfig | None = None) -> list:
+    """Declare the Table IV grid as one engine job per (task, model) cell.
+
+    Cells train independent models, so they fan out cleanly over the
+    scheduler's process pool; :func:`merge_cell_rows` reassembles the full
+    table from the per-cell rows.
+    """
+    from dataclasses import asdict
+
+    from repro.engine.job import engine_job
+
+    config = config or LLMEvalConfig()
+    # Everything except the cell coordinates and the seed is forwarded, so a
+    # future LLMEvalConfig field automatically reaches the cell jobs (and
+    # the cache hash) instead of silently reverting to its default.
+    shared = {
+        key: value
+        for key, value in asdict(config).items()
+        if key not in ("tasks", "models", "seed")
+    }
+    return [
+        engine_job(
+            f"Table IV [{task}/{model}]",
+            "repro.experiments.table4:run_cell_job",
+            seed=config.seed,
+            task=task,
+            model=model,
+            **shared,
+        )
+        for task in config.tasks
+        for model in config.models
+    ]
+
+
+def merge_cell_rows(cell_rows: list[list[dict[str, object]]]) -> tuple[list[dict[str, object]], str]:
+    """Combine per-cell row lists (in job order) into the full Table IV."""
+    rows = [row for rows_ in cell_rows for row in rows_]
+    return rows, format_rows(rows)
 
 
 def run_quick() -> tuple[list[dict[str, object]], str]:

@@ -95,9 +95,30 @@ class LatencyModel:
             "control": self.control_cycles(),
         }
 
+    def total_cycles_batch(self, lengths, num_steps: int = 5) -> np.ndarray:
+        """Vectorized :meth:`total_cycles` over an array of lengths.
+
+        The phase expressions collapse to ``7 * chunks(d) + 10 *
+        block_latency`` plus the length-independent iteration and control
+        terms, so a whole sweep is one NumPy expression.  A unit test
+        asserts element-by-element agreement with the scalar path.
+        """
+        d = np.asarray(lengths, dtype=np.int64)
+        if np.any(d < 1):
+            raise ValueError("vector lengths must be >= 1")
+        chunks = -(-d // self.chunk_elems)  # ceil division
+        fixed = (
+            10 * self.block_latency
+            + self.iteration_cycles(num_steps)
+            + self.control_cycles()
+        )
+        return 7 * chunks + fixed
+
     def sweep(self, lengths, num_steps: int = 5) -> list[tuple[int, int]]:
         """Latency for each length in ``lengths`` (the Fig. 5 series)."""
-        return [(int(d), self.total_cycles(int(d), num_steps)) for d in lengths]
+        lengths = tuple(int(d) for d in lengths)
+        cycles = self.total_cycles_batch(lengths, num_steps)
+        return [(d, int(c)) for d, c in zip(lengths, cycles)]
 
 
 def latency_cycles(d: int, num_steps: int = 5) -> int:

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.functional import causal_mask, softmax, softmax_backward
+from repro.nn.functional import (
+    causal_mask,
+    causal_mask_offset,
+    det_matmul,
+    softmax,
+    softmax_backward,
+)
+from repro.nn.kv_cache import LayerKVCache
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
 
@@ -84,6 +91,35 @@ class MultiHeadSelfAttention(Module):
             "scale": np.asarray(scale),
         }
         return out
+
+    def forward_cached(self, x: np.ndarray, kv: LayerKVCache) -> np.ndarray:
+        """Inference-only forward that appends to and attends over ``kv``.
+
+        ``x`` holds only the *new* token positions ``(batch, new_seq, d)``;
+        keys/values of earlier positions come from the cache.  Runs entirely
+        through :func:`~repro.nn.functional.det_matmul`, so the output for a
+        token is bit-identical whether it is decoded incrementally or as
+        part of a full-prefix prefill.  Dropout is skipped (eval-time path)
+        and nothing is cached for backward.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3 or x.shape[-1] != self.embed_dim:
+            raise ValueError(
+                f"expected input of shape (batch, seq, {self.embed_dim}), got {x.shape}"
+            )
+        _, s, _ = x.shape
+        q = self._split_heads(self.q_proj.forward_det(x))
+        k_new = self._split_heads(self.k_proj.forward_det(x))
+        v_new = self._split_heads(self.v_proj.forward_det(x))
+        k_all, v_all = kv.append(k_new, v_new)
+        total = k_all.shape[2]
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = det_matmul(q, k_all.transpose(0, 1, 3, 2)) * scale
+        scores = scores + causal_mask_offset(s, total)
+        weights = softmax(scores, axis=-1)
+        context = det_matmul(weights, v_all)
+        return self.out_proj.forward_det(self._merge_heads(context))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.functional import relu, relu_backward
+from repro.nn.kv_cache import LayerKVCache
 from repro.nn.layers import Dropout, LayerNorm, Linear
 from repro.nn.module import Module
 
@@ -47,6 +48,10 @@ class FeedForward(Module):
         grad_pre_act = relu_backward(grad_hidden, self._cache_pre_act)
         return self.fc1.backward(grad_pre_act)
 
+    def forward_det(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only forward with shape-independent accumulation."""
+        return self.fc2.forward_det(relu(self.fc1.forward_det(x)))
+
 
 class TransformerDecoderBlock(Module):
     """One pre-LN decoder block: LN -> attention -> residual, LN -> FFN -> residual."""
@@ -71,6 +76,20 @@ class TransformerDecoderBlock(Module):
         attn_out = self.attention(self.attn_norm(x))
         x = x + self.residual_dropout(attn_out)
         ffn_out = self.ffn(self.ffn_norm(x))
+        return x + ffn_out
+
+    def forward_cached(self, x: np.ndarray, kv: LayerKVCache) -> np.ndarray:
+        """Inference-only forward over the new positions in ``x`` using ``kv``.
+
+        The layer norms see only the new rows (normalization is per token),
+        attention appends to / reads from the cache, and the FFN runs through
+        the deterministic matmul path so results match a full re-prefill
+        bit-for-bit.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        attn_out = self.attention.forward_cached(self.attn_norm(x), kv)
+        x = x + attn_out
+        ffn_out = self.ffn.forward_det(self.ffn_norm(x))
         return x + ffn_out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -151,3 +151,41 @@ def causal_mask(seq_len: int) -> np.ndarray:
         raise ValueError(f"seq_len must be >= 1, got {seq_len}")
     mask = np.triu(np.full((seq_len, seq_len), -np.inf), k=1)
     return mask
+
+
+def causal_mask_offset(new_len: int, total_len: int) -> np.ndarray:
+    """Additive causal mask for incremental decoding with a KV cache.
+
+    Row ``i`` corresponds to the token at absolute position
+    ``total_len - new_len + i`` and may attend to every key at positions
+    ``0 .. total_len - new_len + i`` (all cached keys plus itself and the
+    earlier tokens of the current chunk).
+
+    ``causal_mask_offset(s, s)`` equals :func:`causal_mask` of size ``s``.
+    """
+    if new_len < 1 or total_len < new_len:
+        raise ValueError(
+            f"need 1 <= new_len <= total_len, got new_len={new_len}, "
+            f"total_len={total_len}"
+        )
+    past = total_len - new_len
+    rows = np.arange(new_len)[:, None] + past
+    cols = np.arange(total_len)[None, :]
+    return np.where(cols <= rows, 0.0, -np.inf)
+
+
+def det_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product with a shape-independent accumulation order.
+
+    BLAS matmuls pick different accumulation orders for different operand
+    shapes, so ``(X @ W)[i]`` and ``X[i:i+1] @ W`` can differ in the last
+    ulp.  The KV-cached decoding path needs single-token results to be
+    bit-identical to the full-sequence forward, so it routes every matrix
+    product through :func:`numpy.einsum` with ``optimize=False``: each
+    output element is then an independent dot product whose summation
+    order depends only on the contraction length.  Slower than BLAS, but
+    the cached path does O(1) work per token instead of O(seq).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return np.einsum("...ij,...jk->...ik", a, b, optimize=False)

@@ -1,0 +1,78 @@
+"""Per-layer key/value caches for incremental (autoregressive) decoding.
+
+Without a cache, generating token ``n`` re-runs the attention projections of
+all ``n - 1`` prefix tokens on every step — O(n^2) projection work per
+generated sequence.  :class:`KVCache` stores each layer's key/value tensors
+so a decode step only projects the new token(s) and attends over the cached
+keys: O(n) projection work overall.
+
+The cached path is *bit-exact* with respect to a full re-prefill: both run
+through :func:`repro.nn.functional.det_matmul`, whose accumulation order
+does not depend on how many rows are computed at once (a property the test
+suite asserts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LayerKVCache:
+    """Key/value tensors of one attention layer.
+
+    Arrays have shape ``(batch, num_heads, seq, head_dim)`` and grow along
+    the ``seq`` axis as tokens are appended.
+    """
+
+    def __init__(self) -> None:
+        self.k: np.ndarray | None = None
+        self.v: np.ndarray | None = None
+
+    @property
+    def seq_len(self) -> int:
+        """Number of cached token positions (0 when empty)."""
+        return 0 if self.k is None else self.k.shape[2]
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Append new key/value tensors; returns the full (k, v) so far."""
+        if k.shape != v.shape:
+            raise ValueError(f"k/v shape mismatch: {k.shape} vs {v.shape}")
+        if k.ndim != 4:
+            raise ValueError(f"expected (batch, heads, seq, head_dim), got {k.shape}")
+        if self.k is None:
+            self.k, self.v = k, v
+        else:
+            if k.shape[0] != self.k.shape[0] or k.shape[1] != self.k.shape[1]:
+                raise ValueError(
+                    f"cache holds {self.k.shape}, cannot append {k.shape}"
+                )
+            self.k = np.concatenate([self.k, k], axis=2)
+            self.v = np.concatenate([self.v, v], axis=2)
+        return self.k, self.v
+
+
+class KVCache:
+    """A stack of :class:`LayerKVCache` entries, one per decoder block.
+
+    Create one per generation run via :meth:`for_model` (or directly with
+    the layer count) and pass it to
+    :meth:`repro.nn.model.OPTLanguageModel.forward_with_cache`.
+    """
+
+    def __init__(self, num_layers: int) -> None:
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        self.layers = [LayerKVCache() for _ in range(num_layers)]
+
+    @classmethod
+    def for_model(cls, model) -> "KVCache":
+        """An empty cache sized for ``model``'s decoder stack."""
+        return cls(len(model.blocks))
+
+    @property
+    def seq_len(self) -> int:
+        """Number of token positions already processed through the cache."""
+        return self.layers[0].seq_len
+
+    def __len__(self) -> int:
+        return len(self.layers)

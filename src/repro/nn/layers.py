@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.functional import det_matmul
 from repro.nn.module import Module, Parameter
 
 
@@ -60,6 +61,24 @@ class Linear(Module):
             self.bias.grad += flat_grad.sum(axis=0)
         grad_input = grad_output @ self.weight.data.T
         return grad_input
+
+    def forward_det(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only forward with shape-independent accumulation.
+
+        Used by the KV-cached decoding path: the result for any row is
+        bit-identical whether the row is computed alone or as part of a
+        batch (see :func:`repro.nn.functional.det_matmul`).  Does not cache
+        anything for backward.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected last dim {self.in_features}, got {x.shape[-1]}"
+            )
+        out = det_matmul(x, self.weight.data)
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
 
 
 class Embedding(Module):

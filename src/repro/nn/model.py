@@ -18,7 +18,8 @@ import numpy as np
 from repro.baselines.registry import get_normalizer
 from repro.nn.block import TransformerDecoderBlock
 from repro.nn.config import OPTConfig
-from repro.nn.functional import cross_entropy
+from repro.nn.functional import cross_entropy, det_matmul
+from repro.nn.kv_cache import KVCache
 from repro.nn.layers import Dropout, Embedding, LayerNorm
 from repro.nn.module import Module
 
@@ -78,6 +79,63 @@ class OPTLanguageModel(Module):
         self._cache_hidden = hidden
         self._cache_token_ids = token_ids
         return hidden @ self.token_embedding.weight.data.T
+
+    def new_kv_cache(self) -> KVCache:
+        """An empty KV cache sized for this model's decoder stack."""
+        return KVCache.for_model(self)
+
+    def forward_with_cache(
+        self, token_ids: np.ndarray, cache: KVCache, last_only: bool = False
+    ) -> np.ndarray:
+        """Inference-only forward over the *new* tokens using a KV cache.
+
+        ``token_ids`` holds only the positions not yet in ``cache``; their
+        absolute positions continue from ``cache.seq_len``.  Returns logits
+        of shape ``(batch, new_seq, vocab)`` for the new positions only —
+        or ``(batch, 1, vocab)`` with ``last_only``, which skips the output
+        projection for all but the final position (the decode loops only
+        consume that row, and the vocabulary projection is the most
+        expensive matmul in the model).
+
+        The computation is bit-identical to running :meth:`forward` (in eval
+        mode, through the deterministic matmul path) on the full prefix and
+        slicing out the same positions — the KV-cache regression tests
+        assert this exactly.  Gradients are not tracked; the model must be
+        in eval mode (dropout and the normalizer swap are eval-time
+        behaviours, so a training-mode call would silently diverge).
+        """
+        if self.training:
+            raise RuntimeError(
+                "forward_with_cache requires eval mode; call model.eval() first"
+            )
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 2:
+            raise ValueError(f"token_ids must be (batch, seq), got shape {token_ids.shape}")
+        if len(cache) != len(self.blocks):
+            raise ValueError(
+                f"cache has {len(cache)} layers, model has {len(self.blocks)}"
+            )
+        batch, seq = token_ids.shape
+        past = cache.seq_len
+        if past + seq > self.config.max_position:
+            raise ValueError(
+                f"cache length {past} + new tokens {seq} exceeds max_position "
+                f"{self.config.max_position}"
+            )
+
+        if np.any(token_ids < 0) or np.any(token_ids >= self.config.vocab_size):
+            raise ValueError("token id out of range for the embedding table")
+
+        positions = np.broadcast_to(np.arange(past, past + seq), (batch, seq))
+        hidden = self.token_embedding.weight.data[token_ids] + (
+            self.position_embedding.weight.data[positions]
+        )
+        for block, layer_kv in zip(self.blocks, cache.layers):
+            hidden = block.forward_cached(hidden, layer_kv)
+        hidden = self.final_norm(hidden)
+        if last_only:
+            hidden = hidden[:, -1:, :]
+        return det_matmul(hidden, self.token_embedding.weight.data.T)
 
     def loss(self, token_ids: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
         """Cross-entropy loss of next-token prediction; returns (loss, logits)."""

@@ -1,0 +1,102 @@
+"""Element-by-element equivalence of ``iterate_a_batch`` and ``iterate_a``.
+
+The batch iteration is the hot path of the transformer substrate (every
+token row goes through it), so it must agree with the scalar reference
+*bitwise* in every format — including the awkward corners: values that are
+subnormal in the working format, values near the format's overflow
+boundary, values that underflow to zero when quantized, and non-positive
+rows (which the batch path defines as ``a = 0``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.iteration import iterate_a, iterate_a_batch
+from repro.fpformats.spec import get_format
+
+PAPER_FORMATS = ("fp32", "fp16", "bf16")
+
+#: Hand-picked m values per format: ordinary magnitudes, values that are
+#: subnormal once quantized, and values just below the overflow boundary.
+EDGE_M = {
+    "fp32": [
+        1e-3, 0.25, 1.0, 3.7, 1e4,
+        1e-39,            # subnormal in fp32
+        2.5e-38,          # just above fp32's min normal
+        3.0e38,           # near fp32 max_finite (3.4e38)
+    ],
+    "fp16": [
+        1e-3, 0.25, 1.0, 3.7, 1e4,
+        1e-7,             # subnormal in fp16 (min normal 6.1e-5)
+        7e-5,             # just above fp16's min normal
+        6.0e4,            # near fp16 max_finite (65504)
+    ],
+    "bf16": [
+        1e-3, 0.25, 1.0, 3.7, 1e4,
+        1e-39,            # subnormal in bf16
+        2.5e-38,
+        3.0e38,           # near bf16 max_finite (3.39e38)
+    ],
+}
+
+
+@pytest.fixture(params=PAPER_FORMATS)
+def fmt(request) -> str:
+    return request.param
+
+
+class TestElementwiseEquivalence:
+    @pytest.mark.parametrize("num_steps", [0, 1, 3, 5, 10])
+    def test_random_batch_matches_scalar(self, rng, fmt, num_steps):
+        ms = rng.uniform(1e-3, 5e3, size=128)
+        batch = iterate_a_batch(ms, num_steps=num_steps, fmt=fmt)
+        scalar = np.array(
+            [iterate_a(float(m), num_steps=num_steps, fmt=fmt) for m in ms]
+        )
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_edge_magnitudes_match_scalar(self, fmt):
+        ms = np.asarray(EDGE_M[fmt])
+        batch = iterate_a_batch(ms, num_steps=5, fmt=fmt)
+        scalar = np.array([iterate_a(float(m), num_steps=5, fmt=fmt) for m in ms])
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_underflowing_m_matches_scalar_fallback(self, fmt):
+        """m > 0 that quantizes to zero uses the min-subnormal fallback."""
+        spec = get_format(fmt)
+        m = spec.min_positive_subnormal * 0.25  # quantizes to 0 in fmt
+        assert float(np.asarray(m)) > 0.0
+        batch = iterate_a_batch(np.array([m]), num_steps=5, fmt=fmt)
+        scalar = iterate_a(m, num_steps=5, fmt=fmt)
+        assert batch[0] == scalar
+        assert batch[0] > 0.0
+
+    def test_subnormal_m_stays_positive_and_exact(self, fmt):
+        spec = get_format(fmt)
+        m = spec.min_positive_subnormal * 3.0
+        batch = iterate_a_batch(np.array([m]), num_steps=5, fmt=fmt)
+        assert batch[0] == iterate_a(m, num_steps=5, fmt=fmt)
+
+    def test_mixed_batch_with_non_positive_entries(self, fmt):
+        """Non-positive rows yield a = 0; positive rows match the scalar."""
+        ms = np.array([4.0, 0.0, -3.5, 1.0])
+        batch = iterate_a_batch(ms, num_steps=5, fmt=fmt)
+        assert batch[1] == 0.0
+        assert batch[2] == 0.0
+        assert batch[0] == iterate_a(4.0, num_steps=5, fmt=fmt)
+        assert batch[3] == iterate_a(1.0, num_steps=5, fmt=fmt)
+
+    def test_fp64_exact_path_matches_scalar(self, rng):
+        ms = rng.uniform(0.01, 100.0, size=32)
+        np.testing.assert_array_equal(
+            iterate_a_batch(ms, num_steps=5, fmt=None),
+            np.array([iterate_a(float(m), num_steps=5) for m in ms]),
+        )
+
+    def test_explicit_lam_and_a0_match_scalar(self, rng, fmt):
+        ms = rng.uniform(0.5, 8.0, size=16)
+        batch = iterate_a_batch(ms, num_steps=6, lam=0.05, a0=0.3, fmt=fmt)
+        scalar = np.array(
+            [iterate_a(float(m), num_steps=6, lam=0.05, a0=0.3, fmt=fmt) for m in ms]
+        )
+        np.testing.assert_array_equal(batch, scalar)

@@ -1,0 +1,188 @@
+"""Tests for the parallel cache-aware experiment engine."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import Job, ResultCache, code_fingerprint, run_jobs
+from repro.engine.cache import _NumpyJSONEncoder
+from repro.engine.job import engine_job
+from repro.experiments import fig3, fig4, fig5, table2, table4
+
+
+def tiny_fig3_job(seed=0):
+    return fig3.job(lengths=(64,), formats=("fp32",), trials=5, seed=seed)
+
+
+def tiny_fig4_job(seed=0):
+    return fig4.job(length=64, formats=("fp32",), step_counts=(1, 3), trials=5, seed=seed)
+
+
+class TestJob:
+    def test_target_resolution(self):
+        job = tiny_fig3_job()
+        assert job.resolve() is fig3.run
+
+    def test_bad_target_format_rejected(self):
+        with pytest.raises(ValueError):
+            Job(name="x", target="no.colon.here", params={})
+
+    def test_missing_attribute_rejected(self):
+        job = Job(name="x", target="repro.experiments.fig3:not_a_function")
+        with pytest.raises(AttributeError):
+            job.resolve()
+
+    def test_non_serializable_params_rejected(self):
+        with pytest.raises(TypeError):
+            Job(name="x", target="a:b", params={"f": object()})
+
+    def test_seeded_job_passes_seed(self):
+        job = tiny_fig3_job(seed=7)
+        assert job.kwargs()["seed"] == 7
+
+    def test_unseeded_job_omits_seed(self):
+        job = table2.job()
+        assert "seed" not in job.kwargs()
+
+    def test_hash_is_stable_and_discriminating(self):
+        code = "abc"
+        a = tiny_fig3_job().config_hash(code)
+        assert a == tiny_fig3_job().config_hash(code)
+        # Any config change invalidates the hash.
+        assert a != tiny_fig3_job(seed=1).config_hash(code)
+        assert a != fig3.job(lengths=(64,), formats=("fp32",), trials=6).config_hash(code)
+        assert a != tiny_fig3_job().config_hash("other-code-version")
+
+    def test_hash_ignores_param_ordering_and_numpy_types(self):
+        code = "abc"
+        j1 = Job(name="x", target="a:b", params={"p": 1, "q": [2.0]})
+        j2 = Job(name="x", target="a:b", params={"q": (np.float64(2.0),), "p": np.int64(1)})
+        assert j1.config_hash(code) == j2.config_hash(code)
+
+    def test_engine_job_coerces_tuples_to_lists(self):
+        """Factory params hash identically to their cached-JSON list form."""
+        via_helper = engine_job(
+            "x", "a:b", seed=2, lengths=(64, 128), trials=np.int64(5)
+        )
+        direct = Job(
+            name="x", target="a:b", params={"lengths": [64, 128], "trials": 5}, seed=2
+        )
+        assert via_helper.params["lengths"] == [64, 128]
+        assert via_helper.config_hash("c") == direct.config_hash("c")
+
+    def test_code_fingerprint_is_stable_hex(self):
+        fp = code_fingerprint()
+        assert fp == code_fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)  # valid hex
+
+
+class TestResultCache:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("deadbeef") is None
+        cache.put("deadbeef", {"rows": [{"a": np.float64(1.5)}], "text": "t"})
+        payload = cache.get("deadbeef")
+        assert payload == {"rows": [{"a": 1.5}], "text": "t"}
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"rows": [], "text": ""})
+        cache.path_for("k").write_text("{ not json")
+        assert cache.get("k") is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", {"rows": [], "text": ""})
+        cache.put("k2", {"rows": [], "text": ""})
+        assert cache.clear() == 2
+        assert cache.get("k1") is None
+
+    def test_numpy_encoder_handles_arrays_and_scalars(self):
+        blob = json.dumps(
+            {"i": np.int64(3), "f": np.float64(0.5), "b": np.bool_(True), "a": np.arange(3)},
+            cls=_NumpyJSONEncoder,
+        )
+        assert json.loads(blob) == {"i": 3, "f": 0.5, "b": True, "a": [0, 1, 2]}
+
+
+class TestScheduler:
+    def test_cache_hit_skips_recompute(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = tiny_fig3_job()
+        first = run_jobs([job], cache=cache)[0]
+        assert not first.cached
+        second = run_jobs([job], cache=cache)[0]
+        assert second.cached
+        assert second.text == first.text
+        assert second.key == first.key
+
+    def test_changed_params_invalidate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_jobs([tiny_fig3_job(seed=0)], cache=cache)
+        outcome = run_jobs([tiny_fig3_job(seed=1)], cache=cache)[0]
+        assert not outcome.cached
+
+    def test_no_cache_forces_recompute_but_stores(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = tiny_fig3_job()
+        run_jobs([job], cache=cache)
+        outcome = run_jobs([job], cache=cache, no_cache=True)[0]
+        assert not outcome.cached
+        # The recomputed result was re-stored and is a hit afterwards.
+        assert run_jobs([job], cache=cache)[0].cached
+
+    def test_parallel_equals_serial(self, tmp_path):
+        jobs = [tiny_fig3_job(), tiny_fig4_job(), fig5.job(cross_check_simulator=False)]
+        serial = run_jobs(jobs, max_workers=1)
+        parallel = run_jobs(jobs, max_workers=2)
+        assert [o.job.name for o in serial] == [o.job.name for o in parallel]
+        for s, p in zip(serial, parallel):
+            assert s.text == p.text
+            assert s.rows == p.rows
+
+    def test_outcomes_preserve_input_order(self):
+        jobs = [fig5.job(cross_check_simulator=False), tiny_fig3_job()]
+        outcomes = run_jobs(jobs, max_workers=2)
+        assert [o.job.name for o in outcomes] == ["Fig. 5", "Fig. 3"]
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            run_jobs([], max_workers=0)
+
+    def test_cached_rows_round_trip_numpy_rows(self, tmp_path):
+        """Rows survive the JSON round-trip with exact float values."""
+        cache = ResultCache(tmp_path)
+        job = tiny_fig4_job()
+        fresh = run_jobs([job], cache=cache)[0]
+        replay = run_jobs([job], cache=cache)[0]
+        assert replay.cached
+        for fresh_row, cached_row in zip(fresh.rows, replay.rows):
+            for key, value in fresh_row.items():
+                assert cached_row[key] == value
+
+
+class TestTable4Cells:
+    def test_cell_job_matches_direct_run(self):
+        """A cell job (post JSON-style params) reproduces table4.run rows."""
+        from repro.eval.perplexity import LLMEvalConfig
+
+        config = LLMEvalConfig(
+            tasks=("wikitext2-sim",),
+            models=("opt-125m-sim",),
+            formats=("fp32",),
+            step_counts=(3,),
+            train_steps=5,
+            seq_len=16,
+            eval_windows=2,
+        )
+        direct_rows, _ = table4.run(config)
+        (job,) = table4.jobs(config)
+        # Simulate the cache round-trip: params become plain JSON values.
+        params = json.loads(json.dumps(job.params, cls=_NumpyJSONEncoder))
+        rows, text = table4.run_cell_job(seed=job.seed, **params)
+        assert rows == direct_rows
+        merged_rows, merged_text = table4.merge_cell_rows([rows])
+        assert merged_rows == rows
+        assert "Table IV" in merged_text

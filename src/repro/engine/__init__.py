@@ -1,0 +1,22 @@
+"""Parallel, cache-aware experiment engine.
+
+Every paper experiment is declared as a :class:`~repro.engine.job.Job` — a
+picklable, seedable description of one unit of work (a dotted-path target
+plus JSON-serializable parameters).  The :mod:`~repro.engine.scheduler`
+fans jobs out over a process pool and consults the
+:mod:`~repro.engine.cache` so repeated invocations replay stored results
+near-instantly.  Config hashes include a fingerprint of the library source,
+so editing the code invalidates stale cache entries automatically.
+"""
+
+from repro.engine.cache import ResultCache, code_fingerprint
+from repro.engine.job import Job
+from repro.engine.scheduler import JobOutcome, run_jobs
+
+__all__ = [
+    "Job",
+    "JobOutcome",
+    "ResultCache",
+    "code_fingerprint",
+    "run_jobs",
+]

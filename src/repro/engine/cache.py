@@ -1,0 +1,134 @@
+"""Content-addressed disk cache for experiment results.
+
+Payloads are JSON files named by the job's config hash, which covers the
+job's target, parameters, seed, and a fingerprint of the library source
+(:func:`code_fingerprint`).  A repeated ``runner`` invocation therefore
+replays cached tables byte-for-byte, while editing any ``repro`` source
+file — or changing any job parameter — makes every stale entry a miss.
+
+The default location is ``~/.cache/repro`` (override with the
+``REPRO_CACHE_DIR`` environment variable or the ``--cache-dir`` CLI flag).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``.py`` source file of the installed ``repro`` package.
+
+    Computed once per process; editing any library source changes the
+    fingerprint and thereby invalidates all existing cache entries.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+class _NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder accepting the NumPy scalars/arrays experiment rows carry."""
+
+    def default(self, o):
+        if isinstance(o, np.integer):
+            return int(o)
+        if isinstance(o, np.floating):
+            return float(o)
+        if isinstance(o, np.bool_):
+            return bool(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        return super().default(o)
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """JSON-on-disk result store keyed by config hash.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the payload files; created lazily on first write.
+        Defaults to :func:`default_cache_dir`.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        """Payload file for a config hash."""
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Load a payload, or ``None`` on miss (or an unreadable entry)."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A truncated or corrupt entry counts as a miss; it will be
+            # overwritten by the recomputed result.
+            return None
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Atomically write a payload for a config hash."""
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        except FileExistsError as exc:
+            raise NotADirectoryError(
+                f"cache directory {self.cache_dir} exists but is not a directory"
+            ) from exc
+        path = self.path_for(key)
+        blob = json.dumps(payload, cls=_NumpyJSONEncoder, indent=1)
+        fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached payload; returns the number removed."""
+        if not self.cache_dir.is_dir():
+            return 0
+        removed = 0
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,125 @@
+"""Declarative experiment jobs.
+
+A :class:`Job` is the unit of work the scheduler operates on: a dotted-path
+reference to a module-level callable (so the job pickles cleanly into worker
+processes), a dict of JSON-serializable keyword arguments, and an explicit
+seed.  Its :meth:`Job.config_hash` is a stable content address over all of
+that plus a fingerprint of the library source, which keys the result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+def _canonical(value: Any) -> Any:
+    """Convert params into a canonical JSON-serializable structure.
+
+    Tuples become lists (as JSON would store them), dict keys are coerced
+    to strings, and NumPy scalars/arrays are converted to native Python so
+    hashing never depends on in-memory types.
+    """
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_canonical(v) for v in value.tolist()]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"job params must be JSON-serializable, got {type(value).__name__}: {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable experiment.
+
+    Attributes
+    ----------
+    name:
+        Display name, e.g. ``"Fig. 3"`` (also used in cache payloads).
+    target:
+        Dotted path ``"package.module:function"`` of a module-level callable
+        returning ``(rows, text)``.
+    params:
+        Keyword arguments for the target; must be JSON-serializable.
+    seed:
+        RNG seed, passed to the target as the ``seed`` keyword when the
+        target accepts one (declared via ``seeded=True``).
+    seeded:
+        Whether the target takes a ``seed`` keyword.  Deterministic reports
+        (e.g. the synthesis tables) set this to ``False``.
+    """
+
+    name: str
+    target: str
+    params: dict = field(default_factory=dict)
+    seed: int = 0
+    seeded: bool = True
+
+    def __post_init__(self) -> None:
+        if ":" not in self.target:
+            raise ValueError(
+                f"target must look like 'pkg.module:function', got {self.target!r}"
+            )
+        _canonical(self.params)  # validate eagerly
+
+    def kwargs(self) -> dict:
+        """The keyword arguments the target is actually called with."""
+        kwargs = dict(self.params)
+        if self.seeded:
+            kwargs["seed"] = self.seed
+        return kwargs
+
+    def resolve(self) -> Callable[..., Any]:
+        """Import and return the target callable."""
+        module_name, _, func_name = self.target.partition(":")
+        module = importlib.import_module(module_name)
+        try:
+            return getattr(module, func_name)
+        except AttributeError as exc:
+            raise AttributeError(
+                f"module {module_name!r} has no attribute {func_name!r}"
+            ) from exc
+
+    def config_hash(self, code_version: str) -> str:
+        """Stable content address of this job under a given code version."""
+        payload = {
+            "name": self.name,
+            "target": self.target,
+            "params": _canonical(self.params),
+            "seed": int(self.seed),
+            "seeded": bool(self.seeded),
+            "code": code_version,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def engine_job(
+    name: str, target: str, *, seed: int = 0, seeded: bool = True, **params
+) -> Job:
+    """Declare a :class:`Job`, coercing sequence params to JSON-style lists.
+
+    The experiment modules' ``job()`` factories all follow the same shape
+    (tuple defaults like ``lengths``/``formats`` that must hash identically
+    to their cached-JSON list form); this helper keeps that coercion in one
+    place.
+    """
+    coerced = {
+        key: list(value) if isinstance(value, (tuple, list)) else value
+        for key, value in params.items()
+    }
+    return Job(name=name, target=target, params=coerced, seed=seed, seeded=seeded)

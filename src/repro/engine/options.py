@@ -1,0 +1,40 @@
+"""Shared argparse plumbing for the engine's CLI knobs.
+
+Both entry points that expose the engine (``repro all`` and
+``python -m repro.experiments.runner``) add the same flags through
+:func:`add_engine_arguments`, so the two cannot drift apart.  This module
+deliberately imports nothing beyond :mod:`argparse` — parser construction
+must not drag in the experiment stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+def positive_int(value: str) -> int:
+    """argparse type for the ``--jobs`` knob: an integer >= 1."""
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {jobs}")
+    return jobs
+
+
+def add_engine_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Add the ``--jobs/--cache-dir/--no-cache/--seed`` flag group."""
+    parser.add_argument(
+        "--jobs", type=positive_int, default=1, metavar="N",
+        help="worker processes for the experiment engine (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip cache lookups and recompute (results are re-stored)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="RNG seed threaded through every job"
+    )
+    return parser

@@ -1,0 +1,161 @@
+"""Job scheduler: cache lookups plus process-level fan-out.
+
+``run_jobs`` takes a list of declarative :class:`~repro.engine.job.Job`
+objects and returns one :class:`JobOutcome` per job **in input order**,
+regardless of completion order, so table output stays deterministic:
+
+1. every job's config hash is checked against the
+   :class:`~repro.engine.cache.ResultCache` (unless ``no_cache``);
+2. misses run on a ``ProcessPoolExecutor`` when ``max_workers > 1``
+   (``--jobs N``), or inline when serial;
+3. fresh results are written back to the cache.
+
+Jobs are seeded and self-contained, so parallel execution produces
+byte-identical tables to serial execution (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+from repro.engine.cache import ResultCache, code_fingerprint
+from repro.engine.job import Job
+
+
+@dataclass
+class JobOutcome:
+    """Result of one scheduled job.
+
+    Attributes
+    ----------
+    job:
+        The job that produced this outcome.
+    rows:
+        The raw result rows (or whatever payload the target returned first).
+    text:
+        The formatted report text returned by the target.
+    elapsed:
+        Wall-clock seconds the computation took (the *original* computation
+        for cache hits).
+    cached:
+        Whether the result was replayed from the cache.
+    key:
+        The config hash that keyed the cache lookup.
+    """
+
+    job: Job
+    rows: object
+    text: str
+    elapsed: float
+    cached: bool
+    key: str
+
+
+def _execute_job(job: Job) -> tuple[object, str, float]:
+    """Run one job to completion (also the process-pool entry point)."""
+    started = time.perf_counter()
+    rows, text = job.resolve()(**job.kwargs())
+    return rows, text, time.perf_counter() - started
+
+
+def run_jobs(
+    jobs: list[Job],
+    max_workers: int = 1,
+    cache: ResultCache | None = None,
+    no_cache: bool = False,
+    stream=None,
+) -> list[JobOutcome]:
+    """Execute jobs (with caching and optional parallelism) in input order.
+
+    Parameters
+    ----------
+    jobs:
+        The jobs to run.
+    max_workers:
+        ``1`` runs everything inline; ``N > 1`` fans cache misses out over a
+        process pool of at most ``N`` workers.
+    cache:
+        Result cache to consult and populate; ``None`` disables caching
+        entirely.
+    no_cache:
+        Skip cache *lookups* but still store fresh results, so a
+        ``--no-cache`` run repairs stale entries instead of ignoring them.
+    stream:
+        Optional text stream for per-job progress lines.
+    """
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    log = stream.write if stream is not None else (lambda _s: None)
+
+    code = code_fingerprint()
+    outcomes: list[JobOutcome | None] = [None] * len(jobs)
+    pending: list[int] = []
+    for i, job in enumerate(jobs):
+        key = job.config_hash(code)
+        payload = None if (cache is None or no_cache) else cache.get(key)
+        if payload is not None:
+            outcomes[i] = JobOutcome(
+                job=job,
+                rows=payload["rows"],
+                text=payload["text"],
+                elapsed=float(payload.get("elapsed", 0.0)),
+                cached=True,
+                key=key,
+            )
+            log(f"[engine] {job.name}: cache hit ({key[:12]})\n")
+        else:
+            pending.append(i)
+
+    def record(i: int, rows: object, text: str, elapsed: float) -> None:
+        job = jobs[i]
+        key = job.config_hash(code)
+        outcomes[i] = JobOutcome(
+            job=job, rows=rows, text=text, elapsed=elapsed, cached=False, key=key
+        )
+        if cache is not None:
+            cache.put(
+                key,
+                {
+                    "key": key,
+                    "name": job.name,
+                    "target": job.target,
+                    "params": job.params,
+                    "seed": job.seed,
+                    "code_version": code,
+                    "elapsed": elapsed,
+                    "rows": rows,
+                    "text": text,
+                },
+            )
+        log(f"[engine] {job.name}: computed in {elapsed:.1f}s\n")
+
+    if pending and (max_workers == 1 or len(pending) == 1):
+        for i in pending:
+            rows, text, elapsed = _execute_job(jobs[i])
+            record(i, rows, text, elapsed)
+    elif pending:
+        workers = min(max_workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_execute_job, jobs[i]): i for i in pending}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    rows, text, elapsed = future.result()
+                    record(futures[future], rows, text, elapsed)
+
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin wrapper
+    """``python -m repro.engine.scheduler`` delegates to the runner CLI."""
+    from repro.experiments.runner import main as runner_main
+
+    return runner_main(argv)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

@@ -11,6 +11,8 @@ models:
 * ``llm``       — Table IV (train the substrate models and swap normalizers).
 * ``traffic``   — the host-vs-on-chip data-movement motivation analysis.
 * ``throughput`` — the multi-vector batching/throughput model.
+* ``serve-bench`` — the continuous-batching serving benchmark
+  (traffic scenarios x swapped normalizers, writes ``BENCH_serve.json``).
 * ``all``       — everything, in paper order.
 """
 
@@ -92,6 +94,22 @@ def _cmd_throughput(args) -> None:
     )
 
 
+def _cmd_serve_bench(args) -> None:
+    from repro.serve.bench import run_bench
+
+    run_bench(
+        quick=args.quick,
+        jobs_n=args.jobs,
+        seed=args.seed,
+        out_path=args.out,
+        scenarios=args.scenarios or None,
+        normalizers=tuple(args.normalizers.split(",")),
+        cache_dir=args.cache_dir,
+        use_cache=args.use_cache,
+        no_cache=args.no_cache,
+    )
+
+
 def _cmd_all(args) -> None:
     from repro.experiments.runner import run_all
 
@@ -101,6 +119,7 @@ def _cmd_all(args) -> None:
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
         seed=args.seed,
+        include_serve=args.serve,
     )
 
 
@@ -147,8 +166,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     from repro.engine.options import add_engine_arguments
 
+    p = sub.add_parser(
+        "serve-bench",
+        help="continuous-batching serving benchmark (writes BENCH_serve.json)",
+    )
+    p.add_argument("--quick", action="store_true", help="12 requests per scenario")
+    p.add_argument("--out", default="BENCH_serve.json", metavar="PATH")
+    p.add_argument(
+        "--scenarios", nargs="*", metavar="NAME",
+        help="subset of scenarios (default: steady bursty chat codegen)",
+    )
+    p.add_argument(
+        "--normalizers", default="baseline,iterl2norm",
+        help="comma-separated normalizer variants to compare",
+    )
+    p.add_argument(
+        "--use-cache", action="store_true",
+        help="replay token-identical cells from the result cache "
+             "(off by default: cached timings defeat a benchmark)",
+    )
+    add_engine_arguments(p)
+    p.set_defaults(func=_cmd_serve_bench)
+
     p = sub.add_parser("all", help="regenerate every table and figure")
     p.add_argument("--quick", action="store_true")
+    p.add_argument(
+        "--serve", action="store_true",
+        help="also run the serving benchmark section (timing-sensitive)",
+    )
     add_engine_arguments(p)
     p.set_defaults(func=_cmd_all)
 

@@ -22,24 +22,47 @@ from repro.engine.options import add_engine_arguments
 from repro.eval.perplexity import LLMEvalConfig
 from repro.experiments import fig3, fig4, fig5, fig6, table1, table2, table3, table4
 
+def _merge_serve_rows(groups: list[object]) -> tuple[object, str]:
+    """Fold the serve-bench cells back into one section table."""
+    rows = list(groups)
+    header = "scenario normalizer   tokens/s   TTFT p50        queue max"
+    lines = [header]
+    for row in rows:
+        metrics = row["metrics"]
+        lines.append(
+            f"{row['scenario']:8s} {row['normalizer']:10s} "
+            f"{metrics['tokens_per_second']:9.1f}  "
+            f"{metrics['ttft_s']['p50'] * 1e3:9.2f} ms  "
+            f"{metrics['queue_depth']['max']:6d}"
+        )
+    return rows, "\n".join(lines)
+
+
 #: Sections whose jobs are merged back into one table after scheduling.
-_MERGED_SECTIONS = {"Table IV": table4.merge_cell_rows}
+_MERGED_SECTIONS = {
+    "Table IV": table4.merge_cell_rows,
+    "Serve bench": _merge_serve_rows,
+}
 
 
 def build_sections(
-    quick: bool = False, seed: int = 0
+    quick: bool = False, seed: int = 0, include_serve: bool = False
 ) -> list[tuple[str, list[Job]]]:
     """Declare the paper's experiments as (section title, jobs) groups.
 
     Most sections are a single job; Table IV fans out into one job per
-    (task, model) cell so its training runs parallelize.
+    (task, model) cell so its training runs parallelize.  With
+    ``include_serve`` the continuous-batching serving benchmark joins as a
+    fan-out section of (scenario, normalizer) cells — token streams are
+    deterministic, but its timing columns are measured per run, so cached
+    replays show the timings of the original computation.
     """
     trials = 200 if quick else 1000
     if quick:
         llm_config = LLMEvalConfig(train_steps=60, eval_windows=8, seed=seed)
     else:
         llm_config = LLMEvalConfig(seed=seed)
-    return [
+    sections = [
         ("Fig. 3", [fig3.job(trials=trials, seed=seed)]),
         ("Table I", [table1.job(trials=trials, seed=seed)]),
         ("Fig. 4", [fig4.job(trials=trials, seed=seed)]),
@@ -49,6 +72,11 @@ def build_sections(
         ("Table III", [table3.job()]),
         ("Table IV", table4.jobs(llm_config)),
     ]
+    if include_serve:
+        from repro.serve import bench
+
+        sections.append(("Serve bench", bench.jobs(quick=quick, seed=seed)))
+    return sections
 
 
 def run_all(
@@ -59,6 +87,7 @@ def run_all(
     no_cache: bool = False,
     seed: int = 0,
     use_cache: bool = True,
+    include_serve: bool = False,
 ) -> dict[str, object]:
     """Run every experiment; returns the raw rows keyed by experiment name.
 
@@ -81,9 +110,12 @@ def run_all(
     use_cache:
         ``False`` disables the cache entirely (no lookups, no writes);
         used by tests that must not touch the user's cache directory.
+    include_serve:
+        Append the continuous-batching serve-bench section
+        (``--serve`` on the CLI).
     """
     stream = stream or sys.stdout
-    sections = build_sections(quick=quick, seed=seed)
+    sections = build_sections(quick=quick, seed=seed, include_serve=include_serve)
     flat = [job for _, group in sections for job in group]
     cache = ResultCache(cache_dir) if use_cache else None
     # Per-job progress goes to stderr so long runs show liveness without
@@ -122,6 +154,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="reduced trial counts for a fast run"
     )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="also run the serving benchmark section (timing-sensitive)",
+    )
     add_engine_arguments(parser)
     args = parser.parse_args(argv)
     run_all(
@@ -130,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
         seed=args.seed,
+        include_serve=args.serve,
     )
     return 0
 

@@ -9,11 +9,19 @@ interface, it reports the DRAM bytes and channel occupancy that host-side
 normalization would add, the access energy of both options, and the on-chip
 macro latency.  It backs the `traffic` CLI command and the motivation
 benchmark.
+
+It also defines the **request arrival processes** (steady, Poisson, and
+bursty Markov-modulated Poisson) that characterize inference traffic.
+These feed the serving-layer workload generator
+(:mod:`repro.serve.workload`), so the same traffic assumptions drive both
+the data-movement analysis and the end-to-end serving benchmarks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.fpformats.spec import FloatFormat, get_format
 from repro.macro.latency import LatencyModel
@@ -55,6 +63,123 @@ class MemoryInterface:
         if num_bytes < 0:
             raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
         return self.latency_us + num_bytes / (self.bandwidth_gb_s * 1e3)
+
+
+class ArrivalProcess:
+    """Base class for request arrival models.
+
+    Subclasses implement :meth:`interarrival_times`; :meth:`arrival_times`
+    derives absolute timestamps (seconds from an epoch at 0).  All sampling
+    is driven by an explicit :class:`numpy.random.Generator`, so workloads
+    built from the same seed are identical.
+    """
+
+    #: Short name used in workload descriptions and benchmark reports.
+    name = "arrival"
+
+    def interarrival_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """``n`` consecutive gaps between requests, in seconds."""
+        raise NotImplementedError
+
+    def arrival_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """``n`` non-decreasing absolute arrival timestamps starting near 0."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        if n == 0:
+            return np.zeros(0)
+        return np.cumsum(self.interarrival_times(n, rng))
+
+
+@dataclass(frozen=True)
+class SteadyArrivals(ArrivalProcess):
+    """Deterministic, evenly spaced arrivals at ``rate`` requests/second."""
+
+    rate: float
+    name = "steady"
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+
+    def interarrival_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n, 1.0 / self.rate)
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: exponential interarrivals with mean ``1/rate``.
+
+    The standard first-order model for independent user requests hitting a
+    shared endpoint.
+    """
+
+    rate: float
+    name = "poisson"
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+
+    def interarrival_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.exponential(1.0 / self.rate, size=n)
+
+
+@dataclass(frozen=True)
+class BurstyArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (bursts over a quiet floor).
+
+    The process alternates between a *burst* state, with Poisson rate
+    ``rate * burst_factor``, and a *quiet* state with rate
+    ``rate * quiet_factor``; each generated arrival stays in its state with
+    probability ``persistence``.  The long-run mean rate sits between the
+    two — the point of the model is the variance: deep queues form during
+    bursts even when the mean rate is easily sustainable, which is what
+    separates the p99 latency of the serving scenarios from their p50.
+    """
+
+    rate: float
+    burst_factor: float = 5.0
+    quiet_factor: float = 0.25
+    persistence: float = 0.9
+    name = "bursty"
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.burst_factor <= 0 or self.quiet_factor <= 0:
+            raise ValueError("burst_factor and quiet_factor must be positive")
+        if not 0.0 <= self.persistence < 1.0:
+            raise ValueError(
+                f"persistence must be in [0, 1), got {self.persistence}"
+            )
+
+    def interarrival_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        gaps = np.empty(n)
+        in_burst = True
+        for i in range(n):
+            state_rate = self.rate * (
+                self.burst_factor if in_burst else self.quiet_factor
+            )
+            gaps[i] = rng.exponential(1.0 / state_rate)
+            if rng.random() >= self.persistence:
+                in_burst = not in_burst
+        return gaps
+
+
+#: Registry of arrival models by name (used by the serve workload scenarios).
+ARRIVAL_PROCESSES = {
+    "steady": SteadyArrivals,
+    "poisson": PoissonArrivals,
+    "bursty": BurstyArrivals,
+}
+
+
+def get_arrival_process(name: str, rate: float, **kwargs) -> ArrivalProcess:
+    """Instantiate a registered arrival process at the given mean rate."""
+    if name not in ARRIVAL_PROCESSES:
+        known = ", ".join(sorted(ARRIVAL_PROCESSES))
+        raise KeyError(f"unknown arrival process {name!r}; known: {known}")
+    return ARRIVAL_PROCESSES[name](rate=rate, **kwargs)
 
 
 #: Representative interfaces for the comparison.

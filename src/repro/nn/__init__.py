@@ -29,9 +29,13 @@ from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.block import TransformerDecoderBlock
 from repro.nn.optimizer import Adam, SGD
 from repro.nn.trainer import Trainer, TrainingConfig
-from repro.nn.generation import generate
+from repro.nn.generation import generate, generate_batch
+from repro.nn.kv_cache import KVCache, LayerKVCache
 
 __all__ = [
+    "KVCache",
+    "LayerKVCache",
+    "generate_batch",
     "Adam",
     "Dropout",
     "Embedding",

@@ -8,6 +8,7 @@ from repro.nn.functional import (
     causal_mask,
     causal_mask_offset,
     det_matmul,
+    det_softmax,
     softmax,
     softmax_backward,
 )
@@ -117,8 +118,74 @@ class MultiHeadSelfAttention(Module):
         scale = 1.0 / np.sqrt(self.head_dim)
         scores = det_matmul(q, k_all.transpose(0, 1, 3, 2)) * scale
         scores = scores + causal_mask_offset(s, total)
-        weights = softmax(scores, axis=-1)
+        weights = det_softmax(scores, axis=-1)
         context = det_matmul(weights, v_all)
+        return self.out_proj.forward_det(self._merge_heads(context))
+
+    def forward_ragged(
+        self, x: np.ndarray, kvs, new_lens: np.ndarray
+    ) -> np.ndarray:
+        """Masked ragged-batch forward over left-padded new tokens.
+
+        ``x`` is ``(batch, max_new, d)`` with each row's ``new_lens[r]``
+        real tokens right-aligned (leading positions are pad lanes).
+        ``kvs`` is a sequence of per-row single-sequence caches — anything
+        with the :meth:`~repro.nn.kv_cache.LayerKVCache.append` protocol
+        returning ``(k_all, v_all)`` of shape ``(1, heads, total, head_dim)``
+        (a :class:`~repro.nn.kv_cache.LayerKVCache` or a pooled layer view
+        from :mod:`repro.serve.kv_pool`).
+
+        The Q/K/V/O projections run batched over the padded matrix — safe,
+        because :func:`~repro.nn.functional.det_matmul` makes every output
+        element an independent dot product.  The attention contraction is
+        the one place the pad mask matters: instead of adding ``-inf`` to a
+        dense padded score matrix (see
+        :func:`~repro.nn.functional.ragged_attention_mask`, which defines
+        the semantics), each row's scores/softmax/context are computed over
+        exactly that row's keys.  Slicing the pads off keeps the softmax
+        denominator and context accumulation orders identical to the
+        unpadded computation, so a row's output is bit-identical to
+        :meth:`forward_cached` on that row alone — the guarantee the
+        continuous-batching server's exactness tests pin down.
+
+        Pad lanes of the output carry garbage (never NaN) and must be
+        ignored by the caller; every downstream op is per-token, so they
+        cannot contaminate real lanes.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3 or x.shape[-1] != self.embed_dim:
+            raise ValueError(
+                f"expected input of shape (batch, seq, {self.embed_dim}), got {x.shape}"
+            )
+        new_lens = np.asarray(new_lens, dtype=np.int64)
+        batch, max_new, _ = x.shape
+        if new_lens.shape != (batch,) or len(kvs) != batch:
+            raise ValueError(
+                f"need one kv cache and one new_len per row, got batch={batch}, "
+                f"len(kvs)={len(kvs)}, new_lens shape {new_lens.shape}"
+            )
+        if np.any(new_lens < 1) or np.any(new_lens > max_new):
+            raise ValueError(f"new_lens must be in [1, {max_new}], got {new_lens}")
+
+        q = self._split_heads(self.q_proj.forward_det(x))
+        k_new = self._split_heads(self.k_proj.forward_det(x))
+        v_new = self._split_heads(self.v_proj.forward_det(x))
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        context = np.zeros_like(q)
+        for r, kv in enumerate(kvs):
+            n = int(new_lens[r])
+            pad = max_new - n
+            k_all, v_all = kv.append(
+                k_new[r : r + 1, :, pad:], v_new[r : r + 1, :, pad:]
+            )
+            total = k_all.shape[2]
+            scores = det_matmul(
+                q[r : r + 1, :, pad:], k_all.transpose(0, 1, 3, 2)
+            ) * scale
+            scores = scores + causal_mask_offset(n, total)
+            weights = det_softmax(scores, axis=-1)
+            context[r : r + 1, :, pad:] = det_matmul(weights, v_all)
         return self.out_proj.forward_det(self._merge_heads(context))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -92,6 +92,22 @@ class TransformerDecoderBlock(Module):
         ffn_out = self.ffn.forward_det(self.ffn_norm(x))
         return x + ffn_out
 
+    def forward_ragged(self, x: np.ndarray, kvs, new_lens) -> np.ndarray:
+        """Ragged-batch counterpart of :meth:`forward_cached`.
+
+        ``x`` is a left-padded ``(batch, max_new, d)`` matrix, ``kvs`` one
+        per-row single-sequence layer cache, ``new_lens`` the per-row count
+        of real (right-aligned) tokens.  Norms, FFN, and residuals are
+        per-token, so they run batched over the padded matrix; only the
+        attention kernel consults the pad structure.  Real lanes are
+        bit-identical to :meth:`forward_cached` on the row alone.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        attn_out = self.attention.forward_ragged(self.attn_norm(x), kvs, new_lens)
+        x = x + attn_out
+        ffn_out = self.ffn.forward_det(self.ffn_norm(x))
+        return x + ffn_out
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         grad_output = np.asarray(grad_output, dtype=np.float64)
         # Second residual: x2 = x1 + ffn(ffn_norm(x1))

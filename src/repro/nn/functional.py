@@ -22,6 +22,30 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return exp / np.sum(exp, axis=axis, keepdims=True)
 
 
+def det_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax whose result does not depend on masked-out padding.
+
+    :func:`softmax` computes its denominator with :func:`numpy.sum`, whose
+    pairwise accumulation *groups addends by row length*: a row of ``n``
+    real weights followed by trailing ``exp(-inf) = 0`` entries (a causally
+    masked prefill row) can sum to a different last ulp than the same ``n``
+    weights alone (an incremental decode row).  The KV-cached and ragged
+    decode paths need those two to be bit-identical, so this variant
+    accumulates the denominator strictly left-to-right (via ``cumsum``):
+    appending zeros then never changes the sum, making the result a pure
+    function of the unmasked prefix — whatever chunking produced it.  The
+    test suite asserts this invariance.
+
+    Training and the plain forward keep using :func:`softmax`; only the
+    deterministic inference paths route through this function.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    denom = np.cumsum(exp, axis=axis).take(indices=[-1], axis=axis)
+    return exp / denom
+
+
 def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable log-softmax along ``axis``."""
     x = np.asarray(x, dtype=np.float64)
@@ -172,6 +196,58 @@ def causal_mask_offset(new_len: int, total_len: int) -> np.ndarray:
     rows = np.arange(new_len)[:, None] + past
     cols = np.arange(total_len)[None, :]
     return np.where(cols <= rows, 0.0, -np.inf)
+
+
+def ragged_attention_mask(
+    new_lens: np.ndarray, past_lens: np.ndarray
+) -> np.ndarray:
+    """Additive attention mask for a left-padded ragged batch.
+
+    Row ``r`` of the batch holds ``new_lens[r]`` real new tokens, right-
+    aligned into a chunk of ``max(new_lens)`` positions, attending over
+    ``past_lens[r]`` cached positions plus the new chunk — keys right-
+    aligned into ``max(past_lens + new_lens)`` columns.  The returned array
+    has shape ``(batch, max_new, max_total)``: ``0.0`` where the query may
+    attend (its own row's cached keys and the causal prefix of the new
+    chunk), ``-inf`` on pad keys and future positions.  Pad *query* rows
+    are left fully unmasked — their outputs are garbage by construction and
+    every consumer discards them; leaving them unmasked keeps the softmax
+    finite.
+
+    This dense mask defines the semantics of the ragged batched forward.
+    The production kernel (:meth:`MultiHeadSelfAttention.forward_ragged
+    <repro.nn.attention.MultiHeadSelfAttention.forward_ragged>`) applies
+    the *same* masking by slicing pad keys off before the contraction
+    instead of adding ``-inf``: mathematically identical, but bit-exact
+    with the unpadded computation, which an additive mask is not (padding
+    the softmax axis regroups NumPy's pairwise summation and can move the
+    result by an ulp).
+    """
+    new_lens = np.asarray(new_lens, dtype=np.int64)
+    past_lens = np.asarray(past_lens, dtype=np.int64)
+    if new_lens.shape != past_lens.shape or new_lens.ndim != 1:
+        raise ValueError(
+            f"new_lens/past_lens must be matching 1-D arrays, got "
+            f"{new_lens.shape} and {past_lens.shape}"
+        )
+    if np.any(new_lens < 1) or np.any(past_lens < 0):
+        raise ValueError("need new_lens >= 1 and past_lens >= 0 per row")
+    batch = new_lens.size
+    max_new = int(new_lens.max())
+    totals = past_lens + new_lens
+    max_total = int(totals.max())
+
+    qi = np.arange(max_new)[None, :, None]  # (1, max_new, 1)
+    kj = np.arange(max_total)[None, None, :]  # (1, 1, max_total)
+    q_pad = (max_new - new_lens)[:, None, None]  # leading pad queries per row
+    k_pad = (max_total - totals)[:, None, None]  # leading pad keys per row
+    # Absolute position of query qi within its own sequence: past + (qi - q_pad);
+    # key kj sits at absolute position kj - k_pad.  Causal: key pos <= query pos.
+    query_abs = past_lens[:, None, None] + qi - q_pad
+    key_abs = kj - k_pad
+    allowed = (kj >= k_pad) & (key_abs <= query_abs)
+    allowed = allowed | (qi < q_pad)  # pad queries: unmasked (outputs discarded)
+    return np.where(allowed, 0.0, -np.inf)
 
 
 def det_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:

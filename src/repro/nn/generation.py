@@ -10,7 +10,14 @@ Two decoding paths are provided:
   through the model on every step, as the original implementation did.
 
 :func:`generate_batch` decodes several equal-length prompts together,
-sharing one batched forward pass (and one KV cache) per step.
+sharing one batched forward pass (and one KV cache) per step.  Both
+functions accept ``stop_tokens``: a sequence that produces one stops
+immediately (the stop token is kept in the output) and — in the batched
+case — stops consuming forward passes while the other rows continue.
+
+For serving *ragged* prompts arriving over time, see :mod:`repro.serve`,
+which schedules requests into a continuously batched decode loop while
+preserving these functions' greedy token streams bit-for-bit.
 """
 
 from __future__ import annotations
@@ -30,13 +37,27 @@ def _validate(max_new_tokens: int, temperature: float, top_k: int | None) -> Non
         raise ValueError(f"top_k must be >= 1, got {top_k}")
 
 
-def _select_token(
+def _stop_set(stop_tokens) -> frozenset[int]:
+    """Normalize ``stop_tokens`` (None, scalar, or iterable) to a set of ids."""
+    if stop_tokens is None:
+        return frozenset()
+    if np.isscalar(stop_tokens):
+        return frozenset((int(stop_tokens),))
+    return frozenset(int(t) for t in stop_tokens)
+
+
+def select_token(
     logits: np.ndarray,
     temperature: float,
     top_k: int | None,
     rng: np.random.Generator,
 ) -> int:
-    """Pick the next token id from a 1-D logits vector."""
+    """Pick the next token id from a 1-D logits vector.
+
+    Shared by the generation loops here and the continuous-batching server
+    (:mod:`repro.serve.engine`), so both sample identically from identical
+    logits and generators.
+    """
     if temperature <= 1e-8:
         return int(np.argmax(logits))
     scaled = logits / temperature
@@ -55,6 +76,7 @@ def generate(
     top_k: int | None = None,
     rng: np.random.Generator | None = None,
     use_cache: bool = True,
+    stop_tokens=None,
 ) -> np.ndarray:
     """Generate tokens autoregressively from a prompt.
 
@@ -85,14 +107,20 @@ def generate(
         exactness guarantee is *within itself*: incremental decoding is
         bit-identical to re-prefilling the same prefix through
         :meth:`~repro.nn.model.OPTLanguageModel.forward_with_cache`.
+    stop_tokens:
+        Optional token id, or iterable of ids, that end generation early.
+        A produced stop token is kept as the final output token and no
+        further forward passes run.
 
     Returns
     -------
     numpy.ndarray
-        1-D array containing the prompt followed by the generated tokens.
+        1-D array containing the prompt followed by the generated tokens
+        (fewer than ``max_new_tokens`` if a stop token was produced).
     """
     _validate(max_new_tokens, temperature, top_k)
     rng = rng or np.random.default_rng()
+    stops = _stop_set(stop_tokens)
     model.eval()
     tokens = list(np.asarray(prompt_ids, dtype=np.int64).reshape(-1))
     if not tokens:
@@ -105,7 +133,9 @@ def generate(
         for _ in range(max_new_tokens):
             context = np.asarray(tokens[-max_pos:], dtype=np.int64)[None, :]
             logits = model(context)[0, -1]
-            tokens.append(_select_token(logits, temperature, top_k, rng))
+            tokens.append(select_token(logits, temperature, top_k, rng))
+            if tokens[-1] in stops:
+                break
         return np.asarray(tokens, dtype=np.int64)
 
     cache = model.new_kv_cache()
@@ -113,9 +143,9 @@ def generate(
     logits = model.forward_with_cache(context, cache, last_only=True)[0, -1]
     produced = 0
     while produced < max_new_tokens:
-        tokens.append(_select_token(logits, temperature, top_k, rng))
+        tokens.append(select_token(logits, temperature, top_k, rng))
         produced += 1
-        if produced == max_new_tokens:
+        if tokens[-1] in stops or produced == max_new_tokens:
             return np.asarray(tokens, dtype=np.int64)
         if cache.seq_len >= max_pos:
             break  # window slid past max_position: the cache can't help anymore
@@ -127,7 +157,9 @@ def generate(
     for _ in range(max_new_tokens - produced):
         context = np.asarray(tokens[-max_pos:], dtype=np.int64)[None, :]
         logits = model(context)[0, -1]
-        tokens.append(_select_token(logits, temperature, top_k, rng))
+        tokens.append(select_token(logits, temperature, top_k, rng))
+        if tokens[-1] in stops:
+            break
     return np.asarray(tokens, dtype=np.int64)
 
 
@@ -138,25 +170,38 @@ def generate_batch(
     temperature: float = 1.0,
     top_k: int | None = None,
     rng: np.random.Generator | None = None,
+    stop_tokens=None,
+    pad_token_id: int = 0,
 ) -> np.ndarray:
     """KV-cached batched decoding of several equal-length prompts.
 
     Each decode step runs one batched forward over all sequences, so the
-    per-step cost is amortized across the batch.  Sampling draws per row in
-    row order, so a seeded generator yields reproducible batches.
+    per-step cost is amortized across the batch.  Sampling uses one child
+    generator per row (spawned from ``rng`` with
+    :meth:`numpy.random.Generator.spawn`), so a row's sampled tokens depend
+    only on ``rng``'s seed and the row's index — **not** on which other
+    rows share the batch, nor on when those rows stop.  Decoding the same
+    prompt at the same row index therefore yields the same tokens whatever
+    the rest of the batch contains (the test suite asserts this).
 
     Unlike :func:`generate`, the batched decoder stays on the deterministic
     matmul path even after the context window slides (rebuilding the cache
     from the trailing window each step): under greedy decoding
     (``temperature=0``) every row is bit-identical to running this function
-    on that prompt alone, at some cost on very long outputs.  With sampling
-    the rows share one generator (consumed in row order), so a row's draws
-    depend on the rows before it.
+    on that prompt alone, at some cost on very long outputs.
 
     Parameters
     ----------
     prompt_ids:
         2-D array ``(batch, prompt_len)`` of token ids.
+    stop_tokens:
+        Optional token id, or iterable of ids, that finish a row early.
+        The stop token is kept in the row's output; the row's remaining
+        positions are filled with ``pad_token_id`` and the row stops
+        consuming forward passes (finished rows are compacted out of the
+        batch, shrinking the per-step cost as sequences retire).
+    pad_token_id:
+        Filler for positions after a row's stop token (default 0).
 
     Returns
     -------
@@ -165,30 +210,54 @@ def generate_batch(
     """
     _validate(max_new_tokens, temperature, top_k)
     rng = rng or np.random.default_rng()
+    stops = _stop_set(stop_tokens)
     prompts = np.asarray(prompt_ids, dtype=np.int64)
     if prompts.ndim != 2 or prompts.shape[1] < 1:
         raise ValueError(
             f"prompt_ids must be (batch, prompt_len >= 1), got shape {prompts.shape}"
         )
     model.eval()
+    batch = prompts.shape[0]
     if max_new_tokens == 0:
         return prompts.copy()
+    row_rngs = rng.spawn(batch)
 
     max_pos = model.config.max_position
-    sequences = prompts.copy()
+    out = np.full(
+        (batch, prompts.shape[1] + max_new_tokens), pad_token_id, dtype=np.int64
+    )
+    out[:, : prompts.shape[1]] = prompts
+    lengths = np.full(batch, prompts.shape[1])  # tokens filled per row
+    active = np.arange(batch)  # original row index per live cache row
+
+    sequences = prompts.copy()  # rows of `active`, in cache-row order
     cache = model.new_kv_cache()
     logits = model.forward_with_cache(sequences[:, -max_pos:], cache, last_only=True)[:, -1]
     for step in range(max_new_tokens):
         next_tokens = np.asarray(
-            [_select_token(row, temperature, top_k, rng) for row in logits],
+            [
+                select_token(row, temperature, top_k, row_rngs[orig])
+                for row, orig in zip(logits, active)
+            ],
             dtype=np.int64,
         )
         sequences = np.concatenate([sequences, next_tokens[:, None]], axis=1)
+        out[active, lengths[active]] = next_tokens
+        lengths[active] += 1
         if step + 1 == max_new_tokens:
             break  # no further token will be sampled; skip the forward
+        if stops:
+            keep = np.asarray([t not in stops for t in next_tokens])
+            if not np.all(keep):
+                active = active[keep]
+                if active.size == 0:
+                    break
+                sequences = sequences[keep]
+                next_tokens = next_tokens[keep]
+                cache.select_rows(keep)
         if cache.seq_len >= max_pos:
             cache = model.new_kv_cache()
             logits = model.forward_with_cache(sequences[:, -max_pos:], cache, last_only=True)[:, -1]
         else:
             logits = model.forward_with_cache(next_tokens[:, None], cache, last_only=True)[:, -1]
-    return sequences
+    return out

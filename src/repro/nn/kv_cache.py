@@ -6,49 +6,115 @@ generated sequence.  :class:`KVCache` stores each layer's key/value tensors
 so a decode step only projects the new token(s) and attends over the cached
 keys: O(n) projection work overall.
 
+Storage grows by **amortized doubling** into preallocated buffers: appending
+one token writes into spare capacity instead of reallocating and copying the
+whole history (the original ``np.concatenate``-per-token scheme was O(n^2)
+bytes copied per generated sequence).  ``realloc_count`` exposes how many
+buffer (re)allocations actually happened, which the tests pin to O(log n).
+
 The cached path is *bit-exact* with respect to a full re-prefill: both run
 through :func:`repro.nn.functional.det_matmul`, whose accumulation order
 does not depend on how many rows are computed at once (a property the test
-suite asserts).
+suite asserts).  Preallocation does not disturb this: appended values are
+copied bytes, never recomputed.
+
+For serving many concurrent requests, :mod:`repro.serve.kv_pool` builds on
+the same append/gather protocol but allocates block-granular storage from a
+shared pool so that retired requests return their blocks for reuse.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+#: Initial per-layer buffer capacity (token positions) when the first append
+#: is smaller than this; larger first appends size the buffer exactly and
+#: leave headroom for the first doubling.
+_MIN_CAPACITY = 16
+
 
 class LayerKVCache:
     """Key/value tensors of one attention layer.
 
-    Arrays have shape ``(batch, num_heads, seq, head_dim)`` and grow along
-    the ``seq`` axis as tokens are appended.
+    Logical arrays have shape ``(batch, num_heads, seq, head_dim)`` and grow
+    along the ``seq`` axis as tokens are appended.  Backing buffers are
+    preallocated with geometric (doubling) growth, so ``append`` is
+    amortized O(new) instead of O(seq).
     """
 
     def __init__(self) -> None:
-        self.k: np.ndarray | None = None
-        self.v: np.ndarray | None = None
+        self._k_buf: np.ndarray | None = None
+        self._v_buf: np.ndarray | None = None
+        self._len = 0
+        #: Number of buffer (re)allocations performed so far.  Appending n
+        #: tokens one at a time causes O(log n) reallocations, a property
+        #: the regression tests assert.
+        self.realloc_count = 0
 
     @property
     def seq_len(self) -> int:
         """Number of cached token positions (0 when empty)."""
-        return 0 if self.k is None else self.k.shape[2]
+        return self._len
+
+    @property
+    def capacity(self) -> int:
+        """Allocated token positions (>= :attr:`seq_len`)."""
+        return 0 if self._k_buf is None else self._k_buf.shape[2]
+
+    @property
+    def k(self) -> np.ndarray | None:
+        """View of the cached keys, ``None`` when empty."""
+        return None if self._k_buf is None else self._k_buf[:, :, : self._len]
+
+    @property
+    def v(self) -> np.ndarray | None:
+        """View of the cached values, ``None`` when empty."""
+        return None if self._v_buf is None else self._v_buf[:, :, : self._len]
+
+    def _grow(self, batch: int, heads: int, head_dim: int, needed: int) -> None:
+        # Strictly more capacity than needed: the returned k/v views must
+        # never cover the whole buffer, so their memory-layout class (strided
+        # view) is the same for every append pattern.  NumPy's einsum and
+        # reduction kernels pick accumulation loops by layout class; keeping
+        # the class fixed keeps incremental-vs-prefill results bit-identical
+        # (see the KV-cache exactness tests).
+        new_capacity = max(needed + 1, 2 * self.capacity, _MIN_CAPACITY)
+        k_buf = np.empty((batch, heads, new_capacity, head_dim), dtype=np.float64)
+        v_buf = np.empty_like(k_buf)
+        if self._k_buf is not None:
+            k_buf[:, :, : self._len] = self._k_buf[:, :, : self._len]
+            v_buf[:, :, : self._len] = self._v_buf[:, :, : self._len]
+        self._k_buf, self._v_buf = k_buf, v_buf
+        self.realloc_count += 1
 
     def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Append new key/value tensors; returns the full (k, v) so far."""
+        """Append new key/value tensors; returns views of the full (k, v) so far."""
         if k.shape != v.shape:
             raise ValueError(f"k/v shape mismatch: {k.shape} vs {v.shape}")
         if k.ndim != 4:
             raise ValueError(f"expected (batch, heads, seq, head_dim), got {k.shape}")
-        if self.k is None:
-            self.k, self.v = k, v
-        else:
-            if k.shape[0] != self.k.shape[0] or k.shape[1] != self.k.shape[1]:
+        batch, heads, new, head_dim = k.shape
+        if self._k_buf is not None:
+            if batch != self._k_buf.shape[0] or heads != self._k_buf.shape[1]:
                 raise ValueError(
                     f"cache holds {self.k.shape}, cannot append {k.shape}"
                 )
-            self.k = np.concatenate([self.k, k], axis=2)
-            self.v = np.concatenate([self.v, v], axis=2)
+        if self._len + new > self.capacity:
+            self._grow(batch, heads, head_dim, self._len + new)
+        self._k_buf[:, :, self._len : self._len + new] = k
+        self._v_buf[:, :, self._len : self._len + new] = v
+        self._len += new
         return self.k, self.v
+
+    def select_rows(self, rows: np.ndarray) -> None:
+        """Keep only the given batch rows (used when sequences retire early).
+
+        ``rows`` is any NumPy fancy index over the batch axis; the cached
+        values of the surviving rows are preserved bit-for-bit.
+        """
+        if self._k_buf is not None:
+            self._k_buf = self._k_buf[rows]
+            self._v_buf = self._v_buf[rows]
 
 
 class KVCache:
@@ -73,6 +139,11 @@ class KVCache:
     def seq_len(self) -> int:
         """Number of token positions already processed through the cache."""
         return self.layers[0].seq_len
+
+    def select_rows(self, rows: np.ndarray) -> None:
+        """Keep only the given batch rows in every layer."""
+        for layer in self.layers:
+            layer.select_rows(rows)
 
     def __len__(self) -> int:
         return len(self.layers)

@@ -137,6 +137,85 @@ class OPTLanguageModel(Module):
             hidden = hidden[:, -1:, :]
         return det_matmul(hidden, self.token_embedding.weight.data.T)
 
+    def forward_ragged(
+        self,
+        token_ids: np.ndarray,
+        caches,
+        new_lens: np.ndarray,
+        last_only: bool = True,
+    ) -> np.ndarray:
+        """Inference forward over a left-padded ragged batch of sequences.
+
+        The continuous-batching server mixes requests at different stages —
+        a freshly admitted request prefilling a long prompt next to requests
+        decoding one token each.  ``token_ids`` is ``(batch, max_new)`` with
+        each row's ``new_lens[r]`` real new tokens right-aligned (leading
+        positions are pad lanes; their token ids must merely be valid for
+        the embedding table).  ``caches`` holds one *single-sequence* cache
+        per row — anything exposing ``seq_len`` and per-layer ``layers[i]``
+        with the :class:`~repro.nn.kv_cache.LayerKVCache` append protocol
+        (a :class:`~repro.nn.kv_cache.KVCache` created for a batch-of-one,
+        or a pooled :class:`~repro.serve.kv_pool.SequenceKV`).
+
+        Position embeddings are computed per row (a row's first real token
+        continues from its own cache length), per-token ops run batched
+        over the padded matrix, and attention applies the pad mask by
+        slicing (see :func:`~repro.nn.functional.ragged_attention_mask` for
+        the mask semantics).  Each real lane is therefore **bit-identical**
+        to running :meth:`forward_with_cache` on that row alone — the
+        property that makes tokens served from a ragged continuous batch
+        equal to :func:`~repro.nn.generation.generate` on the same prompt.
+
+        Returns logits for each row's final real token, ``(batch, 1,
+        vocab)``, when ``last_only`` (the decode loops' shape); otherwise
+        logits for the whole padded chunk, ``(batch, max_new, vocab)``,
+        where the leading ``max_new - new_lens[r]`` positions of row ``r``
+        are meaningless pad output.
+        """
+        if self.training:
+            raise RuntimeError(
+                "forward_ragged requires eval mode; call model.eval() first"
+            )
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 2:
+            raise ValueError(f"token_ids must be (batch, seq), got shape {token_ids.shape}")
+        batch, max_new = token_ids.shape
+        new_lens = np.asarray(new_lens, dtype=np.int64)
+        if new_lens.shape != (batch,) or len(caches) != batch:
+            raise ValueError(
+                f"need one cache and one new_len per row, got batch={batch}, "
+                f"len(caches)={len(caches)}, new_lens shape {new_lens.shape}"
+            )
+        if np.any(new_lens < 1) or np.any(new_lens > max_new):
+            raise ValueError(f"new_lens must be in [1, {max_new}], got {new_lens}")
+        if np.any(token_ids < 0) or np.any(token_ids >= self.config.vocab_size):
+            raise ValueError("token id out of range for the embedding table")
+        pasts = np.asarray([c.seq_len for c in caches], dtype=np.int64)
+        if np.any(pasts + new_lens > self.config.max_position):
+            raise ValueError(
+                f"cache length + new tokens exceeds max_position "
+                f"{self.config.max_position} for at least one row"
+            )
+        for cache in caches:
+            if len(cache.layers) != len(self.blocks):
+                raise ValueError(
+                    f"cache has {len(cache.layers)} layers, model has {len(self.blocks)}"
+                )
+
+        # Per-row absolute positions: pads get 0 (their lanes are discarded).
+        offsets = np.arange(max_new)[None, :] - (max_new - new_lens)[:, None]
+        positions = np.maximum(pasts[:, None] + offsets, 0)
+        hidden = self.token_embedding.weight.data[token_ids] + (
+            self.position_embedding.weight.data[positions]
+        )
+        for i, block in enumerate(self.blocks):
+            layer_kvs = [cache.layers[i] for cache in caches]
+            hidden = block.forward_ragged(hidden, layer_kvs, new_lens)
+        hidden = self.final_norm(hidden)
+        if last_only:
+            hidden = hidden[:, -1:, :]
+        return det_matmul(hidden, self.token_embedding.weight.data.T)
+
     def loss(self, token_ids: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
         """Cross-entropy loss of next-token prediction; returns (loss, logits)."""
         logits = self.forward(token_ids)

@@ -1,0 +1,50 @@
+"""Continuous-batching inference server over the NumPy transformer substrate.
+
+The ROADMAP's north star is a system that serves heavy traffic, but
+:func:`repro.nn.generation.generate_batch` only decodes equal-length
+prompts in a static batch: nothing can join mid-flight, and the whole batch
+runs until its last row finishes.  This package adds the serving layer:
+
+* :mod:`~repro.serve.request` — request/response types with per-request
+  seeded RNGs, so a request's sampled tokens never depend on its batch
+  neighbours.
+* :mod:`~repro.serve.kv_pool` — a pooled, preallocated, block-granular KV
+  cache: requests allocate fixed-size blocks from a shared pool and return
+  them on retirement, replacing per-token array growth with amortized
+  block allocation and cross-request block reuse.
+* :mod:`~repro.serve.scheduler` — iteration-level continuous batching:
+  every step retires finished sequences, admits queued requests into the
+  freed decode slots, and mixes ragged-length prefill chunks with
+  single-token decode rows in one left-padded batch.
+* :mod:`~repro.serve.engine` — drives the model's masked ragged forward
+  over the scheduled batch; under greedy decoding each request's token
+  stream is **bit-identical** to :func:`repro.nn.generation.generate` on
+  that prompt alone (including across the sliding-window spillover).
+* :mod:`~repro.serve.workload` — synthetic traffic scenarios (steady,
+  bursty, chat-style, codegen-style) built on the arrival processes of
+  :mod:`repro.macro.traffic`.
+* :mod:`~repro.serve.metrics` — TTFT / inter-token-latency percentiles,
+  tokens/sec, queue depth, slot occupancy.
+* :mod:`~repro.serve.bench` — the ``serve-bench`` harness: runs every
+  scenario (optionally under swapped normalizers via
+  ``replace_layernorm``) as engine jobs and emits ``BENCH_serve.json``.
+"""
+
+from repro.serve.engine import ServeEngine, ServeReport
+from repro.serve.kv_pool import BlockKVPool, SequenceKV
+from repro.serve.request import CompletedRequest, Request
+from repro.serve.scheduler import ContinuousBatchScheduler
+from repro.serve.workload import SCENARIOS, Scenario, generate_workload
+
+__all__ = [
+    "BlockKVPool",
+    "CompletedRequest",
+    "ContinuousBatchScheduler",
+    "Request",
+    "SCENARIOS",
+    "Scenario",
+    "SequenceKV",
+    "ServeEngine",
+    "ServeReport",
+    "generate_workload",
+]

@@ -1,0 +1,219 @@
+"""The ``serve-bench`` harness: traffic scenarios × normalizer variants.
+
+Each (scenario, normalizer) cell is declared as a
+:class:`repro.engine.Job` and executed through the experiment engine's
+scheduler, so cells fan out over ``--jobs N`` worker processes like any
+other experiment.  Because every workload is fully seeded, the *token
+streams* of two normalizer variants of the same scenario are produced
+under literally identical traffic — the timing columns then isolate what
+the normalizer swap (``replace_layernorm``) costs or saves end to end,
+which is the system-level version of the paper's per-op comparison.
+
+Results land in ``BENCH_serve.json``::
+
+    {
+      "config":  {...},              # model, batch size, request counts
+      "results": [ {scenario, normalizer, metrics, pool} ... ],
+      "comparison": {                # per scenario, relative to "baseline"
+        "<scenario>": {"<normalizer>": {"tokens_per_second_ratio": ...,
+                                         "ttft_p50_delta_s": ...}}
+      }
+    }
+
+Timing metrics are measured wall-clock compute (virtual clock); token
+counts and finish reasons are deterministic per seed.  Benchmarks are run
+with the result cache *disabled by default* — replaying stored timings
+would defeat the point — but the cells still go through the engine
+scheduler for parallelism and uniformity.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import numpy as np
+
+from repro.engine import Job, ResultCache, run_jobs
+from repro.nn.config import get_config
+from repro.nn.model import OPTLanguageModel
+from repro.serve.engine import ServeEngine
+from repro.serve.workload import SCENARIOS, generate_workload
+
+#: Normalizer variants the benchmark compares (name -> replace_layernorm
+#: arguments; None means the exact float64 LayerNorm baseline).
+NORMALIZER_VARIANTS: dict[str, dict | None] = {
+    "baseline": None,
+    "iterl2norm": {"method": "iterl2norm", "fmt": "fp16", "num_steps": 5},
+    "fisr": {"method": "fisr", "fmt": "fp16"},
+    "exact": {"method": "exact", "fmt": "fp16"},
+}
+
+DEFAULT_NORMALIZERS = ("baseline", "iterl2norm")
+
+
+def run_scenario(
+    scenario: str = "steady",
+    normalizer: str = "baseline",
+    quick: bool = True,
+    num_requests: int | None = None,
+    model_name: str = "opt-test",
+    max_batch_size: int = 8,
+    rate_scale: float = 1.0,
+    seed: int = 0,
+) -> tuple[dict, str]:
+    """Serve one scenario under one normalizer; returns ``(rows, text)``.
+
+    The substrate model is built from ``seed`` with random weights —
+    serving throughput and latency do not depend on training, and random
+    weights keep the job self-contained and cache-addressable.
+    """
+    if normalizer not in NORMALIZER_VARIANTS:
+        known = ", ".join(sorted(NORMALIZER_VARIANTS))
+        raise KeyError(f"unknown normalizer {normalizer!r}; known: {known}")
+    config = get_config(model_name)
+    model = OPTLanguageModel(config, rng=np.random.default_rng(seed))
+    model.eval()
+    swap = NORMALIZER_VARIANTS[normalizer]
+    if swap is not None:
+        model.replace_layernorm(**swap)
+
+    if num_requests is None:
+        num_requests = 12 if quick else 48
+    workload = generate_workload(
+        scenario,
+        num_requests=num_requests,
+        vocab_size=config.vocab_size,
+        seed=seed,
+        rate_scale=rate_scale,
+    )
+    engine = ServeEngine(model, max_batch_size=max_batch_size)
+    report = engine.serve(workload)
+
+    rows = {
+        "scenario": scenario,
+        "normalizer": normalizer,
+        "model": model_name,
+        "num_requests": num_requests,
+        "max_batch_size": max_batch_size,
+        "seed": seed,
+        "metrics": report.metrics,
+        "pool": report.pool_stats,
+    }
+    metrics = report.metrics
+    text = (
+        f"{scenario:8s} {normalizer:10s} "
+        f"{metrics['tokens_per_second']:9.1f} tok/s  "
+        f"ttft p50 {metrics['ttft_s']['p50'] * 1e3:7.2f} ms  "
+        f"p99 {metrics['ttft_s']['p99'] * 1e3:7.2f} ms  "
+        f"itl p50 {metrics['inter_token_latency_s']['p50'] * 1e3:6.2f} ms  "
+        f"queue max {metrics['queue_depth']['max']:3d}  "
+        f"reused blocks {report.pool_stats['blocks_reused']:4d}"
+    )
+    return rows, text
+
+
+def jobs(
+    quick: bool = True,
+    seed: int = 0,
+    scenarios=None,
+    normalizers=DEFAULT_NORMALIZERS,
+    **params,
+) -> list[Job]:
+    """One engine job per (scenario, normalizer) cell."""
+    names = list(scenarios) if scenarios else list(SCENARIOS)
+    return [
+        Job(
+            name=f"serve[{scenario}/{normalizer}]",
+            target="repro.serve.bench:run_scenario",
+            params={
+                "scenario": scenario,
+                "normalizer": normalizer,
+                "quick": bool(quick),
+                **params,
+            },
+            seed=seed,
+        )
+        for scenario in names
+        for normalizer in normalizers
+    ]
+
+
+def _comparison(results: list[dict]) -> dict:
+    """Per-scenario normalizer deltas relative to the baseline cells."""
+    baselines = {
+        row["scenario"]: row for row in results if row["normalizer"] == "baseline"
+    }
+    comparison: dict[str, dict] = {}
+    for row in results:
+        base = baselines.get(row["scenario"])
+        if base is None or row is base:
+            continue
+        base_tps = base["metrics"]["tokens_per_second"]
+        comparison.setdefault(row["scenario"], {})[row["normalizer"]] = {
+            "tokens_per_second_ratio": (
+                row["metrics"]["tokens_per_second"] / base_tps if base_tps else None
+            ),
+            "ttft_p50_delta_s": (
+                row["metrics"]["ttft_s"]["p50"] - base["metrics"]["ttft_s"]["p50"]
+            ),
+            # Traffic is identical by seeding, but a swapped normalizer
+            # changes logits and may legitimately move EOS positions; the
+            # delta shows how much the output volume itself shifted.
+            "tokens_generated_delta": (
+                row["metrics"]["tokens_generated"]
+                - base["metrics"]["tokens_generated"]
+            ),
+        }
+    return comparison
+
+
+def run_bench(
+    quick: bool = True,
+    jobs_n: int = 1,
+    seed: int = 0,
+    out_path: str = "BENCH_serve.json",
+    scenarios=None,
+    normalizers=DEFAULT_NORMALIZERS,
+    cache_dir=None,
+    use_cache: bool = False,
+    no_cache: bool = False,
+    stream=None,
+) -> tuple[dict, str]:
+    """Run the full scenario × normalizer grid and write ``out_path``.
+
+    ``use_cache=False`` (default) keeps timing honest; pass ``True`` to let
+    repeated runs replay token-identical cells from the result cache
+    (``no_cache`` then skips lookups but still stores fresh results, as in
+    the experiment runner).
+    """
+    stream = stream or sys.stdout
+    declared = jobs(quick=quick, seed=seed, scenarios=scenarios, normalizers=normalizers)
+    cache = ResultCache(cache_dir) if use_cache else None
+    outcomes = run_jobs(
+        declared, max_workers=jobs_n, cache=cache, no_cache=no_cache, stream=sys.stderr
+    )
+
+    results = [outcome.rows for outcome in outcomes]
+    lines = [
+        "scenario normalizer   tokens/s       TTFT p50 /    p99        ITL p50   queue   pool",
+    ]
+    lines += [outcome.text for outcome in outcomes]
+    payload = {
+        "config": {
+            "quick": bool(quick),
+            "seed": int(seed),
+            "scenarios": sorted({row["scenario"] for row in results}),
+            "normalizers": list(normalizers),
+            "model": results[0]["model"] if results else None,
+            "max_batch_size": results[0]["max_batch_size"] if results else None,
+        },
+        "results": results,
+        "comparison": _comparison(results),
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    lines.append(f"wrote {out_path}")
+    text = "\n".join(lines)
+    stream.write(text + "\n")
+    return payload, text

@@ -1,0 +1,213 @@
+"""The continuous-batching serve loop: admit, forward, sample, retire.
+
+:class:`ServeEngine` drives one model over a stream of
+:class:`~repro.serve.request.Request` objects.  Each iteration mixes, in a
+single left-padded ragged batch, the *prefill* chunks of freshly admitted
+requests with the single-token *decode* rows of established ones
+(:meth:`~repro.nn.model.OPTLanguageModel.forward_ragged`), samples one
+token per active request from its private generator, and immediately
+retires finished sequences so their slot and KV blocks are reused on the
+next step.
+
+**Exactness.**  Per request, the engine performs literally the same
+sequence of chunked cached forwards that
+:func:`~repro.nn.generation.generate` performs for that prompt alone —
+prompt prefill in one chunk, then one-token steps, then (once the context
+passes ``max_position``) per-request full-window forwards on the BLAS
+path, matching ``generate``'s sliding-window tail.  Combined with the
+ragged forward's per-row bit-exactness, a request's greedy token stream is
+bit-identical however it was batched, whenever it was admitted, and
+whatever its neighbours did — the continuous-batching analogue of the KV
+cache's incremental-equals-prefill guarantee, and the property the serve
+test suite pins down.
+
+**Clock.**  The engine keeps a *virtual clock* on the arrival timeline:
+it advances by the measured wall time of each step, and when no work is
+pending it jumps directly to the next arrival instead of sleeping.
+Latency metrics therefore reflect compute and queueing faithfully, while
+idle spans are never slept through (they remain part of the timeline, so
+throughput-over-makespan is delivered throughput under that traffic).
+Pass a custom ``timer`` for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.generation import select_token
+from repro.nn.model import OPTLanguageModel
+from repro.serve.kv_pool import BlockKVPool
+from repro.serve.metrics import MetricsRecorder
+from repro.serve.request import CompletedRequest, Request, RequestState
+from repro.serve.scheduler import ContinuousBatchScheduler
+
+
+@dataclass
+class ServeReport:
+    """Everything a serve run produced."""
+
+    completed: list[CompletedRequest]
+    metrics: dict
+    pool_stats: dict
+
+    def by_id(self, request_id: str) -> CompletedRequest:
+        for completed in self.completed:
+            if completed.request_id == request_id:
+                return completed
+        raise KeyError(request_id)
+
+
+class ServeEngine:
+    """Continuous-batching server around one model.
+
+    Parameters
+    ----------
+    model:
+        The language model (placed in eval mode).
+    max_batch_size:
+        Decode slots per step.
+    block_size / initial_blocks:
+        KV pool geometry (see :class:`~repro.serve.kv_pool.BlockKVPool`).
+    timer:
+        Monotonic-seconds callable used to measure step durations
+        (default :func:`time.perf_counter`); inject a fake for
+        deterministic tests.
+    """
+
+    def __init__(
+        self,
+        model: OPTLanguageModel,
+        max_batch_size: int = 8,
+        block_size: int = 16,
+        initial_blocks: int = 64,
+        timer=None,
+    ) -> None:
+        model.eval()
+        self.model = model
+        self.pool = BlockKVPool.for_model(
+            model, block_size=block_size, initial_blocks=initial_blocks
+        )
+        self.scheduler = ContinuousBatchScheduler(
+            self.pool, max_batch_size=max_batch_size
+        )
+        self.timer = timer or time.perf_counter
+
+    # -- the serve loop ------------------------------------------------------------
+    def serve(self, requests: list[Request]) -> ServeReport:
+        """Serve a workload to completion and return tokens plus metrics."""
+        pending = sorted(requests, key=lambda r: r.arrival_time)
+        recorder = MetricsRecorder()
+        scheduler = self.scheduler
+        now = 0.0
+        cursor = 0
+
+        while cursor < len(pending) or scheduler.has_work:
+            # Deliver arrivals whose timestamp has passed; when completely
+            # idle, jump the virtual clock to the next arrival.
+            while cursor < len(pending) and pending[cursor].arrival_time <= now:
+                scheduler.enqueue(pending[cursor])
+                cursor += 1
+            if not scheduler.has_work:
+                now = pending[cursor].arrival_time
+                continue
+
+            scheduler.admit(now)
+            started = self.timer()
+            sampled = self._step()
+            elapsed = self.timer() - started
+            now += elapsed
+
+            finished = 0
+            for state, token in sampled:
+                state.record_token(token, now)
+                self._after_token(state)
+                if state.finish_reason is not None:
+                    scheduler.retire(state)
+                    completed = self._completed(state)
+                    recorder.record_completion(completed, state.token_times)
+                    finished += 1
+            recorder.record_step(
+                queue_depth=scheduler.queue_depth,
+                active=scheduler.active_count + finished,
+                elapsed=elapsed,
+                tokens=len(sampled),
+            )
+
+        return ServeReport(
+            completed=recorder.completed,
+            metrics=recorder.summary(max_batch_size=scheduler.max_batch_size),
+            pool_stats=self.pool.stats().as_dict(),
+        )
+
+    # -- one iteration -------------------------------------------------------------
+    def _step(self) -> list[tuple[RequestState, int]]:
+        """Run one batched iteration; returns (state, sampled token) pairs."""
+        states = self.scheduler.active()
+        max_pos = self.model.config.max_position
+
+        ragged: list[tuple[RequestState, np.ndarray]] = []
+        slid: list[RequestState] = []
+        for state in states:
+            if state.slid:
+                slid.append(state)
+            elif state.needs_prefill:
+                chunk = np.asarray(state.tokens[-max_pos:], dtype=np.int64)
+                ragged.append((state, chunk))
+            else:
+                ragged.append(
+                    (state, np.asarray(state.tokens[-1:], dtype=np.int64))
+                )
+
+        sampled: list[tuple[RequestState, int]] = []
+        if ragged:
+            new_lens = np.asarray([chunk.size for _, chunk in ragged], dtype=np.int64)
+            width = int(new_lens.max())
+            token_matrix = np.zeros((len(ragged), width), dtype=np.int64)
+            for row, (_, chunk) in enumerate(ragged):
+                token_matrix[row, width - chunk.size :] = chunk
+            caches = [state.kv for state, _ in ragged]
+            logits = self.model.forward_ragged(token_matrix, caches, new_lens)
+            for row, (state, _) in enumerate(ragged):
+                state.needs_prefill = False
+                sampled.append((state, self._sample(state, logits[row, 0])))
+        for state in slid:
+            context = np.asarray(state.tokens[-max_pos:], dtype=np.int64)[None, :]
+            row_logits = self.model(context)[0, -1]
+            sampled.append((state, self._sample(state, row_logits)))
+        return sampled
+
+    def _sample(self, state: RequestState, logits: np.ndarray) -> int:
+        request = state.request
+        return select_token(logits, request.temperature, request.top_k, state.rng)
+
+    def _after_token(self, state: RequestState) -> None:
+        """Finish-reason and sliding-window transitions, mirroring generate."""
+        request = state.request
+        if state.tokens[-1] in state.stop_set:
+            state.finish_reason = "stop"
+        elif state.produced >= request.max_new_tokens:
+            state.finish_reason = "length"
+        elif not state.slid and state.kv.seq_len >= self.model.config.max_position:
+            # The window slid: from now on every step re-runs the trailing
+            # window (generate's BLAS tail).  The KV history is dead weight —
+            # release the blocks immediately so other requests reuse them.
+            state.slid = True
+            state.kv.release()
+            state.kv = None
+
+    def _completed(self, state: RequestState) -> CompletedRequest:
+        request = state.request
+        return CompletedRequest(
+            request_id=request.request_id,
+            tokens=np.asarray(state.tokens, dtype=np.int64),
+            prompt_len=int(request.prompt_ids.size),
+            generated=state.produced,
+            finish_reason=state.finish_reason,
+            arrival_time=request.arrival_time,
+            admitted_time=state.admitted_time,
+            first_token_time=state.token_times[0],
+            finish_time=state.token_times[-1],
+        )

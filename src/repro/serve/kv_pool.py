@@ -1,0 +1,277 @@
+"""Pooled, preallocated, block-granular key/value cache for serving.
+
+:class:`~repro.nn.kv_cache.LayerKVCache` grows one private buffer per
+sequence; a server juggling hundreds of short-lived requests would allocate
+and abandon such buffers continuously.  :class:`BlockKVPool` instead
+preallocates one shared store of fixed-size *blocks* (each block holds
+``block_size`` token positions of K and V for **all** layers of one
+sequence) and hands blocks out through a free list:
+
+* admission and decode growth take blocks from the free list — O(1), no
+  copying of existing history, no per-token reallocation;
+* retirement returns the request's blocks, so subsequent requests reuse
+  them (``blocks_reused`` counts this, and the tests assert it happens);
+* only when the free list is empty does the pool grow, geometrically, so
+  allocation events are amortized O(log total-tokens) — mirroring the
+  block-pool design of paged serving runtimes.
+
+Because NumPy's einsum cannot read scattered blocks in place (the way a
+paged attention kernel would), :meth:`SequenceKV.gather` packs a sequence's
+blocks into a per-call workspace for the attention read — O(seq) reads the
+kernel performs anyway.  The workspace is one position larger than needed
+and handed out as a sliced view, so its memory-layout class (strided view)
+matches what :class:`~repro.nn.kv_cache.LayerKVCache` returns — one of the
+conditions for served tokens being bit-identical to single-request
+:func:`~repro.nn.generation.generate` (see the KV-cache notes on layout
+classes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Snapshot of the pool's allocation counters."""
+
+    capacity_blocks: int
+    blocks_in_use: int
+    peak_blocks_in_use: int
+    blocks_allocated: int  # total allocate() calls served
+    blocks_reused: int  # allocations served by a previously used block
+    grow_events: int  # geometric store growths (O(log) of total demand)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "capacity_blocks": self.capacity_blocks,
+            "blocks_in_use": self.blocks_in_use,
+            "peak_blocks_in_use": self.peak_blocks_in_use,
+            "blocks_allocated": self.blocks_allocated,
+            "blocks_reused": self.blocks_reused,
+            "grow_events": self.grow_events,
+        }
+
+
+class BlockKVPool:
+    """Shared block store for every request's K/V history.
+
+    Parameters
+    ----------
+    num_layers / num_heads / head_dim:
+        Shape of the model's per-token K/V activations (use
+        :meth:`for_model`).
+    block_size:
+        Token positions per block.
+    initial_blocks:
+        Blocks preallocated up front.
+    grow_factor:
+        Capacity multiplier when the free list runs dry.
+    """
+
+    def __init__(
+        self,
+        num_layers: int,
+        num_heads: int,
+        head_dim: int,
+        block_size: int = 16,
+        initial_blocks: int = 64,
+        grow_factor: float = 2.0,
+    ) -> None:
+        if min(num_layers, num_heads, head_dim, block_size, initial_blocks) < 1:
+            raise ValueError("pool dimensions must all be >= 1")
+        if grow_factor <= 1.0:
+            raise ValueError(f"grow_factor must be > 1, got {grow_factor}")
+        self.num_layers = int(num_layers)
+        self.num_heads = int(num_heads)
+        self.head_dim = int(head_dim)
+        self.block_size = int(block_size)
+        self.grow_factor = float(grow_factor)
+
+        shape = (initial_blocks, num_layers, num_heads, block_size, head_dim)
+        self._k = np.empty(shape, dtype=np.float64)
+        self._v = np.empty(shape, dtype=np.float64)
+        self._free: list[int] = list(range(initial_blocks - 1, -1, -1))
+        self._used_before = np.zeros(initial_blocks, dtype=bool)
+
+        self.blocks_in_use = 0
+        self.peak_blocks_in_use = 0
+        self.blocks_allocated = 0
+        self.blocks_reused = 0
+        self.grow_events = 0
+
+    @classmethod
+    def for_model(cls, model, **kwargs) -> "BlockKVPool":
+        """A pool shaped for ``model``'s decoder stack."""
+        config = model.config
+        return cls(
+            num_layers=config.num_layers,
+            num_heads=config.num_heads,
+            head_dim=config.embed_dim // config.num_heads,
+            **kwargs,
+        )
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self._k.shape[0]
+
+    def stats(self) -> PoolStats:
+        return PoolStats(
+            capacity_blocks=self.capacity_blocks,
+            blocks_in_use=self.blocks_in_use,
+            peak_blocks_in_use=self.peak_blocks_in_use,
+            blocks_allocated=self.blocks_allocated,
+            blocks_reused=self.blocks_reused,
+            grow_events=self.grow_events,
+        )
+
+    def _grow(self) -> None:
+        old = self.capacity_blocks
+        new = max(int(old * self.grow_factor), old + 1)
+        shape = (new, self.num_layers, self.num_heads, self.block_size, self.head_dim)
+        k = np.empty(shape, dtype=np.float64)
+        v = np.empty(shape, dtype=np.float64)
+        k[:old] = self._k
+        v[:old] = self._v
+        self._k, self._v = k, v
+        self._used_before = np.concatenate(
+            [self._used_before, np.zeros(new - old, dtype=bool)]
+        )
+        # Push new ids so the lowest new id pops first; recycled old ids
+        # (pushed on free()) still take priority because they sit above.
+        self._free = list(range(new - 1, old - 1, -1)) + self._free
+        self.grow_events += 1
+
+    def allocate(self) -> int:
+        """Take one block id from the free list (growing the store if dry)."""
+        if not self._free:
+            self._grow()
+        block_id = self._free.pop()
+        self.blocks_allocated += 1
+        if self._used_before[block_id]:
+            self.blocks_reused += 1
+        self._used_before[block_id] = True
+        self.blocks_in_use += 1
+        self.peak_blocks_in_use = max(self.peak_blocks_in_use, self.blocks_in_use)
+        return block_id
+
+    def free(self, block_ids) -> None:
+        """Return blocks to the free list (called when a request retires)."""
+        for block_id in block_ids:
+            self._free.append(int(block_id))
+        self.blocks_in_use -= len(block_ids)
+
+    def sequence(self) -> "SequenceKV":
+        """A new, empty per-request cache backed by this pool."""
+        return SequenceKV(self)
+
+
+class _LayerView:
+    """Per-(sequence, layer) adapter implementing the LayerKVCache protocol.
+
+    :meth:`append` writes the new tokens into the sequence's pool blocks
+    and returns gathered ``(k_all, v_all)`` — exactly what
+    :meth:`repro.nn.attention.MultiHeadSelfAttention.forward_ragged`
+    expects from a cache.
+    """
+
+    __slots__ = ("seq", "layer")
+
+    def __init__(self, seq: "SequenceKV", layer: int) -> None:
+        self.seq = seq
+        self.layer = layer
+
+    @property
+    def seq_len(self) -> int:
+        return self.seq._layer_len[self.layer]
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self.seq._append(self.layer, k, v)
+
+
+class SequenceKV:
+    """One request's K/V history, stored in pool blocks.
+
+    Mirrors the :class:`~repro.nn.kv_cache.KVCache` protocol (``seq_len``
+    plus per-layer ``layers[i].append``), so
+    :meth:`~repro.nn.model.OPTLanguageModel.forward_ragged` accepts either
+    interchangeably.
+    """
+
+    def __init__(self, pool: BlockKVPool) -> None:
+        self.pool = pool
+        self.block_ids: list[int] = []
+        self._layer_len = [0] * pool.num_layers
+        self.layers = [_LayerView(self, i) for i in range(pool.num_layers)]
+        self._released = False
+
+    @property
+    def seq_len(self) -> int:
+        """Committed token positions (all layers agree between forwards)."""
+        return self._layer_len[0]
+
+    def _ensure_blocks(self, needed_tokens: int) -> None:
+        while len(self.block_ids) * self.pool.block_size < needed_tokens:
+            self.block_ids.append(self.pool.allocate())
+
+    def _append(
+        self, layer: int, k: np.ndarray, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self._released:
+            raise RuntimeError("SequenceKV used after release()")
+        if k.shape != v.shape or k.ndim != 4 or k.shape[0] != 1:
+            raise ValueError(
+                f"expected matching (1, heads, seq, head_dim) tensors, got "
+                f"{k.shape} and {v.shape}"
+            )
+        bs = self.pool.block_size
+        start = self._layer_len[layer]
+        end = start + k.shape[2]
+        self._ensure_blocks(end)
+
+        pos, taken = start, 0
+        while pos < end:
+            block = self.block_ids[pos // bs]
+            offset = pos % bs
+            take = min(bs - offset, end - pos)
+            self.pool._k[block, layer, :, offset : offset + take] = k[
+                0, :, taken : taken + take
+            ]
+            self.pool._v[block, layer, :, offset : offset + take] = v[
+                0, :, taken : taken + take
+            ]
+            pos += take
+            taken += take
+        self._layer_len[layer] = end
+        return self.gather(layer)
+
+    def gather(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        """Pack the layer's blocks into ``(1, heads, seq, head_dim)`` views.
+
+        The workspace is allocated one position longer than the sequence
+        and returned as a ``[:seq]`` slice, so the result is always a
+        strided view — the same memory-layout class
+        :class:`~repro.nn.kv_cache.LayerKVCache` produces, keeping einsum's
+        accumulation identical between the pooled and private cache paths.
+        """
+        length = self._layer_len[layer]
+        pool, bs = self.pool, self.pool.block_size
+        k_out = np.empty((1, pool.num_heads, length + 1, pool.head_dim))
+        v_out = np.empty_like(k_out)
+        for i, block in enumerate(self.block_ids):
+            lo = i * bs
+            if lo >= length:
+                break
+            take = min(bs, length - lo)
+            k_out[0, :, lo : lo + take] = pool._k[block, layer, :, :take]
+            v_out[0, :, lo : lo + take] = pool._v[block, layer, :, :take]
+        return k_out[:, :, :length], v_out[:, :, :length]
+
+    def release(self) -> None:
+        """Return every block to the pool (idempotent)."""
+        if not self._released:
+            self.pool.free(self.block_ids)
+            self.block_ids = []
+            self._released = True

@@ -1,0 +1,105 @@
+"""Serving metrics: TTFT, inter-token latency, throughput, queue depth.
+
+All timestamps come from the engine's virtual clock: it advances by the
+measured compute time of each step, and when the server is idle it jumps
+directly to the next arrival instead of sleeping.  Timestamps therefore
+live on the *arrival timeline* — queueing and compute are measured
+faithfully (TTFT is true time-from-arrival), idle spans are never slept
+through but do remain part of the timeline.  Consequently
+``tokens_per_second`` (tokens over makespan) is *delivered* throughput
+under the scenario's traffic: for sparse arrivals it is arrival-limited,
+not a capacity measurement — compare scenarios at similar load, or use
+``rate_scale`` to saturate.  The recorder collects per-step samples and
+per-request completions; :meth:`MetricsRecorder.summary` reduces them to
+the flat JSON-friendly dictionary ``BENCH_serve.json`` stores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve.request import CompletedRequest
+
+#: Percentiles reported for every latency distribution.
+PERCENTILES = (50, 90, 99)
+
+
+def _distribution(values) -> dict[str, float]:
+    """Mean plus the standard percentiles of a sample (NaNs when empty)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        out = {"mean": float("nan")}
+        out.update({f"p{p}": float("nan") for p in PERCENTILES})
+        return out
+    out = {"mean": float(np.mean(arr))}
+    for p in PERCENTILES:
+        out[f"p{p}"] = float(np.percentile(arr, p))
+    return out
+
+
+class MetricsRecorder:
+    """Accumulates per-step and per-request serving observations."""
+
+    def __init__(self) -> None:
+        self.completed: list[CompletedRequest] = []
+        self._queue_depths: list[int] = []
+        self._active_counts: list[int] = []
+        self._step_seconds: list[float] = []
+        self._step_tokens: list[int] = []
+        self._gaps: list[float] = []
+        self._final_time = 0.0
+
+    # -- collection ----------------------------------------------------------------
+    def record_step(
+        self, queue_depth: int, active: int, elapsed: float, tokens: int
+    ) -> None:
+        """One scheduler iteration: queue state, step time, tokens produced."""
+        self._queue_depths.append(int(queue_depth))
+        self._active_counts.append(int(active))
+        self._step_seconds.append(float(elapsed))
+        self._step_tokens.append(int(tokens))
+
+    def record_completion(
+        self, completed: CompletedRequest, token_times: list[float]
+    ) -> None:
+        """A finished request, with the timestamps of each generated token."""
+        self.completed.append(completed)
+        self._final_time = max(self._final_time, completed.finish_time)
+        times = np.asarray(token_times, dtype=np.float64)
+        if times.size >= 2:
+            self._gaps.extend(np.diff(times).tolist())
+
+    # -- reduction -----------------------------------------------------------------
+    def summary(self, max_batch_size: int | None = None) -> dict:
+        """Flat metrics dictionary (JSON-serializable)."""
+        total_tokens = sum(c.generated for c in self.completed)
+        makespan = self._final_time
+        steps = len(self._step_seconds)
+        summary = {
+            "requests_completed": len(self.completed),
+            "tokens_generated": int(total_tokens),
+            "makespan_s": float(makespan),
+            "tokens_per_second": float(total_tokens / makespan) if makespan > 0 else 0.0,
+            "steps": steps,
+            "ttft_s": _distribution(c.ttft for c in self.completed),
+            "queue_wait_s": _distribution(c.queue_wait for c in self.completed),
+            "inter_token_latency_s": _distribution(self._gaps),
+            "step_time_s": _distribution(self._step_seconds),
+            "queue_depth": {
+                "mean": float(np.mean(self._queue_depths)) if steps else 0.0,
+                "max": int(max(self._queue_depths)) if steps else 0,
+            },
+            "batch_occupancy": {
+                "mean": float(np.mean(self._active_counts)) if steps else 0.0,
+                "max": int(max(self._active_counts)) if steps else 0,
+            },
+            "finish_reasons": {
+                reason: sum(1 for c in self.completed if c.finish_reason == reason)
+                for reason in sorted({c.finish_reason for c in self.completed})
+            },
+        }
+        if max_batch_size:
+            summary["batch_occupancy"]["utilization"] = (
+                summary["batch_occupancy"]["mean"] / max_batch_size
+            )
+        return summary

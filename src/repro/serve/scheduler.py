@@ -1,0 +1,104 @@
+"""Iteration-level (continuous) batching: queue, slots, admit, retire.
+
+The scheduler owns the admission bookkeeping and nothing else — no model
+calls, no sampling.  It maintains a FIFO queue of pending requests and a
+fixed number of *decode slots*.  Every engine step:
+
+1. finished sequences are retired (:meth:`ContinuousBatchScheduler.retire`),
+   freeing their slot and their KV blocks immediately;
+2. queued requests are admitted into free slots
+   (:meth:`ContinuousBatchScheduler.admit`), each receiving a fresh
+   :class:`~repro.serve.kv_pool.SequenceKV` from the pool;
+3. the engine runs one ragged forward over whatever now occupies the slots
+   — freshly admitted requests contribute their whole prompt as a prefill
+   chunk, established requests contribute one decode token.
+
+This is the Orca-style iteration-level scheduling that static batching
+lacks: a short request retires and its slot is refilled on the very next
+step, instead of idling until the longest batch member completes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.serve.kv_pool import BlockKVPool
+from repro.serve.request import Request, RequestState
+
+
+class ContinuousBatchScheduler:
+    """FIFO admission into a fixed set of decode slots.
+
+    Parameters
+    ----------
+    pool:
+        The shared :class:`~repro.serve.kv_pool.BlockKVPool` new requests
+        draw their KV blocks from.
+    max_batch_size:
+        Number of decode slots (the per-step batch ceiling).
+    """
+
+    def __init__(self, pool: BlockKVPool, max_batch_size: int = 8) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        self.pool = pool
+        self.max_batch_size = int(max_batch_size)
+        self.queue: deque[Request] = deque()
+        self._slots: list[RequestState | None] = [None] * self.max_batch_size
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self.queue)
+
+    @property
+    def active_count(self) -> int:
+        return sum(1 for slot in self._slots if slot is not None)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.queue) or self.active_count > 0
+
+    def enqueue(self, request: Request) -> None:
+        """Add an arrived request to the back of the FIFO queue."""
+        self.queue.append(request)
+
+    def active(self) -> list[RequestState]:
+        """Occupied slots in slot order (stable across steps)."""
+        return [slot for slot in self._slots if slot is not None]
+
+    def admit(self, now: float) -> list[RequestState]:
+        """Fill free slots from the queue front; returns the admitted states.
+
+        Each admitted request gets a per-request generator seeded with its
+        own ``seed`` and an empty pooled KV sequence.
+        """
+        admitted: list[RequestState] = []
+        for index, slot in enumerate(self._slots):
+            if slot is not None or not self.queue:
+                continue
+            request = self.queue.popleft()
+            state = RequestState(
+                request=request,
+                rng=np.random.default_rng(request.seed),
+                kv=self.pool.sequence(),
+                tokens=list(request.prompt_ids),
+                admitted_time=now,
+            )
+            self._slots[index] = state
+            admitted.append(state)
+        return admitted
+
+    def retire(self, state: RequestState) -> None:
+        """Free the state's slot and return its KV blocks to the pool."""
+        for index, slot in enumerate(self._slots):
+            if slot is state:
+                self._slots[index] = None
+                break
+        else:
+            raise ValueError(f"state {state.request.request_id!r} holds no slot")
+        if state.kv is not None:
+            state.kv.release()
+            state.kv = None

@@ -1,0 +1,180 @@
+"""Synthetic serving workloads: named traffic scenario mixes.
+
+Each :class:`Scenario` pairs an arrival process from
+:mod:`repro.macro.traffic` with prompt/decode length distributions and
+sampling parameters, modelling a qualitatively different production
+traffic shape:
+
+* ``steady`` — evenly spaced greedy requests of moderate size: the
+  baseline that isolates pure compute throughput.
+* ``bursty`` — a Markov-modulated Poisson process: bursts form deep
+  queues even though the mean rate is sustainable, separating p99 TTFT
+  from p50.
+* ``chat`` — long prompts, short decodes (assistant-style turns): stresses
+  prefill cost and admission latency.
+* ``codegen`` — short prompts, long decodes (completion-style): stresses
+  decode-slot occupancy and the sliding-window tail.
+
+Workload generation is fully seeded: one :class:`numpy.random.SeedSequence`
+drives arrivals, lengths, prompt contents, *and* each request's private
+sampling seed, so a scenario expands to the identical request list on
+every run — which is what lets the benchmark compare normalizer variants
+under literally the same traffic.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.macro.traffic import get_arrival_process
+from repro.serve.request import Request
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named traffic mix.
+
+    ``prompt_len`` / ``max_new`` are inclusive integer ranges sampled
+    uniformly per request.  ``rate`` is the arrival process's mean rate in
+    requests per *virtual* second (the engine's clock advances by measured
+    compute time), so meaningful rates sit near the model's serving
+    capacity; :func:`generate_workload` exposes ``rate_scale`` to push a
+    scenario into or out of saturation without editing the mix.
+    """
+
+    name: str
+    arrival: str
+    rate: float
+    prompt_len: tuple[int, int]
+    max_new: tuple[int, int]
+    temperature: float
+    top_k: int | None
+    description: str
+
+    def __post_init__(self) -> None:
+        for lo, hi in (self.prompt_len, self.max_new):
+            if lo < 1 or hi < lo:
+                raise ValueError(f"bad range ({lo}, {hi}) in scenario {self.name!r}")
+
+
+#: The four benchmark scenario mixes.
+SCENARIOS: dict[str, Scenario] = {
+    "steady": Scenario(
+        name="steady",
+        arrival="steady",
+        rate=250.0,
+        prompt_len=(4, 12),
+        max_new=(8, 16),
+        temperature=0.0,
+        top_k=None,
+        description="evenly spaced greedy requests of moderate size",
+    ),
+    "bursty": Scenario(
+        name="bursty",
+        arrival="bursty",
+        rate=200.0,
+        prompt_len=(4, 12),
+        max_new=(8, 16),
+        temperature=0.8,
+        top_k=20,
+        description="Markov-modulated Poisson bursts over a quiet floor",
+    ),
+    "chat": Scenario(
+        name="chat",
+        arrival="poisson",
+        rate=120.0,
+        prompt_len=(18, 28),
+        max_new=(4, 8),
+        temperature=0.7,
+        top_k=20,
+        description="chat-style: long prompt, short decode",
+    ),
+    "codegen": Scenario(
+        name="codegen",
+        arrival="poisson",
+        rate=100.0,
+        prompt_len=(3, 8),
+        max_new=(24, 40),
+        temperature=0.9,
+        top_k=30,
+        description="codegen-style: short prompt, long decode",
+    ),
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    if name not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}")
+    return SCENARIOS[name]
+
+
+def generate_workload(
+    scenario: Scenario | str,
+    num_requests: int,
+    vocab_size: int,
+    seed: int = 0,
+    rate_scale: float = 1.0,
+    eos_token_id: int | None = None,
+) -> list[Request]:
+    """Expand a scenario into a concrete, fully seeded request list.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`Scenario` or a name from :data:`SCENARIOS`.
+    num_requests:
+        Number of requests to generate.
+    vocab_size:
+        Model vocabulary size; prompt tokens are drawn from
+        ``[1, vocab_size)`` excluding the EOS id.
+    seed:
+        Master seed; everything (arrivals, lengths, prompts, per-request
+        sampling seeds) derives from it.
+    rate_scale:
+        Multiplies the scenario's arrival rate (``> 1`` compresses
+        arrivals, loading the queue harder).
+    eos_token_id:
+        Stop token given to every request (default ``vocab_size - 1``).
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if num_requests < 1:
+        raise ValueError(f"num_requests must be >= 1, got {num_requests}")
+    if vocab_size < 4:
+        raise ValueError(f"vocab_size must be >= 4, got {vocab_size}")
+    if rate_scale <= 0:
+        raise ValueError(f"rate_scale must be positive, got {rate_scale}")
+    eos = vocab_size - 1 if eos_token_id is None else int(eos_token_id)
+
+    # crc32, not hash(): str hashing is salted per process and would break
+    # run-to-run workload determinism.
+    root = np.random.SeedSequence(entropy=(seed, zlib.crc32(scenario.name.encode())))
+    traffic_seq, request_seq = root.spawn(2)
+    rng = np.random.default_rng(traffic_seq)
+    process = get_arrival_process(scenario.arrival, rate=scenario.rate * rate_scale)
+    arrivals = process.arrival_times(num_requests, rng)
+    request_seeds = request_seq.generate_state(num_requests)
+
+    requests: list[Request] = []
+    for i in range(num_requests):
+        prompt_len = int(rng.integers(scenario.prompt_len[0], scenario.prompt_len[1] + 1))
+        max_new = int(rng.integers(scenario.max_new[0], scenario.max_new[1] + 1))
+        prompt = rng.integers(1, vocab_size, size=prompt_len)
+        prompt[prompt == eos] = 1  # keep EOS out of prompts
+        requests.append(
+            Request(
+                request_id=f"{scenario.name}-{i:04d}",
+                prompt_ids=prompt,
+                max_new_tokens=max_new,
+                temperature=scenario.temperature,
+                top_k=scenario.top_k,
+                stop_tokens=(eos,),
+                seed=int(request_seeds[i]),
+                arrival_time=float(arrivals[i]),
+            )
+        )
+    return requests

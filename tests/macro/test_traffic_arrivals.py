@@ -1,0 +1,77 @@
+"""Arrival processes backing the serving workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.macro.traffic import (
+    ARRIVAL_PROCESSES,
+    BurstyArrivals,
+    PoissonArrivals,
+    SteadyArrivals,
+    get_arrival_process,
+)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(ARRIVAL_PROCESSES) == {"steady", "poisson", "bursty"}
+
+    def test_factory(self):
+        process = get_arrival_process("poisson", rate=5.0)
+        assert isinstance(process, PoissonArrivals)
+        with pytest.raises(KeyError):
+            get_arrival_process("nope", rate=1.0)
+
+
+class TestSteady:
+    def test_exact_spacing(self):
+        times = SteadyArrivals(rate=4.0).arrival_times(8, np.random.default_rng(0))
+        np.testing.assert_allclose(np.diff(times), 0.25)
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            SteadyArrivals(rate=0.0)
+
+
+class TestPoisson:
+    def test_mean_interarrival_near_inverse_rate(self):
+        rng = np.random.default_rng(7)
+        gaps = PoissonArrivals(rate=10.0).interarrival_times(4000, rng)
+        assert np.mean(gaps) == pytest.approx(0.1, rel=0.1)
+
+    def test_seeded_determinism(self):
+        a = PoissonArrivals(rate=3.0).arrival_times(50, np.random.default_rng(1))
+        b = PoissonArrivals(rate=3.0).arrival_times(50, np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestBursty:
+    def test_higher_variance_than_poisson(self):
+        """The point of the MMPP: same-ish mean, much burstier gaps."""
+        rng = np.random.default_rng(0)
+        bursty = BurstyArrivals(rate=10.0).interarrival_times(4000, rng)
+        poisson = PoissonArrivals(rate=10.0).interarrival_times(
+            4000, np.random.default_rng(0)
+        )
+        cv_bursty = np.std(bursty) / np.mean(bursty)
+        cv_poisson = np.std(poisson) / np.mean(poisson)
+        assert cv_bursty > cv_poisson
+
+    def test_arrival_times_monotone(self):
+        times = BurstyArrivals(rate=5.0).arrival_times(100, np.random.default_rng(2))
+        assert np.all(np.diff(times) >= 0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(rate=1.0, persistence=1.0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(rate=1.0, burst_factor=0.0)
+
+
+class TestEdgeCases:
+    def test_zero_requests(self):
+        assert SteadyArrivals(rate=1.0).arrival_times(0, np.random.default_rng(0)).size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SteadyArrivals(rate=1.0).arrival_times(-1, np.random.default_rng(0))

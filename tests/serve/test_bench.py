@@ -1,0 +1,92 @@
+"""Benchmark harness: scenario cells, engine-job declaration, JSON output."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.bench import DEFAULT_NORMALIZERS, jobs, run_bench, run_scenario
+
+
+class TestRunScenario:
+    def test_rows_and_text(self):
+        rows, text = run_scenario(
+            scenario="steady", normalizer="baseline", quick=True, num_requests=4, seed=0
+        )
+        assert rows["scenario"] == "steady"
+        assert rows["normalizer"] == "baseline"
+        assert rows["metrics"]["requests_completed"] == 4
+        assert rows["metrics"]["tokens_per_second"] > 0
+        assert rows["pool"]["blocks_in_use"] == 0
+        assert "steady" in text and "tok/s" in text
+        json.dumps(rows)  # engine-cacheable: must be JSON-serializable
+
+    def test_token_streams_identical_across_normalizer_timing(self):
+        """Same seed => same workload: token counts match across runs."""
+        rows_a, _ = run_scenario(scenario="chat", quick=True, num_requests=4, seed=5)
+        rows_b, _ = run_scenario(scenario="chat", quick=True, num_requests=4, seed=5)
+        assert (
+            rows_a["metrics"]["tokens_generated"]
+            == rows_b["metrics"]["tokens_generated"]
+        )
+        assert rows_a["metrics"]["finish_reasons"] == rows_b["metrics"]["finish_reasons"]
+
+    def test_unknown_normalizer(self):
+        with pytest.raises(KeyError):
+            run_scenario(normalizer="nope")
+
+
+class TestJobs:
+    def test_grid_declaration(self):
+        declared = jobs(quick=True, seed=3)
+        assert len(declared) == 4 * len(DEFAULT_NORMALIZERS)
+        names = {job.name for job in declared}
+        assert "serve[steady/baseline]" in names
+        assert "serve[codegen/iterl2norm]" in names
+        for job in declared:
+            assert job.target == "repro.serve.bench:run_scenario"
+            assert job.seed == 3
+
+    def test_jobs_resolve_and_hash(self):
+        job = jobs(quick=True)[0]
+        assert callable(job.resolve())
+        assert len(job.config_hash("v0")) == 64
+
+
+class TestRunBench:
+    def test_writes_json_with_all_scenarios(self, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        payload, text = run_bench(
+            quick=True,
+            jobs_n=1,
+            seed=0,
+            out_path=str(out),
+            normalizers=("baseline",),
+            stream=open("/dev/null", "w"),
+        )
+        assert out.exists()
+        on_disk = json.loads(out.read_text())
+        assert on_disk["config"]["scenarios"] == ["bursty", "chat", "codegen", "steady"]
+        assert len(on_disk["results"]) == 4
+        for row in on_disk["results"]:
+            metrics = row["metrics"]
+            assert metrics["tokens_per_second"] > 0
+            assert "p99" in metrics["ttft_s"]
+            assert "max" in metrics["queue_depth"]
+            assert row["pool"]["blocks_allocated"] > 0
+        assert "wrote" in text
+
+    def test_comparison_section(self, tmp_path):
+        out = tmp_path / "bench.json"
+        payload, _ = run_bench(
+            quick=True,
+            seed=0,
+            out_path=str(out),
+            scenarios=("steady",),
+            normalizers=("baseline", "exact"),
+            stream=open("/dev/null", "w"),
+        )
+        comparison = payload["comparison"]["steady"]["exact"]
+        assert comparison["tokens_per_second_ratio"] > 0
+        assert np.isfinite(comparison["ttft_p50_delta_s"])
+        assert isinstance(comparison["tokens_generated_delta"], int)

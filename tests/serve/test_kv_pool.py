@@ -1,0 +1,167 @@
+"""Block pool: allocation, reuse, amortized growth, gather correctness."""
+
+import numpy as np
+import pytest
+
+from repro.nn.kv_cache import LayerKVCache
+from repro.serve.kv_pool import BlockKVPool
+
+
+def make_pool(**kwargs):
+    defaults = dict(num_layers=2, num_heads=2, head_dim=4, block_size=4, initial_blocks=4)
+    defaults.update(kwargs)
+    return BlockKVPool(**defaults)
+
+
+class TestAllocation:
+    def test_allocate_free_roundtrip(self):
+        pool = make_pool()
+        ids = [pool.allocate() for _ in range(3)]
+        assert len(set(ids)) == 3
+        assert pool.blocks_in_use == 3
+        pool.free(ids)
+        assert pool.blocks_in_use == 0
+
+    def test_freed_blocks_are_reused(self):
+        """The acceptance property: retired requests' blocks serve new ones."""
+        pool = make_pool()
+        first = [pool.allocate() for _ in range(4)]
+        pool.free(first)
+        second = [pool.allocate() for _ in range(4)]
+        assert set(second) == set(first)  # no growth: same physical blocks
+        assert pool.blocks_reused == 4
+        assert pool.grow_events == 0
+
+    def test_growth_is_amortized_not_per_token(self):
+        """Allocating far beyond the initial capacity grows O(log n) times."""
+        pool = make_pool(initial_blocks=2)
+        for _ in range(128):
+            pool.allocate()
+        # 2 -> 4 -> 8 -> 16 -> 32 -> 64 -> 128: geometric, not per-allocation.
+        assert pool.grow_events <= 7
+        assert pool.capacity_blocks >= 128
+
+    def test_growth_preserves_stored_values(self):
+        pool = make_pool(initial_blocks=1)
+        seq = pool.sequence()
+        k = np.arange(2 * 6 * 4, dtype=np.float64).reshape(1, 2, 6, 4)
+        seq._append(0, k, -k)
+        for _ in range(pool.capacity_blocks * 2):  # force at least one grow
+            pool.allocate()
+        k_all, v_all = seq.gather(0)
+        np.testing.assert_array_equal(k_all, k)
+        np.testing.assert_array_equal(v_all, -k)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_pool(block_size=0)
+        with pytest.raises(ValueError):
+            make_pool(grow_factor=1.0)
+
+
+class TestSequenceKV:
+    def test_append_gather_matches_layer_kv_cache_exactly(self):
+        """The pooled cache is a drop-in for LayerKVCache, bit-for-bit."""
+        rng = np.random.default_rng(0)
+        pool = make_pool()
+        seq = pool.sequence()
+        ref = LayerKVCache()
+        for chunk_len in (5, 1, 1, 3, 1):
+            k = rng.normal(size=(1, 2, chunk_len, 4))
+            v = rng.normal(size=(1, 2, chunk_len, 4))
+            k_pool, v_pool = seq.layers[0].append(k, v)
+            k_ref, v_ref = ref.append(k, v)
+            np.testing.assert_array_equal(k_pool, k_ref)
+            np.testing.assert_array_equal(v_pool, v_ref)
+        assert seq.layers[0].seq_len == ref.seq_len == 11
+
+    def test_gather_returns_strided_views_like_layer_kv_cache(self):
+        """Same memory-layout class as LayerKVCache views (einsum parity)."""
+        pool = make_pool()
+        seq = pool.sequence()
+        k = np.zeros((1, 2, 5, 4))
+        k_all, v_all = seq.layers[0].append(k, k.copy())
+        ref = LayerKVCache()
+        k_ref, _ = ref.append(k, k.copy())
+        assert k_all.flags.c_contiguous == k_ref.flags.c_contiguous == False  # noqa: E712
+
+    def test_layers_are_independent(self):
+        pool = make_pool()
+        seq = pool.sequence()
+        k0 = np.full((1, 2, 3, 4), 1.0)
+        k1 = np.full((1, 2, 2, 4), 2.0)
+        seq.layers[0].append(k0, k0)
+        seq.layers[1].append(k1, k1)
+        np.testing.assert_array_equal(seq.gather(0)[0], k0)
+        np.testing.assert_array_equal(seq.gather(1)[0], k1)
+
+    def test_blocks_shared_across_layers_not_duplicated(self):
+        """One block covers all layers: appending to both layers of the same
+        positions must not consume extra blocks."""
+        pool = make_pool()
+        seq = pool.sequence()
+        k = np.zeros((1, 2, 6, 4))
+        seq.layers[0].append(k, k)
+        blocks_after_layer0 = len(seq.block_ids)
+        seq.layers[1].append(k, k)
+        assert len(seq.block_ids) == blocks_after_layer0 == 2  # ceil(6/4)
+
+    def test_no_per_token_reallocation(self):
+        """Decode-style growth: one token per step allocates only on block
+        boundaries and never copies existing history."""
+        pool = make_pool(initial_blocks=16)
+        seq = pool.sequence()
+        token = np.zeros((1, 2, 1, 4))
+        for _ in range(32):
+            seq.layers[0].append(token, token)
+        # 32 tokens / block_size 4 = 8 allocations, not 32.
+        assert pool.blocks_allocated == 8
+        assert pool.grow_events == 0
+
+    def test_release_is_idempotent_and_frees_blocks(self):
+        pool = make_pool()
+        seq = pool.sequence()
+        k = np.zeros((1, 2, 9, 4))
+        seq.layers[0].append(k, k)
+        held = pool.blocks_in_use
+        assert held == 3
+        seq.release()
+        seq.release()
+        assert pool.blocks_in_use == 0
+
+    def test_use_after_release_rejected(self):
+        pool = make_pool()
+        seq = pool.sequence()
+        seq.release()
+        with pytest.raises(RuntimeError):
+            seq.layers[0].append(np.zeros((1, 2, 1, 4)), np.zeros((1, 2, 1, 4)))
+
+    def test_shape_validation(self):
+        pool = make_pool()
+        seq = pool.sequence()
+        with pytest.raises(ValueError):
+            seq.layers[0].append(np.zeros((2, 2, 1, 4)), np.zeros((2, 2, 1, 4)))
+        with pytest.raises(ValueError):
+            seq.layers[0].append(np.zeros((1, 2, 1, 4)), np.zeros((1, 2, 2, 4)))
+
+
+class TestLayerKVCacheGrowth:
+    """The private (generate-path) cache also grows amortized now."""
+
+    def test_append_one_token_at_a_time_reallocates_logarithmically(self):
+        kv = LayerKVCache()
+        token = np.zeros((1, 2, 1, 8))
+        for _ in range(200):
+            kv.append(token, token.copy())
+        assert kv.seq_len == 200
+        # 16 -> 32 -> 64 -> 128 -> 256: five allocations, not 200.
+        assert kv.realloc_count <= 5
+
+    def test_views_track_appends(self):
+        kv = LayerKVCache()
+        k1 = np.full((1, 1, 2, 2), 3.0)
+        kv.append(k1, k1.copy())
+        k_all, _ = kv.append(k1 * 2, k1.copy() * 2)
+        assert k_all.shape == (1, 1, 4, 2)
+        np.testing.assert_array_equal(k_all[0, 0, :2], k1[0, 0])
+        np.testing.assert_array_equal(k_all[0, 0, 2:], 2 * k1[0, 0])

@@ -1,0 +1,70 @@
+"""Scheduler bookkeeping: FIFO admission, slot reuse, retirement."""
+
+import numpy as np
+import pytest
+
+from repro.serve.kv_pool import BlockKVPool
+from repro.serve.request import Request
+from repro.serve.scheduler import ContinuousBatchScheduler
+
+
+def make_request(rid, arrival=0.0):
+    return Request(rid, np.array([1, 2, 3]), max_new_tokens=4, arrival_time=arrival)
+
+
+@pytest.fixture
+def scheduler():
+    pool = BlockKVPool(num_layers=2, num_heads=2, head_dim=16, block_size=4, initial_blocks=8)
+    return ContinuousBatchScheduler(pool, max_batch_size=2)
+
+
+class TestAdmission:
+    def test_fifo_order(self, scheduler):
+        for rid in ("a", "b", "c"):
+            scheduler.enqueue(make_request(rid))
+        admitted = scheduler.admit(now=1.0)
+        assert [s.request.request_id for s in admitted] == ["a", "b"]
+        assert scheduler.queue_depth == 1
+        assert all(s.admitted_time == 1.0 for s in admitted)
+
+    def test_admit_into_freed_slot(self, scheduler):
+        for rid in ("a", "b", "c"):
+            scheduler.enqueue(make_request(rid))
+        first = scheduler.admit(now=0.0)
+        scheduler.retire(first[0])
+        second = scheduler.admit(now=2.0)
+        assert [s.request.request_id for s in second] == ["c"]
+        assert scheduler.active_count == 2
+        assert scheduler.queue_depth == 0
+
+    def test_admit_no_queue_is_noop(self, scheduler):
+        assert scheduler.admit(now=0.0) == []
+        assert not scheduler.has_work
+
+    def test_per_request_generators_are_seeded(self, scheduler):
+        scheduler.enqueue(Request("a", np.array([1]), seed=7))
+        state = scheduler.admit(now=0.0)[0]
+        expected = np.random.default_rng(7).random()
+        assert state.rng.random() == expected
+
+
+class TestRetirement:
+    def test_retire_releases_kv_blocks(self, scheduler):
+        scheduler.enqueue(make_request("a"))
+        state = scheduler.admit(now=0.0)[0]
+        state.kv.layers[0].append(np.zeros((1, 2, 5, 16)), np.zeros((1, 2, 5, 16)))
+        assert scheduler.pool.blocks_in_use > 0
+        scheduler.retire(state)
+        assert scheduler.pool.blocks_in_use == 0
+        assert scheduler.active_count == 0
+
+    def test_retire_unknown_state_rejected(self, scheduler):
+        scheduler.enqueue(make_request("a"))
+        state = scheduler.admit(now=0.0)[0]
+        scheduler.retire(state)
+        with pytest.raises(ValueError):
+            scheduler.retire(state)
+
+    def test_max_batch_size_validated(self, scheduler):
+        with pytest.raises(ValueError):
+            ContinuousBatchScheduler(scheduler.pool, max_batch_size=0)

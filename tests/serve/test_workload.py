@@ -1,0 +1,75 @@
+"""Workload generator: scenario shapes, determinism, arrival models."""
+
+import numpy as np
+import pytest
+
+from repro.serve.workload import SCENARIOS, generate_workload, get_scenario
+
+
+class TestScenarios:
+    def test_four_mixes_registered(self):
+        assert set(SCENARIOS) == {"steady", "bursty", "chat", "codegen"}
+
+    def test_chat_is_prefill_heavy_codegen_is_decode_heavy(self):
+        chat = get_scenario("chat")
+        codegen = get_scenario("codegen")
+        assert chat.prompt_len[0] > chat.max_new[1]
+        assert codegen.max_new[0] > codegen.prompt_len[1]
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            get_scenario("nope")
+
+
+class TestGeneration:
+    def test_same_seed_same_workload(self):
+        a = generate_workload("bursty", num_requests=10, vocab_size=64, seed=3)
+        b = generate_workload("bursty", num_requests=10, vocab_size=64, seed=3)
+        for left, right in zip(a, b):
+            assert left.request_id == right.request_id
+            assert left.seed == right.seed
+            assert left.arrival_time == right.arrival_time
+            np.testing.assert_array_equal(left.prompt_ids, right.prompt_ids)
+
+    def test_different_seed_different_workload(self):
+        a = generate_workload("steady", num_requests=10, vocab_size=64, seed=0)
+        b = generate_workload("steady", num_requests=10, vocab_size=64, seed=1)
+        assert any(
+            left.prompt_ids.size != right.prompt_ids.size
+            or not np.array_equal(left.prompt_ids, right.prompt_ids)
+            for left, right in zip(a, b)
+        )
+
+    def test_request_shapes_respect_scenario(self):
+        scenario = get_scenario("chat")
+        requests = generate_workload(scenario, num_requests=20, vocab_size=64, seed=0)
+        assert len(requests) == 20
+        for request in requests:
+            assert scenario.prompt_len[0] <= request.prompt_ids.size <= scenario.prompt_len[1]
+            assert scenario.max_new[0] <= request.max_new_tokens <= scenario.max_new[1]
+            assert request.temperature == scenario.temperature
+            assert request.stop_tokens == (63,)
+            assert not np.any(request.prompt_ids == 63)  # EOS kept out of prompts
+            assert np.all(request.prompt_ids >= 1)
+
+    def test_arrivals_sorted_and_rate_scale_compresses(self):
+        slow = generate_workload("steady", num_requests=20, vocab_size=64, seed=0)
+        fast = generate_workload(
+            "steady", num_requests=20, vocab_size=64, seed=0, rate_scale=4.0
+        )
+        slow_times = [r.arrival_time for r in slow]
+        fast_times = [r.arrival_time for r in fast]
+        assert slow_times == sorted(slow_times)
+        assert fast_times[-1] == pytest.approx(slow_times[-1] / 4.0)
+
+    def test_per_request_seeds_differ(self):
+        requests = generate_workload("codegen", num_requests=16, vocab_size=64, seed=0)
+        assert len({r.seed for r in requests}) == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_workload("steady", num_requests=0, vocab_size=64)
+        with pytest.raises(ValueError):
+            generate_workload("steady", num_requests=1, vocab_size=2)
+        with pytest.raises(ValueError):
+            generate_workload("steady", num_requests=1, vocab_size=64, rate_scale=0)

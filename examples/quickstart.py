@@ -8,6 +8,10 @@ The script normalizes a batch of activation vectors three ways — exact layer
 norm, IterL2Norm (the paper's method), and the FISR baseline — in FP32 and
 BFloat16, and prints the error of each approximate method against the exact
 result, plus the convergence trace of the underlying scalar iteration.
+Finally it builds a tiny OPT-style model under a whole-model *precision
+policy* (``repro.precision``) — bfloat16 datapath, IterL2Norm normalizer —
+the per-model version of what ``python -m repro precision-sweep`` measures
+across the full (policy x normalizer) grid.
 """
 
 import numpy as np
@@ -59,6 +63,21 @@ def main() -> None:
     print(
         f"  relative error after {len(report.error_trace) - 1} steps: "
         f"{report.relative_final_error:.3e}"
+    )
+
+    # End-to-end precision policy: a bf16 datapath with IterL2Norm swapped
+    # in.  (`python -m repro precision-sweep` sweeps the whole grid.)
+    from repro.nn.config import get_config
+    from repro.nn.generation import generate
+    from repro.nn.model import OPTLanguageModel
+
+    model = OPTLanguageModel(get_config("opt-test"), rng=rng, policy="bf16")
+    model.replace_layernorm("iterl2norm", fmt="bf16", num_steps=5)
+    tokens = generate(model, np.array([1, 2, 3]), max_new_tokens=8, temperature=0.0)
+    print(
+        f"\nGreedy decode under policy {model.policy.name!r} "
+        f"(activations {model.policy.activation_fmt}, "
+        f"KV cache {model.policy.kv_cache_fmt}): {tokens.tolist()}"
     )
 
 

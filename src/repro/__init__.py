@@ -8,6 +8,8 @@ Top-level convenience exports cover the most common entry points:
 * :class:`~repro.baselines.exact.ExactLayerNorm` and
   :class:`~repro.baselines.fisr.FISRLayerNorm` — the baselines.
 * :mod:`repro.fpformats` — FP32/FP16/BFloat16 emulation.
+* :mod:`repro.precision` — whole-model precision policies
+  (:class:`~repro.precision.policy.PrecisionPolicy` and its registry).
 * :mod:`repro.macro` — the hardware macro simulator and area/power models.
 * :mod:`repro.nn` / :mod:`repro.data` / :mod:`repro.eval` — the OPT-style
   transformer substrate and the experiment harness.
@@ -19,6 +21,7 @@ from repro.baselines.exact import ExactLayerNorm, exact_layernorm
 from repro.baselines.fisr import FISRLayerNorm, fast_inverse_sqrt
 from repro.baselines.registry import available_methods, get_normalizer
 from repro.fpformats.spec import BFLOAT16, FLOAT16, FLOAT32, FloatFormat, get_format
+from repro.precision.policy import PrecisionPolicy, available_policies, get_policy
 
 __version__ = "1.0.0"
 
@@ -31,8 +34,11 @@ __all__ = [
     "FloatFormat",
     "IterL2Norm",
     "IterL2NormConfig",
+    "PrecisionPolicy",
     "__version__",
     "available_methods",
+    "available_policies",
+    "get_policy",
     "exact_layernorm",
     "fast_inverse_sqrt",
     "get_format",

@@ -103,3 +103,22 @@ register_normalizer("exact", _make_exact)
 register_normalizer("iterl2norm", _make_iterl2norm)
 register_normalizer("fisr", _make_fisr)
 register_normalizer("lut", _make_lut)
+
+
+#: Benchmark variant presets shared by ``serve-bench`` and
+#: ``precision-sweep``: variant name -> ``(method, factory kwargs)``, with
+#: ``None`` meaning the trained exact LayerNorm baseline.  The working
+#: *format* is deliberately not part of a preset — each harness resolves it
+#: from its precision policy (``PrecisionPolicy.variant_normalizer_fmt``),
+#: so the method and its kwargs cannot drift between the benchmarks.  Note
+#: the harnesses differ under the ``fp64-ref`` passthrough by design:
+#: precision-sweep keeps each factory's own default format (its fp64-ref
+#: cells are the sweep's reference row), while serve-bench falls back to
+#: fp16 (its historical "fp16 normalizer on an exact substrate" cells).
+VARIANT_PRESETS: dict[str, tuple[str, dict] | None] = {
+    "baseline": None,
+    "iterl2norm": ("iterl2norm", {"num_steps": 5}),
+    "fisr": ("fisr", {}),
+    "lut": ("lut", {}),
+    "exact": ("exact", {}),
+}

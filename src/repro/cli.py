@@ -12,7 +12,10 @@ models:
 * ``traffic``   — the host-vs-on-chip data-movement motivation analysis.
 * ``throughput`` — the multi-vector batching/throughput model.
 * ``serve-bench`` — the continuous-batching serving benchmark
-  (traffic scenarios x swapped normalizers, writes ``BENCH_serve.json``).
+  (traffic scenarios x swapped normalizers, writes ``BENCH_serve.json``;
+  ``--policy`` serves under a named precision policy).
+* ``precision-sweep`` — the (precision policy x normalizer) grid of
+  perplexity + serving cells (writes ``BENCH_precision.json``).
 * ``all``       — everything, in paper order.
 """
 
@@ -107,6 +110,23 @@ def _cmd_serve_bench(args) -> None:
         cache_dir=args.cache_dir,
         use_cache=args.use_cache,
         no_cache=args.no_cache,
+        policy=args.policy,
+    )
+
+
+def _cmd_precision_sweep(args) -> None:
+    from repro.experiments.precision_sweep import run_sweep
+
+    run_sweep(
+        quick=args.quick,
+        jobs_n=args.jobs,
+        seed=args.seed,
+        out_path=args.out,
+        policies=tuple(args.policies.split(",")),
+        normalizers=tuple(args.normalizers.split(",")),
+        cache_dir=args.cache_dir,
+        use_cache=args.use_cache,
+        no_cache=args.no_cache,
     )
 
 
@@ -120,6 +140,8 @@ def _cmd_all(args) -> None:
         no_cache=args.no_cache,
         seed=args.seed,
         include_serve=args.serve,
+        include_precision=args.precision,
+        policy=args.policy,
     )
 
 
@@ -185,14 +207,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay token-identical cells from the result cache "
              "(off by default: cached timings defeat a benchmark)",
     )
+    p.add_argument(
+        "--policy", default="fp64-ref",
+        help="precision policy of the served model "
+             "(fp64-ref, fp32, fp16, bf16, bf16-fp8kv, ...)",
+    )
     add_engine_arguments(p)
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser(
+        "precision-sweep",
+        help="(precision policy x normalizer) perplexity + serving grid "
+             "(writes BENCH_precision.json)",
+    )
+    p.add_argument("--quick", action="store_true", help="tiny model, 8 requests/cell")
+    p.add_argument("--out", default="BENCH_precision.json", metavar="PATH")
+    p.add_argument(
+        "--policies", default="fp64-ref,fp32,fp16,bf16,bf16-fp8kv",
+        help="comma-separated precision policies to sweep",
+    )
+    p.add_argument(
+        "--normalizers", default="baseline,iterl2norm",
+        help="comma-separated normalizer variants per policy",
+    )
+    p.add_argument(
+        "--use-cache", action="store_true",
+        help="replay cells from the result cache (off by default: the "
+             "serving columns are measured timings)",
+    )
+    add_engine_arguments(p)
+    p.set_defaults(func=_cmd_precision_sweep)
 
     p = sub.add_parser("all", help="regenerate every table and figure")
     p.add_argument("--quick", action="store_true")
     p.add_argument(
         "--serve", action="store_true",
         help="also run the serving benchmark section (timing-sensitive)",
+    )
+    p.add_argument(
+        "--precision", action="store_true",
+        help="also run the precision-policy sweep section",
+    )
+    p.add_argument(
+        "--policy", default="fp64-ref",
+        help="precision policy of the serve-bench section's model",
     )
     add_engine_arguments(p)
     p.set_defaults(func=_cmd_all)

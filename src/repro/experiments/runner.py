@@ -20,7 +20,17 @@ import sys
 from repro.engine import Job, ResultCache, run_jobs
 from repro.engine.options import add_engine_arguments
 from repro.eval.perplexity import LLMEvalConfig
-from repro.experiments import fig3, fig4, fig5, fig6, table1, table2, table3, table4
+from repro.experiments import (
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    precision_sweep,
+    table1,
+    table2,
+    table3,
+    table4,
+)
 
 def _merge_serve_rows(groups: list[object]) -> tuple[object, str]:
     """Fold the serve-bench cells back into one section table."""
@@ -42,11 +52,16 @@ def _merge_serve_rows(groups: list[object]) -> tuple[object, str]:
 _MERGED_SECTIONS = {
     "Table IV": table4.merge_cell_rows,
     "Serve bench": _merge_serve_rows,
+    "Precision sweep": precision_sweep.merge_cell_rows,
 }
 
 
 def build_sections(
-    quick: bool = False, seed: int = 0, include_serve: bool = False
+    quick: bool = False,
+    seed: int = 0,
+    include_serve: bool = False,
+    include_precision: bool = False,
+    policy: str = "fp64-ref",
 ) -> list[tuple[str, list[Job]]]:
     """Declare the paper's experiments as (section title, jobs) groups.
 
@@ -55,7 +70,10 @@ def build_sections(
     ``include_serve`` the continuous-batching serving benchmark joins as a
     fan-out section of (scenario, normalizer) cells — token streams are
     deterministic, but its timing columns are measured per run, so cached
-    replays show the timings of the original computation.
+    replays show the timings of the original computation.  ``policy``
+    serves that section under the named precision policy, and
+    ``include_precision`` adds the (policy × normalizer) precision-sweep
+    section as its own fan-out of perplexity + serving cells.
     """
     trials = 200 if quick else 1000
     if quick:
@@ -75,7 +93,13 @@ def build_sections(
     if include_serve:
         from repro.serve import bench
 
-        sections.append(("Serve bench", bench.jobs(quick=quick, seed=seed)))
+        sections.append(
+            ("Serve bench", bench.jobs(quick=quick, seed=seed, policy=policy))
+        )
+    if include_precision:
+        sections.append(
+            ("Precision sweep", precision_sweep.jobs(quick=quick, seed=seed))
+        )
     return sections
 
 
@@ -88,6 +112,8 @@ def run_all(
     seed: int = 0,
     use_cache: bool = True,
     include_serve: bool = False,
+    include_precision: bool = False,
+    policy: str = "fp64-ref",
 ) -> dict[str, object]:
     """Run every experiment; returns the raw rows keyed by experiment name.
 
@@ -113,9 +139,19 @@ def run_all(
     include_serve:
         Append the continuous-batching serve-bench section
         (``--serve`` on the CLI).
+    include_precision:
+        Append the precision-policy sweep section (``--precision``).
+    policy:
+        Precision policy of the serve-bench section's model (``--policy``).
     """
     stream = stream or sys.stdout
-    sections = build_sections(quick=quick, seed=seed, include_serve=include_serve)
+    sections = build_sections(
+        quick=quick,
+        seed=seed,
+        include_serve=include_serve,
+        include_precision=include_precision,
+        policy=policy,
+    )
     flat = [job for _, group in sections for job in group]
     cache = ResultCache(cache_dir) if use_cache else None
     # Per-job progress goes to stderr so long runs show liveness without
@@ -158,6 +194,14 @@ def main(argv: list[str] | None = None) -> int:
         "--serve", action="store_true",
         help="also run the serving benchmark section (timing-sensitive)",
     )
+    parser.add_argument(
+        "--precision", action="store_true",
+        help="also run the precision-policy sweep section",
+    )
+    parser.add_argument(
+        "--policy", default="fp64-ref",
+        help="precision policy of the serve-bench section's model",
+    )
     add_engine_arguments(parser)
     args = parser.parse_args(argv)
     run_all(
@@ -167,6 +211,8 @@ def main(argv: list[str] | None = None) -> int:
         no_cache=args.no_cache,
         seed=args.seed,
         include_serve=args.serve,
+        include_precision=args.precision,
+        policy=args.policy,
     )
     return 0
 

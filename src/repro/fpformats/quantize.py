@@ -10,13 +10,56 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.fpformats.spec import FLOAT32, FLOAT16, FLOAT64, FloatFormat, get_format
+from repro.fpformats.spec import BFLOAT16, FLOAT32, FLOAT16, FLOAT64, FloatFormat, get_format
 
 
 def _quantize_via_numpy(x: np.ndarray, dtype: np.dtype) -> np.ndarray:
     """Round-trip through a native NumPy dtype (fast path for fp32/fp16)."""
     with np.errstate(over="ignore"):
         return x.astype(dtype).astype(np.float64)
+
+
+def _quantize_bfloat16(x: np.ndarray) -> np.ndarray:
+    """Vectorized bit-twiddling bfloat16 quantization (round-to-nearest-even).
+
+    bfloat16 is the upper half of an IEEE float32, so rounding a float32 to
+    bfloat16 is integer arithmetic on its ``uint32`` view: add
+    ``0x7FFF + (bit 16)`` and clear the low 16 bits — round-to-nearest with
+    ties-to-even, including subnormal boundaries and overflow to infinity
+    (IEEE bit patterns order like integers within a sign, and a mantissa
+    carry rolls into the exponent exactly as rounding requires).
+
+    Naively going float64 → float32 → bfloat16 would *double round*: a value
+    a hair above a bfloat16 tie midpoint can collapse onto the midpoint in
+    float32 and then break the tie the wrong way.  The float64 → float32
+    step therefore uses **round-to-odd** (truncate toward zero, then set the
+    low mantissa bit if anything was dropped), which preserves enough
+    information — float32 carries 16 bits beyond bfloat16's mantissa — that
+    the final round-to-nearest-even matches direct float64 → bfloat16
+    rounding bit-for-bit.  The golden tests pin this against the generic
+    ulp-scaling path.
+    """
+    shape = x.shape
+    x = np.atleast_1d(x)
+    with np.errstate(over="ignore"):
+        f32 = x.astype(np.float32)
+    bits = f32.view(np.uint32).copy()
+    back = f32.astype(np.float64)
+
+    # Round-to-odd repair of the float64 -> float32 step.  astype rounds to
+    # nearest; recover the truncated-toward-zero pattern (one ulp below the
+    # nearest result when it overshot the magnitude) and set the sticky bit.
+    inexact = np.isfinite(x) & np.isfinite(back) & (back != x)
+    overshot = inexact & (np.abs(back) > np.abs(x))
+    bits = np.where(overshot, bits - np.uint32(1), bits)
+    bits = np.where(inexact, bits | np.uint32(1), bits)
+
+    # RNE to a multiple of 2^16 ulps: bias by half, tie broken by bit 16.
+    rounded = bits + np.uint32(0x7FFF) + ((bits >> np.uint32(16)) & np.uint32(1))
+    out = (rounded & np.uint32(0xFFFF0000)).view(np.float32).astype(np.float64)
+    # The carry trick would mangle NaN payloads living in the low bits.
+    out = np.where(np.isnan(x), np.nan, out)
+    return out.reshape(shape)
 
 
 def _quantize_generic(x: np.ndarray, fmt: FloatFormat) -> np.ndarray:
@@ -88,6 +131,8 @@ def quantize(
         result = _quantize_via_numpy(x, np.dtype(np.float32))
     elif fmt == FLOAT16:
         result = _quantize_via_numpy(x, np.dtype(np.float16))
+    elif fmt == BFLOAT16:
+        result = _quantize_bfloat16(x)
     else:
         result = _quantize_generic(x, fmt)
 
@@ -100,7 +145,10 @@ def quantization_step(values: np.ndarray | float, fmt: FloatFormat | str) -> np.
     """Return the ulp (unit in the last place) of each value in ``fmt``.
 
     Useful for precision analyses: the worst-case rounding error of a single
-    quantization is half an ulp.
+    quantization is half an ulp.  Zero reports the format's minimum positive
+    step — the distance to the nearest non-zero representable value (the
+    subnormal spacing, or the smallest normal itself when the format
+    flushes subnormals) — not the ulp of 1.0.
     """
     fmt = get_format(fmt)
     x = np.atleast_1d(np.asarray(values, dtype=np.float64))
@@ -108,6 +156,7 @@ def quantization_step(values: np.ndarray | float, fmt: FloatFormat | str) -> np.
     _, exp = np.frexp(np.where(mag > 0, mag, 1.0))
     unbiased = np.maximum(exp - 1, fmt.min_normal_exponent)
     ulp = np.exp2(unbiased.astype(np.float64) - fmt.mantissa_bits)
+    ulp = np.where(mag > 0, ulp, fmt.min_positive_subnormal)
     if np.ndim(values) == 0:
         return ulp.reshape(())
     return ulp.reshape(np.shape(values))

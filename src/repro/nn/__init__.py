@@ -14,8 +14,10 @@ same experiment end to end in NumPy:
 * :mod:`~repro.nn.attention` — masked multi-head self-attention.
 * :mod:`~repro.nn.block` — the pre-LN decoder block used by OPT.
 * :mod:`~repro.nn.config` / :mod:`~repro.nn.model` — OPT-style model
-  configurations and the language model itself, including
-  ``replace_layernorm`` which performs the paper's normalizer swap.
+  configurations and the language model itself.  Every config carries a
+  :class:`~repro.precision.policy.PrecisionPolicy`; ``model.set_policy``
+  applies the emulated datapath formats and the paper's normalizer swap in
+  one move (``replace_layernorm`` remains as policy-deriving sugar).
 * :mod:`~repro.nn.optimizer` / :mod:`~repro.nn.trainer` — Adam/SGD and a
   small training loop so the evaluation runs on a *trained* model rather
   than random weights.

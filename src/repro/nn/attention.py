@@ -7,14 +7,13 @@ import numpy as np
 from repro.nn.functional import (
     causal_mask,
     causal_mask_offset,
-    det_matmul,
-    det_softmax,
     softmax,
     softmax_backward,
 )
 from repro.nn.kv_cache import LayerKVCache
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
+from repro.precision.ops import PASSTHROUGH_OPS
 
 
 class MultiHeadSelfAttention(Module):
@@ -31,6 +30,9 @@ class MultiHeadSelfAttention(Module):
     rng:
         Random generator used for weight initialization and dropout.
     """
+
+    #: Policy-aware op layer; replaced by the owning model's ``set_policy``.
+    ops = PASSTHROUGH_OPS
 
     def __init__(
         self,
@@ -72,15 +74,18 @@ class MultiHeadSelfAttention(Module):
                 f"expected input of shape (batch, seq, {self.embed_dim}), got {x.shape}"
             )
         b, s, _ = x.shape
+        # Training always runs the exact float64 path; evaluation routes
+        # through the policy's op layer (a passthrough under fp64-ref).
+        ops = PASSTHROUGH_OPS if self.training else self.ops
         q = self._split_heads(self.q_proj(x))
         k = self._split_heads(self.k_proj(x))
         v = self._split_heads(self.v_proj(x))
 
         scale = 1.0 / np.sqrt(self.head_dim)
-        scores = (q @ k.transpose(0, 1, 3, 2)) * scale + causal_mask(s)
-        weights = softmax(scores, axis=-1)
+        scores = ops.attn_scores(q, k.transpose(0, 1, 3, 2), scale) + causal_mask(s)
+        weights = ops.softmax(scores, axis=-1)
         weights_dropped = self.attn_dropout(weights)
-        context = weights_dropped @ v
+        context = ops.matmul(weights_dropped, v)
         out = self.out_proj(self._merge_heads(context))
 
         self._cache = {
@@ -109,6 +114,7 @@ class MultiHeadSelfAttention(Module):
                 f"expected input of shape (batch, seq, {self.embed_dim}), got {x.shape}"
             )
         _, s, _ = x.shape
+        ops = self.ops
         q = self._split_heads(self.q_proj.forward_det(x))
         k_new = self._split_heads(self.k_proj.forward_det(x))
         v_new = self._split_heads(self.v_proj.forward_det(x))
@@ -116,10 +122,10 @@ class MultiHeadSelfAttention(Module):
         total = k_all.shape[2]
 
         scale = 1.0 / np.sqrt(self.head_dim)
-        scores = det_matmul(q, k_all.transpose(0, 1, 3, 2)) * scale
+        scores = ops.attn_scores_det(q, k_all.transpose(0, 1, 3, 2), scale)
         scores = scores + causal_mask_offset(s, total)
-        weights = det_softmax(scores, axis=-1)
-        context = det_matmul(weights, v_all)
+        weights = ops.det_softmax(scores, axis=-1)
+        context = ops.matmul_det(weights, v_all)
         return self.out_proj.forward_det(self._merge_heads(context))
 
     def forward_ragged(
@@ -167,6 +173,7 @@ class MultiHeadSelfAttention(Module):
         if np.any(new_lens < 1) or np.any(new_lens > max_new):
             raise ValueError(f"new_lens must be in [1, {max_new}], got {new_lens}")
 
+        ops = self.ops
         q = self._split_heads(self.q_proj.forward_det(x))
         k_new = self._split_heads(self.k_proj.forward_det(x))
         v_new = self._split_heads(self.v_proj.forward_det(x))
@@ -180,12 +187,12 @@ class MultiHeadSelfAttention(Module):
                 k_new[r : r + 1, :, pad:], v_new[r : r + 1, :, pad:]
             )
             total = k_all.shape[2]
-            scores = det_matmul(
-                q[r : r + 1, :, pad:], k_all.transpose(0, 1, 3, 2)
-            ) * scale
+            scores = ops.attn_scores_det(
+                q[r : r + 1, :, pad:], k_all.transpose(0, 1, 3, 2), scale
+            )
             scores = scores + causal_mask_offset(n, total)
-            weights = det_softmax(scores, axis=-1)
-            context[r : r + 1, :, pad:] = det_matmul(weights, v_all)
+            weights = ops.det_softmax(scores, axis=-1)
+            context[r : r + 1, :, pad:] = ops.matmul_det(weights, v_all)
         return self.out_proj.forward_det(self._merge_heads(context))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -16,6 +16,7 @@ from repro.nn.functional import relu, relu_backward
 from repro.nn.kv_cache import LayerKVCache
 from repro.nn.layers import Dropout, LayerNorm, Linear
 from repro.nn.module import Module
+from repro.precision.ops import PASSTHROUGH_OPS
 
 
 class FeedForward(Module):
@@ -56,6 +57,9 @@ class FeedForward(Module):
 class TransformerDecoderBlock(Module):
     """One pre-LN decoder block: LN -> attention -> residual, LN -> FFN -> residual."""
 
+    #: Policy-aware op layer; replaced by the owning model's ``set_policy``.
+    ops = PASSTHROUGH_OPS
+
     def __init__(
         self,
         embed_dim: int,
@@ -73,10 +77,13 @@ class TransformerDecoderBlock(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
+        # Residual adds round to the activation format under a quantized
+        # policy (evaluation only); training stays exact float64.
+        ops = PASSTHROUGH_OPS if self.training else self.ops
         attn_out = self.attention(self.attn_norm(x))
-        x = x + self.residual_dropout(attn_out)
+        x = ops.residual(x, self.residual_dropout(attn_out))
         ffn_out = self.ffn(self.ffn_norm(x))
-        return x + ffn_out
+        return ops.residual(x, ffn_out)
 
     def forward_cached(self, x: np.ndarray, kv: LayerKVCache) -> np.ndarray:
         """Inference-only forward over the new positions in ``x`` using ``kv``.
@@ -88,9 +95,9 @@ class TransformerDecoderBlock(Module):
         """
         x = np.asarray(x, dtype=np.float64)
         attn_out = self.attention.forward_cached(self.attn_norm(x), kv)
-        x = x + attn_out
+        x = self.ops.residual(x, attn_out)
         ffn_out = self.ffn.forward_det(self.ffn_norm(x))
-        return x + ffn_out
+        return self.ops.residual(x, ffn_out)
 
     def forward_ragged(self, x: np.ndarray, kvs, new_lens) -> np.ndarray:
         """Ragged-batch counterpart of :meth:`forward_cached`.
@@ -104,9 +111,9 @@ class TransformerDecoderBlock(Module):
         """
         x = np.asarray(x, dtype=np.float64)
         attn_out = self.attention.forward_ragged(self.attn_norm(x), kvs, new_lens)
-        x = x + attn_out
+        x = self.ops.residual(x, attn_out)
         ffn_out = self.ffn.forward_det(self.ffn_norm(x))
-        return x + ffn_out
+        return self.ops.residual(x, ffn_out)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         grad_output = np.asarray(grad_output, dtype=np.float64)

@@ -5,6 +5,12 @@ downstream user will want to train once and re-evaluate the normalizer swap
 many times.  A checkpoint stores the model configuration (so the architecture
 can be rebuilt) together with every parameter array from
 :meth:`repro.nn.module.Module.state_dict`.
+
+The configuration JSON includes the model's active
+:class:`~repro.precision.policy.PrecisionPolicy` (``dataclasses.asdict``
+recurses into it), so a model carrying a non-default policy — including a
+swapped normalizer — round-trips: loading rebuilds the datapath and
+reinstalls the normalizer against the *loaded* gamma/beta.
 """
 
 from __future__ import annotations
@@ -57,5 +63,8 @@ def load_checkpoint(path: str | Path) -> OPTLanguageModel:
         }
     model = OPTLanguageModel(config, rng=np.random.default_rng(0))
     model.load_state_dict(state)
+    # load_state_dict marks the weights dirty, so eval() re-quantizes the
+    # datapath memo and rebinds the policy's normalizer to the *loaded*
+    # gamma/beta rather than the placeholder initialization weights.
     model.eval()
     return model

@@ -12,7 +12,9 @@ accelerator backend) can instantiate the paper-exact shapes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.precision.policy import PrecisionPolicy, get_policy
 
 
 @dataclass(frozen=True)
@@ -37,6 +39,13 @@ class OPTConfig:
         Hidden width of the feed-forward sub-block.
     dropout:
         Dropout probability used during training.
+    policy:
+        The model's :class:`~repro.precision.policy.PrecisionPolicy`
+        (evaluation-time datapath formats + normalizer).  Accepts a
+        registered name, a policy instance, or the dict a JSON round trip
+        of ``dataclasses.asdict`` produces; always stored resolved, so a
+        checkpointed config survives ``asdict`` → JSON → rebuild with its
+        policy (including a swapped normalizer) intact.
     """
 
     name: str
@@ -47,6 +56,7 @@ class OPTConfig:
     num_heads: int
     ffn_dim: int
     dropout: float = 0.0
+    policy: PrecisionPolicy | str = field(default="fp64-ref")
 
     def __post_init__(self) -> None:
         if self.embed_dim % self.num_heads != 0:
@@ -58,6 +68,7 @@ class OPTConfig:
                 raise ValueError(f"{field_name} must be >= 1")
         if not 0.0 <= self.dropout < 1.0:
             raise ValueError(f"dropout must be in [0, 1), got {self.dropout}")
+        object.__setattr__(self, "policy", get_policy(self.policy))
 
     @property
     def num_layernorms(self) -> int:

@@ -27,10 +27,21 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.fpformats.quantize import quantize
+from repro.fpformats.spec import FLOAT64, FloatFormat, get_format
+
 #: Initial per-layer buffer capacity (token positions) when the first append
 #: is smaller than this; larger first appends size the buffer exactly and
 #: leave headroom for the first doubling.
 _MIN_CAPACITY = 16
+
+
+def resolve_kv_format(fmt: str | FloatFormat | None) -> FloatFormat | None:
+    """Normalize a KV-cache storage format; ``None``/``fp64`` mean unquantized."""
+    if fmt is None:
+        return None
+    fmt = get_format(fmt)
+    return None if fmt == FLOAT64 else fmt
 
 
 class LayerKVCache:
@@ -40,9 +51,17 @@ class LayerKVCache:
     along the ``seq`` axis as tokens are appended.  Backing buffers are
     preallocated with geometric (doubling) growth, so ``append`` is
     amortized O(new) instead of O(seq).
+
+    ``fmt`` (from the model's precision policy ``kv_cache_fmt``) quantizes
+    K/V round-to-nearest-even **on write**, emulating a cache held in a
+    narrower format than the activations.  Quantization is elementwise and
+    happens before storage, so the incremental-equals-prefill bit-exactness
+    guarantee is preserved under every policy: both paths write, and later
+    read back, identical quantized bytes.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fmt: str | FloatFormat | None = None) -> None:
+        self._fmt = resolve_kv_format(fmt)
         self._k_buf: np.ndarray | None = None
         self._v_buf: np.ndarray | None = None
         self._len = 0
@@ -99,6 +118,9 @@ class LayerKVCache:
                 raise ValueError(
                     f"cache holds {self.k.shape}, cannot append {k.shape}"
                 )
+        if self._fmt is not None:
+            k = quantize(k, self._fmt)
+            v = quantize(v, self._fmt)
         if self._len + new > self.capacity:
             self._grow(batch, heads, head_dim, self._len + new)
         self._k_buf[:, :, self._len : self._len + new] = k
@@ -123,17 +145,21 @@ class KVCache:
     Create one per generation run via :meth:`for_model` (or directly with
     the layer count) and pass it to
     :meth:`repro.nn.model.OPTLanguageModel.forward_with_cache`.
+    ``kv_fmt`` quantizes K/V on write; :meth:`for_model` reads it from the
+    model's precision policy.
     """
 
-    def __init__(self, num_layers: int) -> None:
+    def __init__(self, num_layers: int, kv_fmt: str | FloatFormat | None = None) -> None:
         if num_layers < 1:
             raise ValueError(f"num_layers must be >= 1, got {num_layers}")
-        self.layers = [LayerKVCache() for _ in range(num_layers)]
+        self.layers = [LayerKVCache(fmt=kv_fmt) for _ in range(num_layers)]
 
     @classmethod
     def for_model(cls, model) -> "KVCache":
-        """An empty cache sized for ``model``'s decoder stack."""
-        return cls(len(model.blocks))
+        """An empty cache sized for ``model``'s decoder stack and policy."""
+        policy = getattr(model.config, "policy", None)
+        kv_fmt = None if policy is None else policy.kv_cache_fmt
+        return cls(len(model.blocks), kv_fmt=kv_fmt)
 
     @property
     def seq_len(self) -> int:

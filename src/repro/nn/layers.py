@@ -4,21 +4,32 @@ Each layer implements ``forward`` (caching what the gradient needs) and
 ``backward`` (returning the gradient with respect to its input and
 accumulating parameter gradients).  The LayerNorm here is the *trainable,
 exact* one used during training and as the Table IV baseline; the
-IterL2Norm / FISR swap happens at evaluation time through
-:meth:`repro.nn.model.OPTLanguageModel.replace_layernorm`, which hands the
-trained ``gamma`` / ``beta`` to the replacement normalizer.
+IterL2Norm / FISR swap happens at evaluation time through the model's
+precision policy (:meth:`repro.nn.model.OPTLanguageModel.set_policy`, of
+which ``replace_layernorm`` is a thin wrapper), which hands the trained
+``gamma`` / ``beta`` to the replacement normalizer.
+
+Evaluation-time arithmetic routes through the layer's ``ops`` attribute — a
+policy-aware op layer (:mod:`repro.precision.ops`) installed by
+``set_policy``.  The default is the shared float64 passthrough, which calls
+the exact same kernels as before; under a quantized policy each op rounds
+its result to the policy's formats.  Training always runs the exact float64
+path regardless of policy.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.functional import det_matmul
 from repro.nn.module import Module, Parameter
+from repro.precision.ops import PASSTHROUGH_OPS
 
 
 class Linear(Module):
     """Affine layer ``y = x @ W + b`` with optional bias."""
+
+    #: Policy-aware op layer; replaced by the owning model's ``set_policy``.
+    ops = PASSTHROUGH_OPS
 
     def __init__(
         self,
@@ -42,6 +53,12 @@ class Linear(Module):
         if x.shape[-1] != self.in_features:
             raise ValueError(
                 f"expected last dim {self.in_features}, got {x.shape[-1]}"
+            )
+        if not self.training and not self.ops.passthrough:
+            # Quantized evaluation: weights held in the weight format, the
+            # product rounded through the accumulation/activation formats.
+            return self.ops.linear(
+                x, self.weight.data, None if self.bias is None else self.bias.data
             )
         self._cache_input = x
         out = x @ self.weight.data
@@ -67,18 +84,18 @@ class Linear(Module):
 
         Used by the KV-cached decoding path: the result for any row is
         bit-identical whether the row is computed alone or as part of a
-        batch (see :func:`repro.nn.functional.det_matmul`).  Does not cache
-        anything for backward.
+        batch (see :func:`repro.nn.functional.det_matmul`).  Quantization
+        (when the policy requires it) is elementwise, so the property holds
+        under every policy.  Does not cache anything for backward.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.shape[-1] != self.in_features:
             raise ValueError(
                 f"expected last dim {self.in_features}, got {x.shape[-1]}"
             )
-        out = det_matmul(x, self.weight.data)
-        if self.bias is not None:
-            out = out + self.bias.data
-        return out
+        return self.ops.linear_det(
+            x, self.weight.data, None if self.bias is None else self.bias.data
+        )
 
 
 class Embedding(Module):
@@ -119,10 +136,14 @@ class LayerNorm(Module):
     """Trainable exact layer normalization over the last axis.
 
     ``z = gamma * (x - mean) / sqrt(var + eps) + beta``.  This is the module
-    trained with the model; at evaluation time
-    :meth:`~repro.nn.model.OPTLanguageModel.replace_layernorm` can substitute
-    an approximate normalizer that reuses the trained ``gamma`` / ``beta``.
+    trained with the model; at evaluation time the model's precision policy
+    (:meth:`~repro.nn.model.OPTLanguageModel.set_policy`) can substitute an
+    approximate normalizer that reuses the trained ``gamma`` / ``beta``, and
+    rounds the normalizer output to the policy's activation format.
     """
+
+    #: Policy-aware op layer; replaced by the owning model's ``set_policy``.
+    ops = PASSTHROUGH_OPS
 
     def __init__(self, normalized_dim: int, eps: float = 1e-5) -> None:
         if normalized_dim < 1:
@@ -132,7 +153,8 @@ class LayerNorm(Module):
         self.gamma = Parameter(np.ones(normalized_dim))
         self.beta = Parameter(np.zeros(normalized_dim))
         self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
-        #: Optional evaluation-time replacement (callable on the same shape).
+        #: Optional evaluation-time replacement (callable on the same shape);
+        #: installed by the model's precision policy.
         self.eval_normalizer = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -142,13 +164,16 @@ class LayerNorm(Module):
                 f"expected last dim {self.normalized_dim}, got {x.shape[-1]}"
             )
         if self.eval_normalizer is not None and not self.training:
-            return self.eval_normalizer(x)
+            return self.ops.act(self.eval_normalizer(x))
         mean = x.mean(axis=-1, keepdims=True)
         var = x.var(axis=-1, keepdims=True)
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean) * inv_std
         self._cache = (x_hat, inv_std, x - mean)
-        return self.gamma.data * x_hat + self.beta.data
+        out = self.gamma.data * x_hat + self.beta.data
+        if not self.training:
+            out = self.ops.act(out)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:

@@ -1,42 +1,64 @@
-"""The OPT-style decoder-only language model and the normalizer swap.
+"""The OPT-style decoder-only language model and its precision policy.
 
 :class:`OPTLanguageModel` stacks token + positional embeddings, a series of
 pre-LN decoder blocks, a final LayerNorm, and a tied output projection.  It
 supports full backpropagation (for the small training runs that produce the
 Table IV models) and — central to the reproduction —
-:meth:`OPTLanguageModel.replace_layernorm`, which substitutes every
-LayerNorm's evaluation path with an approximate normalizer (IterL2Norm, FISR,
-LUT, or exact-in-format) while reusing the trained gamma/beta, exactly as the
-paper does when it replaces the normalization blocks of the pre-trained OPT
-models.
+:meth:`OPTLanguageModel.set_policy`, which applies a
+:class:`~repro.precision.policy.PrecisionPolicy`: the evaluation-time
+datapath formats (weights / activations / accumulators / KV cache, executed
+by the op layer of :mod:`repro.precision.ops`) *and* the normalizer swap
+that substitutes every LayerNorm's evaluation path with an approximate
+normalizer (IterL2Norm, FISR, LUT, or exact-in-format) while reusing the
+trained gamma/beta, exactly as the paper does when it replaces the
+normalization blocks of the pre-trained OPT models.
+:meth:`OPTLanguageModel.replace_layernorm` remains as sugar deriving a
+policy with the normalizer overridden — the policy is the single
+attachment mechanism.
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 import numpy as np
 
 from repro.baselines.registry import get_normalizer
 from repro.nn.block import TransformerDecoderBlock
 from repro.nn.config import OPTConfig
-from repro.nn.functional import cross_entropy, det_matmul
+from repro.nn.functional import cross_entropy
 from repro.nn.kv_cache import KVCache
 from repro.nn.layers import Dropout, Embedding, LayerNorm
 from repro.nn.module import Module
+from repro.precision.ops import PASSTHROUGH_OPS, make_ops
+from repro.precision.policy import PrecisionPolicy, get_policy
 
 
 class OPTLanguageModel(Module):
-    """Decoder-only language model with swappable layer normalization.
+    """Decoder-only language model with a swappable precision policy.
 
     Parameters
     ----------
     config:
-        An :class:`~repro.nn.config.OPTConfig` describing the architecture.
+        An :class:`~repro.nn.config.OPTConfig` describing the architecture
+        (including its default precision policy).
     rng:
         Random generator for weight initialization (pass a seeded generator
         for reproducible models).
+    policy:
+        Optional :class:`~repro.precision.policy.PrecisionPolicy` (or
+        registered name) overriding ``config.policy``.
     """
 
-    def __init__(self, config: OPTConfig, rng: np.random.Generator | None = None) -> None:
+    #: Policy-aware op layer shared by the whole module tree.
+    ops = PASSTHROUGH_OPS
+
+    def __init__(
+        self,
+        config: OPTConfig,
+        rng: np.random.Generator | None = None,
+        policy: PrecisionPolicy | str | None = None,
+    ) -> None:
         rng = rng or np.random.default_rng()
         self.config = config
 
@@ -52,6 +74,10 @@ class OPTLanguageModel(Module):
         self.final_norm = LayerNorm(config.embed_dim)
         self._cache_hidden: np.ndarray | None = None
         self._cache_token_ids: np.ndarray | None = None
+        #: True when weights may have changed since the last eval() refresh
+        #: (set by construction, train(), and load_state_dict()).
+        self._weights_dirty = True
+        self.set_policy(config.policy if policy is None else policy)
 
     # -- forward -------------------------------------------------------------------
     def forward(self, token_ids: np.ndarray) -> np.ndarray:
@@ -69,8 +95,20 @@ class OPTLanguageModel(Module):
                 f"sequence length {seq} exceeds max_position {self.config.max_position}"
             )
 
+        ops = PASSTHROUGH_OPS if self.training else self.ops
         positions = np.broadcast_to(np.arange(seq), (batch, seq))
-        hidden = self.token_embedding(token_ids) + self.position_embedding(positions)
+        if self.training or ops.passthrough:
+            # The module path caches the looked-up ids for backward.
+            hidden = self.token_embedding(token_ids) + self.position_embedding(positions)
+        else:
+            if np.any(token_ids < 0) or np.any(token_ids >= self.config.vocab_size):
+                raise ValueError("token id out of range for the embedding table")
+            hidden = ops.embed(
+                self.token_embedding.weight.data,
+                self.position_embedding.weight.data,
+                token_ids,
+                positions,
+            )
         hidden = self.embed_dropout(hidden)
         for block in self.blocks:
             hidden = block(hidden)
@@ -78,7 +116,7 @@ class OPTLanguageModel(Module):
 
         self._cache_hidden = hidden
         self._cache_token_ids = token_ids
-        return hidden @ self.token_embedding.weight.data.T
+        return ops.linear(hidden, self.token_embedding.weight.data.T, None)
 
     def new_kv_cache(self) -> KVCache:
         """An empty KV cache sized for this model's decoder stack."""
@@ -127,15 +165,18 @@ class OPTLanguageModel(Module):
             raise ValueError("token id out of range for the embedding table")
 
         positions = np.broadcast_to(np.arange(past, past + seq), (batch, seq))
-        hidden = self.token_embedding.weight.data[token_ids] + (
-            self.position_embedding.weight.data[positions]
+        hidden = self.ops.embed(
+            self.token_embedding.weight.data,
+            self.position_embedding.weight.data,
+            token_ids,
+            positions,
         )
         for block, layer_kv in zip(self.blocks, cache.layers):
             hidden = block.forward_cached(hidden, layer_kv)
         hidden = self.final_norm(hidden)
         if last_only:
             hidden = hidden[:, -1:, :]
-        return det_matmul(hidden, self.token_embedding.weight.data.T)
+        return self.ops.linear_det(hidden, self.token_embedding.weight.data.T, None)
 
     def forward_ragged(
         self,
@@ -205,8 +246,11 @@ class OPTLanguageModel(Module):
         # Per-row absolute positions: pads get 0 (their lanes are discarded).
         offsets = np.arange(max_new)[None, :] - (max_new - new_lens)[:, None]
         positions = np.maximum(pasts[:, None] + offsets, 0)
-        hidden = self.token_embedding.weight.data[token_ids] + (
-            self.position_embedding.weight.data[positions]
+        hidden = self.ops.embed(
+            self.token_embedding.weight.data,
+            self.position_embedding.weight.data,
+            token_ids,
+            positions,
         )
         for i, block in enumerate(self.blocks):
             layer_kvs = [cache.layers[i] for cache in caches]
@@ -214,7 +258,7 @@ class OPTLanguageModel(Module):
         hidden = self.final_norm(hidden)
         if last_only:
             hidden = hidden[:, -1:, :]
-        return det_matmul(hidden, self.token_embedding.weight.data.T)
+        return self.ops.linear_det(hidden, self.token_embedding.weight.data.T, None)
 
     def loss(self, token_ids: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
         """Cross-entropy loss of next-token prediction; returns (loss, logits)."""
@@ -255,7 +299,80 @@ class OPTLanguageModel(Module):
         self.token_embedding.backward(grad_hidden)
         self.position_embedding.backward(grad_hidden)
 
-    # -- layer-norm swap -------------------------------------------------------------
+    def train(self) -> "OPTLanguageModel":
+        self._weights_dirty = True
+        return super().train()
+
+    def eval(self) -> "OPTLanguageModel":
+        # If weights may have changed since the last refresh (training, a
+        # state-dict load), drop memoized quantized copies and rebind the
+        # policy's normalizer to the current gamma/beta (it captures copies
+        # at install time).  Kept warm otherwise, so repeated generate()
+        # calls — each of which enters eval mode — don't re-quantize.
+        if self._weights_dirty:
+            self.ops.clear_weight_cache()
+            if self.policy.normalizer is not None:
+                self._install_normalizers(self.policy)
+            self._weights_dirty = False
+        return super().eval()
+
+    def load_state_dict(self, state) -> None:
+        super().load_state_dict(state)
+        self._weights_dirty = True
+
+    # -- precision policy ------------------------------------------------------------
+    @property
+    def policy(self) -> PrecisionPolicy:
+        """The model's active precision policy (stored on ``config``)."""
+        return self.config.policy
+
+    def set_policy(self, policy: PrecisionPolicy | str | dict) -> None:
+        """Apply a precision policy to the whole module tree.
+
+        Resolves ``policy`` (instance, registered name, or ``to_dict``
+        output), installs the matching op layer on every module, and wires
+        the policy's normalizer — resolved through
+        :mod:`repro.baselines.registry` with each LayerNorm's trained
+        gamma/beta — as the evaluation-time normalizer.  ``fp64-ref``
+        installs the shared zero-overhead passthrough, reproducing the
+        plain float64 kernels verbatim.
+
+        The policy is recorded on ``self.config`` so checkpoints carry it
+        (``asdict`` → JSON → rebuild restores both datapath and swapped
+        normalizer).  Training mode is unaffected: it always runs the
+        exact, differentiable float64 path.
+        """
+        policy = get_policy(policy)
+        self.config = dataclasses.replace(self.config, policy=policy)
+        # Reuse the current op layer (and its warm quantized-weight memo)
+        # when only the normalizer changed, not the datapath formats.
+        ops = make_ops(policy, reuse=self.ops)
+        for module in self.modules():
+            module.ops = ops
+        self._install_normalizers(policy)
+
+    def _install_normalizers(self, policy: PrecisionPolicy) -> None:
+        """(Re)bind the policy's normalizer to each LayerNorm's gamma/beta.
+
+        Called by :meth:`set_policy` and again by :meth:`eval`, because the
+        normalizer captures *copies* of gamma/beta — training between
+        evaluations would otherwise leave it computing with stale values.
+        """
+        if policy.normalizer is None:
+            for norm in self.layer_norms():
+                norm.eval_normalizer = None
+        else:
+            for norm in self.layer_norms():
+                norm.eval_normalizer = get_normalizer(
+                    policy.normalizer,
+                    norm.normalized_dim,
+                    fmt=policy.normalizer_fmt,
+                    gamma=norm.gamma.data.copy(),
+                    beta=norm.beta.data.copy(),
+                    **dict(policy.normalizer_kwargs),
+                )
+
+    # -- layer-norm swap (policy sugar) ---------------------------------------------
     def layer_norms(self) -> list[LayerNorm]:
         """Every LayerNorm in the model (two per block plus the final one)."""
         norms: list[LayerNorm] = []
@@ -266,6 +383,11 @@ class OPTLanguageModel(Module):
 
     def replace_layernorm(self, method: str, fmt: str | None = None, **kwargs) -> None:
         """Swap the evaluation-time normalizer of every LayerNorm.
+
+        Sugar for deriving the current policy with
+        :meth:`~repro.precision.policy.PrecisionPolicy.with_normalizer` and
+        applying it via :meth:`set_policy` — the datapath formats are kept,
+        only the normalizer changes.
 
         Parameters
         ----------
@@ -282,20 +404,11 @@ class OPTLanguageModel(Module):
         affects evaluation mode; training mode still uses the exact,
         differentiable LayerNorm.
         """
-        for norm in self.layer_norms():
-            norm.eval_normalizer = get_normalizer(
-                method,
-                norm.normalized_dim,
-                fmt=fmt,
-                gamma=norm.gamma.data.copy(),
-                beta=norm.beta.data.copy(),
-                **kwargs,
-            )
+        self.set_policy(self.policy.with_normalizer(method, fmt=fmt, **kwargs))
 
     def restore_layernorm(self) -> None:
         """Remove any evaluation-time normalizer replacement."""
-        for norm in self.layer_norms():
-            norm.eval_normalizer = None
+        self.set_policy(self.policy.with_normalizer(None))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,41 @@
+"""Precision policies: end-to-end reduced-precision datapath emulation.
+
+This package is the bridge between :mod:`repro.fpformats` (faithful format
+emulation) and the rest of the stack.  A
+:class:`~repro.precision.policy.PrecisionPolicy` names the weight /
+activation / accumulation / KV-cache formats plus the normalizer method,
+travels inside :class:`~repro.nn.config.OPTConfig`, and is executed by the
+op layer in :mod:`repro.precision.ops`:
+
+>>> from repro.nn.config import get_config
+>>> from repro.nn.model import OPTLanguageModel
+>>> model = OPTLanguageModel(get_config("opt-test"), policy="bf16")
+
+Under ``fp64-ref`` (the default) the ops layer is a zero-overhead
+passthrough and every existing bit-exactness guarantee holds verbatim;
+under a quantized policy each op rounds to its format and the served /
+cached decode paths stay bit-identical *to each other* under that policy.
+The ``precision-sweep`` experiment (:mod:`repro.experiments.precision_sweep`)
+fans (policy × normalizer) perplexity and serving cells out as engine jobs.
+"""
+
+from repro.precision.ops import PASSTHROUGH_OPS, PassthroughOps, QuantizedOps, make_ops
+from repro.precision.policy import (
+    DEFAULT_SWEEP_POLICIES,
+    PrecisionPolicy,
+    available_policies,
+    get_policy,
+    register_policy,
+)
+
+__all__ = [
+    "DEFAULT_SWEEP_POLICIES",
+    "PASSTHROUGH_OPS",
+    "PassthroughOps",
+    "PrecisionPolicy",
+    "QuantizedOps",
+    "available_policies",
+    "get_policy",
+    "make_ops",
+    "register_policy",
+]

@@ -26,8 +26,13 @@ runs until its last row finishes.  This package adds the serving layer:
 * :mod:`~repro.serve.metrics` — TTFT / inter-token-latency percentiles,
   tokens/sec, queue depth, slot occupancy.
 * :mod:`~repro.serve.bench` — the ``serve-bench`` harness: runs every
-  scenario (optionally under swapped normalizers via
-  ``replace_layernorm``) as engine jobs and emits ``BENCH_serve.json``.
+  scenario (optionally under swapped normalizers and/or a precision
+  policy via ``--policy``) as engine jobs and emits ``BENCH_serve.json``.
+
+The whole serve path is precision-policy aware: the model's
+:class:`~repro.precision.policy.PrecisionPolicy` shapes every op, and the
+KV pool quantizes K/V on write to the policy's ``kv_cache_fmt`` — the
+bit-exactness guarantee above holds per policy, not just for float64.
 """
 
 from repro.serve.engine import ServeEngine, ServeReport

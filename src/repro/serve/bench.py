@@ -34,20 +34,22 @@ import sys
 
 import numpy as np
 
+from repro.baselines.registry import VARIANT_PRESETS
 from repro.engine import Job, ResultCache, run_jobs
 from repro.nn.config import get_config
 from repro.nn.model import OPTLanguageModel
 from repro.serve.engine import ServeEngine
 from repro.serve.workload import SCENARIOS, generate_workload
 
-#: Normalizer variants the benchmark compares (name -> replace_layernorm
-#: arguments; None means the exact float64 LayerNorm baseline).
-NORMALIZER_VARIANTS: dict[str, dict | None] = {
-    "baseline": None,
-    "iterl2norm": {"method": "iterl2norm", "fmt": "fp16", "num_steps": 5},
-    "fisr": {"method": "fisr", "fmt": "fp16"},
-    "exact": {"method": "exact", "fmt": "fp16"},
-}
+#: Normalizer variants the benchmark compares — the shared presets of
+#: :data:`repro.baselines.registry.VARIANT_PRESETS`.  The working format
+#: follows the serving policy (``PrecisionPolicy.variant_normalizer_fmt``);
+#: under the default ``fp64-ref`` policy it falls back to fp16 — the
+#: historical "fp16 normalizer on an exact substrate" comparison.
+NORMALIZER_VARIANTS = VARIANT_PRESETS
+
+#: Normalizer working format under the float64 passthrough policy.
+_PASSTHROUGH_VARIANT_FMT = "fp16"
 
 DEFAULT_NORMALIZERS = ("baseline", "iterl2norm")
 
@@ -61,22 +63,27 @@ def run_scenario(
     max_batch_size: int = 8,
     rate_scale: float = 1.0,
     seed: int = 0,
+    policy: str = "fp64-ref",
 ) -> tuple[dict, str]:
     """Serve one scenario under one normalizer; returns ``(rows, text)``.
 
     The substrate model is built from ``seed`` with random weights —
     serving throughput and latency do not depend on training, and random
-    weights keep the job self-contained and cache-addressable.
+    weights keep the job self-contained and cache-addressable.  ``policy``
+    names the precision policy of the whole datapath (weights, activations,
+    KV pool); the normalizer variant is layered on top of it.
     """
     if normalizer not in NORMALIZER_VARIANTS:
         known = ", ".join(sorted(NORMALIZER_VARIANTS))
         raise KeyError(f"unknown normalizer {normalizer!r}; known: {known}")
     config = get_config(model_name)
-    model = OPTLanguageModel(config, rng=np.random.default_rng(seed))
+    model = OPTLanguageModel(config, rng=np.random.default_rng(seed), policy=policy)
     model.eval()
-    swap = NORMALIZER_VARIANTS[normalizer]
-    if swap is not None:
-        model.replace_layernorm(**swap)
+    variant = NORMALIZER_VARIANTS[normalizer]
+    if variant is not None:
+        method, kwargs = variant
+        fmt = model.policy.variant_normalizer_fmt or _PASSTHROUGH_VARIANT_FMT
+        model.replace_layernorm(method, fmt=fmt, **kwargs)
 
     if num_requests is None:
         num_requests = 12 if quick else 48
@@ -93,6 +100,7 @@ def run_scenario(
     rows = {
         "scenario": scenario,
         "normalizer": normalizer,
+        "policy": policy,
         "model": model_name,
         "num_requests": num_requests,
         "max_batch_size": max_batch_size,
@@ -118,9 +126,10 @@ def jobs(
     seed: int = 0,
     scenarios=None,
     normalizers=DEFAULT_NORMALIZERS,
+    policy: str = "fp64-ref",
     **params,
 ) -> list[Job]:
-    """One engine job per (scenario, normalizer) cell."""
+    """One engine job per (scenario, normalizer) cell under ``policy``."""
     names = list(scenarios) if scenarios else list(SCENARIOS)
     return [
         Job(
@@ -130,6 +139,7 @@ def jobs(
                 "scenario": scenario,
                 "normalizer": normalizer,
                 "quick": bool(quick),
+                "policy": policy,
                 **params,
             },
             seed=seed,
@@ -179,16 +189,21 @@ def run_bench(
     use_cache: bool = False,
     no_cache: bool = False,
     stream=None,
+    policy: str = "fp64-ref",
 ) -> tuple[dict, str]:
     """Run the full scenario × normalizer grid and write ``out_path``.
 
     ``use_cache=False`` (default) keeps timing honest; pass ``True`` to let
     repeated runs replay token-identical cells from the result cache
     (``no_cache`` then skips lookups but still stores fresh results, as in
-    the experiment runner).
+    the experiment runner).  ``policy`` serves every cell under the named
+    precision policy (the normalizer column stays an orthogonal axis).
     """
     stream = stream or sys.stdout
-    declared = jobs(quick=quick, seed=seed, scenarios=scenarios, normalizers=normalizers)
+    declared = jobs(
+        quick=quick, seed=seed, scenarios=scenarios, normalizers=normalizers,
+        policy=policy,
+    )
     cache = ResultCache(cache_dir) if use_cache else None
     outcomes = run_jobs(
         declared, max_workers=jobs_n, cache=cache, no_cache=no_cache, stream=sys.stderr
@@ -205,6 +220,7 @@ def run_bench(
             "seed": int(seed),
             "scenarios": sorted({row["scenario"] for row in results}),
             "normalizers": list(normalizers),
+            "policy": policy,
             "model": results[0]["model"] if results else None,
             "max_batch_size": results[0]["max_batch_size"] if results else None,
         },

@@ -32,6 +32,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.fpformats.quantize import quantize
+from repro.nn.kv_cache import resolve_kv_format
+
 
 @dataclass(frozen=True)
 class PoolStats:
@@ -69,6 +72,12 @@ class BlockKVPool:
         Blocks preallocated up front.
     grow_factor:
         Capacity multiplier when the free list runs dry.
+    kv_fmt:
+        Optional :mod:`repro.fpformats` format name; K/V chunks are
+        quantized round-to-nearest-even to it on write (the precision
+        policy's ``kv_cache_fmt``).  ``None``/``"fp64"`` stores raw
+        float64.  Matches :class:`~repro.nn.kv_cache.LayerKVCache`, so the
+        pooled and private cache paths stay bit-identical under a policy.
     """
 
     def __init__(
@@ -79,6 +88,7 @@ class BlockKVPool:
         block_size: int = 16,
         initial_blocks: int = 64,
         grow_factor: float = 2.0,
+        kv_fmt: str | None = None,
     ) -> None:
         if min(num_layers, num_heads, head_dim, block_size, initial_blocks) < 1:
             raise ValueError("pool dimensions must all be >= 1")
@@ -89,6 +99,7 @@ class BlockKVPool:
         self.head_dim = int(head_dim)
         self.block_size = int(block_size)
         self.grow_factor = float(grow_factor)
+        self.kv_fmt = resolve_kv_format(kv_fmt)
 
         shape = (initial_blocks, num_layers, num_heads, block_size, head_dim)
         self._k = np.empty(shape, dtype=np.float64)
@@ -104,8 +115,11 @@ class BlockKVPool:
 
     @classmethod
     def for_model(cls, model, **kwargs) -> "BlockKVPool":
-        """A pool shaped for ``model``'s decoder stack."""
+        """A pool shaped for ``model``'s decoder stack and precision policy."""
         config = model.config
+        policy = getattr(config, "policy", None)
+        if policy is not None:
+            kwargs.setdefault("kv_fmt", policy.kv_cache_fmt)
         return cls(
             num_layers=config.num_layers,
             num_heads=config.num_heads,
@@ -226,6 +240,12 @@ class SequenceKV:
                 f"expected matching (1, heads, seq, head_dim) tensors, got "
                 f"{k.shape} and {v.shape}"
             )
+        if self.pool.kv_fmt is not None:
+            # Quantize once per chunk, before it is scattered into blocks —
+            # the same elementwise write-side rounding LayerKVCache applies,
+            # keeping pooled and private caches bit-identical per policy.
+            k = quantize(k, self.pool.kv_fmt)
+            v = quantize(v, self.pool.kv_fmt)
         bs = self.pool.block_size
         start = self._layer_len[layer]
         end = start + k.shape[2]

@@ -1,0 +1,109 @@
+"""The precision-sweep experiment: cells, job declaration, JSON output."""
+
+import json
+
+import pytest
+
+from repro.experiments.precision_sweep import (
+    DEFAULT_NORMALIZERS,
+    _cell_policy,
+    jobs,
+    merge_cell_rows,
+    run_cell,
+    run_sweep,
+)
+from repro.precision.policy import DEFAULT_SWEEP_POLICIES
+
+#: Tiny overrides so a cell trains + serves in well under a second.
+TINY = dict(
+    quick=True,
+    train_steps=4,
+    eval_windows=2,
+    num_requests=3,
+    max_batch_size=2,
+)
+
+
+class TestCellPolicy:
+    def test_baseline_keeps_preset(self):
+        assert _cell_policy("fp16", "baseline").name == "fp16"
+
+    def test_normalizer_inherits_activation_format(self):
+        applied = _cell_policy("bf16", "iterl2norm")
+        assert applied.normalizer == "iterl2norm"
+        assert applied.normalizer_fmt == "bf16"
+        assert dict(applied.normalizer_kwargs) == {"num_steps": 5}
+
+    def test_fp64_ref_keeps_factory_default_format(self):
+        assert _cell_policy("fp64-ref", "iterl2norm").normalizer_fmt is None
+
+    def test_unknown_normalizer(self):
+        with pytest.raises(KeyError):
+            _cell_policy("fp16", "nope")
+
+
+class TestRunCell:
+    def test_rows_and_text(self):
+        rows, text = run_cell(policy="fp16", normalizer="iterl2norm", seed=0, **TINY)
+        assert rows["policy"] == "fp16"
+        assert rows["normalizer"] == "iterl2norm"
+        assert rows["perplexity"] > 0
+        assert rows["serve"]["tokens_per_second"] > 0
+        assert rows["policy_spec"]["kv_cache_fmt"] == "fp16"
+        assert "fp16" in text and "tok/s" in text
+        json.dumps(rows)  # engine-cacheable: must be JSON-serializable
+
+    def test_perplexity_deterministic_per_seed(self):
+        a, _ = run_cell(policy="bf16", normalizer="baseline", seed=3, **TINY)
+        b, _ = run_cell(policy="bf16", normalizer="baseline", seed=3, **TINY)
+        assert a["perplexity"] == b["perplexity"]
+        assert a["serve"]["tokens_generated"] == b["serve"]["tokens_generated"]
+
+
+class TestJobs:
+    def test_grid_declaration(self):
+        declared = jobs(quick=True, seed=2)
+        assert len(declared) == len(DEFAULT_SWEEP_POLICIES) * len(DEFAULT_NORMALIZERS)
+        names = {job.name for job in declared}
+        assert "precision[fp64-ref/baseline]" in names
+        assert "precision[bf16-fp8kv/iterl2norm]" in names
+        assert all(job.seed == 2 for job in declared)
+
+    def test_invalid_policy_rejected_before_scheduling(self):
+        with pytest.raises(KeyError):
+            jobs(policies=("fp64-ref", "int4"))
+
+    def test_invalid_normalizer_rejected_before_scheduling(self):
+        with pytest.raises(KeyError, match="unknown normalizer"):
+            jobs(normalizers=("baseline", "iterl2nrm"))
+
+
+class TestRunSweep:
+    def test_writes_payload_and_comparison(self, tmp_path):
+        out = tmp_path / "BENCH_precision.json"
+        payload, text = run_sweep(
+            jobs_n=1,
+            seed=0,
+            out_path=str(out),
+            policies=("fp64-ref", "fp16"),
+            normalizers=("baseline", "iterl2norm"),
+            use_cache=False,
+            stream=open("/dev/null", "w"),
+            **TINY,
+        )
+        assert out.exists()
+        on_disk = json.loads(out.read_text())
+        assert on_disk["config"]["policies"] == ["fp64-ref", "fp16"]
+        assert len(on_disk["results"]) == 4
+        comparison = on_disk["comparison"]["fp16"]
+        for normalizer in ("baseline", "iterl2norm"):
+            cell = comparison[normalizer]
+            assert "perplexity_delta" in cell
+            assert cell["tokens_per_second_ratio"] > 0
+        assert "wrote" in text
+
+    def test_merge_cell_rows_table(self):
+        rows, _ = run_cell(policy="fp32", normalizer="baseline", seed=0, **TINY)
+        merged, table = merge_cell_rows([rows])
+        assert merged == [rows]
+        assert "fp32" in table and "perplexity" in table

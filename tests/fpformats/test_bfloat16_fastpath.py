@@ -1,0 +1,138 @@
+"""Golden bit-pattern tests for the bfloat16 uint32 fast path.
+
+bfloat16 quantization now runs vectorized round-to-nearest-even on
+``uint32`` views of float32 (with a round-to-odd float64 → float32 prestep
+to kill double rounding) instead of the generic ulp-scaling path.  These
+tests pin the exact bit patterns by hand *and* cross-check the fast path
+against the generic implementation — including adversarial values parked
+just off bfloat16 tie midpoints, where a naive double rounding goes wrong.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fpformats.quantize import _quantize_bfloat16, _quantize_generic, quantize
+from repro.fpformats.spec import BFLOAT16
+
+
+def bf16_bits(value: float) -> int:
+    """Upper 16 bits of the float32 encoding — the bfloat16 bit pattern."""
+    return int(np.float32(value).view(np.uint32)) >> 16
+
+
+class TestGoldenBitPatterns:
+    """Hand-computed patterns; not derived from the code under test."""
+
+    @pytest.mark.parametrize(
+        "value, pattern",
+        [
+            (1.0, 0x3F80),            # sign 0, exp 127, mantissa 0
+            (-2.0, 0xC000),           # sign 1, exp 128, mantissa 0
+            (0.0, 0x0000),
+            (-0.0, 0x8000),
+            (np.inf, 0x7F80),
+            (-np.inf, 0xFF80),
+            # 1/3 = 1.01010101(01..)b * 2^-2: mantissa 0101010|1 rounds up
+            # to 0101011 -> 0x3EAB.
+            (1 / 3, 0x3EAB),
+            # Largest finite bfloat16: exp 254, mantissa all ones.
+            (float(BFLOAT16.max_finite), 0x7F7F),
+            # Smallest positive subnormal 2^-133: exp 0, mantissa 1.
+            (2.0**-133, 0x0001),
+            # Smallest positive normal 2^-126: exp 1, mantissa 0.
+            (2.0**-126, 0x0080),
+        ],
+    )
+    def test_pattern(self, value, pattern):
+        assert bf16_bits(_quantize_bfloat16(np.float64(value))) == pattern
+
+    def test_nan_stays_nan(self):
+        assert np.isnan(_quantize_bfloat16(np.float64(np.nan)))
+
+    def test_ties_to_even(self):
+        # 1 + 2^-8 is exactly half an ulp (2^-7) above 1.0: tie -> even (1.0).
+        assert _quantize_bfloat16(np.float64(1.0 + 2.0**-8)) == 1.0
+        # 1 + 3*2^-8 ties between mantissas 1 and 2: even is 2 -> 1 + 2^-6.
+        assert _quantize_bfloat16(np.float64(1.0 + 3.0 * 2.0**-8)) == 1.0 + 2.0**-6
+        # Just above the midpoint rounds up to mantissa 1.
+        assert _quantize_bfloat16(np.float64(1.0 + 2.0**-8 + 2.0**-40)) == 1.0 + 2.0**-7
+
+    def test_overflow_to_inf(self):
+        max_finite = BFLOAT16.max_finite
+        ulp = 2.0**120  # top-binade ulp, 2^(127-7)
+        assert _quantize_bfloat16(np.float64(max_finite + 0.499 * ulp)) == max_finite
+        assert np.isinf(_quantize_bfloat16(np.float64(max_finite + 0.5 * ulp)))
+        assert _quantize_bfloat16(np.float64(-(max_finite + 0.5 * ulp))) == -np.inf
+
+    def test_subnormal_ties(self):
+        tiny = 2.0**-133
+        assert _quantize_bfloat16(np.float64(0.25 * tiny)) == 0.0
+        # 1.5 * tiny ties between mantissas 1 and 2 -> even (2) -> 2^-132.
+        assert _quantize_bfloat16(np.float64(1.5 * tiny)) == 2.0**-132
+        # Half of the smallest subnormal ties down to (even) zero.
+        assert _quantize_bfloat16(np.float64(0.5 * tiny)) == 0.0
+        assert _quantize_bfloat16(np.float64(0.5 * tiny + 2.0**-160)) == tiny
+
+
+class TestDoubleRoundingHazards:
+    """Values where float64 -> float32 -> bfloat16 double rounding fails."""
+
+    def test_just_above_tie_midpoint_rounds_up(self):
+        # m = 1 + 2^-8 is the tie midpoint between 1.0 and 1 + 2^-7.  A
+        # value m + 2^-35 is NOT a tie and must round up; naive float32
+        # rounding first collapses it onto m (2^-35 is below float32's
+        # 2^-24 ulp at 1.0), after which ties-to-even would go DOWN to 1.0.
+        hazard = np.float64(1.0) + np.float64(2.0**-8) + np.float64(2.0**-35)
+        assert _quantize_bfloat16(hazard) == 1.0 + 2.0**-7
+        # The generic path agrees (it rounds float64 directly).
+        assert _quantize_generic(np.atleast_1d(hazard), BFLOAT16)[0] == 1.0 + 2.0**-7
+
+    def test_just_below_tie_midpoint_rounds_down(self):
+        # m - eps must round down to 3 + 0*ulp even though float32 rounding
+        # could push it onto the midpoint from below.
+        base = np.float64(3.0)  # mantissa 1000000
+        ulp = 2.0**-6  # bfloat16 ulp in [2, 4)
+        hazard = base + 0.5 * ulp - np.float64(2.0**-33)
+        assert _quantize_bfloat16(hazard) == base
+
+    @pytest.mark.parametrize("offset", [2.0**-30, -(2.0**-30), 2.0**-40, -(2.0**-40)])
+    def test_near_midpoint_grid_matches_generic(self, offset):
+        mantissas = np.arange(128, dtype=np.float64)  # every bf16 mantissa
+        values = (1.0 + mantissas / 128.0 + 2.0**-8 + offset) * 2.0**3
+        fast = _quantize_bfloat16(values)
+        generic = _quantize_generic(values.copy(), BFLOAT16)
+        np.testing.assert_array_equal(fast, generic)
+
+
+class TestFastPathEquivalence:
+    """The fast path is bit-identical to the generic ulp-scaling path."""
+
+    def test_random_normals(self, rng):
+        x = rng.normal(scale=10.0, size=4096)
+        np.testing.assert_array_equal(
+            _quantize_bfloat16(x), _quantize_generic(x.copy(), BFLOAT16)
+        )
+
+    def test_log_uniform_magnitudes(self, rng):
+        # Spans normals, subnormals, and the underflow-to-zero region.
+        exponents = rng.uniform(-145.0, 128.0, size=4096)
+        x = np.sign(rng.normal(size=4096)) * np.exp2(exponents)
+        np.testing.assert_array_equal(
+            _quantize_bfloat16(x), _quantize_generic(x.copy(), BFLOAT16)
+        )
+
+    def test_specials_and_shapes(self):
+        x = np.array([[np.inf, -np.inf, 0.0], [-0.0, np.nan, 1.5]])
+        fast = _quantize_bfloat16(x)
+        generic = _quantize_generic(x.copy(), BFLOAT16)
+        np.testing.assert_array_equal(fast, generic)
+        assert fast.shape == x.shape
+
+    def test_scalar_via_public_api(self):
+        out = quantize(1 / 3, "bf16")
+        assert isinstance(out, float)
+        assert out == 171.0 / 512.0
+
+    def test_public_api_routes_bf16_through_fast_path(self, rng):
+        x = rng.normal(size=257)
+        np.testing.assert_array_equal(quantize(x, "bf16"), _quantize_bfloat16(x))

@@ -87,6 +87,30 @@ class TestQuantizationStep:
         err = np.abs(np.asarray(quantize(x, "bf16")) - x)
         assert np.all(err <= 0.5 * np.asarray(quantization_step(x, "bf16")) + 1e-300)
 
+    def test_zero_reports_minimum_positive_step(self):
+        # Regression: zero used to fall through the placeholder and report
+        # the ulp of 1.0; it must report the format's smallest positive
+        # step (the subnormal spacing).
+        assert quantization_step(0.0, "fp16") == 2.0**-24
+        assert quantization_step(0.0, "bf16") == 2.0**-133
+        assert quantization_step(-0.0, "fp32") == 2.0**-149
+        assert quantization_step(0.0, "fp16") != quantization_step(1.0, "fp16")
+
+    def test_zero_step_without_subnormals_is_min_normal(self):
+        from repro.fpformats.spec import FloatFormat
+
+        nosub = FloatFormat(
+            "e4m3_nosub_step", exponent_bits=4, mantissa_bits=3,
+            supports_subnormals=False,
+        )
+        # Without gradual underflow the nearest nonzero neighbour of 0 is
+        # the smallest normal, so that is the step at zero.
+        assert quantization_step(0.0, nosub) == nosub.min_positive_normal
+
+    def test_zero_mixed_into_array(self):
+        steps = quantization_step(np.array([0.0, 1.0, 4.0]), "fp16")
+        np.testing.assert_array_equal(steps, [2.0**-24, 2.0**-10, 2.0**-8])
+
 
 class TestRepresentable:
     def test_powers_of_two_representable_everywhere(self):

@@ -54,6 +54,66 @@ class TestCheckpointRoundTrip:
         assert not np.array_equal(swapped, baseline)
 
 
+class TestPolicyRoundTrip:
+    """A model carrying a non-default precision policy survives save/load.
+
+    The config (including its policy and any swapped normalizer) must
+    survive ``asdict`` → JSON → rebuild, and the reloaded model's eval
+    outputs must be bit-identical.
+    """
+
+    def test_policy_preserved(self, tmp_path, rng):
+        model = OPTLanguageModel(get_config("opt-test"), rng=rng, policy="bf16")
+        restored = load_checkpoint(save_checkpoint(model, tmp_path / "m.npz"))
+        assert restored.config == model.config
+        assert restored.policy == model.policy
+        assert restored.policy.name == "bf16"
+        assert restored.policy.kv_cache_fmt == "bf16"
+
+    def test_swapped_normalizer_preserved(self, tmp_path, rng):
+        model = OPTLanguageModel(get_config("opt-test"), rng=rng, policy="fp16")
+        model.replace_layernorm("iterl2norm", fmt="bf16", num_steps=3)
+        restored = load_checkpoint(save_checkpoint(model, tmp_path / "m.npz"))
+        assert restored.config == model.config
+        assert restored.policy.name == "fp16@iterl2norm"
+        assert restored.policy.normalizer == "iterl2norm"
+        assert dict(restored.policy.normalizer_kwargs) == {"num_steps": 3}
+        assert all(n.eval_normalizer is not None for n in restored.layer_norms())
+
+    def test_logits_bit_identical_under_policy(self, tmp_path, rng):
+        model = OPTLanguageModel(get_config("opt-test"), rng=rng, policy="fp16")
+        model.replace_layernorm("iterl2norm", fmt="fp16", num_steps=5)
+        model.eval()
+        ids = rng.integers(0, 64, size=(2, 8))
+        expected = model(ids)
+        restored = load_checkpoint(save_checkpoint(model, tmp_path / "m.npz"))
+        np.testing.assert_array_equal(restored(ids), expected)
+
+    def test_reloaded_normalizer_binds_loaded_gamma(self, tmp_path, rng):
+        """The reinstalled normalizer must hold the checkpoint's gamma/beta."""
+        model = OPTLanguageModel(get_config("opt-test"), rng=rng)
+        # Perturb gamma so it differs from initialization.
+        for norm in model.layer_norms():
+            norm.gamma.data = norm.gamma.data + 0.25
+        model.replace_layernorm("exact", fmt=None)
+        restored = load_checkpoint(save_checkpoint(model, tmp_path / "m.npz"))
+        for norm in restored.layer_norms():
+            np.testing.assert_array_equal(norm.eval_normalizer.gamma, norm.gamma.data)
+            np.testing.assert_array_equal(norm.eval_normalizer.gamma[0], 1.25)
+
+    def test_generation_bit_identical_under_policy(self, tmp_path, rng):
+        from repro.nn.generation import generate
+
+        model = OPTLanguageModel(get_config("opt-test"), rng=rng, policy="bf16-fp8kv")
+        model.eval()
+        prompt = np.array([3, 1, 4, 1, 5])
+        expected = generate(model, prompt, max_new_tokens=8, temperature=0.0)
+        restored = load_checkpoint(save_checkpoint(model, tmp_path / "m.npz"))
+        np.testing.assert_array_equal(
+            generate(restored, prompt, max_new_tokens=8, temperature=0.0), expected
+        )
+
+
 class TestCheckpointErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):

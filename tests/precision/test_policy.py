@@ -1,0 +1,114 @@
+"""Tests for the precision-policy dataclass and registry."""
+
+import json
+
+import pytest
+
+from repro.precision.policy import (
+    DEFAULT_SWEEP_POLICIES,
+    PrecisionPolicy,
+    available_policies,
+    get_policy,
+    register_policy,
+)
+
+
+class TestPresets:
+    def test_all_sweep_presets_registered(self):
+        for name in DEFAULT_SWEEP_POLICIES:
+            assert get_policy(name).name == name
+
+    def test_fp64_ref_is_passthrough(self):
+        policy = get_policy("fp64-ref")
+        assert policy.is_passthrough
+        assert policy.normalizer is None
+
+    @pytest.mark.parametrize("name", ["fp32", "fp16", "bf16", "bf16-fp8kv"])
+    def test_quantized_presets_are_not_passthrough(self, name):
+        assert not get_policy(name).is_passthrough
+
+    def test_preset_formats(self):
+        fp16 = get_policy("fp16")
+        assert fp16.activation_fmt == "fp16"
+        assert fp16.accumulation_fmt == "fp32"
+        assert fp16.kv_cache_fmt == "fp16"
+        mixed = get_policy("bf16-fp8kv")
+        assert mixed.activation_fmt == "bf16"
+        assert mixed.kv_cache_fmt == "fp8_e4m3"
+
+    def test_aliases_resolve(self):
+        assert get_policy("fp64") is get_policy("fp64-ref")
+        assert get_policy("ref") is get_policy("fp64-ref")
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(KeyError, match="unknown precision policy"):
+            get_policy("int4")
+
+    def test_available_lists_canonical_names(self):
+        names = available_policies()
+        assert "fp64-ref" in names and "bf16-fp8kv" in names
+        assert "ref" not in names  # aliases hidden
+
+    def test_reregistering_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy(PrecisionPolicy("fp16"))
+
+
+class TestValidation:
+    def test_format_names_canonicalized(self):
+        policy = PrecisionPolicy("x", weight_fmt="float32", kv_cache_fmt="bfloat16")
+        assert policy.weight_fmt == "fp32"
+        assert policy.kv_cache_fmt == "bf16"
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(KeyError):
+            PrecisionPolicy("x", activation_fmt="fp7")
+
+    def test_instance_passes_through(self):
+        policy = PrecisionPolicy("custom", activation_fmt="bf16")
+        assert get_policy(policy) is policy
+
+
+class TestWithNormalizer:
+    def test_derives_name_and_keeps_datapath(self):
+        derived = get_policy("bf16").with_normalizer("iterl2norm", fmt="bf16", num_steps=3)
+        assert derived.name == "bf16@iterl2norm"
+        assert derived.activation_fmt == "bf16"
+        assert derived.normalizer == "iterl2norm"
+        assert derived.normalizer_fmt == "bf16"
+        assert dict(derived.normalizer_kwargs) == {"num_steps": 3}
+
+    def test_none_restores_trained_layernorm(self):
+        derived = get_policy("fp16").with_normalizer("fisr")
+        restored = derived.with_normalizer(None)
+        assert restored == get_policy("fp16")
+
+    def test_rederiving_does_not_stack_names(self):
+        twice = (
+            get_policy("fp32")
+            .with_normalizer("fisr")
+            .with_normalizer("lut")
+        )
+        assert twice.name == "fp32@lut"
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        policy = get_policy("bf16-fp8kv").with_normalizer("iterl2norm", fmt="bf16", num_steps=5)
+        assert PrecisionPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_json_round_trip(self):
+        policy = get_policy("fp16").with_normalizer("exact", fmt="fp16")
+        blob = json.dumps(policy.to_dict())
+        assert PrecisionPolicy.from_dict(json.loads(blob)) == policy
+
+    def test_get_policy_accepts_dict(self):
+        policy = get_policy("fp32")
+        assert get_policy(policy.to_dict()) == policy
+
+    def test_kwargs_survive_json_list_form(self):
+        # json round-trips tuples of pairs as lists of lists.
+        policy = PrecisionPolicy(
+            "x", normalizer="iterl2norm", normalizer_kwargs=[["num_steps", 7]]
+        )
+        assert dict(policy.normalizer_kwargs) == {"num_steps": 7}

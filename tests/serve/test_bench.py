@@ -36,6 +36,45 @@ class TestRunScenario:
             run_scenario(normalizer="nope")
 
 
+class TestPolicyAxis:
+    def test_rows_carry_policy(self):
+        rows, _ = run_scenario(
+            scenario="steady", normalizer="baseline", quick=True,
+            num_requests=3, seed=0, policy="fp16",
+        )
+        assert rows["policy"] == "fp16"
+
+    def test_default_policy_is_reference(self):
+        rows, _ = run_scenario(
+            scenario="steady", quick=True, num_requests=3, seed=1,
+        )
+        assert rows["policy"] == "fp64-ref"
+
+    def test_normalizer_fmt_follows_quantized_policy(self, monkeypatch):
+        """Under --policy the variants drop their hardcoded fp16 format."""
+        import repro.serve.bench as bench_mod
+        from repro.nn.model import OPTLanguageModel
+
+        seen = {}
+        original = OPTLanguageModel.replace_layernorm
+
+        def spy(self, method, fmt=None, **kwargs):
+            seen["fmt"] = fmt
+            return original(self, method, fmt=fmt, **kwargs)
+
+        monkeypatch.setattr(OPTLanguageModel, "replace_layernorm", spy)
+        bench_mod.run_scenario(
+            scenario="steady", normalizer="iterl2norm", quick=True,
+            num_requests=2, seed=0, policy="bf16",
+        )
+        assert seen["fmt"] == "bf16"
+        bench_mod.run_scenario(
+            scenario="steady", normalizer="iterl2norm", quick=True,
+            num_requests=2, seed=0,
+        )
+        assert seen["fmt"] == "fp16"  # fp64-ref keeps the historical format
+
+
 class TestJobs:
     def test_grid_declaration(self):
         declared = jobs(quick=True, seed=3)

@@ -8,8 +8,6 @@ the on-chip placement matter:
 * the host-vs-on-chip data-movement argument from the introduction.
 """
 
-import numpy as np
-
 from repro.core.ablation import ablation_study, typical_norm_squares
 from repro.macro.traffic import DDR4_CHANNEL, TrafficModel
 

@@ -1,7 +1,5 @@
 """Benchmark: regenerate Fig. 4 (error vs iteration count at d=1024)."""
 
-import numpy as np
-
 from repro.eval.precision import convergence_sweep
 
 STEP_COUNTS = (1, 2, 3, 4, 5, 7, 10)

@@ -19,7 +19,6 @@ import argparse
 
 import numpy as np
 
-from repro.data.datasets import build_dataset
 from repro.eval.perplexity import LLMEvalConfig, perplexity_experiment
 from repro.eval.reporting import format_table
 from repro.nn.generation import generate

@@ -111,6 +111,11 @@ def _cmd_serve_bench(args) -> None:
         use_cache=args.use_cache,
         no_cache=args.no_cache,
         policy=args.policy,
+        prefix_caching=args.prefix_caching,
+        prefill_budget=args.prefill_budget,
+        max_blocks=args.max_blocks,
+        block_size=args.block_size,
+        priority_mix=args.priority_mix,
     )
 
 
@@ -211,6 +216,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", default="fp64-ref",
         help="precision policy of the served model "
              "(fp64-ref, fp32, fp16, bf16, bf16-fp8kv, ...)",
+    )
+    p.add_argument(
+        "--prefix-caching", action="store_true",
+        help="share prompt-prefix KV blocks across requests "
+             "(copy-on-write protected; tokens are unchanged)",
+    )
+    p.add_argument(
+        "--prefill-budget", type=int, default=None, metavar="TOKENS",
+        help="per-iteration cap on prefilled prompt tokens: long prompts "
+             "stream in as chunks interleaved with decode rows",
+    )
+    p.add_argument(
+        "--max-blocks", type=int, default=None, metavar="N",
+        help="bound the KV pool at N blocks; exhaustion then preempts "
+             "lowest-priority requests (re-run deterministically) instead "
+             "of growing — required for a nonzero preempt column",
+    )
+    p.add_argument(
+        "--block-size", type=int, default=None, metavar="TOKENS",
+        help="token positions per KV block (default 16; smaller blocks "
+             "make --max-blocks bounds and prefix sharing finer-grained)",
+    )
+    p.add_argument(
+        "--priority-mix", default=None, metavar="P:W,...",
+        help="override request priority classes, e.g. '2:0.2,1:0.3,0:0.5' "
+             "(larger priority = more urgent)",
     )
     add_engine_arguments(p)
     p.set_defaults(func=_cmd_serve_bench)

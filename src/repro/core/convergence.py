@@ -15,7 +15,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.dynamics import analytical_a
-from repro.core.initialization import initial_a, update_rate
 from repro.core.iteration import IterationTrace, iterate_a_trace
 from repro.fpformats.spec import FloatFormat
 

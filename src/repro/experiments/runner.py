@@ -35,15 +35,18 @@ from repro.experiments import (
 def _merge_serve_rows(groups: list[object]) -> tuple[object, str]:
     """Fold the serve-bench cells back into one section table."""
     rows = list(groups)
-    header = "scenario normalizer   tokens/s   TTFT p50        queue max"
+    header = (
+        "scenario       normalizer   tokens/s   TTFT p50        queue max  prefix hit"
+    )
     lines = [header]
     for row in rows:
         metrics = row["metrics"]
         lines.append(
-            f"{row['scenario']:8s} {row['normalizer']:10s} "
+            f"{row['scenario']:14s} {row['normalizer']:10s} "
             f"{metrics['tokens_per_second']:9.1f}  "
             f"{metrics['ttft_s']['p50'] * 1e3:9.2f} ms  "
-            f"{metrics['queue_depth']['max']:6d}"
+            f"{metrics['queue_depth']['max']:6d}  "
+            f"{metrics['prefix_hit_rate'] * 100:9.1f}%"
         )
     return rows, "\n".join(lines)
 
@@ -93,9 +96,19 @@ def build_sections(
     if include_serve:
         from repro.serve import bench
 
-        sections.append(
-            ("Serve bench", bench.jobs(quick=quick, seed=seed, policy=policy))
+        serve_jobs = bench.jobs(quick=quick, seed=seed, policy=policy)
+        # Structured scenarios exercising the paged-KV scheduling features:
+        # shared-prefix adoption (chat/agent) under a chunked-prefill budget.
+        serve_jobs += bench.jobs(
+            quick=quick,
+            seed=seed,
+            policy=policy,
+            scenarios=("chat-multiturn", "agent-fanout"),
+            normalizers=("baseline",),
+            prefix_caching=True,
+            prefill_budget=32,
         )
+        sections.append(("Serve bench", serve_jobs))
     if include_precision:
         sections.append(
             ("Precision sweep", precision_sweep.jobs(quick=quick, seed=seed))

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.fpformats.spec import FloatFormat, get_format
-from repro.macro.blocks import AddBlock, MulBlock
+from repro.macro.blocks import MulBlock
 from repro.macro.buffers import BANK_ROWS, MAX_VECTOR_LENGTH
 from repro.macro.memory import MemoryReport, memory_report
 

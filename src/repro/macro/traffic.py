@@ -10,8 +10,9 @@ normalization would add, the access energy of both options, and the on-chip
 macro latency.  It backs the `traffic` CLI command and the motivation
 benchmark.
 
-It also defines the **request arrival processes** (steady, Poisson, and
-bursty Markov-modulated Poisson) that characterize inference traffic.
+It also defines the **request arrival processes** (steady, Poisson, bursty
+Markov-modulated Poisson, and session-structured multi-turn arrivals) that
+characterize inference traffic.
 These feed the serving-layer workload generator
 (:mod:`repro.serve.workload`), so the same traffic assumptions drive both
 the data-movement analysis and the end-to-end serving benchmarks.
@@ -166,11 +167,51 @@ class BurstyArrivals(ArrivalProcess):
         return gaps
 
 
+@dataclass(frozen=True)
+class SessionArrivals(ArrivalProcess):
+    """Session-structured arrivals: clustered turns with think-time gaps.
+
+    Models multi-turn interactions (chat conversations, agent tool loops):
+    *sessions* begin at exponential gaps with mean ``session_length /
+    rate`` (keeping the long-run mean rate near ``rate``), and the
+    remaining ``session_length - 1`` arrivals of a session follow at
+    short exponential *think-time* gaps of mean ``think_scale / rate``.
+    Consecutive turns of one session therefore land close together — the
+    temporal locality that makes a serving layer's prefix cache pay off,
+    which is what the ``chat-multiturn`` scenario measures.
+    """
+
+    rate: float
+    session_length: int = 4
+    think_scale: float = 0.3
+    name = "session"
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.session_length < 1:
+            raise ValueError(
+                f"session_length must be >= 1, got {self.session_length}"
+            )
+        if self.think_scale <= 0:
+            raise ValueError(f"think_scale must be positive, got {self.think_scale}")
+
+    def interarrival_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        gaps = np.empty(n)
+        for i in range(n):
+            if i % self.session_length == 0:
+                gaps[i] = rng.exponential(self.session_length / self.rate)
+            else:
+                gaps[i] = rng.exponential(self.think_scale / self.rate)
+        return gaps
+
+
 #: Registry of arrival models by name (used by the serve workload scenarios).
 ARRIVAL_PROCESSES = {
     "steady": SteadyArrivals,
     "poisson": PoissonArrivals,
     "bursty": BurstyArrivals,
+    "session": SessionArrivals,
 }
 
 

@@ -7,7 +7,6 @@ import numpy as np
 from repro.nn.functional import (
     causal_mask,
     causal_mask_offset,
-    softmax,
     softmax_backward,
 )
 from repro.nn.kv_cache import LayerKVCache

@@ -9,13 +9,15 @@ runs until its last row finishes.  This package adds the serving layer:
   seeded RNGs, so a request's sampled tokens never depend on its batch
   neighbours.
 * :mod:`~repro.serve.kv_pool` — a pooled, preallocated, block-granular KV
-  cache: requests allocate fixed-size blocks from a shared pool and return
-  them on retirement, replacing per-token array growth with amortized
-  block allocation and cross-request block reuse.
-* :mod:`~repro.serve.scheduler` — iteration-level continuous batching:
-  every step retires finished sequences, admits queued requests into the
-  freed decode slots, and mixes ragged-length prefill chunks with
-  single-token decode rows in one left-padded batch.
+  cache with per-block reference counts: requests allocate fixed-size
+  blocks from a shared pool and return them on retirement; a radix/trie
+  prefix index lets later requests *adopt* blocks covering a shared
+  prompt prefix (copy-on-write protected) instead of re-prefilling it.
+* :mod:`~repro.serve.scheduler` — policy-driven iteration-level
+  scheduling: priority-class admission, a per-iteration prefill token
+  budget that streams long prompts in as chunks interleaved with decode
+  rows, and preemption under pool exhaustion (victims are re-queued and
+  re-run deterministically — decode is bit-reproducible).
 * :mod:`~repro.serve.engine` — drives the model's masked ragged forward
   over the scheduled batch; under greedy decoding each request's token
   stream is **bit-identical** to :func:`repro.nn.generation.generate` on
@@ -36,20 +38,29 @@ bit-exactness guarantee above holds per policy, not just for float64.
 """
 
 from repro.serve.engine import ServeEngine, ServeReport
-from repro.serve.kv_pool import BlockKVPool, SequenceKV
+from repro.serve.kv_pool import (
+    BlockKVPool,
+    PoolExhaustedError,
+    PrefixIndex,
+    SequenceKV,
+)
 from repro.serve.request import CompletedRequest, Request
-from repro.serve.scheduler import ContinuousBatchScheduler
+from repro.serve.scheduler import ContinuousBatchScheduler, Scheduler, StepPlan
 from repro.serve.workload import SCENARIOS, Scenario, generate_workload
 
 __all__ = [
     "BlockKVPool",
     "CompletedRequest",
     "ContinuousBatchScheduler",
+    "PoolExhaustedError",
+    "PrefixIndex",
     "Request",
     "SCENARIOS",
     "Scenario",
+    "Scheduler",
     "SequenceKV",
     "ServeEngine",
     "ServeReport",
+    "StepPlan",
     "generate_workload",
 ]

@@ -7,18 +7,29 @@ other experiment.  Because every workload is fully seeded, the *token
 streams* of two normalizer variants of the same scenario are produced
 under literally identical traffic — the timing columns then isolate what
 the normalizer swap (``replace_layernorm``) costs or saves end to end,
-which is the system-level version of the paper's per-op comparison.
+which is the system-level version of the paper's per-op comparison.  The
+same seeding makes the scheduling knobs comparable: ``--prefix-caching``,
+``--prefill-budget``, and ``--priority-mix`` change *when* and *how* work
+is computed, never which tokens come out.
 
 Results land in ``BENCH_serve.json``::
 
     {
       "config":  {...},              # model, batch size, request counts
-      "results": [ {scenario, normalizer, metrics, pool} ... ],
+      "results": [ {scenario, normalizer, prefix_caching, prefill_budget,
+                    metrics, pool} ... ],
       "comparison": {                # per scenario, relative to "baseline"
         "<scenario>": {"<normalizer>": {"tokens_per_second_ratio": ...,
                                          "ttft_p50_delta_s": ...}}
       }
     }
+
+``metrics`` now includes the prefix-cache columns (``prefix_hit_rate``,
+``prefix_tokens_reused``, ``prefill_tokens_computed``), the preemption
+counters (``preempted_count``, ``preempted_ids``), and per-priority-class
+latency percentiles (``latency_by_priority``); ``pool`` includes the
+sharing counters (``blocks_adopted``, ``cow_forks``,
+``prefix_blocks_cached``, ``prefix_evictions``).
 
 Timing metrics are measured wall-clock compute (virtual clock); token
 counts and finish reasons are deterministic per seed.  Benchmarks are run
@@ -53,6 +64,11 @@ _PASSTHROUGH_VARIANT_FMT = "fp16"
 
 DEFAULT_NORMALIZERS = ("baseline", "iterl2norm")
 
+#: The classic grid cells; the structured scenarios (``chat-multiturn``,
+#: ``agent-fanout``, ``priority-burst``) are opt-in via ``--scenarios`` so
+#: the default artifact stays comparable across revisions.
+DEFAULT_SCENARIOS = ("steady", "bursty", "chat", "codegen")
+
 
 def run_scenario(
     scenario: str = "steady",
@@ -64,6 +80,11 @@ def run_scenario(
     rate_scale: float = 1.0,
     seed: int = 0,
     policy: str = "fp64-ref",
+    prefix_caching: bool = False,
+    prefill_budget: int | None = None,
+    max_blocks: int | None = None,
+    block_size: int = 16,
+    priority_mix: str | None = None,
 ) -> tuple[dict, str]:
     """Serve one scenario under one normalizer; returns ``(rows, text)``.
 
@@ -72,6 +93,10 @@ def run_scenario(
     weights keep the job self-contained and cache-addressable.  ``policy``
     names the precision policy of the whole datapath (weights, activations,
     KV pool); the normalizer variant is layered on top of it.
+    ``prefix_caching`` / ``prefill_budget`` / ``max_blocks`` /
+    ``priority_mix`` configure the scheduling features (see
+    :class:`~repro.serve.engine.ServeEngine`); none of them changes the
+    served tokens.
     """
     if normalizer not in NORMALIZER_VARIANTS:
         known = ", ".join(sorted(NORMALIZER_VARIANTS))
@@ -93,8 +118,16 @@ def run_scenario(
         vocab_size=config.vocab_size,
         seed=seed,
         rate_scale=rate_scale,
+        priority_mix=priority_mix,
     )
-    engine = ServeEngine(model, max_batch_size=max_batch_size)
+    engine = ServeEngine(
+        model,
+        max_batch_size=max_batch_size,
+        block_size=block_size,
+        prefix_caching=prefix_caching,
+        prefill_budget=prefill_budget,
+        max_blocks=max_blocks,
+    )
     report = engine.serve(workload)
 
     rows = {
@@ -105,18 +138,24 @@ def run_scenario(
         "num_requests": num_requests,
         "max_batch_size": max_batch_size,
         "seed": seed,
+        "prefix_caching": bool(prefix_caching),
+        "prefill_budget": prefill_budget,
+        "max_blocks": max_blocks,
+        "priority_mix": priority_mix,
         "metrics": report.metrics,
         "pool": report.pool_stats,
     }
     metrics = report.metrics
     text = (
-        f"{scenario:8s} {normalizer:10s} "
+        f"{scenario:14s} {normalizer:10s} "
         f"{metrics['tokens_per_second']:9.1f} tok/s  "
         f"ttft p50 {metrics['ttft_s']['p50'] * 1e3:7.2f} ms  "
         f"p99 {metrics['ttft_s']['p99'] * 1e3:7.2f} ms  "
         f"itl p50 {metrics['inter_token_latency_s']['p50'] * 1e3:6.2f} ms  "
         f"queue max {metrics['queue_depth']['max']:3d}  "
-        f"reused blocks {report.pool_stats['blocks_reused']:4d}"
+        f"reused blocks {report.pool_stats['blocks_reused']:4d}  "
+        f"prefix hit {metrics['prefix_hit_rate'] * 100:5.1f}%  "
+        f"preempt {metrics['preempted_count']:3d}"
     )
     return rows, text
 
@@ -129,8 +168,17 @@ def jobs(
     policy: str = "fp64-ref",
     **params,
 ) -> list[Job]:
-    """One engine job per (scenario, normalizer) cell under ``policy``."""
-    names = list(scenarios) if scenarios else list(SCENARIOS)
+    """One engine job per (scenario, normalizer) cell under ``policy``.
+
+    Extra ``params`` (``prefix_caching``, ``prefill_budget``,
+    ``priority_mix``, ...) are forwarded into every cell — and into its
+    cache key, so differently configured cells never collide.
+    """
+    names = list(scenarios) if scenarios else list(DEFAULT_SCENARIOS)
+    for name in names:
+        if name not in SCENARIOS:
+            known = ", ".join(sorted(SCENARIOS))
+            raise KeyError(f"unknown scenario {name!r}; known: {known}")
     return [
         Job(
             name=f"serve[{scenario}/{normalizer}]",
@@ -190,6 +238,11 @@ def run_bench(
     no_cache: bool = False,
     stream=None,
     policy: str = "fp64-ref",
+    prefix_caching: bool = False,
+    prefill_budget: int | None = None,
+    max_blocks: int | None = None,
+    block_size: int | None = None,
+    priority_mix: str | None = None,
 ) -> tuple[dict, str]:
     """Run the full scenario × normalizer grid and write ``out_path``.
 
@@ -197,12 +250,27 @@ def run_bench(
     repeated runs replay token-identical cells from the result cache
     (``no_cache`` then skips lookups but still stores fresh results, as in
     the experiment runner).  ``policy`` serves every cell under the named
-    precision policy (the normalizer column stays an orthogonal axis).
+    precision policy; ``prefix_caching`` / ``prefill_budget`` /
+    ``max_blocks`` / ``priority_mix`` apply the scheduling knobs to every
+    cell (the normalizer column stays an orthogonal axis) — a bounded
+    ``max_blocks`` is what arms preemption, so the ``preempt`` column is
+    only ever nonzero with it.
     """
     stream = stream or sys.stdout
+    knobs = {}
+    if prefix_caching:
+        knobs["prefix_caching"] = True
+    if prefill_budget is not None:
+        knobs["prefill_budget"] = int(prefill_budget)
+    if max_blocks is not None:
+        knobs["max_blocks"] = int(max_blocks)
+    if block_size is not None:
+        knobs["block_size"] = int(block_size)
+    if priority_mix is not None:
+        knobs["priority_mix"] = priority_mix
     declared = jobs(
         quick=quick, seed=seed, scenarios=scenarios, normalizers=normalizers,
-        policy=policy,
+        policy=policy, **knobs,
     )
     cache = ResultCache(cache_dir) if use_cache else None
     outcomes = run_jobs(
@@ -211,7 +279,8 @@ def run_bench(
 
     results = [outcome.rows for outcome in outcomes]
     lines = [
-        "scenario normalizer   tokens/s       TTFT p50 /    p99        ITL p50   queue   pool",
+        "scenario       normalizer   tokens/s       TTFT p50 /    p99        "
+        "ITL p50   queue   pool      prefix    preempt",
     ]
     lines += [outcome.text for outcome in outcomes]
     payload = {
@@ -221,6 +290,10 @@ def run_bench(
             "scenarios": sorted({row["scenario"] for row in results}),
             "normalizers": list(normalizers),
             "policy": policy,
+            "prefix_caching": bool(prefix_caching),
+            "prefill_budget": prefill_budget,
+            "max_blocks": max_blocks,
+            "priority_mix": priority_mix,
             "model": results[0]["model"] if results else None,
             "max_batch_size": results[0]["max_batch_size"] if results else None,
         },

@@ -1,25 +1,38 @@
-"""The continuous-batching serve loop: admit, forward, sample, retire.
+"""The continuous-batching serve loop: admit, plan, forward, sample, retire.
 
 :class:`ServeEngine` drives one model over a stream of
 :class:`~repro.serve.request.Request` objects.  Each iteration mixes, in a
-single left-padded ragged batch, the *prefill* chunks of freshly admitted
-requests with the single-token *decode* rows of established ones
+single left-padded ragged batch, the *prefill* chunks of admitted requests
+with the single-token *decode* rows of established ones
 (:meth:`~repro.nn.model.OPTLanguageModel.forward_ragged`), samples one
-token per active request from its private generator, and immediately
-retires finished sequences so their slot and KV blocks are reused on the
-next step.
+token per row that reached its next position, and immediately retires
+finished sequences so their slot and KV blocks are reused on the next
+step.  Three scheduling features layer on top of the PR-2 loop:
 
-**Exactness.**  Per request, the engine performs literally the same
-sequence of chunked cached forwards that
-:func:`~repro.nn.generation.generate` performs for that prompt alone —
-prompt prefill in one chunk, then one-token steps, then (once the context
-passes ``max_position``) per-request full-window forwards on the BLAS
-path, matching ``generate``'s sliding-window tail.  Combined with the
-ragged forward's per-row bit-exactness, a request's greedy token stream is
-bit-identical however it was batched, whenever it was admitted, and
-whatever its neighbours did — the continuous-batching analogue of the KV
-cache's incremental-equals-prefill guarantee, and the property the serve
-test suite pins down.
+* **Prefix caching** (``prefix_caching=True``): an admitted request first
+  adopts pool blocks covering the longest cached prefix of its prompt
+  (bumping refcounts) and prefills only the remainder; when its prefill
+  completes, its own prompt blocks are published for later requests.
+  Shared blocks are copy-on-write, so decode writes never leak between
+  requests.
+* **Chunked prefill** (``prefill_budget=N``): at most ``N`` prompt tokens
+  are prefilled per iteration across the whole batch, so a long prompt
+  streams in over several steps interleaved with decode rows instead of
+  monopolizing an iteration.
+* **Priority + preemption** (``max_blocks=M``): requests carry priority
+  classes; when a bounded pool runs dry the scheduler preempts victims
+  (lowest class, newest first), releasing their blocks and re-queueing
+  them for a deterministic re-run.
+
+**Exactness.**  Per request, the engine performs a sequence of chunked
+cached forwards — and the chunked cached path is bit-identical to the
+one-shot prefill (the chunked==prefill tests pin this under every
+precision policy), while adopted prefix blocks hold *the same bytes* the
+request would have written itself (K/V of positions ``0..n-1`` is a pure
+function of token ids ``0..n-1``).  Combined with the ragged forward's
+per-row bit-exactness, a request's greedy token stream is bit-identical
+however it was batched, chunked, shared, preempted, or re-run — the
+headline property the serve test suite pins down, per precision policy.
 
 **Clock.**  The engine keeps a *virtual clock* on the arrival timeline:
 it advances by the measured wall time of each step, and when no work is
@@ -42,7 +55,7 @@ from repro.nn.model import OPTLanguageModel
 from repro.serve.kv_pool import BlockKVPool
 from repro.serve.metrics import MetricsRecorder
 from repro.serve.request import CompletedRequest, Request, RequestState
-from repro.serve.scheduler import ContinuousBatchScheduler
+from repro.serve.scheduler import Scheduler, StepPlan
 
 
 @dataclass
@@ -71,6 +84,15 @@ class ServeEngine:
         Decode slots per step.
     block_size / initial_blocks:
         KV pool geometry (see :class:`~repro.serve.kv_pool.BlockKVPool`).
+    prefix_caching:
+        Share prompt-prefix KV blocks across requests through the pool's
+        prefix index (copy-on-write protected; off by default).
+    prefill_budget:
+        Per-iteration cap on prefilled prompt tokens, summed over the
+        batch (``None`` = whole prompts in one chunk).
+    max_blocks:
+        Pool capacity ceiling; enables preemption under exhaustion
+        (``None`` = unbounded growth, never preempts).
     timer:
         Monotonic-seconds callable used to measure step durations
         (default :func:`time.perf_counter`); inject a fake for
@@ -83,15 +105,30 @@ class ServeEngine:
         max_batch_size: int = 8,
         block_size: int = 16,
         initial_blocks: int = 64,
+        prefix_caching: bool = False,
+        prefill_budget: int | None = None,
+        max_blocks: int | None = None,
         timer=None,
     ) -> None:
         model.eval()
         self.model = model
+        self.prefix_caching = bool(prefix_caching)
+        if max_blocks is not None:
+            # A bound tighter than the default preallocation just means a
+            # smaller pool, not a configuration error.
+            initial_blocks = min(initial_blocks, max_blocks)
         self.pool = BlockKVPool.for_model(
-            model, block_size=block_size, initial_blocks=initial_blocks
+            model,
+            block_size=block_size,
+            initial_blocks=initial_blocks,
+            max_blocks=max_blocks,
+            prefix_caching=prefix_caching,
         )
-        self.scheduler = ContinuousBatchScheduler(
-            self.pool, max_batch_size=max_batch_size
+        self.scheduler = Scheduler(
+            self.pool,
+            max_batch_size=max_batch_size,
+            prefill_budget=prefill_budget,
+            max_position=model.config.max_position,
         )
         self.timer = timer or time.perf_counter
 
@@ -114,15 +151,38 @@ class ServeEngine:
                 now = pending[cursor].arrival_time
                 continue
 
-            scheduler.admit(now)
+            admitted = scheduler.admit(now)
+            if self.prefix_caching:
+                for state in admitted:
+                    # Cap adoption below the full window: the final prompt
+                    # position must be computed to produce the logits the
+                    # first sampled token comes from.
+                    state.kv.adopt_prefix(
+                        state.prompt_window,
+                        max_tokens=len(state.prompt_window) - 1,
+                    )
+                    # SequenceKV.adopted_tokens is the source of truth;
+                    # mirror it onto the state because the kv object dies
+                    # before completion (sliding window, preemption).
+                    state.prefill_pos = state.adopted_tokens = state.kv.adopted_tokens
+            plan = scheduler.plan()
+            for victim in scheduler.reserve(plan):
+                recorder.record_preemption(victim.request.request_id, now)
+
             started = self.timer()
-            sampled = self._step()
+            sampled = self._step(plan)
             elapsed = self.timer() - started
             now += elapsed
 
             finished = 0
             for state, token in sampled:
                 state.record_token(token, now)
+                if state.produced == 1 and state.adopted_tokens:
+                    # Count adopted positions only once the prefill they
+                    # shortened actually completed — a run preempted
+                    # mid-prefill never inflates the hit rate, and a
+                    # re-admitted run counts its own (fresh) adoption.
+                    recorder.record_adoption(state.adopted_tokens)
                 self._after_token(state)
                 if state.finish_reason is not None:
                     scheduler.retire(state)
@@ -134,6 +194,7 @@ class ServeEngine:
                 active=scheduler.active_count + finished,
                 elapsed=elapsed,
                 tokens=len(sampled),
+                prefill_tokens=plan.prefill_tokens,
             )
 
         return ServeReport(
@@ -143,37 +204,53 @@ class ServeEngine:
         )
 
     # -- one iteration -------------------------------------------------------------
-    def _step(self) -> list[tuple[RequestState, int]]:
-        """Run one batched iteration; returns (state, sampled token) pairs."""
-        states = self.scheduler.active()
+    def _step(self, plan: StepPlan) -> list[tuple[RequestState, int]]:
+        """Run one planned iteration; returns (state, sampled token) pairs.
+
+        Prefill chunks and decode rows share one ragged forward.  A row
+        only yields a sample when it reached its next position: decode
+        rows always do, prefill rows only on their final chunk (earlier
+        chunks write KV and discard logits — exactly the work a one-shot
+        prefill performs for those positions).
+        """
+        prefill_chunk = {id(state): take for state, take in plan.prefill}
+        decode_ids = {id(state) for state in plan.decode}
         max_pos = self.model.config.max_position
 
-        ragged: list[tuple[RequestState, np.ndarray]] = []
-        slid: list[RequestState] = []
-        for state in states:
-            if state.slid:
-                slid.append(state)
-            elif state.needs_prefill:
-                chunk = np.asarray(state.tokens[-max_pos:], dtype=np.int64)
-                ragged.append((state, chunk))
-            else:
+        ragged: list[tuple[RequestState, np.ndarray, bool]] = []
+        for state in self.scheduler.active():
+            if id(state) in prefill_chunk:
+                take = prefill_chunk[id(state)]
+                chunk = np.asarray(
+                    state.prompt_window[state.prefill_pos : state.prefill_pos + take],
+                    dtype=np.int64,
+                )
+                final = state.prefill_pos + take == len(state.prompt_window)
+                ragged.append((state, chunk, final))
+            elif id(state) in decode_ids:
                 ragged.append(
-                    (state, np.asarray(state.tokens[-1:], dtype=np.int64))
+                    (state, np.asarray(state.tokens[-1:], dtype=np.int64), True)
                 )
 
         sampled: list[tuple[RequestState, int]] = []
         if ragged:
-            new_lens = np.asarray([chunk.size for _, chunk in ragged], dtype=np.int64)
+            new_lens = np.asarray([chunk.size for _, chunk, _ in ragged], dtype=np.int64)
             width = int(new_lens.max())
             token_matrix = np.zeros((len(ragged), width), dtype=np.int64)
-            for row, (_, chunk) in enumerate(ragged):
+            for row, (_, chunk, _) in enumerate(ragged):
                 token_matrix[row, width - chunk.size :] = chunk
-            caches = [state.kv for state, _ in ragged]
+            caches = [state.kv for state, _, _ in ragged]
             logits = self.model.forward_ragged(token_matrix, caches, new_lens)
-            for row, (state, _) in enumerate(ragged):
-                state.needs_prefill = False
-                sampled.append((state, self._sample(state, logits[row, 0])))
-        for state in slid:
+            for row, (state, chunk, final) in enumerate(ragged):
+                if id(state) in prefill_chunk:
+                    state.prefill_pos += chunk.size
+                    if final and self.prefix_caching:
+                        # The whole prompt window is committed and its
+                        # blocks are now append-only: publish them.
+                        state.kv.register_prefix(state.prompt_window)
+                if final:
+                    sampled.append((state, self._sample(state, logits[row, 0])))
+        for state in plan.slid:
             context = np.asarray(state.tokens[-max_pos:], dtype=np.int64)[None, :]
             row_logits = self.model(context)[0, -1]
             sampled.append((state, self._sample(state, row_logits)))
@@ -210,4 +287,7 @@ class ServeEngine:
             admitted_time=state.admitted_time,
             first_token_time=state.token_times[0],
             finish_time=state.token_times[-1],
+            priority=request.priority,
+            prefix_tokens_reused=state.adopted_tokens,
+            preemptions=self.scheduler.preemptions_of(request.request_id),
         )

@@ -1,4 +1,4 @@
-"""Pooled, preallocated, block-granular key/value cache for serving.
+"""Pooled, block-granular KV cache with prefix sharing and copy-on-write.
 
 :class:`~repro.nn.kv_cache.LayerKVCache` grows one private buffer per
 sequence; a server juggling hundreds of short-lived requests would allocate
@@ -15,15 +15,44 @@ sequence) and hands blocks out through a free list:
   allocation events are amortized O(log total-tokens) — mirroring the
   block-pool design of paged serving runtimes.
 
+On top of the free list sit three paged-serving mechanisms:
+
+* **Reference counts.**  Every live block carries a refcount; ``free``
+  decrements and only returns the block once the last reference drops
+  (and it raises on unknown or already-free ids instead of silently
+  corrupting the free list).
+* **Prefix sharing.**  With ``prefix_caching=True`` the pool keeps a
+  :class:`PrefixIndex` — a trie keyed on block-sized token-id spans.  When
+  a request's prompt completes prefill, the blocks covering it are
+  registered; a later request whose prompt starts with the same tokens
+  *adopts* those blocks (bumping refcounts) instead of recomputing their
+  K/V.  This is sound and **bit-exact** because the K/V bytes of positions
+  ``0..n-1`` are a pure function of the token ids ``0..n-1`` under the
+  deterministic kernels — the chunked==prefill exactness tests pin exactly
+  this invariance.
+* **Copy-on-write.**  A prefix match may end mid-block (the trie also
+  indexes a prompt's partially filled tail block).  Writing into a block
+  whose refcount exceeds one first *forks* it — the committed positions of
+  every layer are copied into a private block — so sharers never observe
+  each other's writes.
+
+When a bounded pool (``max_blocks``) runs dry, allocation first evicts
+least-recently-used index entries nobody references, then raises
+:class:`PoolExhaustedError` — the scheduler's cue to preempt a victim
+request (legal, because decode is bit-reproducible from the prompt+seed).
+
 Because NumPy's einsum cannot read scattered blocks in place (the way a
 paged attention kernel would), :meth:`SequenceKV.gather` packs a sequence's
-blocks into a per-call workspace for the attention read — O(seq) reads the
-kernel performs anyway.  The workspace is one position larger than needed
-and handed out as a sliced view, so its memory-layout class (strided view)
-matches what :class:`~repro.nn.kv_cache.LayerKVCache` returns — one of the
-conditions for served tokens being bit-identical to single-request
-:func:`~repro.nn.generation.generate` (see the KV-cache notes on layout
-classes).
+blocks into a per-layer workspace for the attention read — O(seq) reads the
+kernel performs anyway.  The workspace persists across decode steps and
+grows by doubling, so a long decode performs O(log n) workspace
+allocations instead of one fresh ``(heads, seq+1, head_dim)`` pair per
+layer per token.  It is always at least one position larger than the
+sequence and handed out as a sliced view, so its memory-layout class
+(strided view) matches what :class:`~repro.nn.kv_cache.LayerKVCache`
+returns — one of the conditions for served tokens being bit-identical to
+single-request :func:`~repro.nn.generation.generate` (see the KV-cache
+notes on layout classes).
 """
 
 from __future__ import annotations
@@ -36,6 +65,10 @@ from repro.fpformats.quantize import quantize
 from repro.nn.kv_cache import resolve_kv_format
 
 
+class PoolExhaustedError(RuntimeError):
+    """The pool is at ``max_blocks`` with nothing left to evict."""
+
+
 @dataclass(frozen=True)
 class PoolStats:
     """Snapshot of the pool's allocation counters."""
@@ -46,6 +79,10 @@ class PoolStats:
     blocks_allocated: int  # total allocate() calls served
     blocks_reused: int  # allocations served by a previously used block
     grow_events: int  # geometric store growths (O(log) of total demand)
+    blocks_adopted: int  # shared-prefix adoptions (refcount bumps by sequences)
+    cow_forks: int  # copy-on-write forks of shared blocks
+    prefix_blocks_cached: int  # live prefix-index entries
+    prefix_evictions: int  # index entries evicted under pool pressure
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -55,7 +92,239 @@ class PoolStats:
             "blocks_allocated": self.blocks_allocated,
             "blocks_reused": self.blocks_reused,
             "grow_events": self.grow_events,
+            "blocks_adopted": self.blocks_adopted,
+            "cow_forks": self.cow_forks,
+            "prefix_blocks_cached": self.prefix_blocks_cached,
+            "prefix_evictions": self.prefix_evictions,
         }
+
+
+class _TrieNode:
+    """One level of the prefix trie (a block boundary)."""
+
+    __slots__ = ("children", "partials")
+
+    def __init__(self) -> None:
+        #: full-block token tuple -> _FullEntry
+        self.children: dict[tuple[int, ...], _FullEntry] = {}
+        #: partially filled tail blocks registered at this depth
+        self.partials: list[_PartialEntry] = []
+
+
+class _FullEntry:
+    __slots__ = ("block_id", "node", "last_used")
+
+    def __init__(self, block_id: int, last_used: int) -> None:
+        self.block_id = block_id
+        self.node = _TrieNode()
+        self.last_used = last_used
+
+
+class _PartialEntry:
+    __slots__ = ("tokens", "block_id", "last_used")
+
+    def __init__(self, tokens: tuple[int, ...], block_id: int, last_used: int) -> None:
+        self.tokens = tokens
+        self.block_id = block_id
+        self.last_used = last_used
+
+
+def _common_prefix_len(a: tuple[int, ...], b: tuple[int, ...]) -> int:
+    n = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        n += 1
+    return n
+
+
+class PrefixIndex:
+    """Trie from token-id prefixes to immutable pool blocks.
+
+    Full blocks are trie edges keyed by their ``block_size`` token span;
+    a prompt's partially filled tail block is stored as a *partial* entry
+    on the node where it ends.  The index holds one reference (refcount)
+    per registered block, so cached prefixes survive the registering
+    request's retirement — that is what lets a later turn of the same chat
+    adopt them.  Entries are timestamped on every touch for LRU eviction.
+    """
+
+    def __init__(self, block_size: int) -> None:
+        self.block_size = int(block_size)
+        self.root = _TrieNode()
+        self._clock = 0
+        self.entries = 0
+
+    def __len__(self) -> int:
+        return self.entries
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    # -- lookup --------------------------------------------------------------------
+    def match(self, tokens) -> tuple[list[int], int | None, int]:
+        """Longest indexed prefix of ``tokens``.
+
+        Returns ``(full_block_ids, partial_block_id, partial_len)``: the
+        chain of fully matched blocks, plus (optionally) one block whose
+        first ``partial_len`` positions extend the match mid-block.
+        """
+        tokens = tuple(int(t) for t in tokens)
+        bs = self.block_size
+        node = self.root
+        full_ids: list[int] = []
+        pos = 0
+        while pos + bs <= len(tokens):
+            entry = node.children.get(tokens[pos : pos + bs])
+            if entry is None:
+                break
+            entry.last_used = self._tick()
+            full_ids.append(entry.block_id)
+            node = entry.node
+            pos += bs
+        rest = tokens[pos:]
+        best_len, best_entry = 0, None
+        if rest:
+            for key, entry in node.children.items():
+                p = _common_prefix_len(key, rest)
+                if p > best_len:
+                    best_len, best_entry = p, entry
+            for entry in node.partials:
+                p = _common_prefix_len(entry.tokens, rest)
+                if p > best_len:
+                    best_len, best_entry = p, entry
+        if best_entry is None:
+            return full_ids, None, 0
+        best_entry.last_used = self._tick()
+        return full_ids, best_entry.block_id, best_len
+
+    # -- insertion -----------------------------------------------------------------
+    def register(self, tokens, block_ids, pool: "BlockKVPool") -> int:
+        """Insert the blocks covering ``tokens``; returns newly cached count.
+
+        ``block_ids`` must cover at least ``len(tokens)`` positions.  Spans
+        already indexed are left untouched (the registering request adopted
+        them in the first place); each newly cached block receives one
+        index-owned reference via :meth:`BlockKVPool.share`.
+        """
+        tokens = tuple(int(t) for t in tokens)
+        bs = self.block_size
+        if len(block_ids) * bs < len(tokens):
+            raise ValueError(
+                f"{len(block_ids)} blocks cannot cover {len(tokens)} tokens"
+            )
+        node = self.root
+        added = 0
+        pos = 0
+        while pos + bs <= len(tokens):
+            key = tokens[pos : pos + bs]
+            entry = node.children.get(key)
+            if entry is None:
+                entry = _FullEntry(int(block_ids[pos // bs]), self._tick())
+                node.children[key] = entry
+                pool.share(entry.block_id, adopted=False)
+                self.entries += 1
+                added += 1
+            else:
+                entry.last_used = self._tick()
+            node = entry.node
+            pos += bs
+        rest = tokens[pos:]
+        if rest and not self._covered(node, rest):
+            entry = _PartialEntry(rest, int(block_ids[pos // bs]), self._tick())
+            node.partials.append(entry)
+            pool.share(entry.block_id, adopted=False)
+            self.entries += 1
+            added += 1
+        return added
+
+    @staticmethod
+    def _covered(node: _TrieNode, rest: tuple[int, ...]) -> bool:
+        """True when an existing entry already matches every token of ``rest``."""
+        for key in node.children:
+            if key[: len(rest)] == rest:
+                return True
+        for entry in node.partials:
+            if entry.tokens[: len(rest)] == rest:
+                return True
+        return False
+
+    # -- eviction ------------------------------------------------------------------
+    def _evictable(self, pool: "BlockKVPool"):
+        """Yield ``(last_used, container, key_or_entry)`` for droppable entries.
+
+        An entry is droppable when the index holds the block's only
+        reference and — for full blocks — no deeper entries hang off it
+        (evicting leaf-first keeps every remaining entry reachable).
+        """
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for key, entry in node.children.items():
+                child = entry.node
+                if not child.children and not child.partials:
+                    if pool.refcount(entry.block_id) == 1:
+                        yield entry.last_used, node.children, key
+                else:
+                    stack.append(child)
+            for entry in node.partials:
+                if pool.refcount(entry.block_id) == 1:
+                    yield entry.last_used, node.partials, entry
+
+    def evictable_count(self, pool: "BlockKVPool") -> int:
+        """Blocks reclaimable by repeated eviction (the scheduler's preflight).
+
+        A full-block entry only becomes evictable once its whole subtree
+        is gone, so an entry counts only when the index holds its block's
+        sole reference *and* every descendant entry is likewise
+        reclaimable — the transitive closure of what :meth:`evict` can
+        actually free, not just the current leaves.
+        """
+
+        def walk(node: _TrieNode) -> tuple[int, bool]:
+            count, subtree_clear = 0, True
+            for entry in node.children.values():
+                sub_count, sub_clear = walk(entry.node)
+                count += sub_count
+                if sub_clear and pool.refcount(entry.block_id) == 1:
+                    count += 1
+                else:
+                    subtree_clear = False
+            for entry in node.partials:
+                if pool.refcount(entry.block_id) == 1:
+                    count += 1
+                else:
+                    subtree_clear = False
+            return count, subtree_clear
+
+        return walk(self.root)[0]
+
+    def evict(self, pool: "BlockKVPool", needed: int) -> int:
+        """Drop up to ``needed`` LRU entries nobody references; returns count.
+
+        One trie walk serves the whole batch: every currently evictable
+        entry is a leaf (or partial) whose removal cannot invalidate
+        another candidate from the same walk, so the sorted list can be
+        drained directly.  Entries that only *become* evictable once their
+        children go (a parent whose last leaf was just dropped) are picked
+        up by the next call — :meth:`BlockKVPool.allocate` re-walks only
+        when the free list is dry again.
+        """
+        candidates = sorted(self._evictable(pool), key=lambda c: c[0])
+        freed = 0
+        for _, container, handle in candidates[:needed]:
+            if isinstance(container, dict):
+                block_id = container[handle].block_id
+                del container[handle]
+            else:
+                block_id = handle.block_id
+                container.remove(handle)
+            self.entries -= 1
+            pool.free([block_id])
+            pool.prefix_evictions += 1
+            freed += 1
+        return freed
 
 
 class BlockKVPool:
@@ -78,6 +347,14 @@ class BlockKVPool:
         policy's ``kv_cache_fmt``).  ``None``/``"fp64"`` stores raw
         float64.  Matches :class:`~repro.nn.kv_cache.LayerKVCache`, so the
         pooled and private cache paths stay bit-identical under a policy.
+    max_blocks:
+        Hard capacity ceiling.  ``None`` (default) grows without bound;
+        with a ceiling, exhausted allocation evicts unreferenced prefix
+        cache entries and then raises :class:`PoolExhaustedError`.
+    prefix_caching:
+        Enable the shared-prefix :class:`PrefixIndex` (adoption via
+        :meth:`SequenceKV.adopt_prefix`, registration via
+        :meth:`SequenceKV.register_prefix`).
     """
 
     def __init__(
@@ -89,29 +366,41 @@ class BlockKVPool:
         initial_blocks: int = 64,
         grow_factor: float = 2.0,
         kv_fmt: str | None = None,
+        max_blocks: int | None = None,
+        prefix_caching: bool = False,
     ) -> None:
         if min(num_layers, num_heads, head_dim, block_size, initial_blocks) < 1:
             raise ValueError("pool dimensions must all be >= 1")
         if grow_factor <= 1.0:
             raise ValueError(f"grow_factor must be > 1, got {grow_factor}")
+        if max_blocks is not None and max_blocks < initial_blocks:
+            raise ValueError(
+                f"max_blocks {max_blocks} smaller than initial_blocks {initial_blocks}"
+            )
         self.num_layers = int(num_layers)
         self.num_heads = int(num_heads)
         self.head_dim = int(head_dim)
         self.block_size = int(block_size)
         self.grow_factor = float(grow_factor)
         self.kv_fmt = resolve_kv_format(kv_fmt)
+        self.max_blocks = None if max_blocks is None else int(max_blocks)
+        self.prefix = PrefixIndex(self.block_size) if prefix_caching else None
 
         shape = (initial_blocks, num_layers, num_heads, block_size, head_dim)
         self._k = np.empty(shape, dtype=np.float64)
         self._v = np.empty(shape, dtype=np.float64)
         self._free: list[int] = list(range(initial_blocks - 1, -1, -1))
         self._used_before = np.zeros(initial_blocks, dtype=bool)
+        self._refcount = np.zeros(initial_blocks, dtype=np.int64)
 
         self.blocks_in_use = 0
         self.peak_blocks_in_use = 0
         self.blocks_allocated = 0
         self.blocks_reused = 0
         self.grow_events = 0
+        self.blocks_adopted = 0
+        self.cow_forks = 0
+        self.prefix_evictions = 0
 
     @classmethod
     def for_model(cls, model, **kwargs) -> "BlockKVPool":
@@ -131,6 +420,10 @@ class BlockKVPool:
     def capacity_blocks(self) -> int:
         return self._k.shape[0]
 
+    def refcount(self, block_id: int) -> int:
+        """Live references (sequences plus the prefix index) to a block."""
+        return int(self._refcount[int(block_id)])
+
     def stats(self) -> PoolStats:
         return PoolStats(
             capacity_blocks=self.capacity_blocks,
@@ -139,11 +432,21 @@ class BlockKVPool:
             blocks_allocated=self.blocks_allocated,
             blocks_reused=self.blocks_reused,
             grow_events=self.grow_events,
+            blocks_adopted=self.blocks_adopted,
+            cow_forks=self.cow_forks,
+            prefix_blocks_cached=0 if self.prefix is None else len(self.prefix),
+            prefix_evictions=self.prefix_evictions,
         )
 
     def _grow(self) -> None:
         old = self.capacity_blocks
+        if self.max_blocks is not None and old >= self.max_blocks:
+            raise PoolExhaustedError(
+                f"pool at max_blocks={self.max_blocks} with an empty free list"
+            )
         new = max(int(old * self.grow_factor), old + 1)
+        if self.max_blocks is not None:
+            new = min(new, self.max_blocks)
         shape = (new, self.num_layers, self.num_heads, self.block_size, self.head_dim)
         k = np.empty(shape, dtype=np.float64)
         v = np.empty(shape, dtype=np.float64)
@@ -153,29 +456,109 @@ class BlockKVPool:
         self._used_before = np.concatenate(
             [self._used_before, np.zeros(new - old, dtype=bool)]
         )
+        self._refcount = np.concatenate(
+            [self._refcount, np.zeros(new - old, dtype=np.int64)]
+        )
         # Push new ids so the lowest new id pops first; recycled old ids
         # (pushed on free()) still take priority because they sit above.
         self._free = list(range(new - 1, old - 1, -1)) + self._free
         self.grow_events += 1
 
     def allocate(self) -> int:
-        """Take one block id from the free list (growing the store if dry)."""
+        """Take one block id from the free list (growing the store if dry).
+
+        At ``max_blocks``, least-recently-used prefix-cache entries that
+        nobody references are evicted to refill the free list; when even
+        that fails the pool is genuinely exhausted and
+        :class:`PoolExhaustedError` propagates to the scheduler.
+        """
         if not self._free:
-            self._grow()
+            try:
+                self._grow()
+            except PoolExhaustedError:
+                if self.prefix is not None:
+                    # Evict a small batch per trie walk: the next few
+                    # allocations then come straight off the free list
+                    # instead of re-walking the index per block.
+                    self.prefix.evict(self, 8)
+                if not self._free:
+                    raise
         block_id = self._free.pop()
         self.blocks_allocated += 1
         if self._used_before[block_id]:
             self.blocks_reused += 1
         self._used_before[block_id] = True
+        self._refcount[block_id] = 1
         self.blocks_in_use += 1
         self.peak_blocks_in_use = max(self.peak_blocks_in_use, self.blocks_in_use)
         return block_id
 
+    def share(self, block_id: int, adopted: bool = True) -> int:
+        """Add one reference to a live block (prefix adoption / registration)."""
+        bid = int(block_id)
+        if not 0 <= bid < self.capacity_blocks or self._refcount[bid] < 1:
+            raise ValueError(f"cannot share block {bid}: not currently allocated")
+        self._refcount[bid] += 1
+        if adopted:
+            self.blocks_adopted += 1
+        return bid
+
+    def fork(self, block_id: int, length: int) -> int:
+        """Copy-on-write: private copy of positions ``[0, length)``, all layers.
+
+        The caller's reference to the shared block moves to the fresh
+        block (the shared one's refcount drops by one).
+        """
+        bid = int(block_id)
+        if self._refcount[bid] < 1:
+            raise ValueError(f"cannot fork block {bid}: not currently allocated")
+        new_id = self.allocate()
+        if length:
+            self._k[new_id, :, :, :length] = self._k[bid, :, :, :length]
+            self._v[new_id, :, :, :length] = self._v[bid, :, :, :length]
+        self.free([bid])
+        self.cow_forks += 1
+        return new_id
+
     def free(self, block_ids) -> None:
-        """Return blocks to the free list (called when a request retires)."""
-        for block_id in block_ids:
-            self._free.append(int(block_id))
-        self.blocks_in_use -= len(block_ids)
+        """Drop one reference per id; last reference returns the block.
+
+        Raises :class:`ValueError` on ids the pool never allocated or that
+        are already free — silently appending those to the free list would
+        hand the same block to two sequences and corrupt
+        ``blocks_in_use``.  Validation runs over the whole batch *before*
+        any reference drops, so a rejected call mutates nothing (no
+        half-freed batches to leak or double-free on retry).
+        """
+        ids = [int(block_id) for block_id in block_ids]
+        drops: dict[int, int] = {}
+        for bid in ids:
+            if not 0 <= bid < self.capacity_blocks:
+                raise ValueError(f"cannot free unknown block id {bid}")
+            drops[bid] = drops.get(bid, 0) + 1
+            if self._refcount[bid] < drops[bid]:
+                raise ValueError(f"double free of block {bid}")
+        for bid in ids:
+            self._refcount[bid] -= 1
+            if self._refcount[bid] == 0:
+                self._free.append(bid)
+                self.blocks_in_use -= 1
+
+    def can_provide(self, blocks: int) -> bool:
+        """Whether ``blocks`` allocations can succeed without preemption.
+
+        Counts the free list, unreferenced (evictable) prefix-cache
+        entries, and the remaining growth headroom under ``max_blocks``.
+        Unbounded pools can always provide.
+        """
+        if self.max_blocks is None:
+            return True
+        available = len(self._free) + (self.max_blocks - self.capacity_blocks)
+        if available >= blocks:
+            return True
+        if self.prefix is not None:
+            available += self.prefix.evictable_count(self)
+        return available >= blocks
 
     def sequence(self) -> "SequenceKV":
         """A new, empty per-request cache backed by this pool."""
@@ -206,7 +589,7 @@ class _LayerView:
 
 
 class SequenceKV:
-    """One request's K/V history, stored in pool blocks.
+    """One request's K/V history, stored in (possibly shared) pool blocks.
 
     Mirrors the :class:`~repro.nn.kv_cache.KVCache` protocol (``seq_len``
     plus per-layer ``layers[i].append``), so
@@ -220,12 +603,71 @@ class SequenceKV:
         self._layer_len = [0] * pool.num_layers
         self.layers = [_LayerView(self, i) for i in range(pool.num_layers)]
         self._released = False
+        #: Prompt tokens whose K/V was adopted from the prefix index.
+        self.adopted_tokens = 0
+        # Persistent per-layer gather workspaces, grown by doubling so a
+        # long decode reallocates O(log n) times, not once per token.
+        self._ws_k: list[np.ndarray | None] = [None] * pool.num_layers
+        self._ws_v: list[np.ndarray | None] = [None] * pool.num_layers
 
     @property
     def seq_len(self) -> int:
         """Committed token positions (all layers agree between forwards)."""
         return self._layer_len[0]
 
+    # -- prefix sharing ------------------------------------------------------------
+    def adopt_prefix(self, tokens, max_tokens: int | None = None) -> int:
+        """Adopt cached blocks covering the longest indexed prefix of ``tokens``.
+
+        Must be called on an empty sequence, before any append.  Bumps the
+        refcount of every adopted block; a partially matched tail block is
+        adopted read-only and forked (copy-on-write) by the first write
+        into it.  ``max_tokens`` caps the adoption — the engine passes
+        ``len(prompt) - 1`` so the final prompt position is always
+        computed, which is what produces the first sampled token's logits.
+        Returns the number of adopted token positions.
+        """
+        if self._released:
+            raise RuntimeError("SequenceKV used after release()")
+        if self.pool.prefix is None:
+            return 0
+        if self.block_ids or any(self._layer_len):
+            raise RuntimeError("adopt_prefix requires an empty sequence")
+        cap = len(tokens) if max_tokens is None else min(int(max_tokens), len(tokens))
+        if cap <= 0:
+            return 0
+        full_ids, partial_id, partial_len = self.pool.prefix.match(tokens[:cap])
+        for bid in full_ids:
+            self.pool.share(bid)
+            self.block_ids.append(bid)
+        adopted = len(full_ids) * self.pool.block_size
+        if partial_id is not None:
+            self.pool.share(partial_id)
+            self.block_ids.append(partial_id)
+            adopted += partial_len
+        self._layer_len = [adopted] * self.pool.num_layers
+        self.adopted_tokens = adopted
+        return adopted
+
+    def register_prefix(self, tokens) -> int:
+        """Publish this sequence's blocks for ``tokens`` in the prefix index.
+
+        The engine calls this the moment a prompt's prefill completes —
+        every position of ``tokens`` is committed and the covering blocks
+        will never be rewritten (decode appends strictly after them, and a
+        shared tail is forked on write).  Returns newly cached blocks.
+        """
+        if self._released:
+            raise RuntimeError("SequenceKV used after release()")
+        if self.pool.prefix is None:
+            return 0
+        if len(tokens) > self.seq_len:
+            raise ValueError(
+                f"cannot register {len(tokens)} tokens; only {self.seq_len} committed"
+            )
+        return self.pool.prefix.register(tokens, self.block_ids, self.pool)
+
+    # -- append / gather -----------------------------------------------------------
     def _ensure_blocks(self, needed_tokens: int) -> None:
         while len(self.block_ids) * self.pool.block_size < needed_tokens:
             self.block_ids.append(self.pool.allocate())
@@ -253,8 +695,15 @@ class SequenceKV:
 
         pos, taken = start, 0
         while pos < end:
-            block = self.block_ids[pos // bs]
+            index = pos // bs
+            block = self.block_ids[index]
             offset = pos % bs
+            if self.pool.refcount(block) > 1:
+                # Copy-on-write: the block is shared (another sequence or
+                # the prefix index references it).  Fork before the write
+                # so sharers keep reading the original bytes.
+                block = self.pool.fork(block, offset)
+                self.block_ids[index] = block
             take = min(bs - offset, end - pos)
             self.pool._k[block, layer, :, offset : offset + take] = k[
                 0, :, taken : taken + take
@@ -270,16 +719,23 @@ class SequenceKV:
     def gather(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
         """Pack the layer's blocks into ``(1, heads, seq, head_dim)`` views.
 
-        The workspace is allocated one position longer than the sequence
-        and returned as a ``[:seq]`` slice, so the result is always a
-        strided view — the same memory-layout class
+        The workspace is kept strictly longer than the sequence and the
+        result returned as a ``[:seq]`` slice, so it is always a strided
+        view — the same memory-layout class
         :class:`~repro.nn.kv_cache.LayerKVCache` produces, keeping einsum's
         accumulation identical between the pooled and private cache paths.
+        The workspace persists across calls (each call rewrites it from
+        the blocks, so copy-on-write forks are picked up transparently)
+        and doubles on growth, amortizing allocation over a decode.
         """
         length = self._layer_len[layer]
         pool, bs = self.pool, self.pool.block_size
-        k_out = np.empty((1, pool.num_heads, length + 1, pool.head_dim))
-        v_out = np.empty_like(k_out)
+        k_out, v_out = self._ws_k[layer], self._ws_v[layer]
+        if k_out is None or k_out.shape[2] <= length:
+            capacity = max(length + 1, 2 * (0 if k_out is None else k_out.shape[2]))
+            k_out = np.empty((1, pool.num_heads, capacity, pool.head_dim))
+            v_out = np.empty_like(k_out)
+            self._ws_k[layer], self._ws_v[layer] = k_out, v_out
         for i, block in enumerate(self.block_ids):
             lo = i * bs
             if lo >= length:
@@ -290,8 +746,10 @@ class SequenceKV:
         return k_out[:, :, :length], v_out[:, :, :length]
 
     def release(self) -> None:
-        """Return every block to the pool (idempotent)."""
+        """Drop every block reference back to the pool (idempotent)."""
         if not self._released:
             self.pool.free(self.block_ids)
             self.block_ids = []
+            self._ws_k = [None] * self.pool.num_layers
+            self._ws_v = [None] * self.pool.num_layers
             self._released = True

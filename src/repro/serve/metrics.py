@@ -1,4 +1,4 @@
-"""Serving metrics: TTFT, inter-token latency, throughput, queue depth.
+"""Serving metrics: TTFT, inter-token latency, throughput, queue, sharing.
 
 All timestamps come from the engine's virtual clock: it advances by the
 measured compute time of each step, and when the server is idle it jumps
@@ -9,9 +9,13 @@ through but do remain part of the timeline.  Consequently
 ``tokens_per_second`` (tokens over makespan) is *delivered* throughput
 under the scenario's traffic: for sparse arrivals it is arrival-limited,
 not a capacity measurement — compare scenarios at similar load, or use
-``rate_scale`` to saturate.  The recorder collects per-step samples and
-per-request completions; :meth:`MetricsRecorder.summary` reduces them to
-the flat JSON-friendly dictionary ``BENCH_serve.json`` stores.
+``rate_scale`` to saturate.  The recorder collects per-step samples,
+per-request completions, prefix-cache adoptions, and preemption events;
+:meth:`MetricsRecorder.summary` reduces them to the flat JSON-friendly
+dictionary ``BENCH_serve.json`` stores, including the prefix hit rate
+(adopted prompt positions over all prompt positions), prefill tokens
+actually computed, preemption counts, and per-priority-class latency
+percentiles.
 """
 
 from __future__ import annotations
@@ -48,16 +52,38 @@ class MetricsRecorder:
         self._step_tokens: list[int] = []
         self._gaps: list[float] = []
         self._final_time = 0.0
+        self._prefill_tokens = 0
+        self._prefix_tokens = 0
+        #: (request_id, virtual-clock time) per preemption event.
+        self._preemptions: list[tuple[str, float]] = []
 
     # -- collection ----------------------------------------------------------------
     def record_step(
-        self, queue_depth: int, active: int, elapsed: float, tokens: int
+        self,
+        queue_depth: int,
+        active: int,
+        elapsed: float,
+        tokens: int,
+        prefill_tokens: int = 0,
     ) -> None:
-        """One scheduler iteration: queue state, step time, tokens produced."""
+        """One scheduler iteration: queue state, step time, tokens produced.
+
+        ``prefill_tokens`` counts the prompt positions whose K/V this step
+        actually computed (excluding decode rows and adopted prefixes).
+        """
         self._queue_depths.append(int(queue_depth))
         self._active_counts.append(int(active))
         self._step_seconds.append(float(elapsed))
         self._step_tokens.append(int(tokens))
+        self._prefill_tokens += int(prefill_tokens)
+
+    def record_adoption(self, tokens: int) -> None:
+        """Prompt positions adopted from the prefix cache at an admission."""
+        self._prefix_tokens += int(tokens)
+
+    def record_preemption(self, request_id: str, now: float) -> None:
+        """A request was preempted (blocks released, re-queued) at ``now``."""
+        self._preemptions.append((str(request_id), float(now)))
 
     def record_completion(
         self, completed: CompletedRequest, token_times: list[float]
@@ -70,11 +96,26 @@ class MetricsRecorder:
             self._gaps.extend(np.diff(times).tolist())
 
     # -- reduction -----------------------------------------------------------------
+    def _by_priority(self) -> dict[str, dict]:
+        """Latency distributions per priority class (see the ISSUE metrics)."""
+        classes: dict[int, list[CompletedRequest]] = {}
+        for completed in self.completed:
+            classes.setdefault(completed.priority, []).append(completed)
+        return {
+            str(priority): {
+                "requests": len(group),
+                "ttft_s": _distribution(c.ttft for c in group),
+                "queue_wait_s": _distribution(c.queue_wait for c in group),
+            }
+            for priority, group in sorted(classes.items())
+        }
+
     def summary(self, max_batch_size: int | None = None) -> dict:
         """Flat metrics dictionary (JSON-serializable)."""
         total_tokens = sum(c.generated for c in self.completed)
         makespan = self._final_time
         steps = len(self._step_seconds)
+        prefix_total = self._prefix_tokens + self._prefill_tokens
         summary = {
             "requests_completed": len(self.completed),
             "tokens_generated": int(total_tokens),
@@ -97,6 +138,17 @@ class MetricsRecorder:
                 reason: sum(1 for c in self.completed if c.finish_reason == reason)
                 for reason in sorted({c.finish_reason for c in self.completed})
             },
+            # Prefix caching: positions adopted instead of recomputed.
+            "prefill_tokens_computed": int(self._prefill_tokens),
+            "prefix_tokens_reused": int(self._prefix_tokens),
+            "prefix_hit_rate": (
+                float(self._prefix_tokens / prefix_total) if prefix_total else 0.0
+            ),
+            # Preemption: events (a request may be preempted repeatedly).
+            "preempted_count": len(self._preemptions),
+            "preempted_ids": sorted({rid for rid, _ in self._preemptions}),
+            "preemption_times_s": [t for _, t in self._preemptions],
+            "latency_by_priority": self._by_priority(),
         }
         if max_batch_size:
             summary["batch_occupancy"]["utilization"] = (

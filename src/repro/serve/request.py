@@ -1,13 +1,19 @@
 """Request/response types and per-request runtime state for the server.
 
 A :class:`Request` is what a client submits: a prompt, decode limits,
-sampling parameters, and an explicit ``seed``.  Each request gets its own
-:class:`numpy.random.Generator` built from that seed, so its sampled tokens
-are a pure function of (model, prompt, parameters, seed) — never of which
-other requests happened to share a batch, or of admission timing.  Decoding
-the same request through :func:`repro.nn.generation.generate` with
+sampling parameters, a priority class, and an explicit ``seed``.  Each
+request gets its own :class:`numpy.random.Generator` built from that seed,
+so its sampled tokens are a pure function of (model, prompt, parameters,
+seed) — never of which other requests happened to share a batch, or of
+admission timing.  Decoding the same request through
+:func:`repro.nn.generation.generate` with
 ``rng=np.random.default_rng(seed)`` reproduces the served tokens exactly
 (bit-exactly under greedy decoding; the test suite asserts both).
+
+The same purity is what makes **preemption** legal: a preempted request's
+state is simply discarded and the request re-queued — re-running it from
+the prompt with a fresh generator reproduces the identical token stream,
+so the client observes only added latency, never a changed answer.
 """
 
 from __future__ import annotations
@@ -41,6 +47,10 @@ class Request:
     arrival_time:
         Seconds (from the workload epoch) at which the request reaches the
         server queue.
+    priority:
+        Scheduling class; **larger values are more urgent**.  Admission
+        drains higher classes first (FIFO within a class), and under pool
+        exhaustion the scheduler preempts from the lowest class upward.
     """
 
     request_id: str
@@ -51,6 +61,7 @@ class Request:
     stop_tokens: tuple[int, ...] = ()
     seed: int = 0
     arrival_time: float = 0.0
+    priority: int = 0
 
     def __post_init__(self) -> None:
         prompt = np.asarray(self.prompt_ids, dtype=np.int64).reshape(-1)
@@ -68,22 +79,40 @@ class Request:
         if self.arrival_time < 0:
             raise ValueError(f"arrival_time must be >= 0, got {self.arrival_time}")
         object.__setattr__(self, "stop_tokens", tuple(int(t) for t in self.stop_tokens))
+        object.__setattr__(self, "priority", int(self.priority))
 
 
 @dataclass
 class RequestState:
-    """Mutable runtime state of an admitted request (engine-internal)."""
+    """Mutable runtime state of an admitted request (engine-internal).
+
+    ``prompt_window`` is the trailing ``max_position`` slice of the prompt
+    — the tokens actually prefilled; ``prefill_pos`` counts how many of
+    them are already in the KV cache (cached-prefix adoption plus computed
+    chunks), so chunked prefill resumes where the last chunk stopped.
+    ``queue_seq`` is the request's original admission-queue sequence
+    number: a preempted request re-enters its priority class *in front of*
+    later arrivals because it keeps this number.
+    """
 
     request: Request
     rng: np.random.Generator
     kv: object  # SequenceKV while cached; released once the window slides
+    prompt_window: np.ndarray
     tokens: list[int] = field(default_factory=list)
     produced: int = 0
-    needs_prefill: bool = True
+    prefill_pos: int = 0
+    adopted_tokens: int = 0  # prompt positions adopted from the prefix cache
     slid: bool = False  # context exceeded max_position: per-row full forwards
     finish_reason: str | None = None
     admitted_time: float = 0.0
+    queue_seq: int = 0
     token_times: list[float] = field(default_factory=list)
+
+    @property
+    def needs_prefill(self) -> bool:
+        """True while prompt-window positions remain to prefill."""
+        return self.prefill_pos < len(self.prompt_window)
 
     @property
     def stop_set(self) -> frozenset[int]:
@@ -114,6 +143,9 @@ class CompletedRequest:
     admitted_time: float
     first_token_time: float
     finish_time: float
+    priority: int = 0
+    prefix_tokens_reused: int = 0  # prompt positions adopted from the prefix cache
+    preemptions: int = 0  # times this request was preempted and re-run
 
     @property
     def new_tokens(self) -> np.ndarray:

@@ -15,11 +15,26 @@ traffic shape:
 * ``codegen`` — short prompts, long decodes (completion-style): stresses
   decode-slot occupancy and the sliding-window tail.
 
+Three *structured* scenarios exercise the shared-prefix, chunked-prefill,
+and priority scheduling features:
+
+* ``chat-multiturn`` — conversations over a shared system prompt; each
+  turn's prompt extends the previous turn's, and turns arrive clustered
+  (``session`` arrivals), so with ``prefix_caching`` every turn adopts
+  the previous turn's KV blocks instead of re-prefilling them.
+* ``agent-fanout`` — groups of requests sharing one long context plus a
+  short per-agent suffix, arriving in a tight burst — the fan-out pattern
+  of parallel agent calls, and the best case for block sharing.
+* ``priority-burst`` — a bursty mixed-priority stream (interactive /
+  standard / batch classes) for the priority-admission and preemption
+  metrics.
+
 Workload generation is fully seeded: one :class:`numpy.random.SeedSequence`
-drives arrivals, lengths, prompt contents, *and* each request's private
-sampling seed, so a scenario expands to the identical request list on
-every run — which is what lets the benchmark compare normalizer variants
-under literally the same traffic.
+drives arrivals, lengths, prompt contents, priorities, *and* each
+request's private sampling seed, so a scenario expands to the identical
+request list on every run — which is what lets the benchmark compare
+normalizer variants (or prefix-caching on vs off) under literally the same
+traffic.
 """
 
 from __future__ import annotations
@@ -43,6 +58,15 @@ class Scenario:
     compute time), so meaningful rates sit near the model's serving
     capacity; :func:`generate_workload` exposes ``rate_scale`` to push a
     scenario into or out of saturation without editing the mix.
+
+    ``structure`` selects the request-list shape: ``"independent"`` draws
+    every request separately (the classic mixes); ``"multiturn"`` builds
+    conversations of ``num_turns`` requests over a shared system prompt of
+    ``shared_prefix_len`` tokens, each turn's prompt extending the last by
+    a ``prompt_len`` user message; ``"fanout"`` builds groups of
+    ``fanout`` requests sharing one ``shared_prefix_len`` context plus a
+    private ``prompt_len`` suffix.  ``priority_mix`` assigns each request
+    a priority class drawn from the given ``(priority, weight)`` pairs.
     """
 
     name: str
@@ -53,14 +77,29 @@ class Scenario:
     temperature: float
     top_k: int | None
     description: str
+    structure: str = "independent"
+    shared_prefix_len: tuple[int, int] = (0, 0)
+    num_turns: int = 1
+    fanout: int = 1
+    priority_mix: tuple[tuple[int, float], ...] = ((0, 1.0),)
 
     def __post_init__(self) -> None:
         for lo, hi in (self.prompt_len, self.max_new):
             if lo < 1 or hi < lo:
                 raise ValueError(f"bad range ({lo}, {hi}) in scenario {self.name!r}")
+        if self.structure not in ("independent", "multiturn", "fanout"):
+            raise ValueError(f"unknown structure {self.structure!r}")
+        lo, hi = self.shared_prefix_len
+        if lo < 0 or hi < lo:
+            raise ValueError(f"bad shared_prefix_len ({lo}, {hi})")
+        if self.num_turns < 1 or self.fanout < 1:
+            raise ValueError("num_turns and fanout must be >= 1")
+        if not self.priority_mix or any(w <= 0 for _, w in self.priority_mix):
+            raise ValueError("priority_mix weights must be positive")
 
 
-#: The four benchmark scenario mixes.
+#: The benchmark scenario mixes.  The classic four (kept byte-identical to
+#: their pre-prefix-caching definitions) plus the structured scenarios.
 SCENARIOS: dict[str, Scenario] = {
     "steady": Scenario(
         name="steady",
@@ -102,6 +141,43 @@ SCENARIOS: dict[str, Scenario] = {
         top_k=30,
         description="codegen-style: short prompt, long decode",
     ),
+    "chat-multiturn": Scenario(
+        name="chat-multiturn",
+        arrival="session",
+        rate=140.0,
+        prompt_len=(3, 6),  # per-turn user message
+        max_new=(3, 6),
+        temperature=0.0,
+        top_k=None,
+        description="multi-turn chat over a shared system prompt",
+        structure="multiturn",
+        shared_prefix_len=(8, 12),
+        num_turns=3,
+    ),
+    "agent-fanout": Scenario(
+        name="agent-fanout",
+        arrival="bursty",
+        rate=220.0,
+        prompt_len=(2, 4),  # per-agent private suffix
+        max_new=(3, 6),
+        temperature=0.0,
+        top_k=None,
+        description="N agents sharing one long context, bursting together",
+        structure="fanout",
+        shared_prefix_len=(16, 22),
+        fanout=6,
+    ),
+    "priority-burst": Scenario(
+        name="priority-burst",
+        arrival="bursty",
+        rate=200.0,
+        prompt_len=(4, 10),
+        max_new=(6, 12),
+        temperature=0.8,
+        top_k=20,
+        description="mixed interactive/standard/batch burst",
+        priority_mix=((2, 0.2), (1, 0.3), (0, 0.5)),
+    ),
 }
 
 
@@ -112,6 +188,38 @@ def get_scenario(name: str) -> Scenario:
     return SCENARIOS[name]
 
 
+def parse_priority_mix(spec: str) -> tuple[tuple[int, float], ...]:
+    """Parse a ``"priority:weight,..."`` CLI string (e.g. ``"0:0.5,2:0.5"``)."""
+    pairs: list[tuple[int, float]] = []
+    for item in spec.split(","):
+        priority, _, weight = item.partition(":")
+        pairs.append((int(priority.strip()), float(weight or 1.0)))
+    if not pairs:
+        raise ValueError(f"empty priority mix {spec!r}")
+    return tuple(pairs)
+
+
+def _draw_priority(scenario: Scenario, rng: np.random.Generator) -> int:
+    """Sample a priority class; skips the RNG entirely for the default mix.
+
+    Skipping keeps the classic scenarios' random streams — and therefore
+    their whole workloads — byte-identical to pre-priority versions.
+    """
+    if scenario.priority_mix == ((0, 1.0),):
+        return 0
+    priorities = np.asarray([p for p, _ in scenario.priority_mix])
+    weights = np.asarray([w for _, w in scenario.priority_mix], dtype=np.float64)
+    return int(rng.choice(priorities, p=weights / weights.sum()))
+
+
+def _draw_prompt(
+    rng: np.random.Generator, length: int, vocab_size: int, eos: int
+) -> np.ndarray:
+    prompt = rng.integers(1, vocab_size, size=length)
+    prompt[prompt == eos] = 1  # keep EOS out of prompts
+    return prompt
+
+
 def generate_workload(
     scenario: Scenario | str,
     num_requests: int,
@@ -119,6 +227,7 @@ def generate_workload(
     seed: int = 0,
     rate_scale: float = 1.0,
     eos_token_id: int | None = None,
+    priority_mix: tuple[tuple[int, float], ...] | str | None = None,
 ) -> list[Request]:
     """Expand a scenario into a concrete, fully seeded request list.
 
@@ -127,21 +236,35 @@ def generate_workload(
     scenario:
         A :class:`Scenario` or a name from :data:`SCENARIOS`.
     num_requests:
-        Number of requests to generate.
+        Number of requests to generate (for structured scenarios this is
+        the total across conversations / fan-out groups).
     vocab_size:
         Model vocabulary size; prompt tokens are drawn from
         ``[1, vocab_size)`` excluding the EOS id.
     seed:
-        Master seed; everything (arrivals, lengths, prompts, per-request
-        sampling seeds) derives from it.
+        Master seed; everything (arrivals, lengths, prompts, priorities,
+        per-request sampling seeds) derives from it.
     rate_scale:
         Multiplies the scenario's arrival rate (``> 1`` compresses
         arrivals, loading the queue harder).
     eos_token_id:
         Stop token given to every request (default ``vocab_size - 1``).
+    priority_mix:
+        Override the scenario's priority mix — ``(priority, weight)``
+        pairs or a ``"0:0.5,2:0.5"`` CLI string (the ``--priority-mix``
+        flag lands here).
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
+    if priority_mix is not None:
+        if isinstance(priority_mix, str):
+            priority_mix = parse_priority_mix(priority_mix)
+        scenario = Scenario(
+            **{
+                **scenario.__dict__,
+                "priority_mix": tuple((int(p), float(w)) for p, w in priority_mix),
+            }
+        )
     if num_requests < 1:
         raise ValueError(f"num_requests must be >= 1, got {num_requests}")
     if vocab_size < 4:
@@ -155,19 +278,37 @@ def generate_workload(
     root = np.random.SeedSequence(entropy=(seed, zlib.crc32(scenario.name.encode())))
     traffic_seq, request_seq = root.spawn(2)
     rng = np.random.default_rng(traffic_seq)
-    process = get_arrival_process(scenario.arrival, rate=scenario.rate * rate_scale)
+    arrival_kwargs = {}
+    if scenario.arrival == "session":
+        arrival_kwargs["session_length"] = scenario.num_turns
+    process = get_arrival_process(
+        scenario.arrival, rate=scenario.rate * rate_scale, **arrival_kwargs
+    )
     arrivals = process.arrival_times(num_requests, rng)
     request_seeds = request_seq.generate_state(num_requests)
 
+    if scenario.structure == "multiturn":
+        prompts = _multiturn_prompts(scenario, num_requests, vocab_size, eos, rng)
+    elif scenario.structure == "fanout":
+        prompts = _fanout_prompts(scenario, num_requests, vocab_size, eos, rng)
+    else:
+        prompts = None  # drawn inline below, preserving the classic stream
+
     requests: list[Request] = []
     for i in range(num_requests):
-        prompt_len = int(rng.integers(scenario.prompt_len[0], scenario.prompt_len[1] + 1))
-        max_new = int(rng.integers(scenario.max_new[0], scenario.max_new[1] + 1))
-        prompt = rng.integers(1, vocab_size, size=prompt_len)
-        prompt[prompt == eos] = 1  # keep EOS out of prompts
+        if prompts is None:
+            prompt_len = int(
+                rng.integers(scenario.prompt_len[0], scenario.prompt_len[1] + 1)
+            )
+            max_new = int(rng.integers(scenario.max_new[0], scenario.max_new[1] + 1))
+            prompt = _draw_prompt(rng, prompt_len, vocab_size, eos)
+            request_id = f"{scenario.name}-{i:04d}"
+        else:
+            request_id, prompt = prompts[i]
+            max_new = int(rng.integers(scenario.max_new[0], scenario.max_new[1] + 1))
         requests.append(
             Request(
-                request_id=f"{scenario.name}-{i:04d}",
+                request_id=request_id,
                 prompt_ids=prompt,
                 max_new_tokens=max_new,
                 temperature=scenario.temperature,
@@ -175,6 +316,75 @@ def generate_workload(
                 stop_tokens=(eos,),
                 seed=int(request_seeds[i]),
                 arrival_time=float(arrivals[i]),
+                priority=_draw_priority(scenario, rng),
             )
         )
     return requests
+
+
+def _multiturn_prompts(
+    scenario: Scenario,
+    num_requests: int,
+    vocab_size: int,
+    eos: int,
+    rng: np.random.Generator,
+) -> list[tuple[str, np.ndarray]]:
+    """Conversations: turn ``t``'s prompt extends turn ``t-1``'s prompt.
+
+    Every conversation opens with its own system prompt; each turn appends
+    a fresh user message.  Consecutive turns therefore share a strictly
+    growing token prefix — the pattern the prefix cache converts into
+    adopted blocks.
+    """
+    out: list[tuple[str, np.ndarray]] = []
+    conversation = -1
+    history: np.ndarray | None = None
+    for i in range(num_requests):
+        turn = i % scenario.num_turns
+        if turn == 0:
+            conversation += 1
+            system_len = int(
+                rng.integers(
+                    scenario.shared_prefix_len[0], scenario.shared_prefix_len[1] + 1
+                )
+            )
+            history = _draw_prompt(rng, system_len, vocab_size, eos)
+        user_len = int(rng.integers(scenario.prompt_len[0], scenario.prompt_len[1] + 1))
+        user = _draw_prompt(rng, user_len, vocab_size, eos)
+        history = np.concatenate([history, user])
+        out.append((f"{scenario.name}-c{conversation:03d}t{turn}", history.copy()))
+    return out
+
+
+def _fanout_prompts(
+    scenario: Scenario,
+    num_requests: int,
+    vocab_size: int,
+    eos: int,
+    rng: np.random.Generator,
+) -> list[tuple[str, np.ndarray]]:
+    """Fan-out groups: ``fanout`` requests share one context + private tails."""
+    out: list[tuple[str, np.ndarray]] = []
+    group = -1
+    context: np.ndarray | None = None
+    for i in range(num_requests):
+        member = i % scenario.fanout
+        if member == 0:
+            group += 1
+            context_len = int(
+                rng.integers(
+                    scenario.shared_prefix_len[0], scenario.shared_prefix_len[1] + 1
+                )
+            )
+            context = _draw_prompt(rng, context_len, vocab_size, eos)
+        suffix_len = int(
+            rng.integers(scenario.prompt_len[0], scenario.prompt_len[1] + 1)
+        )
+        suffix = _draw_prompt(rng, suffix_len, vocab_size, eos)
+        out.append(
+            (
+                f"{scenario.name}-g{group:03d}r{member}",
+                np.concatenate([context, suffix]),
+            )
+        )
+    return out

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.metrics import (
-    ErrorStats,
     absolute_error,
     error_stats,
     error_stats_between,

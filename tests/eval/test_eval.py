@@ -1,6 +1,5 @@
 """Tests for the evaluation harness (precision, latency, synthesis, reporting)."""
 
-import numpy as np
 import pytest
 
 from repro.eval.latency import FIG5_LENGTHS, latency_sweep

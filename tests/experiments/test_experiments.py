@@ -5,7 +5,6 @@ claims the paper makes about each table/figure — the "shape" the
 reproduction is expected to preserve (see EXPERIMENTS.md).
 """
 
-import numpy as np
 import pytest
 
 from repro.eval.perplexity import LLMEvalConfig

@@ -1,6 +1,5 @@
 """Tests for the data-movement and throughput models."""
 
-import numpy as np
 import pytest
 
 from repro.macro.latency import LatencyModel

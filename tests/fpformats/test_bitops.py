@@ -1,7 +1,6 @@
 """Unit and property-based tests for bit-level float encode/decode."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,12 +1,11 @@
 """Unit and property-based tests for format quantization."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fpformats.quantize import quantization_step, quantize, representable
-from repro.fpformats.spec import BFLOAT16, FLOAT16, FLOAT32, FloatFormat
+from repro.fpformats.spec import BFLOAT16, FloatFormat
 
 
 class TestNativeFormats:
@@ -97,8 +96,6 @@ class TestQuantizationStep:
         assert quantization_step(0.0, "fp16") != quantization_step(1.0, "fp16")
 
     def test_zero_step_without_subnormals_is_min_normal(self):
-        from repro.fpformats.spec import FloatFormat
-
         nosub = FloatFormat(
             "e4m3_nosub_step", exponent_bits=4, mantissa_bits=3,
             supports_subnormals=False,

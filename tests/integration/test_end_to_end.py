@@ -14,7 +14,6 @@ from repro import (
     IterL2Norm,
     IterL2NormConfig,
     exact_layernorm,
-    get_normalizer,
     iterl2norm_vector,
 )
 from repro.baselines.exact import exact_l2_normalize

@@ -7,6 +7,7 @@ from repro.macro.traffic import (
     ARRIVAL_PROCESSES,
     BurstyArrivals,
     PoissonArrivals,
+    SessionArrivals,
     SteadyArrivals,
     get_arrival_process,
 )
@@ -14,7 +15,7 @@ from repro.macro.traffic import (
 
 class TestRegistry:
     def test_names(self):
-        assert set(ARRIVAL_PROCESSES) == {"steady", "poisson", "bursty"}
+        assert set(ARRIVAL_PROCESSES) == {"steady", "poisson", "bursty", "session"}
 
     def test_factory(self):
         process = get_arrival_process("poisson", rate=5.0)
@@ -66,6 +67,28 @@ class TestBursty:
             BurstyArrivals(rate=1.0, persistence=1.0)
         with pytest.raises(ValueError):
             BurstyArrivals(rate=1.0, burst_factor=0.0)
+
+
+class TestSession:
+    def test_turns_cluster_within_sessions(self):
+        """Intra-session (think-time) gaps are much shorter than session gaps."""
+        rng = np.random.default_rng(0)
+        process = SessionArrivals(rate=10.0, session_length=4, think_scale=0.1)
+        gaps = process.interarrival_times(4000, rng)
+        session_gaps = gaps[::4]
+        think_gaps = np.concatenate([gaps[1::4], gaps[2::4], gaps[3::4]])
+        assert np.mean(think_gaps) < np.mean(session_gaps) / 5
+
+    def test_factory_accepts_session_kwargs(self):
+        process = get_arrival_process("session", rate=2.0, session_length=3)
+        assert isinstance(process, SessionArrivals)
+        assert process.session_length == 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SessionArrivals(rate=1.0, session_length=0)
+        with pytest.raises(ValueError):
+            SessionArrivals(rate=1.0, think_scale=0.0)
 
 
 class TestEdgeCases:

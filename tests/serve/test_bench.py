@@ -75,6 +75,59 @@ class TestPolicyAxis:
         assert seen["fmt"] == "fp16"  # fp64-ref keeps the historical format
 
 
+class TestSchedulingKnobs:
+    def test_prefix_caching_chat_cell_reports_hits(self):
+        rows, text = run_scenario(
+            scenario="chat-multiturn", normalizer="baseline", quick=True,
+            num_requests=6, seed=0, prefix_caching=True,
+        )
+        assert rows["prefix_caching"] is True
+        assert rows["metrics"]["prefix_hit_rate"] > 0
+        assert rows["pool"]["blocks_adopted"] > 0
+        assert "prefix hit" in text
+        json.dumps(rows)
+
+    def test_prefill_budget_threads_through(self):
+        rows, _ = run_scenario(
+            scenario="chat", normalizer="baseline", quick=True,
+            num_requests=4, seed=0, prefill_budget=4,
+        )
+        assert rows["prefill_budget"] == 4
+        assert rows["metrics"]["prefill_tokens_computed"] > 0
+
+    def test_priority_mix_threads_through(self):
+        rows, _ = run_scenario(
+            scenario="steady", normalizer="baseline", quick=True,
+            num_requests=8, seed=0, priority_mix="1:0.5,0:0.5",
+        )
+        assert rows["priority_mix"] == "1:0.5,0:0.5"
+        assert set(rows["metrics"]["latency_by_priority"]) <= {"0", "1"}
+
+    def test_max_blocks_arms_preemption(self):
+        """A bounded pool is reachable from the bench (and the CLI flag)."""
+        rows, _ = run_scenario(
+            scenario="priority-burst", normalizer="baseline", quick=True,
+            num_requests=10, seed=0, max_batch_size=6, max_blocks=8,
+            block_size=4,
+        )
+        assert rows["max_blocks"] == 8
+        assert rows["metrics"]["preempted_count"] > 0
+        assert rows["metrics"]["requests_completed"] == 10
+
+    def test_knob_jobs_carry_params(self):
+        declared = jobs(
+            quick=True, scenarios=("chat-multiturn",),
+            normalizers=("baseline",), prefix_caching=True, prefill_budget=16,
+        )
+        assert len(declared) == 1
+        assert declared[0].params["prefix_caching"] is True
+        assert declared[0].params["prefill_budget"] == 16
+
+    def test_unknown_scenario_rejected_at_declaration(self):
+        with pytest.raises(KeyError):
+            jobs(quick=True, scenarios=("nope",))
+
+
 class TestJobs:
     def test_grid_declaration(self):
         declared = jobs(quick=True, seed=3)

@@ -145,6 +145,164 @@ class TestSequenceKV:
             seq.layers[0].append(np.zeros((1, 2, 1, 4)), np.zeros((1, 2, 2, 4)))
 
 
+class TestFreeHardening:
+    """free() rejects bad ids instead of corrupting the free list."""
+
+    def test_free_unknown_id_raises(self):
+        pool = make_pool()
+        with pytest.raises(ValueError, match="unknown block id"):
+            pool.free([99])
+        with pytest.raises(ValueError, match="unknown block id"):
+            pool.free([-1])
+
+    def test_double_free_raises(self):
+        pool = make_pool()
+        block = pool.allocate()
+        pool.free([block])
+        with pytest.raises(ValueError, match="double free"):
+            pool.free([block])
+
+    def test_free_of_never_allocated_id_raises(self):
+        pool = make_pool()
+        with pytest.raises(ValueError, match="double free"):
+            pool.free([0])  # valid id, but never handed out
+
+    def test_failed_free_does_not_corrupt_counters(self):
+        """The regression the old code had: a bad free() silently
+        double-appended the id and drove blocks_in_use negative."""
+        pool = make_pool()
+        block = pool.allocate()
+        pool.free([block])
+        before = (len(pool._free), pool.blocks_in_use)
+        with pytest.raises(ValueError):
+            pool.free([block])
+        assert (len(pool._free), pool.blocks_in_use) == before
+        # The recycled block is handed out exactly once.
+        assert pool.allocate() == block
+        assert pool.blocks_in_use == 1
+
+    def test_failed_batch_free_is_atomic(self):
+        """A rejected batch mutates nothing: no leaked or half-freed ids."""
+        pool = make_pool()
+        good = pool.allocate()
+        other = pool.allocate()
+        with pytest.raises(ValueError):
+            pool.free([good, 99, other])
+        assert pool.blocks_in_use == 2  # neither reference was dropped
+        pool.free([good, other])  # the corrected retry succeeds
+        assert pool.blocks_in_use == 0
+
+    def test_batch_free_counts_duplicate_ids_against_refcount(self):
+        pool = make_pool()
+        block = pool.allocate()
+        pool.share(block)  # refcount 2
+        with pytest.raises(ValueError, match="double free"):
+            pool.free([block, block, block])  # 3 drops > 2 references
+        assert pool.blocks_in_use == 1
+        pool.free([block, block])
+        assert pool.blocks_in_use == 0
+
+    def test_refcounted_free_releases_on_last_reference(self):
+        pool = make_pool()
+        block = pool.allocate()
+        pool.share(block)
+        pool.free([block])  # drops to 1: still in use
+        assert pool.blocks_in_use == 1
+        pool.free([block])  # drops to 0: returned
+        assert pool.blocks_in_use == 0
+        with pytest.raises(ValueError):
+            pool.free([block])
+
+
+class TestFreeListRecycling:
+    """The invariant documented in _grow: recycled ids pop before grown ids."""
+
+    def test_recycled_ids_pop_before_freshly_grown_ids(self):
+        pool = make_pool(initial_blocks=2)
+        first = [pool.allocate(), pool.allocate()]
+        pool.free(first)  # both recycled, sitting on top of the free list
+        pool._grow()  # grown ids are pushed *below* the recycled ones
+        assert {pool.allocate(), pool.allocate()} == set(first)
+        # Only after the recycled ids drain do fresh ids appear, lowest first.
+        assert pool.allocate() == 2
+        assert pool.blocks_reused == 2
+
+    def test_grown_ids_pop_lowest_first(self):
+        pool = make_pool(initial_blocks=1)
+        assert pool.allocate() == 0
+        got = [pool.allocate() for _ in range(3)]
+        assert got == sorted(got)
+
+    def test_peak_blocks_in_use_across_grow_free_cycles(self):
+        pool = make_pool(initial_blocks=2)
+        ids = [pool.allocate() for _ in range(5)]  # forces growth past 2
+        assert pool.peak_blocks_in_use == 5
+        pool.free(ids)
+        assert pool.blocks_in_use == 0
+        assert pool.peak_blocks_in_use == 5  # the high-water mark sticks
+        for _ in range(3):
+            pool.allocate()
+        assert pool.peak_blocks_in_use == 5  # not exceeded: unchanged
+        for _ in range(4):
+            pool.allocate()
+        assert pool.blocks_in_use == 7
+        assert pool.peak_blocks_in_use == 7  # new high-water mark
+
+
+class TestGatherWorkspaceReuse:
+    """Satellite perf task: gather reuses per-layer workspaces across steps."""
+
+    def test_decode_steps_reuse_the_workspace_buffer(self):
+        pool = make_pool(initial_blocks=16)
+        seq = pool.sequence()
+        token = np.zeros((1, 2, 1, 4))
+        seq.layers[0].append(token, token)
+        ws = seq._ws_k[0]
+        reallocs = 0
+        for _ in range(30):
+            seq.layers[0].append(token, token)
+            if seq._ws_k[0] is not ws:
+                reallocs += 1
+                ws = seq._ws_k[0]
+        # 31 appends with doubling growth: a handful of reallocations,
+        # not one per decode step.
+        assert reallocs <= 5
+
+    def test_workspace_growth_is_amortized_doubling(self):
+        pool = make_pool(initial_blocks=64)
+        seq = pool.sequence()
+        token = np.zeros((1, 2, 1, 4))
+        capacities = set()
+        for _ in range(100):
+            seq.layers[0].append(token, token)
+            capacities.add(seq._ws_k[0].shape[2])
+        assert len(capacities) <= 8  # O(log n) distinct capacities
+
+    def test_workspace_views_stay_strided_and_exact(self):
+        """Layout class and bytes both match the per-call allocation."""
+        rng = np.random.default_rng(1)
+        pool = make_pool()
+        seq = pool.sequence()
+        ref = LayerKVCache()
+        for chunk in (3, 1, 1, 6, 1):
+            k = rng.normal(size=(1, 2, chunk, 4))
+            v = rng.normal(size=(1, 2, chunk, 4))
+            k_pool, v_pool = seq.layers[0].append(k, v)
+            k_ref, v_ref = ref.append(k, v)
+            assert not k_pool.flags.c_contiguous
+            np.testing.assert_array_equal(k_pool, k_ref)
+            np.testing.assert_array_equal(v_pool, v_ref)
+
+    def test_release_drops_workspaces(self):
+        pool = make_pool()
+        seq = pool.sequence()
+        token = np.zeros((1, 2, 1, 4))
+        seq.layers[0].append(token, token)
+        assert seq._ws_k[0] is not None
+        seq.release()
+        assert seq._ws_k[0] is None
+
+
 class TestLayerKVCacheGrowth:
     """The private (generate-path) cache also grows amortized now."""
 

@@ -7,8 +7,21 @@ from repro.serve.workload import SCENARIOS, generate_workload, get_scenario
 
 
 class TestScenarios:
-    def test_four_mixes_registered(self):
-        assert set(SCENARIOS) == {"steady", "bursty", "chat", "codegen"}
+    def test_mixes_registered(self):
+        assert set(SCENARIOS) == {
+            "steady",
+            "bursty",
+            "chat",
+            "codegen",
+            "chat-multiturn",
+            "agent-fanout",
+            "priority-burst",
+        }
+
+    def test_default_bench_grid_is_the_classic_four(self):
+        from repro.serve.bench import DEFAULT_SCENARIOS
+
+        assert DEFAULT_SCENARIOS == ("steady", "bursty", "chat", "codegen")
 
     def test_chat_is_prefill_heavy_codegen_is_decode_heavy(self):
         chat = get_scenario("chat")
@@ -73,3 +86,74 @@ class TestGeneration:
             generate_workload("steady", num_requests=1, vocab_size=2)
         with pytest.raises(ValueError):
             generate_workload("steady", num_requests=1, vocab_size=64, rate_scale=0)
+
+
+class TestStructuredScenarios:
+    def test_multiturn_prompts_extend_previous_turn(self):
+        """Turn t's prompt is a strict extension of turn t-1's prompt."""
+        scenario = get_scenario("chat-multiturn")
+        requests = generate_workload(
+            "chat-multiturn", num_requests=9, vocab_size=64, seed=0
+        )
+        for c in range(3):
+            turns = requests[c * scenario.num_turns : (c + 1) * scenario.num_turns]
+            for prev, cur in zip(turns, turns[1:]):
+                assert cur.prompt_ids.size > prev.prompt_ids.size
+                np.testing.assert_array_equal(
+                    cur.prompt_ids[: prev.prompt_ids.size], prev.prompt_ids
+                )
+            # Turn arrivals are ordered within the conversation.
+            times = [t.arrival_time for t in turns]
+            assert times == sorted(times)
+
+    def test_multiturn_prompts_fit_the_test_model_window(self):
+        """Prompts must stay inside opt-test's max_position for sharing."""
+        requests = generate_workload(
+            "chat-multiturn", num_requests=30, vocab_size=64, seed=1
+        )
+        assert max(r.prompt_ids.size for r in requests) <= 32
+
+    def test_fanout_groups_share_their_context(self):
+        scenario = get_scenario("agent-fanout")
+        requests = generate_workload(
+            "agent-fanout", num_requests=12, vocab_size=64, seed=0
+        )
+        for g in range(2):
+            group = requests[g * scenario.fanout : (g + 1) * scenario.fanout]
+            shortest = min(r.prompt_ids.size for r in group)
+            context_len = shortest - scenario.prompt_len[1]
+            assert context_len >= scenario.shared_prefix_len[0]
+            first = group[0].prompt_ids[: scenario.shared_prefix_len[0]]
+            for member in group[1:]:
+                np.testing.assert_array_equal(
+                    member.prompt_ids[: scenario.shared_prefix_len[0]], first
+                )
+
+    def test_priority_burst_draws_multiple_classes(self):
+        requests = generate_workload(
+            "priority-burst", num_requests=40, vocab_size=64, seed=0
+        )
+        classes = {r.priority for r in requests}
+        assert classes == {0, 1, 2}
+
+    def test_classic_scenarios_default_to_priority_zero(self):
+        requests = generate_workload("steady", num_requests=8, vocab_size=64, seed=0)
+        assert all(r.priority == 0 for r in requests)
+
+    def test_priority_mix_override_string(self):
+        requests = generate_workload(
+            "steady", num_requests=30, vocab_size=64, seed=0,
+            priority_mix="3:0.5,1:0.5",
+        )
+        assert {r.priority for r in requests} <= {3, 1}
+        assert len({r.priority for r in requests}) == 2
+
+    def test_structured_workloads_are_seed_deterministic(self):
+        for name in ("chat-multiturn", "agent-fanout", "priority-burst"):
+            a = generate_workload(name, num_requests=12, vocab_size=64, seed=7)
+            b = generate_workload(name, num_requests=12, vocab_size=64, seed=7)
+            for left, right in zip(a, b):
+                assert left.request_id == right.request_id
+                assert left.priority == right.priority
+                assert left.arrival_time == right.arrival_time
+                np.testing.assert_array_equal(left.prompt_ids, right.prompt_ids)

@@ -36,17 +36,20 @@ def _merge_serve_rows(groups: list[object]) -> tuple[object, str]:
     """Fold the serve-bench cells back into one section table."""
     rows = list(groups)
     header = (
-        "scenario       normalizer   tokens/s   TTFT p50        queue max  prefix hit"
+        "scenario       normalizer   strategy       tokens/s   TTFT p50        "
+        "queue max  prefix hit  tok/step"
     )
     lines = [header]
     for row in rows:
         metrics = row["metrics"]
         lines.append(
             f"{row['scenario']:14s} {row['normalizer']:10s} "
+            f"{row.get('decode_strategy', 'one-token'):13s} "
             f"{metrics['tokens_per_second']:9.1f}  "
             f"{metrics['ttft_s']['p50'] * 1e3:9.2f} ms  "
             f"{metrics['queue_depth']['max']:6d}  "
-            f"{metrics['prefix_hit_rate'] * 100:9.1f}%"
+            f"{metrics['prefix_hit_rate'] * 100:9.1f}%  "
+            f"{metrics['decode_tokens_per_step']:8.2f}"
         )
     return rows, "\n".join(lines)
 
@@ -65,6 +68,9 @@ def build_sections(
     include_serve: bool = False,
     include_precision: bool = False,
     policy: str = "fp64-ref",
+    decode_strategy: str = "one-token",
+    ngram: int | None = None,
+    max_draft: int | None = None,
 ) -> list[tuple[str, list[Job]]]:
     """Declare the paper's experiments as (section title, jobs) groups.
 
@@ -76,8 +82,16 @@ def build_sections(
     replays show the timings of the original computation.  ``policy``
     serves that section under the named precision policy, and
     ``include_precision`` adds the (policy × normalizer) precision-sweep
-    section as its own fan-out of perplexity + serving cells.
+    section as its own fan-out of perplexity + serving cells.  A
+    speculative ``decode_strategy`` (``--decode-strategy prompt-lookup``)
+    extends the serve section with paired one-token vs speculative cells
+    on the copy-heavy grid (``ngram`` / ``max_draft`` tune the
+    speculator).
     """
+    if decode_strategy == "one-token" and (ngram is not None or max_draft is not None):
+        raise ValueError("--ngram/--max-draft require --decode-strategy prompt-lookup")
+    if decode_strategy != "one-token" and not include_serve:
+        raise ValueError("--decode-strategy requires --serve")
     trials = 200 if quick else 1000
     if quick:
         llm_config = LLMEvalConfig(train_steps=60, eval_windows=8, seed=seed)
@@ -108,6 +122,22 @@ def build_sections(
             prefix_caching=True,
             prefill_budget=32,
         )
+        if decode_strategy != "one-token":
+            # Paired one-token vs speculative cells on the copy-heavy grid.
+            spec_knobs = {}
+            if ngram is not None:
+                spec_knobs["ngram"] = int(ngram)
+            if max_draft is not None:
+                spec_knobs["max_draft"] = int(max_draft)
+            serve_jobs += bench.jobs(
+                quick=quick,
+                seed=seed,
+                policy=policy,
+                scenarios=bench.SPEC_SCENARIOS,
+                normalizers=("baseline",),
+                decode_strategies=("one-token", decode_strategy),
+                **spec_knobs,
+            )
         sections.append(("Serve bench", serve_jobs))
     if include_precision:
         sections.append(
@@ -127,6 +157,9 @@ def run_all(
     include_serve: bool = False,
     include_precision: bool = False,
     policy: str = "fp64-ref",
+    decode_strategy: str = "one-token",
+    ngram: int | None = None,
+    max_draft: int | None = None,
 ) -> dict[str, object]:
     """Run every experiment; returns the raw rows keyed by experiment name.
 
@@ -156,6 +189,9 @@ def run_all(
         Append the precision-policy sweep section (``--precision``).
     policy:
         Precision policy of the serve-bench section's model (``--policy``).
+    decode_strategy / ngram / max_draft:
+        ``--decode-strategy prompt-lookup`` adds paired one-token vs
+        speculative serve cells on the copy-heavy grid.
     """
     stream = stream or sys.stdout
     sections = build_sections(
@@ -164,6 +200,9 @@ def run_all(
         include_serve=include_serve,
         include_precision=include_precision,
         policy=policy,
+        decode_strategy=decode_strategy,
+        ngram=ngram,
+        max_draft=max_draft,
     )
     flat = [job for _, group in sections for job in group]
     cache = ResultCache(cache_dir) if use_cache else None
@@ -215,6 +254,20 @@ def main(argv: list[str] | None = None) -> int:
         "--policy", default="fp64-ref",
         help="precision policy of the serve-bench section's model",
     )
+    parser.add_argument(
+        "--decode-strategy", default="one-token",
+        choices=("one-token", "prompt-lookup"),
+        help="with --serve, also run paired one-token vs speculative "
+             "cells on the copy-heavy grid",
+    )
+    parser.add_argument(
+        "--ngram", type=int, default=None, metavar="N",
+        help="longest n-gram the prompt-lookup speculator matches",
+    )
+    parser.add_argument(
+        "--max-draft", type=int, default=None, metavar="K",
+        help="max draft tokens verified per speculative step",
+    )
     add_engine_arguments(parser)
     args = parser.parse_args(argv)
     run_all(
@@ -226,6 +279,9 @@ def main(argv: list[str] | None = None) -> int:
         include_serve=args.serve,
         include_precision=args.precision,
         policy=args.policy,
+        decode_strategy=args.decode_strategy,
+        ngram=args.ngram,
+        max_draft=args.max_draft,
     )
     return 0
 

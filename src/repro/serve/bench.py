@@ -26,10 +26,21 @@ Results land in ``BENCH_serve.json``::
 
 ``metrics`` now includes the prefix-cache columns (``prefix_hit_rate``,
 ``prefix_tokens_reused``, ``prefill_tokens_computed``), the preemption
-counters (``preempted_count``, ``preempted_ids``), and per-priority-class
-latency percentiles (``latency_by_priority``); ``pool`` includes the
+counters (``preempted_count``, ``preempted_ids``), per-priority-class
+latency percentiles (``latency_by_priority``), and the speculative
+decoding counters (``draft_proposed`` / ``draft_accepted`` /
+``acceptance_rate`` / ``decode_tokens_per_step``); ``pool`` includes the
 sharing counters (``blocks_adopted``, ``cow_forks``,
 ``prefix_blocks_cached``, ``prefix_evictions``).
+
+With ``--decode-strategy prompt-lookup`` every cell runs **twice** — once
+under the classic one-token strategy and once speculatively — and a
+``spec_comparison`` section reports, per cell, the throughput ratio, the
+acceptance rate, and ``tokens_match``: whether the two runs' full token
+streams are byte-identical (they must be; every row carries a
+``token_digest`` checksum of its served output so the artifact itself
+proves it).  The copy-heavy ``summarize-copy`` scenario is the designed
+best case; CI uploads the comparison as ``BENCH_serve_spec.json``.
 
 Timing metrics are measured wall-clock compute (virtual clock); token
 counts and finish reasons are deterministic per seed.  Benchmarks are run
@@ -42,6 +53,7 @@ from __future__ import annotations
 
 import json
 import sys
+import zlib
 
 import numpy as np
 
@@ -49,6 +61,7 @@ from repro.baselines.registry import VARIANT_PRESETS
 from repro.engine import Job, ResultCache, run_jobs
 from repro.nn.config import get_config
 from repro.nn.model import OPTLanguageModel
+from repro.serve.decode import resolve_strategy
 from repro.serve.engine import ServeEngine
 from repro.serve.workload import SCENARIOS, generate_workload
 
@@ -69,6 +82,23 @@ DEFAULT_NORMALIZERS = ("baseline", "iterl2norm")
 #: the default artifact stays comparable across revisions.
 DEFAULT_SCENARIOS = ("steady", "bursty", "chat", "codegen")
 
+#: The copy-heavy cells the speculative comparison grid runs by default.
+SPEC_SCENARIOS = ("summarize-copy", "codegen")
+
+
+def _token_digest(completed) -> str:
+    """Order-independent checksum of every request's full token stream.
+
+    Two runs serving the same workload produce equal digests iff every
+    request's tokens are byte-identical — the artifact-level proof that a
+    scheduling or decode-strategy knob changed timings only.
+    """
+    crc = 0
+    for c in sorted(completed, key=lambda c: c.request_id):
+        crc = zlib.crc32(c.request_id.encode(), crc)
+        crc = zlib.crc32(np.ascontiguousarray(c.tokens, dtype=np.int64).tobytes(), crc)
+    return f"{crc:08x}"
+
 
 def run_scenario(
     scenario: str = "steady",
@@ -85,6 +115,10 @@ def run_scenario(
     max_blocks: int | None = None,
     block_size: int = 16,
     priority_mix: str | None = None,
+    decode_strategy: str = "one-token",
+    ngram: int | None = None,
+    max_draft: int | None = None,
+    copy_rate: float | None = None,
 ) -> tuple[dict, str]:
     """Serve one scenario under one normalizer; returns ``(rows, text)``.
 
@@ -94,9 +128,12 @@ def run_scenario(
     names the precision policy of the whole datapath (weights, activations,
     KV pool); the normalizer variant is layered on top of it.
     ``prefix_caching`` / ``prefill_budget`` / ``max_blocks`` /
-    ``priority_mix`` configure the scheduling features (see
-    :class:`~repro.serve.engine.ServeEngine`); none of them changes the
-    served tokens.
+    ``priority_mix`` configure the scheduling features and
+    ``decode_strategy`` / ``ngram`` / ``max_draft`` the decode strategy
+    (see :class:`~repro.serve.engine.ServeEngine`); none of them changes
+    the served tokens — the row's ``token_digest`` checksums the full
+    output so artifacts can prove it.  ``copy_rate`` tunes the copied
+    fraction of a ``"copy"``-structured scenario's prompts.
     """
     if normalizer not in NORMALIZER_VARIANTS:
         known = ", ".join(sorted(NORMALIZER_VARIANTS))
@@ -119,6 +156,7 @@ def run_scenario(
         seed=seed,
         rate_scale=rate_scale,
         priority_mix=priority_mix,
+        copy_rate=copy_rate,
     )
     engine = ServeEngine(
         model,
@@ -127,6 +165,9 @@ def run_scenario(
         prefix_caching=prefix_caching,
         prefill_budget=prefill_budget,
         max_blocks=max_blocks,
+        decode_strategy=resolve_strategy(
+            decode_strategy, ngram=ngram, max_draft=max_draft
+        ),
     )
     report = engine.serve(workload)
 
@@ -142,12 +183,17 @@ def run_scenario(
         "prefill_budget": prefill_budget,
         "max_blocks": max_blocks,
         "priority_mix": priority_mix,
+        "decode_strategy": decode_strategy,
+        "ngram": ngram,
+        "max_draft": max_draft,
+        "copy_rate": copy_rate,
+        "token_digest": _token_digest(report.completed),
         "metrics": report.metrics,
         "pool": report.pool_stats,
     }
     metrics = report.metrics
     text = (
-        f"{scenario:14s} {normalizer:10s} "
+        f"{scenario:14s} {normalizer:10s} {decode_strategy:13s} "
         f"{metrics['tokens_per_second']:9.1f} tok/s  "
         f"ttft p50 {metrics['ttft_s']['p50'] * 1e3:7.2f} ms  "
         f"p99 {metrics['ttft_s']['p99'] * 1e3:7.2f} ms  "
@@ -155,7 +201,9 @@ def run_scenario(
         f"queue max {metrics['queue_depth']['max']:3d}  "
         f"reused blocks {report.pool_stats['blocks_reused']:4d}  "
         f"prefix hit {metrics['prefix_hit_rate'] * 100:5.1f}%  "
-        f"preempt {metrics['preempted_count']:3d}"
+        f"preempt {metrics['preempted_count']:3d}  "
+        f"accept {metrics['acceptance_rate'] * 100:5.1f}%  "
+        f"tok/step {metrics['decode_tokens_per_step']:4.2f}"
     )
     return rows, text
 
@@ -166,44 +214,63 @@ def jobs(
     scenarios=None,
     normalizers=DEFAULT_NORMALIZERS,
     policy: str = "fp64-ref",
+    decode_strategies=("one-token",),
     **params,
 ) -> list[Job]:
-    """One engine job per (scenario, normalizer) cell under ``policy``.
+    """One engine job per (scenario, normalizer, strategy) cell.
 
     Extra ``params`` (``prefix_caching``, ``prefill_budget``,
-    ``priority_mix``, ...) are forwarded into every cell — and into its
-    cache key, so differently configured cells never collide.
+    ``priority_mix``, ``ngram``, ``max_draft``, ...) are forwarded into
+    every cell — and into its cache key, so differently configured cells
+    never collide.  ``decode_strategies`` is usually the single default;
+    the speculative comparison grid passes ``("one-token",
+    "prompt-lookup")`` so each cell gets a paired baseline.
     """
     names = list(scenarios) if scenarios else list(DEFAULT_SCENARIOS)
     for name in names:
         if name not in SCENARIOS:
             known = ", ".join(sorted(SCENARIOS))
             raise KeyError(f"unknown scenario {name!r}; known: {known}")
-    return [
-        Job(
-            name=f"serve[{scenario}/{normalizer}]",
-            target="repro.serve.bench:run_scenario",
-            params={
-                "scenario": scenario,
-                "normalizer": normalizer,
-                "quick": bool(quick),
-                "policy": policy,
-                **params,
-            },
-            seed=seed,
-        )
-        for scenario in names
-        for normalizer in normalizers
-    ]
+    declared = []
+    for scenario in names:
+        for normalizer in normalizers:
+            for strategy in decode_strategies:
+                cell = dict(params)
+                if strategy != "prompt-lookup":
+                    # ngram/max_draft configure prompt-lookup only; a
+                    # one-token baseline cell must not inherit them.
+                    cell.pop("ngram", None)
+                    cell.pop("max_draft", None)
+                declared.append(
+                    Job(
+                        name=f"serve[{scenario}/{normalizer}/{strategy}]",
+                        target="repro.serve.bench:run_scenario",
+                        params={
+                            "scenario": scenario,
+                            "normalizer": normalizer,
+                            "quick": bool(quick),
+                            "policy": policy,
+                            "decode_strategy": strategy,
+                            **cell,
+                        },
+                        seed=seed,
+                    )
+                )
+    return declared
 
 
 def _comparison(results: list[dict]) -> dict:
     """Per-scenario normalizer deltas relative to the baseline cells."""
     baselines = {
-        row["scenario"]: row for row in results if row["normalizer"] == "baseline"
+        row["scenario"]: row
+        for row in results
+        if row["normalizer"] == "baseline"
+        and row.get("decode_strategy", "one-token") == "one-token"
     }
     comparison: dict[str, dict] = {}
     for row in results:
+        if row.get("decode_strategy", "one-token") != "one-token":
+            continue  # strategy deltas live in spec_comparison
         base = baselines.get(row["scenario"])
         if base is None or row is base:
             continue
@@ -226,6 +293,44 @@ def _comparison(results: list[dict]) -> dict:
     return comparison
 
 
+def _spec_comparison(results: list[dict]) -> dict:
+    """Speculative vs one-token deltas per (scenario, normalizer) cell.
+
+    ``tokens_match`` compares the paired cells' token digests — the
+    served streams must be byte-identical, since greedy verification
+    accepts exactly the tokens one-token decoding would have produced.
+    """
+    baselines = {
+        (row["scenario"], row["normalizer"]): row
+        for row in results
+        if row.get("decode_strategy", "one-token") == "one-token"
+    }
+    comparison: dict[str, dict] = {}
+    for row in results:
+        strategy = row.get("decode_strategy", "one-token")
+        if strategy == "one-token":
+            continue
+        base = baselines.get((row["scenario"], row["normalizer"]))
+        if base is None:
+            continue
+        base_tps = base["metrics"]["tokens_per_second"]
+        cell = f"{row['scenario']}/{row['normalizer']}"
+        comparison.setdefault(cell, {})[strategy] = {
+            "tokens_match": row["token_digest"] == base["token_digest"],
+            "tokens_per_second_ratio": (
+                row["metrics"]["tokens_per_second"] / base_tps if base_tps else None
+            ),
+            "steps_ratio": (
+                row["metrics"]["steps"] / base["metrics"]["steps"]
+                if base["metrics"]["steps"]
+                else None
+            ),
+            "acceptance_rate": row["metrics"]["acceptance_rate"],
+            "decode_tokens_per_step": row["metrics"]["decode_tokens_per_step"],
+        }
+    return comparison
+
+
 def run_bench(
     quick: bool = True,
     jobs_n: int = 1,
@@ -243,6 +348,10 @@ def run_bench(
     max_blocks: int | None = None,
     block_size: int | None = None,
     priority_mix: str | None = None,
+    decode_strategy: str = "one-token",
+    ngram: int | None = None,
+    max_draft: int | None = None,
+    copy_rate: float | None = None,
 ) -> tuple[dict, str]:
     """Run the full scenario × normalizer grid and write ``out_path``.
 
@@ -254,7 +363,10 @@ def run_bench(
     ``max_blocks`` / ``priority_mix`` apply the scheduling knobs to every
     cell (the normalizer column stays an orthogonal axis) — a bounded
     ``max_blocks`` is what arms preemption, so the ``preempt`` column is
-    only ever nonzero with it.
+    only ever nonzero with it.  A speculative ``decode_strategy`` turns
+    the grid into a paired comparison: every cell also runs its one-token
+    baseline (default scenarios then switch to the copy-heavy
+    :data:`SPEC_SCENARIOS`) and the payload gains ``spec_comparison``.
     """
     stream = stream or sys.stdout
     knobs = {}
@@ -268,9 +380,28 @@ def run_bench(
         knobs["block_size"] = int(block_size)
     if priority_mix is not None:
         knobs["priority_mix"] = priority_mix
+    if decode_strategy == "one-token" and (ngram is not None or max_draft is not None):
+        # Mirror resolve_strategy's guard at the grid level: a forgotten
+        # --decode-strategy must not silently discard the speculation knobs.
+        raise ValueError(
+            "--ngram/--max-draft require --decode-strategy prompt-lookup"
+        )
+    if ngram is not None:
+        knobs["ngram"] = int(ngram)
+    if max_draft is not None:
+        knobs["max_draft"] = int(max_draft)
+    if copy_rate is not None:
+        knobs["copy_rate"] = float(copy_rate)
+    if decode_strategy == "one-token":
+        strategies = ("one-token",)
+    else:
+        # Paired baseline per cell, and a copy-heavy default grid.
+        strategies = ("one-token", decode_strategy)
+        if scenarios is None:
+            scenarios = SPEC_SCENARIOS
     declared = jobs(
         quick=quick, seed=seed, scenarios=scenarios, normalizers=normalizers,
-        policy=policy, **knobs,
+        policy=policy, decode_strategies=strategies, **knobs,
     )
     cache = ResultCache(cache_dir) if use_cache else None
     outcomes = run_jobs(
@@ -279,8 +410,9 @@ def run_bench(
 
     results = [outcome.rows for outcome in outcomes]
     lines = [
-        "scenario       normalizer   tokens/s       TTFT p50 /    p99        "
-        "ITL p50   queue   pool      prefix    preempt",
+        "scenario       normalizer   strategy          tokens/s       TTFT p50 /"
+        "    p99        ITL p50   queue   pool      prefix    preempt"
+        "    speculation",
     ]
     lines += [outcome.text for outcome in outcomes]
     payload = {
@@ -294,11 +426,16 @@ def run_bench(
             "prefill_budget": prefill_budget,
             "max_blocks": max_blocks,
             "priority_mix": priority_mix,
+            "decode_strategy": decode_strategy,
+            "ngram": ngram,
+            "max_draft": max_draft,
+            "copy_rate": copy_rate,
             "model": results[0]["model"] if results else None,
             "max_batch_size": results[0]["max_batch_size"] if results else None,
         },
         "results": results,
         "comparison": _comparison(results),
+        "spec_comparison": _spec_comparison(results),
     }
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)

@@ -1,0 +1,171 @@
+"""Pluggable decode strategies: one token per step, or draft-free speculation.
+
+The serve loop historically advanced every decode row by exactly one token
+per iteration, so per-iteration fixed costs (norms, embedding gathers, the
+output projection, scheduling) dominate workloads whose continuations are
+highly predictable — chat follow-ups, summarization, agent fan-out.  A
+:class:`DecodeStrategy` decouples *how many* tokens a row may emit per
+step from the engine loop:
+
+* :class:`GreedyOneToken` — the classic behaviour and the default; it
+  proposes no drafts, so every decode row samples exactly one token.
+* :class:`PromptLookupSpeculator` — draft-free **prompt-lookup** (n-gram)
+  speculation: the draft for a row is read out of the row's *own* prompt
+  and generated output by matching the trailing n-gram against earlier
+  occurrences and proposing the tokens that followed — no draft model, no
+  extra weights.  The engine then runs the last committed token plus all
+  K draft tokens through **one** cached forward and greedily verifies:
+  draft position ``j`` is accepted iff it equals the argmax the model
+  produces there, and the first mismatch position contributes the model's
+  own argmax as a correction token.  Accepted-prefix-plus-correction is
+  exactly the token stream one-at-a-time greedy decoding would have
+  produced, so speculation changes *throughput only, never tokens* — the
+  repo's core serving invariant, preserved under every precision policy.
+
+A strategy only ever *proposes*; acceptance is decided by the model.  A
+bad proposal costs wasted forward lanes (and a KV rollback), never a
+changed answer.  Proposals are restricted to greedy rows
+(``temperature <= 1e-8``, the same threshold
+:func:`repro.nn.generation.select_token` treats as argmax): verifying a
+*sampled* stream would need rejection resampling to preserve the output
+distribution, which would consume the row's RNG differently and break the
+served==generate reproducibility contract.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.serve.request import RequestState
+
+#: ``select_token`` treats temperatures at or below this as greedy argmax;
+#: speculation piggybacks on the same threshold.
+GREEDY_TEMPERATURE = 1e-8
+
+
+@runtime_checkable
+class DecodeStrategy(Protocol):
+    """What the scheduler needs from a decode strategy."""
+
+    #: Registry/reporting name (``"one-token"``, ``"prompt-lookup"``, ...).
+    name: str
+
+    def propose(self, state: RequestState, limit: int) -> tuple[int, ...]:
+        """Draft tokens for one decode row, at most ``limit`` of them.
+
+        ``limit`` already folds in the row's remaining decode budget and
+        the context-window headroom; returning more than ``limit`` tokens
+        is a contract violation (the scheduler truncates defensively).
+        Return ``()`` to fall back to classic one-token decoding for this
+        row and step.
+        """
+        ...
+
+
+class GreedyOneToken:
+    """The classic decode path: never proposes, one sampled token per step."""
+
+    name = "one-token"
+
+    def propose(self, state: RequestState, limit: int) -> tuple[int, ...]:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "GreedyOneToken()"
+
+
+class PromptLookupSpeculator:
+    """Draft-free n-gram speculation over the request's own token stream.
+
+    Parameters
+    ----------
+    ngram:
+        Longest n-gram to match (the matcher backs off ``ngram, ngram-1,
+        ..., 1`` until a match is found).  Longer matches make more
+        trustworthy drafts; the backoff keeps proposal coverage high on
+        short histories.
+    max_draft:
+        Cap on proposed draft tokens per step (the K of a K-token verify
+        forward).  Larger drafts amortize more fixed cost when accepted
+        but waste more forward lanes when rejected.
+    """
+
+    name = "prompt-lookup"
+
+    def __init__(self, ngram: int = 3, max_draft: int = 4) -> None:
+        if ngram < 1:
+            raise ValueError(f"ngram must be >= 1, got {ngram}")
+        if max_draft < 1:
+            raise ValueError(f"max_draft must be >= 1, got {max_draft}")
+        self.ngram = int(ngram)
+        self.max_draft = int(max_draft)
+
+    def propose(self, state: RequestState, limit: int) -> tuple[int, ...]:
+        if state.request.temperature > GREEDY_TEMPERATURE:
+            return ()  # sampled rows: verification would change the RNG stream
+        limit = min(int(limit), self.max_draft)
+        if limit < 1:
+            return ()
+        tokens = state.tokens
+        for n in range(min(self.ngram, len(tokens) - 1), 0, -1):
+            start = self._find_recent(tokens, n)
+            if start is not None:
+                draft = tokens[start + n : start + n + limit]
+                return tuple(int(t) for t in draft)
+        return ()
+
+    @staticmethod
+    def _find_recent(tokens: list[int], n: int) -> int | None:
+        """Start index of the most recent earlier occurrence of the last n-gram.
+
+        Only occurrences with at least one continuation token before the
+        trailing n-gram itself count (``start + n < len(tokens) - ...``):
+        matching the suffix against itself proposes nothing.
+        """
+        pattern = tokens[-n:]
+        for start in range(len(tokens) - n - 1, -1, -1):
+            if tokens[start : start + n] == pattern:
+                return start
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PromptLookupSpeculator(ngram={self.ngram}, max_draft={self.max_draft})"
+
+
+#: Registered strategy factories, keyed by CLI name.
+STRATEGIES = {
+    "one-token": GreedyOneToken,
+    "prompt-lookup": PromptLookupSpeculator,
+}
+
+
+def resolve_strategy(
+    spec: DecodeStrategy | str | None,
+    ngram: int | None = None,
+    max_draft: int | None = None,
+) -> DecodeStrategy:
+    """Turn a strategy name (or instance, or ``None``) into an instance.
+
+    ``ngram`` / ``max_draft`` configure a named ``"prompt-lookup"``
+    strategy (they are rejected for strategies that take no such knobs,
+    so a CLI typo can't silently drop them).
+    """
+    if spec is None:
+        spec = "one-token"
+    if isinstance(spec, str):
+        if spec not in STRATEGIES:
+            known = ", ".join(sorted(STRATEGIES))
+            raise KeyError(f"unknown decode strategy {spec!r}; known: {known}")
+        if spec == "prompt-lookup":
+            kwargs = {}
+            if ngram is not None:
+                kwargs["ngram"] = int(ngram)
+            if max_draft is not None:
+                kwargs["max_draft"] = int(max_draft)
+            return PromptLookupSpeculator(**kwargs)
+        if ngram is not None or max_draft is not None:
+            raise ValueError(
+                f"decode strategy {spec!r} takes no ngram/max_draft parameters"
+            )
+        return STRATEGIES[spec]()
+    return spec

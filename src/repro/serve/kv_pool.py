@@ -585,7 +585,7 @@ class _LayerView:
         return self.seq._layer_len[self.layer]
 
     def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        return self.seq._append(self.layer, k, v)
+        return self.seq.append_many(self.layer, k, v)
 
 
 class SequenceKV:
@@ -672,9 +672,19 @@ class SequenceKV:
         while len(self.block_ids) * self.pool.block_size < needed_tokens:
             self.block_ids.append(self.pool.allocate())
 
-    def _append(
+    def append_many(
         self, layer: int, k: np.ndarray, v: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
+        """Write a multi-token K/V chunk for ``layer`` into pool blocks.
+
+        The chunk may span any number of block boundaries: whole prompts
+        during prefill, one token per decode step, or ``1 + K`` positions
+        when a speculative step optimistically appends draft tokens (the
+        rejected tail is discarded by :meth:`rollback`).  A write landing
+        in a block whose refcount exceeds one forks it first
+        (copy-on-write), so a cached prefix is never mutated.  Returns the
+        gathered ``(k_all, v_all)`` views for the attention read.
+        """
         if self._released:
             raise RuntimeError("SequenceKV used after release()")
         if k.shape != v.shape or k.ndim != 4 or k.shape[0] != 1:
@@ -715,6 +725,44 @@ class SequenceKV:
             taken += take
         self._layer_len[layer] = end
         return self.gather(layer)
+
+    def rollback(self, n: int) -> None:
+        """Discard the last ``n`` committed positions (rejected draft tokens).
+
+        Called between forwards (every layer agrees on the length).  Blocks
+        that fall entirely past the new length drop one reference back to
+        the pool — a shared block survives for its other holders, a private
+        one returns to the free list.  When the new tail ends mid-block and
+        that block is still shared (an adopted prefix the sequence never
+        wrote into), it is forked **before** truncation: the surviving
+        positions are copied into a private block so later appends can
+        never mutate the cached prefix other sequences read.  Rollback
+        followed by re-appending is bit-identical to having appended the
+        final content directly (the rollback tests pin this).
+        """
+        if self._released:
+            raise RuntimeError("SequenceKV used after release()")
+        n = int(n)
+        if n == 0:
+            return
+        length = self.seq_len
+        if not 0 <= n <= length:
+            raise ValueError(f"cannot roll back {n} of {length} positions")
+        if any(layer_len != length for layer_len in self._layer_len):
+            raise RuntimeError("rollback mid-forward: layers disagree on length")
+        new_len = length - n
+        bs = self.pool.block_size
+        keep_blocks = -(-new_len // bs)  # ceil division
+        if keep_blocks < len(self.block_ids):
+            self.pool.free(self.block_ids[keep_blocks:])
+            del self.block_ids[keep_blocks:]
+        tail = new_len % bs
+        if tail and self.pool.refcount(self.block_ids[-1]) > 1:
+            # Fork-before-truncate: the partially surviving tail block is
+            # shared, and the positions past ``tail`` are now rewritable.
+            self.block_ids[-1] = self.pool.fork(self.block_ids[-1], tail)
+        self._layer_len = [new_len] * self.pool.num_layers
+        self.adopted_tokens = min(self.adopted_tokens, new_len)
 
     def gather(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
         """Pack the layer's blocks into ``(1, heads, seq, head_dim)`` views.

@@ -28,6 +28,13 @@ and priority scheduling features:
 * ``priority-burst`` — a bursty mixed-priority stream (interactive /
   standard / batch classes) for the priority-admission and preemption
   metrics.
+* ``summarize-copy`` — copy-heavy greedy requests: a ``copy_rate``
+  fraction of every prompt is a short motif tiled over and over (the
+  shape of summarization / quote-heavy chat follow-ups), and decodes are
+  long enough for greedy decoding to settle into its repetitive tail.
+  Both make the continuation predictable from the request's own token
+  stream — the best case for prompt-lookup speculative decoding, and the
+  grid ``BENCH_serve_spec.json`` compares one-token vs speculative on.
 
 Workload generation is fully seeded: one :class:`numpy.random.SeedSequence`
 drives arrivals, lengths, prompt contents, priorities, *and* each
@@ -65,8 +72,12 @@ class Scenario:
     ``shared_prefix_len`` tokens, each turn's prompt extending the last by
     a ``prompt_len`` user message; ``"fanout"`` builds groups of
     ``fanout`` requests sharing one ``shared_prefix_len`` context plus a
-    private ``prompt_len`` suffix.  ``priority_mix`` assigns each request
-    a priority class drawn from the given ``(priority, weight)`` pairs.
+    private ``prompt_len`` suffix; ``"copy"`` builds prompts whose
+    ``copy_rate`` fraction is a ``shared_prefix_len``-long motif tiled
+    repeatedly after a fresh ``prompt_len`` head (the copy-heavy shape
+    prompt-lookup speculation exploits).  ``priority_mix`` assigns each
+    request a priority class drawn from the given ``(priority, weight)``
+    pairs.
     """
 
     name: str
@@ -81,19 +92,22 @@ class Scenario:
     shared_prefix_len: tuple[int, int] = (0, 0)
     num_turns: int = 1
     fanout: int = 1
+    copy_rate: float = 0.0
     priority_mix: tuple[tuple[int, float], ...] = ((0, 1.0),)
 
     def __post_init__(self) -> None:
         for lo, hi in (self.prompt_len, self.max_new):
             if lo < 1 or hi < lo:
                 raise ValueError(f"bad range ({lo}, {hi}) in scenario {self.name!r}")
-        if self.structure not in ("independent", "multiturn", "fanout"):
+        if self.structure not in ("independent", "multiturn", "fanout", "copy"):
             raise ValueError(f"unknown structure {self.structure!r}")
         lo, hi = self.shared_prefix_len
         if lo < 0 or hi < lo:
             raise ValueError(f"bad shared_prefix_len ({lo}, {hi})")
         if self.num_turns < 1 or self.fanout < 1:
             raise ValueError("num_turns and fanout must be >= 1")
+        if not 0.0 <= self.copy_rate < 1.0:
+            raise ValueError(f"copy_rate must be in [0, 1), got {self.copy_rate}")
         if not self.priority_mix or any(w <= 0 for _, w in self.priority_mix):
             raise ValueError("priority_mix weights must be positive")
 
@@ -178,6 +192,19 @@ SCENARIOS: dict[str, Scenario] = {
         description="mixed interactive/standard/batch burst",
         priority_mix=((2, 0.2), (1, 0.3), (0, 0.5)),
     ),
+    "summarize-copy": Scenario(
+        name="summarize-copy",
+        arrival="poisson",
+        rate=100.0,
+        prompt_len=(3, 5),  # fresh head before the tiled motif
+        max_new=(14, 22),
+        temperature=0.0,
+        top_k=None,
+        description="copy-heavy greedy requests (prompt-lookup's best case)",
+        structure="copy",
+        shared_prefix_len=(2, 4),  # motif length
+        copy_rate=0.6,
+    ),
 }
 
 
@@ -228,6 +255,7 @@ def generate_workload(
     rate_scale: float = 1.0,
     eos_token_id: int | None = None,
     priority_mix: tuple[tuple[int, float], ...] | str | None = None,
+    copy_rate: float | None = None,
 ) -> list[Request]:
     """Expand a scenario into a concrete, fully seeded request list.
 
@@ -253,6 +281,9 @@ def generate_workload(
         Override the scenario's priority mix — ``(priority, weight)``
         pairs or a ``"0:0.5,2:0.5"`` CLI string (the ``--priority-mix``
         flag lands here).
+    copy_rate:
+        Override a ``"copy"`` scenario's copied-prompt fraction (the
+        ``--copy-rate`` knob; higher = more predictable prompts).
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -265,6 +296,8 @@ def generate_workload(
                 "priority_mix": tuple((int(p), float(w)) for p, w in priority_mix),
             }
         )
+    if copy_rate is not None:
+        scenario = Scenario(**{**scenario.__dict__, "copy_rate": float(copy_rate)})
     if num_requests < 1:
         raise ValueError(f"num_requests must be >= 1, got {num_requests}")
     if vocab_size < 4:
@@ -291,6 +324,8 @@ def generate_workload(
         prompts = _multiturn_prompts(scenario, num_requests, vocab_size, eos, rng)
     elif scenario.structure == "fanout":
         prompts = _fanout_prompts(scenario, num_requests, vocab_size, eos, rng)
+    elif scenario.structure == "copy":
+        prompts = _copy_prompts(scenario, num_requests, vocab_size, eos, rng)
     else:
         prompts = None  # drawn inline below, preserving the classic stream
 
@@ -353,6 +388,47 @@ def _multiturn_prompts(
         user = _draw_prompt(rng, user_len, vocab_size, eos)
         history = np.concatenate([history, user])
         out.append((f"{scenario.name}-c{conversation:03d}t{turn}", history.copy()))
+    return out
+
+
+def _copy_prompts(
+    scenario: Scenario,
+    num_requests: int,
+    vocab_size: int,
+    eos: int,
+    rng: np.random.Generator,
+) -> list[tuple[str, np.ndarray]]:
+    """Copy-heavy prompts: a fresh head followed by a tiled motif.
+
+    A ``copy_rate`` fraction of each prompt is the same short motif
+    repeated back to back, so the prompt's trailing n-grams recur earlier
+    in the prompt with a known continuation — exactly the structure
+    prompt-lookup speculation converts into accepted drafts from the very
+    first decode steps.
+    """
+    out: list[tuple[str, np.ndarray]] = []
+    rate = scenario.copy_rate
+    for i in range(num_requests):
+        head_len = int(
+            rng.integers(scenario.prompt_len[0], scenario.prompt_len[1] + 1)
+        )
+        head = _draw_prompt(rng, head_len, vocab_size, eos)
+        parts = [head]
+        if rate > 0:
+            motif_len = max(
+                int(
+                    rng.integers(
+                        scenario.shared_prefix_len[0], scenario.shared_prefix_len[1] + 1
+                    )
+                ),
+                1,
+            )
+            motif = _draw_prompt(rng, motif_len, vocab_size, eos)
+            # copied/(head+copied) == copy_rate, at motif granularity.
+            copied_len = int(round(head_len * rate / (1.0 - rate)))
+            repeats = max(-(-copied_len // motif_len), 2)  # >= 2 full motifs
+            parts.append(np.tile(motif, repeats))
+        out.append((f"{scenario.name}-{i:04d}", np.concatenate(parts)))
     return out
 
 

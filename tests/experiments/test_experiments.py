@@ -116,3 +116,37 @@ class TestTable4:
         # The 10-step perplexity is at least as close to the baseline as 3-step.
         assert abs(by_steps[10]["delta"]) <= abs(by_steps[3]["delta"]) + 1e-6
         assert abs(by_steps[10]["delta"]) < 0.01 * by_steps[10]["baseline_ppl"]
+
+
+class TestRunnerSpecGuards:
+    def test_spec_knobs_without_strategy_rejected(self):
+        import pytest
+
+        from repro.experiments.runner import build_sections
+
+        with pytest.raises(ValueError, match="decode-strategy"):
+            build_sections(quick=True, include_serve=True, max_draft=8)
+
+    def test_strategy_without_serve_rejected(self):
+        import pytest
+
+        from repro.experiments.runner import build_sections
+
+        with pytest.raises(ValueError, match="serve"):
+            build_sections(quick=True, decode_strategy="prompt-lookup")
+
+    def test_spec_section_declares_paired_cells(self):
+        from repro.experiments.runner import build_sections
+
+        sections = dict(
+            build_sections(
+                quick=True, include_serve=True,
+                decode_strategy="prompt-lookup", ngram=2, max_draft=6,
+            )
+        )
+        strategies = {
+            job.params["decode_strategy"]
+            for job in sections["Serve bench"]
+            if job.params["scenario"] == "summarize-copy"
+        }
+        assert strategies == {"one-token", "prompt-lookup"}

@@ -133,8 +133,8 @@ class TestJobs:
         declared = jobs(quick=True, seed=3)
         assert len(declared) == 4 * len(DEFAULT_NORMALIZERS)
         names = {job.name for job in declared}
-        assert "serve[steady/baseline]" in names
-        assert "serve[codegen/iterl2norm]" in names
+        assert "serve[steady/baseline/one-token]" in names
+        assert "serve[codegen/iterl2norm/one-token]" in names
         for job in declared:
             assert job.target == "repro.serve.bench:run_scenario"
             assert job.seed == 3
@@ -143,6 +143,90 @@ class TestJobs:
         job = jobs(quick=True)[0]
         assert callable(job.resolve())
         assert len(job.config_hash("v0")) == 64
+
+
+class TestDecodeStrategyAxis:
+    def test_speculative_cell_reports_acceptance(self):
+        rows, text = run_scenario(
+            scenario="summarize-copy", normalizer="baseline", quick=True,
+            num_requests=6, seed=0, decode_strategy="prompt-lookup",
+        )
+        assert rows["decode_strategy"] == "prompt-lookup"
+        assert rows["metrics"]["acceptance_rate"] > 0
+        assert rows["metrics"]["decode_tokens_per_step"] > 1.0
+        assert "accept" in text and "tok/step" in text
+        json.dumps(rows)
+
+    def test_token_digest_matches_across_strategies(self):
+        """The artifact-level exactness proof: digests pair up."""
+        base, _ = run_scenario(
+            scenario="summarize-copy", normalizer="baseline", quick=True,
+            num_requests=6, seed=0,
+        )
+        spec, _ = run_scenario(
+            scenario="summarize-copy", normalizer="baseline", quick=True,
+            num_requests=6, seed=0, decode_strategy="prompt-lookup",
+        )
+        assert base["token_digest"] == spec["token_digest"]
+        assert base["metrics"]["steps"] > spec["metrics"]["steps"]
+
+    def test_ngram_and_max_draft_thread_through(self):
+        rows, _ = run_scenario(
+            scenario="summarize-copy", normalizer="baseline", quick=True,
+            num_requests=4, seed=0, decode_strategy="prompt-lookup",
+            ngram=2, max_draft=6,
+        )
+        assert rows["ngram"] == 2
+        assert rows["max_draft"] == 6
+
+    def test_copy_rate_override(self):
+        rows, _ = run_scenario(
+            scenario="summarize-copy", normalizer="baseline", quick=True,
+            num_requests=4, seed=0, copy_rate=0.0,
+        )
+        assert rows["copy_rate"] == 0.0
+
+    def test_spec_jobs_pair_baselines(self):
+        declared = jobs(
+            quick=True, scenarios=("summarize-copy",), normalizers=("baseline",),
+            decode_strategies=("one-token", "prompt-lookup"), ngram=3, max_draft=4,
+        )
+        assert len(declared) == 2
+        by_strategy = {job.params["decode_strategy"]: job for job in declared}
+        assert "ngram" not in by_strategy["one-token"].params
+        assert by_strategy["prompt-lookup"].params["ngram"] == 3
+
+    def test_spec_bench_comparison(self, tmp_path):
+        out = tmp_path / "BENCH_serve_spec.json"
+        payload, _ = run_bench(
+            quick=True,
+            seed=0,
+            out_path=str(out),
+            scenarios=("summarize-copy",),
+            normalizers=("baseline",),
+            decode_strategy="prompt-lookup",
+            stream=open("/dev/null", "w"),
+        )
+        cell = payload["spec_comparison"]["summarize-copy/baseline"]["prompt-lookup"]
+        assert cell["tokens_match"] is True
+        assert cell["acceptance_rate"] > 0
+        assert cell["decode_tokens_per_step"] > 1.0
+        assert cell["steps_ratio"] < 1.0
+        assert len(payload["results"]) == 2  # paired baseline ran too
+
+    def test_spec_bench_defaults_to_copy_grid(self, tmp_path):
+        from repro.serve.bench import SPEC_SCENARIOS
+
+        out = tmp_path / "spec.json"
+        payload, _ = run_bench(
+            quick=True,
+            seed=0,
+            out_path=str(out),
+            normalizers=("baseline",),
+            decode_strategy="prompt-lookup",
+            stream=open("/dev/null", "w"),
+        )
+        assert set(payload["config"]["scenarios"]) == set(SPEC_SCENARIOS)
 
 
 class TestRunBench:
@@ -182,3 +266,19 @@ class TestRunBench:
         assert comparison["tokens_per_second_ratio"] > 0
         assert np.isfinite(comparison["ttft_p50_delta_s"])
         assert isinstance(comparison["tokens_generated_delta"], int)
+
+
+class TestKnobGuards:
+    def test_spec_knobs_without_strategy_rejected(self, tmp_path):
+        from repro.serve.bench import run_bench as rb
+
+        with pytest.raises(ValueError, match="decode-strategy"):
+            rb(
+                quick=True,
+                seed=0,
+                out_path=str(tmp_path / "x.json"),
+                scenarios=("steady",),
+                normalizers=("baseline",),
+                max_draft=8,
+                stream=open("/dev/null", "w"),
+            )

@@ -193,6 +193,20 @@ class TestPoolBehaviourUnderServing:
         assert completed.finish_time >= completed.first_token_time
 
 
+class TestServeReportIndex:
+    def test_by_id_builds_index_once_and_raises_key_error(self, model, fixed_timer):
+        requests = [
+            Request(f"r{i}", np.array([1 + i, 2]), max_new_tokens=3) for i in range(4)
+        ]
+        report = ServeEngine(model, timer=fixed_timer).serve(requests)
+        assert report._index is None  # lazy: nothing built until first lookup
+        first = report.by_id("r2")
+        assert report._index is not None
+        assert report.by_id("r2") is first  # served from the cached dict
+        with pytest.raises(KeyError, match="nope"):
+            report.by_id("nope")
+
+
 class TestValidation:
     def test_bad_requests_rejected(self):
         with pytest.raises(ValueError):

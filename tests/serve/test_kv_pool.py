@@ -45,7 +45,7 @@ class TestAllocation:
         pool = make_pool(initial_blocks=1)
         seq = pool.sequence()
         k = np.arange(2 * 6 * 4, dtype=np.float64).reshape(1, 2, 6, 4)
-        seq._append(0, k, -k)
+        seq.append_many(0, k, -k)
         for _ in range(pool.capacity_blocks * 2):  # force at least one grow
             pool.allocate()
         k_all, v_all = seq.gather(0)
@@ -143,6 +143,121 @@ class TestSequenceKV:
             seq.layers[0].append(np.zeros((2, 2, 1, 4)), np.zeros((2, 2, 1, 4)))
         with pytest.raises(ValueError):
             seq.layers[0].append(np.zeros((1, 2, 1, 4)), np.zeros((1, 2, 2, 4)))
+
+
+class TestRollback:
+    """Speculative rollback on the pooled cache: blocks, refcounts, COW."""
+
+    def _fill_all(self, seq, tokens, value=1.0):
+        k = np.full((1, 2, tokens, 4), value)
+        for layer in range(seq.pool.num_layers):
+            seq.layers[layer].append(k, -k)
+
+    def test_rollback_then_reappend_is_bit_identical(self):
+        rng = np.random.default_rng(3)
+        pool = make_pool()
+        seq, ref = pool.sequence(), pool.sequence()
+        base_k = rng.normal(size=(1, 2, 6, 4))
+        base_v = rng.normal(size=(1, 2, 6, 4))
+        tail_k = rng.normal(size=(1, 2, 3, 4))
+        tail_v = rng.normal(size=(1, 2, 3, 4))
+        junk = rng.normal(size=(1, 2, 4, 4))
+        for layer in range(pool.num_layers):
+            seq.layers[layer].append(base_k, base_v)
+            ref.layers[layer].append(base_k, base_v)
+        for layer in range(pool.num_layers):
+            seq.layers[layer].append(junk, -junk)  # rejected drafts
+        seq.rollback(4)
+        assert seq.seq_len == 6
+        for layer in range(pool.num_layers):
+            k_roll, v_roll = seq.layers[layer].append(tail_k, tail_v)
+            k_ref, v_ref = ref.layers[layer].append(tail_k, tail_v)
+            np.testing.assert_array_equal(k_roll, k_ref)
+            np.testing.assert_array_equal(v_roll, v_ref)
+
+    def test_rollback_frees_whole_blocks_across_boundaries(self):
+        pool = make_pool()
+        seq = pool.sequence()
+        self._fill_all(seq, 10)  # 3 blocks (4+4+2)
+        assert pool.blocks_in_use == 3
+        seq.rollback(7)  # back to 3 tokens: one partial block
+        assert seq.seq_len == 3
+        assert len(seq.block_ids) == 1
+        assert pool.blocks_in_use == 1
+        seq.rollback(3)  # down to empty
+        assert seq.seq_len == 0
+        assert seq.block_ids == []
+        assert pool.blocks_in_use == 0
+
+    def test_rollback_shared_block_drops_reference_not_content(self):
+        """A freed shared block survives for its other holder, bytes intact."""
+        pool = make_pool(prefix_caching=True)
+        writer = pool.sequence()
+        self._fill_all(writer, 8, value=5.0)
+        writer.register_prefix(list(range(8)))
+        reader = pool.sequence()
+        assert reader.adopt_prefix(list(range(8))) == 8
+        reader.rollback(8)  # drop everything it adopted
+        assert reader.seq_len == 0
+        # The index still holds the blocks; a fresh adopter reads 5.0s.
+        fresh = pool.sequence()
+        assert fresh.adopt_prefix(list(range(8))) == 8
+        np.testing.assert_array_equal(
+            fresh.gather(0)[0], np.full((1, 2, 8, 4), 5.0)
+        )
+
+    def test_rollback_mid_shared_block_forks_before_truncate(self):
+        """A partial shared tail is forked so the cached prefix stays immutable."""
+        pool = make_pool(prefix_caching=True)
+        writer = pool.sequence()
+        self._fill_all(writer, 4, value=7.0)
+        writer.register_prefix(list(range(4)))
+        reader = pool.sequence()
+        reader.adopt_prefix(list(range(4)), max_tokens=3)  # partial tail
+        shared_block = reader.block_ids[0]
+        assert pool.refcount(shared_block) >= 2
+        forks_before = pool.cow_forks
+        reader.rollback(1)  # 3 -> 2 committed, mid-block, still shared
+        assert pool.cow_forks == forks_before + 1
+        assert reader.block_ids[0] != shared_block
+        # Writing through the fork must not touch the registered bytes.
+        two = np.full((1, 2, 2, 4), -9.0)
+        for layer in range(pool.num_layers):
+            reader.layers[layer].append(two, two)
+        np.testing.assert_array_equal(
+            writer.gather(0)[0], np.full((1, 2, 4, 4), 7.0)
+        )
+
+    def test_private_partial_tail_not_forked(self):
+        pool = make_pool()
+        seq = pool.sequence()
+        self._fill_all(seq, 6)
+        forks = pool.cow_forks
+        seq.rollback(1)  # 5 committed: partial tail, refcount 1
+        assert pool.cow_forks == forks
+        assert seq.seq_len == 5
+
+    def test_rollback_validation(self):
+        pool = make_pool()
+        seq = pool.sequence()
+        self._fill_all(seq, 3)
+        with pytest.raises(ValueError):
+            seq.rollback(4)
+        with pytest.raises(ValueError):
+            seq.rollback(-1)
+        seq.rollback(0)  # no-op
+        assert seq.seq_len == 3
+        seq.release()
+        with pytest.raises(RuntimeError):
+            seq.rollback(1)
+
+    def test_rollback_mid_forward_rejected(self):
+        pool = make_pool()
+        seq = pool.sequence()
+        k = np.zeros((1, 2, 3, 4))
+        seq.layers[0].append(k, k)  # layer 1 not yet appended
+        with pytest.raises(RuntimeError):
+            seq.rollback(1)
 
 
 class TestFreeHardening:

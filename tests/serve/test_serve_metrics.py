@@ -1,0 +1,118 @@
+"""MetricsRecorder reductions: distribution edges, priority classes, spec.
+
+Satellite coverage for :mod:`repro.serve.metrics`: ``_distribution`` on
+empty and single-value samples, ``latency_by_priority`` when a priority
+class completes nothing, and the speculative counters' zero/denominator
+behaviour.
+"""
+
+import json
+import math
+
+import numpy as np
+
+from repro.serve.metrics import PERCENTILES, MetricsRecorder, _distribution
+from repro.serve.request import CompletedRequest
+
+
+def completed(rid, priority=0, arrival=0.0, first=1.0, finish=2.0, generated=3):
+    return CompletedRequest(
+        request_id=rid,
+        tokens=np.arange(generated + 2),
+        prompt_len=2,
+        generated=generated,
+        finish_reason="length",
+        arrival_time=arrival,
+        admitted_time=arrival,
+        first_token_time=first,
+        finish_time=finish,
+        priority=priority,
+    )
+
+
+class TestDistribution:
+    def test_empty_sample_is_all_nans(self):
+        out = _distribution([])
+        assert set(out) == {"mean", *(f"p{p}" for p in PERCENTILES)}
+        assert all(math.isnan(v) for v in out.values())
+
+    def test_single_value_collapses_every_percentile(self):
+        out = _distribution([0.25])
+        assert out["mean"] == 0.25
+        for p in PERCENTILES:
+            assert out[f"p{p}"] == 0.25
+
+    def test_two_values_interpolate(self):
+        out = _distribution([0.0, 1.0])
+        assert out["mean"] == 0.5
+        assert out["p50"] == 0.5
+        assert out["p99"] > out["p50"]
+
+    def test_accepts_generators(self):
+        assert _distribution(x for x in (1.0, 3.0))["mean"] == 2.0
+
+
+class TestLatencyByPriority:
+    def test_class_with_zero_completions_is_absent(self):
+        """Only classes that completed requests appear — no NaN-filled rows
+        for classes that were enqueued but never finished."""
+        recorder = MetricsRecorder()
+        recorder.record_completion(completed("a", priority=2), [1.0, 1.5])
+        # Priority 0 requests exist in the workload but none completed.
+        by_priority = recorder.summary()["latency_by_priority"]
+        assert set(by_priority) == {"2"}
+        assert by_priority["2"]["requests"] == 1
+
+    def test_empty_run_has_empty_mapping(self):
+        assert MetricsRecorder().summary()["latency_by_priority"] == {}
+
+    def test_classes_sorted_and_counted(self):
+        recorder = MetricsRecorder()
+        for rid, priority in (("a", 1), ("b", 0), ("c", 1)):
+            recorder.record_completion(completed(rid, priority=priority), [1.0])
+        by_priority = recorder.summary()["latency_by_priority"]
+        assert list(by_priority) == ["0", "1"]
+        assert by_priority["1"]["requests"] == 2
+
+    def test_single_completion_distributions_are_finite(self):
+        recorder = MetricsRecorder()
+        recorder.record_completion(completed("a", priority=3), [1.0])
+        row = recorder.summary()["latency_by_priority"]["3"]
+        assert row["ttft_s"]["p50"] == row["ttft_s"]["p99"] == 1.0
+        assert not math.isnan(row["queue_wait_s"]["mean"])
+
+
+class TestSpeculationCounters:
+    def test_zero_speculation_rates(self):
+        recorder = MetricsRecorder()
+        recorder.record_step(queue_depth=0, active=1, elapsed=0.01, tokens=1)
+        summary = recorder.summary()
+        assert summary["draft_proposed"] == 0
+        assert summary["acceptance_rate"] == 0.0
+        assert summary["decode_tokens_per_step"] == 0.0
+
+    def test_rates_accumulate_across_steps(self):
+        recorder = MetricsRecorder()
+        recorder.record_step(
+            queue_depth=0, active=2, elapsed=0.01, tokens=5,
+            draft_proposed=4, draft_accepted=3, decode_rows=2, decode_tokens=5,
+        )
+        recorder.record_step(
+            queue_depth=0, active=2, elapsed=0.01, tokens=2,
+            draft_proposed=2, draft_accepted=0, decode_rows=2, decode_tokens=2,
+        )
+        summary = recorder.summary()
+        assert summary["draft_proposed"] == 6
+        assert summary["draft_accepted"] == 3
+        assert summary["acceptance_rate"] == 0.5
+        assert summary["decode_tokens_per_step"] == 7 / 4
+
+    def test_summary_is_json_serializable(self):
+        recorder = MetricsRecorder()
+        recorder.record_completion(completed("a"), [1.0, 1.2])
+        recorder.record_step(
+            queue_depth=1, active=1, elapsed=0.01, tokens=2,
+            draft_proposed=1, draft_accepted=1, decode_rows=1, decode_tokens=2,
+        )
+        parsed = json.loads(json.dumps(recorder.summary(max_batch_size=4)))
+        assert parsed["tokens_generated"] == 3

@@ -16,6 +16,7 @@ class TestScenarios:
             "chat-multiturn",
             "agent-fanout",
             "priority-burst",
+            "summarize-copy",
         }
 
     def test_default_bench_grid_is_the_classic_four(self):

@@ -102,27 +102,35 @@ def _cmd_throughput(args) -> None:
 def _cmd_serve_bench(args) -> None:
     from repro.serve.bench import run_bench
 
-    run_bench(
-        quick=args.quick,
-        jobs_n=args.jobs,
-        seed=args.seed,
-        out_path=args.out,
-        scenarios=args.scenarios or None,
-        normalizers=tuple(args.normalizers.split(",")),
-        cache_dir=args.cache_dir,
-        use_cache=args.use_cache,
-        no_cache=args.no_cache,
-        policy=args.policy,
-        prefix_caching=args.prefix_caching,
-        prefill_budget=args.prefill_budget,
-        max_blocks=args.max_blocks,
-        block_size=args.block_size,
-        priority_mix=args.priority_mix,
-        decode_strategy=args.decode_strategy,
-        ngram=args.ngram,
-        max_draft=args.max_draft,
-        copy_rate=args.copy_rate,
-    )
+    try:
+        run_bench(
+            quick=args.quick,
+            jobs_n=args.jobs,
+            seed=args.seed,
+            out_path=args.out,
+            scenarios=args.scenarios or None,
+            normalizers=tuple(args.normalizers.split(",")),
+            cache_dir=args.cache_dir,
+            use_cache=args.use_cache,
+            no_cache=args.no_cache,
+            policy=args.policy,
+            prefix_caching=args.prefix_caching,
+            prefill_budget=args.prefill_budget,
+            max_blocks=args.max_blocks,
+            block_size=args.block_size,
+            priority_mix=args.priority_mix,
+            decode_strategy=args.decode_strategy,
+            ngram=args.ngram,
+            max_draft=args.max_draft,
+            copy_rate=args.copy_rate,
+            backend=args.backend,
+            policies=tuple(args.policies.split(",")) if args.policies else None,
+        )
+    except (ValueError, KeyError) as exc:
+        # Flag mistakes (bad --ngram/--max-draft/--backend/--scenarios
+        # combinations) should read as usage errors, not tracebacks.
+        message = exc.args[0] if exc.args else str(exc)
+        raise SystemExit(f"serve-bench: {message}")
 
 
 def _cmd_precision_sweep(args) -> None:
@@ -153,6 +161,7 @@ def _cmd_all(args) -> None:
         include_serve=args.serve,
         include_precision=args.precision,
         policy=args.policy,
+        backend=args.backend,
     )
 
 
@@ -271,6 +280,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="copied-prompt fraction of the summarize-copy scenario "
              "(0 <= R < 1; default 0.6)",
     )
+    p.add_argument(
+        "--backend", default="reference",
+        choices=("reference", "compiled"),
+        help="execution backend: 'compiled' runs the pre-fused executor, "
+             "pairs every cell with its reference twin (identical tokens, "
+             "higher tokens/sec), and adds backend_comparison to the "
+             "artifact",
+    )
+    p.add_argument(
+        "--policies", default=None, metavar="P,...",
+        help="comma-separated precision policies to sweep the grid over "
+             "(overrides --policy); with --backend compiled this produces "
+             "the per-preset executor-parity artifact",
+    )
     add_engine_arguments(p)
     p.set_defaults(func=_cmd_serve_bench)
 
@@ -310,6 +333,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--policy", default="fp64-ref",
         help="precision policy of the serve-bench section's model",
+    )
+    p.add_argument(
+        "--backend", default="reference",
+        choices=("reference", "compiled"),
+        help="execution backend of the serve-bench section's engine",
     )
     add_engine_arguments(p)
     p.set_defaults(func=_cmd_all)

@@ -71,6 +71,7 @@ def build_sections(
     decode_strategy: str = "one-token",
     ngram: int | None = None,
     max_draft: int | None = None,
+    backend: str = "reference",
 ) -> list[tuple[str, list[Job]]]:
     """Declare the paper's experiments as (section title, jobs) groups.
 
@@ -86,7 +87,9 @@ def build_sections(
     speculative ``decode_strategy`` (``--decode-strategy prompt-lookup``)
     extends the serve section with paired one-token vs speculative cells
     on the copy-heavy grid (``ngram`` / ``max_draft`` tune the
-    speculator).
+    speculator).  ``backend`` runs every serve cell on the named
+    execution backend (tokens are backend-invariant, so cached rows stay
+    comparable; only the timing columns move).
     """
     if decode_strategy == "one-token" and (ngram is not None or max_draft is not None):
         raise ValueError("--ngram/--max-draft require --decode-strategy prompt-lookup")
@@ -110,13 +113,17 @@ def build_sections(
     if include_serve:
         from repro.serve import bench
 
-        serve_jobs = bench.jobs(quick=quick, seed=seed, policy=policy)
+        backends = (backend,)
+        serve_jobs = bench.jobs(
+            quick=quick, seed=seed, policy=policy, backends=backends
+        )
         # Structured scenarios exercising the paged-KV scheduling features:
         # shared-prefix adoption (chat/agent) under a chunked-prefill budget.
         serve_jobs += bench.jobs(
             quick=quick,
             seed=seed,
             policy=policy,
+            backends=backends,
             scenarios=("chat-multiturn", "agent-fanout"),
             normalizers=("baseline",),
             prefix_caching=True,
@@ -133,6 +140,7 @@ def build_sections(
                 quick=quick,
                 seed=seed,
                 policy=policy,
+                backends=backends,
                 scenarios=bench.SPEC_SCENARIOS,
                 normalizers=("baseline",),
                 decode_strategies=("one-token", decode_strategy),
@@ -160,6 +168,7 @@ def run_all(
     decode_strategy: str = "one-token",
     ngram: int | None = None,
     max_draft: int | None = None,
+    backend: str = "reference",
 ) -> dict[str, object]:
     """Run every experiment; returns the raw rows keyed by experiment name.
 
@@ -192,6 +201,9 @@ def run_all(
     decode_strategy / ngram / max_draft:
         ``--decode-strategy prompt-lookup`` adds paired one-token vs
         speculative serve cells on the copy-heavy grid.
+    backend:
+        Execution backend of every serve cell (``--backend``); tokens are
+        backend-invariant, so only the timing columns move.
     """
     stream = stream or sys.stdout
     sections = build_sections(
@@ -203,6 +215,7 @@ def run_all(
         decode_strategy=decode_strategy,
         ngram=ngram,
         max_draft=max_draft,
+        backend=backend,
     )
     flat = [job for _, group in sections for job in group]
     cache = ResultCache(cache_dir) if use_cache else None
@@ -268,6 +281,11 @@ def main(argv: list[str] | None = None) -> int:
         "--max-draft", type=int, default=None, metavar="K",
         help="max draft tokens verified per speculative step",
     )
+    parser.add_argument(
+        "--backend", default="reference",
+        choices=("reference", "compiled"),
+        help="execution backend of the serve-bench section's engine",
+    )
     add_engine_arguments(parser)
     args = parser.parse_args(argv)
     run_all(
@@ -282,6 +300,7 @@ def main(argv: list[str] | None = None) -> int:
         decode_strategy=args.decode_strategy,
         ngram=args.ngram,
         max_draft=args.max_draft,
+        backend=args.backend,
     )
     return 0
 

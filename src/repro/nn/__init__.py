@@ -22,9 +22,19 @@ same experiment end to end in NumPy:
   small training loop so the evaluation runs on a *trained* model rather
   than random weights.
 * :mod:`~repro.nn.generation` — greedy / top-k sampling for the examples.
+* :mod:`~repro.nn.executor` — pluggable execution backends (``reference``
+  and the pre-fused ``compiled`` plan); byte-identical tokens, faster
+  dispatch.
 """
 
 from repro.nn.config import OPT_CONFIGS, OPTConfig
+from repro.nn.executor import (
+    EXECUTORS,
+    CompiledExecutor,
+    ModelExecutor,
+    ReferenceExecutor,
+    resolve_executor,
+)
 from repro.nn.model import OPTLanguageModel
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
 from repro.nn.attention import MultiHeadSelfAttention
@@ -35,9 +45,14 @@ from repro.nn.generation import generate, generate_batch
 from repro.nn.kv_cache import KVCache, LayerKVCache
 
 __all__ = [
+    "EXECUTORS",
+    "CompiledExecutor",
     "KVCache",
     "LayerKVCache",
+    "ModelExecutor",
+    "ReferenceExecutor",
     "generate_batch",
+    "resolve_executor",
     "Adam",
     "Dropout",
     "Embedding",

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.executor import resolve_executor
 from repro.nn.functional import softmax
 from repro.nn.model import OPTLanguageModel
 
@@ -77,6 +78,7 @@ def generate(
     rng: np.random.Generator | None = None,
     use_cache: bool = True,
     stop_tokens=None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Generate tokens autoregressively from a prompt.
 
@@ -111,6 +113,9 @@ def generate(
         Optional token id, or iterable of ids, that end generation early.
         A produced stop token is kept as the final output token and no
         further forward passes run.
+    backend:
+        Execution backend (:data:`~repro.nn.executor.EXECUTORS` name or
+        instance; ``None`` = reference).  Backends never change a token.
 
     Returns
     -------
@@ -122,6 +127,7 @@ def generate(
     rng = rng or np.random.default_rng()
     stops = _stop_set(stop_tokens)
     model.eval()
+    executor = resolve_executor(backend, model)
     tokens = list(np.asarray(prompt_ids, dtype=np.int64).reshape(-1))
     if not tokens:
         raise ValueError("prompt_ids must contain at least one token")
@@ -132,7 +138,7 @@ def generate(
     if not use_cache:
         for _ in range(max_new_tokens):
             context = np.asarray(tokens[-max_pos:], dtype=np.int64)[None, :]
-            logits = model(context)[0, -1]
+            logits = executor.forward(context)[0, -1]
             tokens.append(select_token(logits, temperature, top_k, rng))
             if tokens[-1] in stops:
                 break
@@ -140,7 +146,7 @@ def generate(
 
     cache = model.new_kv_cache()
     context = np.asarray(tokens[-max_pos:], dtype=np.int64)[None, :]
-    logits = model.forward_with_cache(context, cache, last_only=True)[0, -1]
+    logits = executor.forward_with_cache(context, cache, last_only=True)[0, -1]
     produced = 0
     while produced < max_new_tokens:
         tokens.append(select_token(logits, temperature, top_k, rng))
@@ -150,13 +156,13 @@ def generate(
         if cache.seq_len >= max_pos:
             break  # window slid past max_position: the cache can't help anymore
         new = np.asarray([[tokens[-1]]], dtype=np.int64)
-        logits = model.forward_with_cache(new, cache, last_only=True)[0, -1]
+        logits = executor.forward_with_cache(new, cache, last_only=True)[0, -1]
     # Sliding-window tail: once the context exceeds max_position every step
     # needs a full-window forward regardless, so run the remaining steps
     # through the fast BLAS path (identical to use_cache=False).
     for _ in range(max_new_tokens - produced):
         context = np.asarray(tokens[-max_pos:], dtype=np.int64)[None, :]
-        logits = model(context)[0, -1]
+        logits = executor.forward(context)[0, -1]
         tokens.append(select_token(logits, temperature, top_k, rng))
         if tokens[-1] in stops:
             break
@@ -172,6 +178,7 @@ def generate_batch(
     rng: np.random.Generator | None = None,
     stop_tokens=None,
     pad_token_id: int = 0,
+    backend: str | None = None,
 ) -> np.ndarray:
     """KV-cached batched decoding of several equal-length prompts.
 
@@ -202,6 +209,9 @@ def generate_batch(
         batch, shrinking the per-step cost as sequences retire).
     pad_token_id:
         Filler for positions after a row's stop token (default 0).
+    backend:
+        Execution backend (:data:`~repro.nn.executor.EXECUTORS` name or
+        instance; ``None`` = reference).  Backends never change a token.
 
     Returns
     -------
@@ -217,6 +227,7 @@ def generate_batch(
             f"prompt_ids must be (batch, prompt_len >= 1), got shape {prompts.shape}"
         )
     model.eval()
+    executor = resolve_executor(backend, model)
     batch = prompts.shape[0]
     if max_new_tokens == 0:
         return prompts.copy()
@@ -232,7 +243,7 @@ def generate_batch(
 
     sequences = prompts.copy()  # rows of `active`, in cache-row order
     cache = model.new_kv_cache()
-    logits = model.forward_with_cache(sequences[:, -max_pos:], cache, last_only=True)[:, -1]
+    logits = executor.forward_with_cache(sequences[:, -max_pos:], cache, last_only=True)[:, -1]
     for step in range(max_new_tokens):
         next_tokens = np.asarray(
             [
@@ -257,7 +268,7 @@ def generate_batch(
                 cache.select_rows(keep)
         if cache.seq_len >= max_pos:
             cache = model.new_kv_cache()
-            logits = model.forward_with_cache(sequences[:, -max_pos:], cache, last_only=True)[:, -1]
+            logits = executor.forward_with_cache(sequences[:, -max_pos:], cache, last_only=True)[:, -1]
         else:
-            logits = model.forward_with_cache(next_tokens[:, None], cache, last_only=True)[:, -1]
+            logits = executor.forward_with_cache(next_tokens[:, None], cache, last_only=True)[:, -1]
     return out

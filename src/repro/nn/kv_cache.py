@@ -76,6 +76,11 @@ class LayerKVCache:
         return self._len
 
     @property
+    def kv_fmt(self) -> FloatFormat | None:
+        """Storage format K/V are quantized to on write (``None`` = fp64)."""
+        return self._fmt
+
+    @property
     def capacity(self) -> int:
         """Allocated token positions (>= :attr:`seq_len`)."""
         return 0 if self._k_buf is None else self._k_buf.shape[2]
@@ -121,6 +126,21 @@ class LayerKVCache:
         if self._fmt is not None:
             k = quantize(k, self._fmt)
             v = quantize(v, self._fmt)
+        return self._write(k, v)
+
+    def append_raw(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Append K/V that are **already** in :attr:`kv_fmt` storage bytes.
+
+        Fast path for executors that quantize a whole step's K/V in one
+        vectorized call and append per-row slices: validation and the
+        per-call quantize are skipped.  Because :func:`quantize` is
+        elementwise and idempotent, the bytes written here are identical to
+        routing the raw values through :meth:`append`.
+        """
+        return self._write(k, v)
+
+    def _write(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        batch, heads, new, head_dim = k.shape
         if self._len + new > self.capacity:
             self._grow(batch, heads, head_dim, self._len + new)
         self._k_buf[:, :, self._len : self._len + new] = k

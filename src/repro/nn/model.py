@@ -77,6 +77,10 @@ class OPTLanguageModel(Module):
         #: True when weights may have changed since the last eval() refresh
         #: (set by construction, train(), and load_state_dict()).
         self._weights_dirty = True
+        #: Monotonic counter bumped whenever a compiled execution plan built
+        #: against this model could go stale (policy swap, weight reload,
+        #: train/eval transitions).  Executors compare it to their plan.
+        self._plan_version = 0
         self.set_policy(config.policy if policy is None else policy)
 
     # -- forward -------------------------------------------------------------------
@@ -330,6 +334,7 @@ class OPTLanguageModel(Module):
 
     def train(self) -> "OPTLanguageModel":
         self._weights_dirty = True
+        self._plan_version += 1
         return super().train()
 
     def eval(self) -> "OPTLanguageModel":
@@ -343,11 +348,13 @@ class OPTLanguageModel(Module):
             if self.policy.normalizer is not None:
                 self._install_normalizers(self.policy)
             self._weights_dirty = False
+            self._plan_version += 1
         return super().eval()
 
     def load_state_dict(self, state) -> None:
         super().load_state_dict(state)
         self._weights_dirty = True
+        self._plan_version += 1
 
     # -- precision policy ------------------------------------------------------------
     @property
@@ -379,6 +386,7 @@ class OPTLanguageModel(Module):
         for module in self.modules():
             module.ops = ops
         self._install_normalizers(policy)
+        self._plan_version += 1
 
     def _install_normalizers(self, policy: PrecisionPolicy) -> None:
         """(Re)bind the policy's normalizer to each LayerNorm's gamma/beta.

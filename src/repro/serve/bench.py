@@ -42,6 +42,13 @@ streams are byte-identical (they must be; every row carries a
 proves it).  The copy-heavy ``summarize-copy`` scenario is the designed
 best case; CI uploads the comparison as ``BENCH_serve_spec.json``.
 
+With ``--backend compiled`` every cell is likewise paired with a
+reference-backend twin and the payload gains ``backend_comparison``:
+per-cell digest equality (the compiled executor may only change
+tokens/sec, never a token) plus the measured throughput ratio.
+``--policies a,b,c`` sweeps the pairing over several precision presets in
+one artifact — the recipe behind ``BENCH_executor.json``.
+
 Timing metrics are measured wall-clock compute (virtual clock); token
 counts and finish reasons are deterministic per seed.  Benchmarks are run
 with the result cache *disabled by default* — replaying stored timings
@@ -60,6 +67,7 @@ import numpy as np
 from repro.baselines.registry import VARIANT_PRESETS
 from repro.engine import Job, ResultCache, run_jobs
 from repro.nn.config import get_config
+from repro.nn.executor import EXECUTORS
 from repro.nn.model import OPTLanguageModel
 from repro.serve.decode import resolve_strategy
 from repro.serve.engine import ServeEngine
@@ -119,6 +127,7 @@ def run_scenario(
     ngram: int | None = None,
     max_draft: int | None = None,
     copy_rate: float | None = None,
+    backend: str = "reference",
 ) -> tuple[dict, str]:
     """Serve one scenario under one normalizer; returns ``(rows, text)``.
 
@@ -133,7 +142,9 @@ def run_scenario(
     (see :class:`~repro.serve.engine.ServeEngine`); none of them changes
     the served tokens — the row's ``token_digest`` checksums the full
     output so artifacts can prove it.  ``copy_rate`` tunes the copied
-    fraction of a ``"copy"``-structured scenario's prompts.
+    fraction of a ``"copy"``-structured scenario's prompts.  ``backend``
+    selects the execution backend (``"reference"`` or ``"compiled"``);
+    like the scheduling knobs it changes timings only, never a token.
     """
     if normalizer not in NORMALIZER_VARIANTS:
         known = ", ".join(sorted(NORMALIZER_VARIANTS))
@@ -168,6 +179,7 @@ def run_scenario(
         decode_strategy=resolve_strategy(
             decode_strategy, ngram=ngram, max_draft=max_draft
         ),
+        backend=backend,
     )
     report = engine.serve(workload)
 
@@ -187,13 +199,14 @@ def run_scenario(
         "ngram": ngram,
         "max_draft": max_draft,
         "copy_rate": copy_rate,
+        "backend": backend,
         "token_digest": _token_digest(report.completed),
         "metrics": report.metrics,
         "pool": report.pool_stats,
     }
     metrics = report.metrics
     text = (
-        f"{scenario:14s} {normalizer:10s} {decode_strategy:13s} "
+        f"{scenario:14s} {normalizer:10s} {decode_strategy:13s} {backend:9s} "
         f"{metrics['tokens_per_second']:9.1f} tok/s  "
         f"ttft p50 {metrics['ttft_s']['p50'] * 1e3:7.2f} ms  "
         f"p99 {metrics['ttft_s']['p99'] * 1e3:7.2f} ms  "
@@ -215,67 +228,104 @@ def jobs(
     normalizers=DEFAULT_NORMALIZERS,
     policy: str = "fp64-ref",
     decode_strategies=("one-token",),
+    policies=None,
+    backends=("reference",),
     **params,
 ) -> list[Job]:
-    """One engine job per (scenario, normalizer, strategy) cell.
+    """One engine job per (scenario, normalizer, policy, strategy, backend).
 
     Extra ``params`` (``prefix_caching``, ``prefill_budget``,
     ``priority_mix``, ``ngram``, ``max_draft``, ...) are forwarded into
     every cell — and into its cache key, so differently configured cells
     never collide.  ``decode_strategies`` is usually the single default;
     the speculative comparison grid passes ``("one-token",
-    "prompt-lookup")`` so each cell gets a paired baseline.
+    "prompt-lookup")`` so each cell gets a paired baseline.  ``policies``
+    (when given) overrides the single ``policy`` with a sweep axis, and
+    ``backends`` does the same for execution backends — the
+    executor-parity grid pairs ``("reference", "compiled")`` cells so the
+    artifact can prove digest equality per precision preset.
     """
     names = list(scenarios) if scenarios else list(DEFAULT_SCENARIOS)
     for name in names:
         if name not in SCENARIOS:
             known = ", ".join(sorted(SCENARIOS))
             raise KeyError(f"unknown scenario {name!r}; known: {known}")
+    policy_list = tuple(policies) if policies else (policy,)
     declared = []
     for scenario in names:
         for normalizer in normalizers:
-            for strategy in decode_strategies:
-                cell = dict(params)
-                if strategy != "prompt-lookup":
-                    # ngram/max_draft configure prompt-lookup only; a
-                    # one-token baseline cell must not inherit them.
-                    cell.pop("ngram", None)
-                    cell.pop("max_draft", None)
-                declared.append(
-                    Job(
-                        name=f"serve[{scenario}/{normalizer}/{strategy}]",
-                        target="repro.serve.bench:run_scenario",
-                        params={
-                            "scenario": scenario,
-                            "normalizer": normalizer,
-                            "quick": bool(quick),
-                            "policy": policy,
-                            "decode_strategy": strategy,
-                            **cell,
-                        },
-                        seed=seed,
-                    )
-                )
+            for cell_policy in policy_list:
+                for strategy in decode_strategies:
+                    for backend in backends:
+                        cell = dict(params)
+                        if strategy != "prompt-lookup":
+                            # ngram/max_draft configure prompt-lookup only; a
+                            # one-token baseline cell must not inherit them.
+                            cell.pop("ngram", None)
+                            cell.pop("max_draft", None)
+                        name = f"serve[{scenario}/{normalizer}/{strategy}]"
+                        if len(policy_list) > 1:
+                            name = (
+                                f"serve[{scenario}/{normalizer}/"
+                                f"{cell_policy}/{strategy}]"
+                            )
+                        if backend != "reference":
+                            name += f"[{backend}]"
+                        declared.append(
+                            Job(
+                                name=name,
+                                target="repro.serve.bench:run_scenario",
+                                params={
+                                    "scenario": scenario,
+                                    "normalizer": normalizer,
+                                    "quick": bool(quick),
+                                    "policy": cell_policy,
+                                    "decode_strategy": strategy,
+                                    "backend": backend,
+                                    **cell,
+                                },
+                                seed=seed,
+                            )
+                        )
     return declared
 
 
+def _reference_rows(results: list[dict]) -> list[dict]:
+    """The rows served by the reference backend (the comparison baselines)."""
+    return [r for r in results if r.get("backend", "reference") == "reference"]
+
+
+def _multi_policy(results: list[dict]) -> bool:
+    return len({row.get("policy") for row in results}) > 1
+
+
 def _comparison(results: list[dict]) -> dict:
-    """Per-scenario normalizer deltas relative to the baseline cells."""
+    """Per-scenario normalizer deltas relative to the baseline cells.
+
+    Backend deltas live in ``backend_comparison``; only reference-backend
+    rows are compared here.  With a multi-policy grid the cell keys gain a
+    ``/policy`` suffix so presets never collapse onto each other.
+    """
+    rows = _reference_rows(results)
+    multi = _multi_policy(rows)
     baselines = {
-        row["scenario"]: row
-        for row in results
+        (row["scenario"], row.get("policy")): row
+        for row in rows
         if row["normalizer"] == "baseline"
         and row.get("decode_strategy", "one-token") == "one-token"
     }
     comparison: dict[str, dict] = {}
-    for row in results:
+    for row in rows:
         if row.get("decode_strategy", "one-token") != "one-token":
             continue  # strategy deltas live in spec_comparison
-        base = baselines.get(row["scenario"])
+        base = baselines.get((row["scenario"], row.get("policy")))
         if base is None or row is base:
             continue
         base_tps = base["metrics"]["tokens_per_second"]
-        comparison.setdefault(row["scenario"], {})[row["normalizer"]] = {
+        cell = row["scenario"]
+        if multi:
+            cell = f"{row['scenario']}/{row.get('policy')}"
+        comparison.setdefault(cell, {})[row["normalizer"]] = {
             "tokens_per_second_ratio": (
                 row["metrics"]["tokens_per_second"] / base_tps if base_tps else None
             ),
@@ -299,9 +349,17 @@ def _spec_comparison(results: list[dict]) -> dict:
     ``tokens_match`` compares the paired cells' token digests — the
     served streams must be byte-identical, since greedy verification
     accepts exactly the tokens one-token decoding would have produced.
+    Each speculative row is compared against the one-token baseline of
+    its *own* backend and policy.
     """
+    multi = _multi_policy(results)
     baselines = {
-        (row["scenario"], row["normalizer"]): row
+        (
+            row["scenario"],
+            row["normalizer"],
+            row.get("policy"),
+            row.get("backend", "reference"),
+        ): row
         for row in results
         if row.get("decode_strategy", "one-token") == "one-token"
     }
@@ -310,11 +368,18 @@ def _spec_comparison(results: list[dict]) -> dict:
         strategy = row.get("decode_strategy", "one-token")
         if strategy == "one-token":
             continue
-        base = baselines.get((row["scenario"], row["normalizer"]))
+        backend = row.get("backend", "reference")
+        base = baselines.get(
+            (row["scenario"], row["normalizer"], row.get("policy"), backend)
+        )
         if base is None:
             continue
         base_tps = base["metrics"]["tokens_per_second"]
         cell = f"{row['scenario']}/{row['normalizer']}"
+        if multi:
+            cell += f"/{row.get('policy')}"
+        if backend != "reference":
+            cell += f"/{backend}"
         comparison.setdefault(cell, {})[strategy] = {
             "tokens_match": row["token_digest"] == base["token_digest"],
             "tokens_per_second_ratio": (
@@ -327,6 +392,56 @@ def _spec_comparison(results: list[dict]) -> dict:
             ),
             "acceptance_rate": row["metrics"]["acceptance_rate"],
             "decode_tokens_per_step": row["metrics"]["decode_tokens_per_step"],
+        }
+    return comparison
+
+
+def _backend_comparison(results: list[dict]) -> dict:
+    """Compiled-vs-reference deltas per (scenario, normalizer, policy) cell.
+
+    Every non-reference row is paired with the reference-backend run of the
+    identical cell (same scenario, normalizer, policy, strategy, seed —
+    identical traffic).  ``tokens_match`` compares the two runs' token
+    digests: a backend may only change tokens/sec, so a ``False`` here
+    means the fused plan broke bit-exactness and the artifact itself
+    proves it.  ``tokens_per_second_ratio`` > 1 is the backend's measured
+    uplift.
+    """
+    baselines = {
+        (
+            row["scenario"],
+            row["normalizer"],
+            row.get("policy"),
+            row.get("decode_strategy", "one-token"),
+        ): row
+        for row in results
+        if row.get("backend", "reference") == "reference"
+    }
+    multi_strategy = (
+        len({row.get("decode_strategy", "one-token") for row in results}) > 1
+    )
+    comparison: dict[str, dict] = {}
+    for row in results:
+        backend = row.get("backend", "reference")
+        if backend == "reference":
+            continue
+        strategy = row.get("decode_strategy", "one-token")
+        base = baselines.get(
+            (row["scenario"], row["normalizer"], row.get("policy"), strategy)
+        )
+        if base is None:
+            continue
+        base_tps = base["metrics"]["tokens_per_second"]
+        cell = f"{row['scenario']}/{row['normalizer']}/{row.get('policy')}"
+        if multi_strategy:
+            cell += f"/{strategy}"
+        comparison.setdefault(cell, {})[backend] = {
+            "tokens_match": row["token_digest"] == base["token_digest"],
+            "tokens_per_second": row["metrics"]["tokens_per_second"],
+            "reference_tokens_per_second": base_tps,
+            "tokens_per_second_ratio": (
+                row["metrics"]["tokens_per_second"] / base_tps if base_tps else None
+            ),
         }
     return comparison
 
@@ -352,6 +467,8 @@ def run_bench(
     ngram: int | None = None,
     max_draft: int | None = None,
     copy_rate: float | None = None,
+    backend: str = "reference",
+    policies=None,
 ) -> tuple[dict, str]:
     """Run the full scenario × normalizer grid and write ``out_path``.
 
@@ -367,8 +484,23 @@ def run_bench(
     the grid into a paired comparison: every cell also runs its one-token
     baseline (default scenarios then switch to the copy-heavy
     :data:`SPEC_SCENARIOS`) and the payload gains ``spec_comparison``.
+    Analogously, a non-reference ``backend`` pairs every cell with its
+    reference-backend twin and the payload gains ``backend_comparison``
+    (digest equality plus throughput ratio per cell) — with ``policies``
+    the pairing sweeps each listed precision preset, which is how the
+    ``BENCH_executor.json`` artifact is produced.
     """
     stream = stream or sys.stdout
+    if backend not in EXECUTORS:
+        known = ", ".join(sorted(EXECUTORS))
+        raise ValueError(f"unknown --backend {backend!r} (known: {known})")
+    if ngram is not None and ngram < 1:
+        raise ValueError(f"--ngram must be >= 1, got {ngram}")
+    if max_draft is not None and max_draft < 0:
+        raise ValueError(
+            f"--max-draft must be >= 0, got {max_draft} "
+            "(0 degrades to one-token decoding)"
+        )
     knobs = {}
     if prefix_caching:
         knobs["prefix_caching"] = True
@@ -399,9 +531,16 @@ def run_bench(
         strategies = ("one-token", decode_strategy)
         if scenarios is None:
             scenarios = SPEC_SCENARIOS
+    if backend == "reference":
+        backends = ("reference",)
+    else:
+        # Paired reference twin per cell: backend_comparison proves digest
+        # equality and measures the uplift against identical traffic.
+        backends = ("reference", backend)
     declared = jobs(
         quick=quick, seed=seed, scenarios=scenarios, normalizers=normalizers,
-        policy=policy, decode_strategies=strategies, **knobs,
+        policy=policy, decode_strategies=strategies, policies=policies,
+        backends=backends, **knobs,
     )
     cache = ResultCache(cache_dir) if use_cache else None
     outcomes = run_jobs(
@@ -410,9 +549,9 @@ def run_bench(
 
     results = [outcome.rows for outcome in outcomes]
     lines = [
-        "scenario       normalizer   strategy          tokens/s       TTFT p50 /"
-        "    p99        ITL p50   queue   pool      prefix    preempt"
-        "    speculation",
+        "scenario       normalizer   strategy      backend        tokens/s"
+        "       TTFT p50 /    p99        ITL p50   queue   pool      prefix"
+        "    preempt    speculation",
     ]
     lines += [outcome.text for outcome in outcomes]
     payload = {
@@ -430,12 +569,15 @@ def run_bench(
             "ngram": ngram,
             "max_draft": max_draft,
             "copy_rate": copy_rate,
+            "backend": backend,
+            "policies": list(policies) if policies else None,
             "model": results[0]["model"] if results else None,
             "max_batch_size": results[0]["max_batch_size"] if results else None,
         },
         "results": results,
         "comparison": _comparison(results),
         "spec_comparison": _spec_comparison(results),
+        "backend_comparison": _backend_comparison(results),
     }
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)

@@ -87,7 +87,10 @@ class PromptLookupSpeculator:
     max_draft:
         Cap on proposed draft tokens per step (the K of a K-token verify
         forward).  Larger drafts amortize more fixed cost when accepted
-        but waste more forward lanes when rejected.
+        but waste more forward lanes when rejected.  ``0`` is allowed and
+        degrades cleanly to one-token decoding (every proposal is empty);
+        an ``ngram`` longer than the available history simply backs off,
+        so neither setting can build an empty draft chunk.
     """
 
     name = "prompt-lookup"
@@ -95,8 +98,8 @@ class PromptLookupSpeculator:
     def __init__(self, ngram: int = 3, max_draft: int = 4) -> None:
         if ngram < 1:
             raise ValueError(f"ngram must be >= 1, got {ngram}")
-        if max_draft < 1:
-            raise ValueError(f"max_draft must be >= 1, got {max_draft}")
+        if max_draft < 0:
+            raise ValueError(f"max_draft must be >= 0, got {max_draft}")
         self.ngram = int(ngram)
         self.max_draft = int(max_draft)
 

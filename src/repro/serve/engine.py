@@ -64,6 +64,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.nn.executor import resolve_executor
 from repro.nn.generation import select_token
 from repro.nn.model import OPTLanguageModel
 from repro.serve.decode import DecodeStrategy, resolve_strategy
@@ -145,6 +146,11 @@ class ServeEngine:
         Monotonic-seconds callable used to measure step durations
         (default :func:`time.perf_counter`); inject a fake for
         deterministic tests.
+    backend:
+        Execution backend: a :class:`~repro.nn.executor.ModelExecutor`
+        instance or registered name (``"reference"`` default,
+        ``"compiled"``).  Backends change tokens/sec only — never a
+        single served token.
     """
 
     def __init__(
@@ -158,9 +164,12 @@ class ServeEngine:
         max_blocks: int | None = None,
         decode_strategy: DecodeStrategy | str | None = None,
         timer=None,
+        backend: str | None = None,
     ) -> None:
         model.eval()
         self.model = model
+        self.executor = resolve_executor(backend, model)
+        self.backend = self.executor.name
         self.decode_strategy = resolve_strategy(decode_strategy)
         self.prefix_caching = bool(prefix_caching)
         if max_blocks is not None:
@@ -308,7 +317,7 @@ class ServeEngine:
             # changes the bytes of the narrower slice (per-position
             # deterministic projection).
             last_k = max(1 + len(draft) for _, _, _, draft in ragged)
-            logits = self.model.forward_ragged(
+            logits = self.executor.forward_ragged(
                 token_matrix, caches, new_lens, last_k=last_k
             )
             for row, (state, chunk, final, draft) in enumerate(ragged):
@@ -337,7 +346,7 @@ class ServeEngine:
                     outcome.decode_tokens += 1
         for state in plan.slid:
             context = np.asarray(state.tokens[-max_pos:], dtype=np.int64)[None, :]
-            row_logits = self.model(context)[0, -1]
+            row_logits = self.executor.forward(context)[0, -1]
             outcome.emitted.append((state, [self._sample(state, row_logits)]))
             outcome.decode_rows += 1
             outcome.decode_tokens += 1

@@ -584,8 +584,16 @@ class _LayerView:
     def seq_len(self) -> int:
         return self.seq._layer_len[self.layer]
 
+    @property
+    def kv_fmt(self):
+        """Storage format K/V are quantized to on write (``None`` = fp64)."""
+        return self.seq.pool.kv_fmt
+
     def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         return self.seq.append_many(self.layer, k, v)
+
+    def append_raw(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self.seq.append_raw(self.layer, k, v)
 
 
 class SequenceKV:
@@ -698,6 +706,26 @@ class SequenceKV:
             # keeping pooled and private caches bit-identical per policy.
             k = quantize(k, self.pool.kv_fmt)
             v = quantize(v, self.pool.kv_fmt)
+        return self._write_chunk(layer, k, v)
+
+    def append_raw(
+        self, layer: int, k: np.ndarray, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Write a chunk whose bytes are **already** in :attr:`BlockKVPool.kv_fmt`.
+
+        Fast path for executors that quantize a whole step's K/V once and
+        append per-row slices; quantize is elementwise and idempotent, so
+        the stored bytes equal routing the raw chunk through
+        :meth:`append_many`.  Validation is skipped — callers own the
+        shape contract.
+        """
+        if self._released:
+            raise RuntimeError("SequenceKV used after release()")
+        return self._write_chunk(layer, k, v)
+
+    def _write_chunk(
+        self, layer: int, k: np.ndarray, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         bs = self.pool.block_size
         start = self._layer_len[layer]
         end = start + k.shape[2]

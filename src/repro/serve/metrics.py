@@ -33,13 +33,23 @@ PERCENTILES = (50, 90, 99)
 
 
 def _distribution(values) -> dict[str, float]:
-    """Mean plus the standard percentiles of a sample (NaNs when empty)."""
+    """Mean plus the standard percentiles of a sample.
+
+    An empty sample — e.g. ``inter_token_latency_s`` when no request ever
+    produced a second token, or a priority class that completed nothing —
+    reports ``0.0`` everywhere, with ``count == 0`` so consumers can tell
+    "no data" from "instantaneous".  This keeps :meth:`MetricsRecorder.summary`
+    NaN-free by construction: ``NaN`` is not valid JSON and used to leak
+    into the ``BENCH_serve*.json`` artifacts on draft-free or pure-prefill
+    runs.
+    """
     arr = np.asarray(list(values), dtype=np.float64)
+    out = {"count": int(arr.size)}
     if arr.size == 0:
-        out = {"mean": float("nan")}
-        out.update({f"p{p}": float("nan") for p in PERCENTILES})
+        out["mean"] = 0.0
+        out.update({f"p{p}": 0.0 for p in PERCENTILES})
         return out
-    out = {"mean": float(np.mean(arr))}
+    out["mean"] = float(np.mean(arr))
     for p in PERCENTILES:
         out[f"p{p}"] = float(np.percentile(arr, p))
     return out

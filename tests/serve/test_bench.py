@@ -268,6 +268,73 @@ class TestRunBench:
         assert isinstance(comparison["tokens_generated_delta"], int)
 
 
+class TestBackendAxis:
+    def test_compiled_cell_matches_reference_digest(self):
+        """Same seed + scenario: the compiled executor serves identical
+        tokens, so the content digests pair up across backends."""
+        ref, _ = run_scenario(
+            scenario="steady", normalizer="baseline", quick=True,
+            num_requests=4, seed=0, policy="bf16-fp8kv",
+        )
+        comp, text = run_scenario(
+            scenario="steady", normalizer="baseline", quick=True,
+            num_requests=4, seed=0, policy="bf16-fp8kv", backend="compiled",
+        )
+        assert ref["backend"] == "reference"
+        assert comp["backend"] == "compiled"
+        assert comp["token_digest"] == ref["token_digest"]
+        assert "compiled" in text
+        json.dumps(comp)
+
+    def test_backend_jobs_pair_reference_twins(self):
+        declared = jobs(
+            quick=True, scenarios=("steady",), normalizers=("baseline",),
+            backends=("reference", "compiled"),
+        )
+        assert len(declared) == 2
+        by_backend = {job.params["backend"]: job for job in declared}
+        assert set(by_backend) == {"reference", "compiled"}
+        assert by_backend["compiled"].name.endswith("[compiled]")
+
+    def test_backend_bench_comparison(self, tmp_path):
+        out = tmp_path / "BENCH_executor.json"
+        payload, _ = run_bench(
+            quick=True,
+            seed=0,
+            out_path=str(out),
+            scenarios=("steady",),
+            normalizers=("baseline",),
+            backend="compiled",
+            stream=open("/dev/null", "w"),
+        )
+        assert payload["config"]["backend"] == "compiled"
+        assert len(payload["results"]) == 2  # paired reference twin ran too
+        cell = payload["backend_comparison"]["steady/baseline/fp64-ref"]["compiled"]
+        assert cell["tokens_match"] is True
+        assert cell["tokens_per_second"] > 0
+        assert cell["reference_tokens_per_second"] > 0
+        assert cell["tokens_per_second_ratio"] > 0
+
+    def test_policies_sweep_keys_comparison_per_preset(self, tmp_path):
+        out = tmp_path / "BENCH_executor.json"
+        payload, _ = run_bench(
+            quick=True,
+            seed=0,
+            out_path=str(out),
+            scenarios=("steady",),
+            normalizers=("baseline",),
+            backend="compiled",
+            policies=("fp64-ref", "bf16-fp8kv"),
+            stream=open("/dev/null", "w"),
+        )
+        comparison = payload["backend_comparison"]
+        assert set(comparison) == {
+            "steady/baseline/fp64-ref", "steady/baseline/bf16-fp8kv"
+        }
+        for cell in comparison.values():
+            assert cell["compiled"]["tokens_match"] is True
+
+
 class TestKnobGuards:
     def test_spec_knobs_without_strategy_rejected(self, tmp_path):
         from repro.serve.bench import run_bench as rb
@@ -282,3 +349,42 @@ class TestKnobGuards:
                 max_draft=8,
                 stream=open("/dev/null", "w"),
             )
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="--backend"):
+            run_bench(
+                quick=True, seed=0, out_path=str(tmp_path / "x.json"),
+                scenarios=("steady",), normalizers=("baseline",),
+                backend="vectorized", stream=open("/dev/null", "w"),
+            )
+
+    def test_bad_speculation_knobs_rejected_up_front(self, tmp_path):
+        with pytest.raises(ValueError, match="--ngram"):
+            run_bench(
+                quick=True, seed=0, out_path=str(tmp_path / "x.json"),
+                scenarios=("steady",), normalizers=("baseline",),
+                decode_strategy="prompt-lookup", ngram=0,
+                stream=open("/dev/null", "w"),
+            )
+        with pytest.raises(ValueError, match="--max-draft"):
+            run_bench(
+                quick=True, seed=0, out_path=str(tmp_path / "x.json"),
+                scenarios=("steady",), normalizers=("baseline",),
+                decode_strategy="prompt-lookup", max_draft=-1,
+                stream=open("/dev/null", "w"),
+            )
+
+    def test_cli_turns_flag_mistakes_into_usage_errors(self, tmp_path, capsys):
+        """A bad flag combination exits with a one-line message, not a
+        traceback (the satellite hardening for serve-bench)."""
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "serve-bench", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--decode-strategy", "prompt-lookup",
+                "--ngram", "0",
+            ])
+        assert "serve-bench:" in str(excinfo.value)
+        assert "--ngram" in str(excinfo.value)

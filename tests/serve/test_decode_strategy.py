@@ -109,7 +109,19 @@ class TestPromptLookupProposals:
         with pytest.raises(ValueError):
             PromptLookupSpeculator(ngram=0)
         with pytest.raises(ValueError):
-            PromptLookupSpeculator(max_draft=0)
+            PromptLookupSpeculator(max_draft=-1)
+
+    def test_max_draft_zero_proposes_nothing(self):
+        """``max_draft=0`` is legal and degrades to one-token decoding."""
+        spec = PromptLookupSpeculator(ngram=2, max_draft=0)
+        assert spec.propose(state_for([5, 6, 7, 8, 9, 1, 7, 8]), limit=8) == ()
+
+    def test_ngram_longer_than_history_backs_off(self):
+        """An oversized --ngram never crashes: the matcher backs off to the
+        longest n-gram the history can support."""
+        spec = PromptLookupSpeculator(ngram=50, max_draft=3)
+        draft = spec.propose(state_for([5, 6, 7, 8, 9, 1, 7, 8]), limit=8)
+        assert draft == (9, 1, 7)  # found via the bigram [7, 8]
 
     def test_resolve_strategy(self):
         assert isinstance(resolve_strategy(None), GreedyOneToken)
@@ -327,6 +339,23 @@ class TestOneTokenDefault:
 
 
 class TestSpeculationBudgets:
+    def test_max_draft_zero_serves_exactly_like_one_token(self, fixed_timer):
+        """The satellite degradation path: a zero draft budget never
+        speculates, emits exactly one token per decode step, and keeps the
+        served==generate contract with NaN-free metrics."""
+        model = make_model()
+        report = assert_served_equals_generate(
+            model,
+            copy_requests(count=4),
+            max_batch_size=2,
+            decode_strategy=PromptLookupSpeculator(max_draft=0),
+            timer=fixed_timer,
+        )
+        metrics = report.metrics
+        assert metrics["draft_proposed"] == 0
+        assert metrics["acceptance_rate"] == 0.0
+        assert metrics["decode_tokens_per_step"] == 1.0
+
     def test_draft_never_overshoots_max_new_tokens(self, fixed_timer):
         """A request one token from its budget gets no draft lanes."""
         model = make_model()

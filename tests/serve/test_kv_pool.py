@@ -237,6 +237,72 @@ class TestRollback:
         assert pool.cow_forks == forks
         assert seq.seq_len == 5
 
+    def test_rollback_to_exact_block_boundary_keeps_boundary_block(self):
+        """Rolling back to a length that exactly fills its last block must
+        keep that block (ceil division, not floor) and free only the rest."""
+        pool = make_pool()
+        seq = pool.sequence()
+        self._fill_all(seq, 8)  # exactly 2 full blocks
+        assert pool.blocks_in_use == 2
+        seq.rollback(4)  # back to 4 tokens: the boundary block stays
+        assert seq.seq_len == 4
+        assert len(seq.block_ids) == 1
+        assert pool.blocks_in_use == 1
+        np.testing.assert_array_equal(
+            seq.gather(0)[0], np.full((1, 2, 4, 4), 1.0)
+        )
+
+    def test_rollback_onto_shared_boundary_block_neither_frees_nor_forks(self):
+        """Rollback landing exactly on a shared block boundary: the still-
+        referenced boundary block survives untouched (no free, no COW fork —
+        future appends open a fresh block, so the cached bytes can't be hit)."""
+        pool = make_pool(prefix_caching=True)
+        writer = pool.sequence()
+        self._fill_all(writer, 8, value=5.0)  # 2 full blocks
+        writer.register_prefix(list(range(8)))
+        reader = pool.sequence()
+        assert reader.adopt_prefix(list(range(8))) == 8
+        boundary = reader.block_ids[0]
+        refs_before = pool.refcount(boundary)
+        forks_before = pool.cow_forks
+        reader.rollback(4)  # new length 4 == block_size: exact boundary
+        assert reader.seq_len == 4
+        assert reader.block_ids == [boundary]  # same physical block, no fork
+        assert pool.refcount(boundary) == refs_before
+        assert pool.cow_forks == forks_before
+        # Appending after the boundary rollback writes a *new* block and
+        # reproduces a fresh sequence bit-for-bit; the registered prefix
+        # bytes stay intact for the writer.
+        tail = np.full((1, 2, 3, 4), -2.0)
+        fresh = pool.sequence()
+        self._fill_all(fresh, 4, value=5.0)
+        for layer in range(pool.num_layers):
+            k_roll, v_roll = reader.layers[layer].append(tail, -tail)
+            k_ref, v_ref = fresh.layers[layer].append(tail, -tail)
+            np.testing.assert_array_equal(k_roll, k_ref)
+            np.testing.assert_array_equal(v_roll, v_ref)
+        np.testing.assert_array_equal(
+            writer.gather(0)[0], np.full((1, 2, 8, 4), 5.0)
+        )
+
+    def test_rollback_zero_is_noop_even_when_shared(self):
+        """rollback(0) must not free, fork, or touch refcounts — even on a
+        fully shared sequence."""
+        pool = make_pool(prefix_caching=True)
+        writer = pool.sequence()
+        self._fill_all(writer, 8, value=3.0)
+        writer.register_prefix(list(range(8)))
+        reader = pool.sequence()
+        reader.adopt_prefix(list(range(8)))
+        blocks = list(reader.block_ids)
+        refs = [pool.refcount(b) for b in blocks]
+        forks = pool.cow_forks
+        reader.rollback(0)
+        assert reader.seq_len == 8
+        assert reader.block_ids == blocks
+        assert [pool.refcount(b) for b in blocks] == refs
+        assert pool.cow_forks == forks
+
     def test_rollback_validation(self):
         pool = make_pool()
         seq = pool.sequence()
@@ -258,6 +324,55 @@ class TestRollback:
         seq.layers[0].append(k, k)  # layer 1 not yet appended
         with pytest.raises(RuntimeError):
             seq.rollback(1)
+
+
+class TestAppendRaw:
+    """The compiled executor's batched-quantize KV path: pre-quantized
+    bytes written through ``append_raw`` must equal quantize-on-write."""
+
+    def test_pooled_append_raw_matches_append(self):
+        from repro.fpformats.quantize import quantize
+
+        rng = np.random.default_rng(5)
+        pool = make_pool(kv_fmt="fp8_e4m3")
+        via_raw, via_append = pool.sequence(), pool.sequence()
+        for chunk in (5, 1, 3):
+            k = rng.normal(size=(1, 2, chunk, 4))
+            v = rng.normal(size=(1, 2, chunk, 4))
+            k_raw, v_raw = via_raw.append_raw(
+                0, quantize(k, pool.kv_fmt), quantize(v, pool.kv_fmt)
+            )
+            k_ref, v_ref = via_append.append_many(0, k, v)
+            np.testing.assert_array_equal(k_raw, k_ref)
+            np.testing.assert_array_equal(v_raw, v_ref)
+
+    def test_layer_view_exposes_fmt_and_raw_path(self):
+        pool = make_pool(kv_fmt="fp8_e4m3")
+        view = pool.sequence().layers[0]
+        assert view.kv_fmt is pool.kv_fmt
+        assert callable(view.append_raw)
+
+    def test_private_cache_append_raw_matches_append(self):
+        from repro.fpformats.quantize import quantize
+
+        rng = np.random.default_rng(6)
+        via_raw, via_append = LayerKVCache(fmt="fp8_e4m3"), LayerKVCache(fmt="fp8_e4m3")
+        for chunk in (4, 1, 1):
+            k = rng.normal(size=(1, 2, chunk, 4))
+            v = rng.normal(size=(1, 2, chunk, 4))
+            k_raw, v_raw = via_raw.append_raw(
+                quantize(k, via_raw.kv_fmt), quantize(v, via_raw.kv_fmt)
+            )
+            k_ref, v_ref = via_append.append(k, v)
+            np.testing.assert_array_equal(k_raw, k_ref)
+            np.testing.assert_array_equal(v_raw, v_ref)
+
+    def test_append_raw_rejects_released_sequence(self):
+        pool = make_pool()
+        seq = pool.sequence()
+        seq.release()
+        with pytest.raises(RuntimeError):
+            seq.append_raw(0, np.zeros((1, 2, 1, 4)), np.zeros((1, 2, 1, 4)))
 
 
 class TestFreeHardening:

@@ -31,13 +31,22 @@ def completed(rid, priority=0, arrival=0.0, first=1.0, finish=2.0, generated=3):
 
 
 class TestDistribution:
-    def test_empty_sample_is_all_nans(self):
+    def test_empty_sample_is_zeros_with_zero_count(self):
+        """No data reports 0.0 (valid JSON), distinguished by count == 0."""
         out = _distribution([])
-        assert set(out) == {"mean", *(f"p{p}" for p in PERCENTILES)}
-        assert all(math.isnan(v) for v in out.values())
+        assert set(out) == {"count", "mean", *(f"p{p}" for p in PERCENTILES)}
+        assert out["count"] == 0
+        assert out["mean"] == 0.0
+        for p in PERCENTILES:
+            assert out[f"p{p}"] == 0.0
+
+    def test_no_nans_anywhere(self):
+        for sample in ([], [0.5], [1.0, 2.0]):
+            assert not any(math.isnan(v) for v in _distribution(sample).values())
 
     def test_single_value_collapses_every_percentile(self):
         out = _distribution([0.25])
+        assert out["count"] == 1
         assert out["mean"] == 0.25
         for p in PERCENTILES:
             assert out[f"p{p}"] == 0.25
@@ -106,6 +115,16 @@ class TestSpeculationCounters:
         assert summary["draft_accepted"] == 3
         assert summary["acceptance_rate"] == 0.5
         assert summary["decode_tokens_per_step"] == 7 / 4
+
+    def test_empty_run_summary_is_strict_json(self):
+        """A run that completed nothing serializes with allow_nan=False —
+        the NaN-leak regression this satellite pins down."""
+        summary = MetricsRecorder().summary()
+        parsed = json.loads(json.dumps(summary, allow_nan=False))
+        assert parsed["inter_token_latency_s"]["count"] == 0
+        assert parsed["inter_token_latency_s"]["p99"] == 0.0
+        assert parsed["acceptance_rate"] == 0.0
+        assert parsed["decode_tokens_per_step"] == 0.0
 
     def test_summary_is_json_serializable(self):
         recorder = MetricsRecorder()

@@ -16,6 +16,10 @@ models:
   ``--policy`` serves under a named precision policy;
   ``--decode-strategy prompt-lookup`` compares speculative decoding
   against its one-token baseline on the copy-heavy grid).
+* ``cluster-bench`` — the multi-replica cluster serving benchmark
+  (replica counts x routing policies x scenarios, writes
+  ``BENCH_cluster.json``; ``prefix-affinity`` routing is compared
+  against the ``round-robin`` baseline per cell).
 * ``precision-sweep`` — the (precision policy x normalizer) grid of
   perplexity + serving cells (writes ``BENCH_precision.json``).
 * ``all``       — everything, in paper order.
@@ -133,6 +137,43 @@ def _cmd_serve_bench(args) -> None:
         raise SystemExit(f"serve-bench: {message}")
 
 
+def _cmd_cluster_bench(args) -> None:
+    from repro.cluster.bench import run_cluster_bench
+
+    try:
+        replicas = tuple(int(r) for r in args.replicas.split(","))
+    except ValueError:
+        raise SystemExit(
+            f"cluster-bench: --replicas must be a comma-separated list of "
+            f"integers, got {args.replicas!r}"
+        )
+    try:
+        run_cluster_bench(
+            quick=args.quick,
+            jobs_n=args.jobs,
+            seed=args.seed,
+            out_path=args.out,
+            scenarios=args.scenarios or None,
+            routings=tuple(args.routing.split(",")),
+            replicas=replicas,
+            sessions=args.sessions,
+            cache_dir=args.cache_dir,
+            use_cache=args.use_cache,
+            no_cache=args.no_cache,
+            policy=args.policy,
+            rate_scale=args.rate_scale,
+            max_batch_size=args.max_batch_size,
+            block_size=args.block_size,
+            prefill_budget=args.prefill_budget,
+            backend=args.backend,
+        )
+    except (ValueError, KeyError) as exc:
+        # Same contract as serve-bench: bad --routing/--replicas/--policy
+        # presets are one-line usage errors, not worker tracebacks.
+        message = exc.args[0] if exc.args else str(exc)
+        raise SystemExit(f"cluster-bench: {message}")
+
+
 def _cmd_precision_sweep(args) -> None:
     from repro.experiments.precision_sweep import run_sweep
 
@@ -160,6 +201,7 @@ def _cmd_all(args) -> None:
         seed=args.seed,
         include_serve=args.serve,
         include_precision=args.precision,
+        include_cluster=args.cluster,
         policy=args.policy,
         backend=args.backend,
     )
@@ -298,6 +340,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_serve_bench)
 
     p = sub.add_parser(
+        "cluster-bench",
+        help="multi-replica cluster serving benchmark "
+             "(replicas x routing policies, writes BENCH_cluster.json)",
+    )
+    p.add_argument("--quick", action="store_true", help="12 sessions per scenario")
+    p.add_argument("--out", default="BENCH_cluster.json", metavar="PATH")
+    p.add_argument(
+        "--scenarios", nargs="*", metavar="NAME",
+        help="subset of scenarios (default: chat-multiturn agent-fanout)",
+    )
+    p.add_argument(
+        "--routing", default="round-robin,least-loaded,prefix-affinity",
+        metavar="P,...",
+        help="comma-separated routing policies to sweep "
+             "(round-robin, least-loaded, prefix-affinity)",
+    )
+    p.add_argument(
+        "--replicas", default="2", metavar="R,...",
+        help="comma-separated replica counts to sweep (each >= 1)",
+    )
+    p.add_argument(
+        "--sessions", type=int, default=None, metavar="N",
+        help="size workloads in sessions (a chat conversation or fan-out "
+             "group each); scales to tens of thousands",
+    )
+    p.add_argument(
+        "--rate-scale", type=float, default=4.0, metavar="S",
+        help="multiply every scenario's arrival rate (default 4.0: the "
+             "shared-prefix scenarios under enough load that routing "
+             "placement matters)",
+    )
+    p.add_argument(
+        "--max-batch-size", type=int, default=4, metavar="N",
+        help="decode slots per replica (cluster capacity = R x N)",
+    )
+    p.add_argument(
+        "--block-size", type=int, default=8, metavar="TOKENS",
+        help="KV block size (smaller = finer-grained prefix sharing)",
+    )
+    p.add_argument(
+        "--prefill-budget", type=int, default=None, metavar="TOKENS",
+        help="per-iteration chunked-prefill cap, per replica",
+    )
+    p.add_argument(
+        "--policy", default="fp64-ref",
+        help="precision policy of the served model",
+    )
+    p.add_argument(
+        "--backend", default="reference",
+        choices=("reference", "compiled"),
+        help="execution backend of every replica",
+    )
+    p.add_argument(
+        "--use-cache", action="store_true",
+        help="replay cells from the result cache (off by default)",
+    )
+    add_engine_arguments(p)
+    p.set_defaults(func=_cmd_cluster_bench)
+
+    p = sub.add_parser(
         "precision-sweep",
         help="(precision policy x normalizer) perplexity + serving grid "
              "(writes BENCH_precision.json)",
@@ -329,6 +431,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--precision", action="store_true",
         help="also run the precision-policy sweep section",
+    )
+    p.add_argument(
+        "--cluster", action="store_true",
+        help="also run the multi-replica cluster serving section",
     )
     p.add_argument(
         "--policy", default="fp64-ref",

@@ -1,0 +1,39 @@
+"""Multi-replica cluster serving: routing over R serve-engine replicas.
+
+The cluster layer composes R independent
+:class:`~repro.serve.engine.ServeEngine` replicas behind a
+:class:`~repro.cluster.router.ClusterRouter` on one shared virtual clock,
+with pluggable routing policies (``round-robin``, ``least-loaded``,
+``prefix-affinity``).  Routing changes *placement* — cache hit rates,
+queueing, load balance — and never a served token: for any policy and any
+replica count, the multiset of per-request token streams equals the
+single-engine run and :func:`repro.nn.generation.generate`.
+"""
+
+from repro.cluster.router import (
+    ROUTING_POLICIES,
+    ClusterReport,
+    ClusterRouter,
+    LeastLoadedPolicy,
+    PrefixAffinityPolicy,
+    ReplicaSnapshot,
+    RouterPrefixIndex,
+    RoutingDecision,
+    RoutingPolicy,
+    RoundRobinPolicy,
+    resolve_routing,
+)
+
+__all__ = [
+    "ROUTING_POLICIES",
+    "ClusterReport",
+    "ClusterRouter",
+    "LeastLoadedPolicy",
+    "PrefixAffinityPolicy",
+    "ReplicaSnapshot",
+    "RouterPrefixIndex",
+    "RoutingDecision",
+    "RoutingPolicy",
+    "RoundRobinPolicy",
+    "resolve_routing",
+]

@@ -94,6 +94,27 @@ DEFAULT_SCENARIOS = ("steady", "bursty", "chat", "codegen")
 SPEC_SCENARIOS = ("summarize-copy", "codegen")
 
 
+def validate_policies(presets) -> None:
+    """Reject unknown precision-policy presets before any job runs.
+
+    A typo'd ``--policy``/``--policies`` entry used to surface as a
+    KeyError traceback from a worker process halfway through the grid;
+    failing the whole sweep up front with the valid preset list is the
+    CLI-friendly behavior (the commands turn this into a one-line
+    ``SystemExit``).
+    """
+    from repro.precision.policy import available_policies, get_policy
+
+    for preset in presets:
+        try:
+            get_policy(preset)
+        except KeyError:
+            known = ", ".join(available_policies())
+            raise ValueError(
+                f"unknown precision policy {preset!r} (valid presets: {known})"
+            ) from None
+
+
 def _token_digest(completed) -> str:
     """Order-independent checksum of every request's full token stream.
 
@@ -494,6 +515,7 @@ def run_bench(
     if backend not in EXECUTORS:
         known = ", ".join(sorted(EXECUTORS))
         raise ValueError(f"unknown --backend {backend!r} (known: {known})")
+    validate_policies(policies if policies else (policy,))
     if ngram is not None and ngram < 1:
         raise ValueError(f"--ngram must be >= 1, got {ngram}")
     if max_draft is not None and max_draft < 0:

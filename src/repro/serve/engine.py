@@ -81,6 +81,10 @@ class ServeReport:
     completed: list[CompletedRequest]
     metrics: dict
     pool_stats: dict
+    #: The recorder that produced ``metrics``, kept so reports can be
+    #: merged from raw samples (cluster aggregation) instead of from the
+    #: already-reduced summary.  ``None`` on hand-built reports.
+    recorder: MetricsRecorder | None = field(default=None, repr=False, compare=False)
     #: Lazily built request_id -> CompletedRequest map backing :meth:`by_id`.
     _index: dict[str, CompletedRequest] | None = field(
         default=None, repr=False, compare=False
@@ -90,6 +94,44 @@ class ServeReport:
         if self._index is None:
             self._index = {c.request_id: c for c in self.completed}
         return self._index[request_id]
+
+    @classmethod
+    def merge(
+        cls, reports: list["ServeReport"], max_batch_size: int | None = None
+    ) -> "ServeReport":
+        """Pool several engines' reports into one cluster-level report.
+
+        Distributions (TTFT, inter-token latency, step time, ...) are
+        recomputed from the union of the raw per-replica samples — *never*
+        by averaging the per-replica summaries, which would weight every
+        replica equally regardless of how many requests it served (and
+        percentiles of percentiles are meaningless anyway).  Requires every
+        report to still carry its :class:`~repro.serve.metrics
+        .MetricsRecorder`; ``pool_stats`` counters are summed.
+        ``max_batch_size`` should be the cluster-wide decode-slot total so
+        the merged occupancy utilization stays a [0, 1] fraction.
+        """
+        if not reports:
+            raise ValueError("cannot merge zero reports")
+        recorders = []
+        for report in reports:
+            if report.recorder is None:
+                raise ValueError(
+                    "ServeReport.merge needs reports with raw recorders "
+                    "(reports built by ServeEngine keep one)"
+                )
+            recorders.append(report.recorder)
+        merged = MetricsRecorder.merged(recorders)
+        pool_stats: dict[str, int] = {}
+        for report in reports:
+            for key, value in report.pool_stats.items():
+                pool_stats[key] = pool_stats.get(key, 0) + int(value)
+        return cls(
+            completed=merged.completed,
+            metrics=merged.summary(max_batch_size=max_batch_size),
+            pool_stats=pool_stats,
+            recorder=merged,
+        )
 
 
 @dataclass
@@ -191,86 +233,155 @@ class ServeEngine:
             decode_strategy=self.decode_strategy,
         )
         self.timer = timer or time.perf_counter
+        self._recorder: MetricsRecorder | None = None
+
+    # -- the stepwise interface (what a cluster router drives) ---------------------
+    def begin(self) -> None:
+        """Start a serve session: fresh metrics, ready for external stepping.
+
+        :meth:`serve` calls this itself; a :class:`~repro.cluster.router
+        .ClusterRouter` calls it once per replica and then drives the
+        engine through :meth:`submit` / :meth:`step_at` on a *shared*
+        virtual clock.
+        """
+        self._recorder = MetricsRecorder()
+
+    @property
+    def has_work(self) -> bool:
+        """True while any request is queued or holds a decode slot."""
+        return self.scheduler.has_work
+
+    def submit(self, request: Request) -> None:
+        """Hand one arrived request to the scheduler's admission queue."""
+        self.scheduler.enqueue(request)
+
+    def load_snapshot(self) -> dict:
+        """O(batch) occupancy snapshot for router-side load balancing.
+
+        ``load`` is the headline scalar (requests queued or holding a
+        slot); the rest breaks it down so routing policies can weigh slot
+        pressure against KV pressure.  ``prefill_backlog_tokens`` counts
+        prompt positions admitted but not yet computed — the work a new
+        arrival would queue behind.
+        """
+        scheduler = self.scheduler
+        active = scheduler.active()
+        return {
+            "queue_depth": scheduler.queue_depth,
+            "active": len(active),
+            "max_batch_size": scheduler.max_batch_size,
+            "free_slots": scheduler.max_batch_size - len(active),
+            "blocks_in_use": self.pool.blocks_in_use,
+            "prefill_backlog_tokens": sum(
+                len(state.prompt_window) - state.prefill_pos
+                for state in active
+                if state.needs_prefill
+            ),
+            "load": scheduler.queue_depth + len(active),
+        }
+
+    def step_at(self, now: float) -> float:
+        """Run one iteration with the virtual clock at ``now``.
+
+        Admits from the queue, plans, reserves (possibly preempting), runs
+        the ragged forward, and commits tokens at ``now + elapsed``.
+        Returns the measured ``elapsed`` seconds so the caller — the
+        single-engine :meth:`serve` loop or a cluster router stepping R
+        replicas in lockstep — advances its clock by exactly the time this
+        step consumed.  Requires :meth:`begin`.
+        """
+        recorder = self._recorder
+        if recorder is None:
+            raise RuntimeError("call begin() before step_at()")
+        scheduler = self.scheduler
+        admitted = scheduler.admit(now)
+        if self.prefix_caching:
+            for state in admitted:
+                # Cap adoption below the full window: the final prompt
+                # position must be computed to produce the logits the
+                # first sampled token comes from.
+                state.kv.adopt_prefix(
+                    state.prompt_window,
+                    max_tokens=len(state.prompt_window) - 1,
+                )
+                # SequenceKV.adopted_tokens is the source of truth;
+                # mirror it onto the state because the kv object dies
+                # before completion (sliding window, preemption).
+                state.prefill_pos = state.adopted_tokens = state.kv.adopted_tokens
+        plan = scheduler.plan()
+        for victim in scheduler.reserve(plan):
+            recorder.record_preemption(victim.request.request_id, now)
+
+        started = self.timer()
+        outcome = self._step(plan)
+        elapsed = self.timer() - started
+        now += elapsed
+
+        finished = 0
+        for state, run in outcome.emitted:
+            first_tokens = state.produced == 0
+            for token in run:
+                # All tokens of a speculative run land at the same
+                # virtual-clock instant: they were produced by one
+                # model step (inter-token gaps within a run are 0).
+                state.record_token(token, now)
+            if first_tokens and state.adopted_tokens:
+                # Count adopted positions only once the prefill they
+                # shortened actually completed — a run preempted
+                # mid-prefill never inflates the hit rate, and a
+                # re-admitted run counts its own (fresh) adoption.
+                recorder.record_adoption(state.adopted_tokens)
+            self._after_token(state)
+            if state.finish_reason is not None:
+                scheduler.retire(state)
+                completed = self._completed(state)
+                recorder.record_completion(completed, state.token_times)
+                finished += 1
+        recorder.record_step(
+            queue_depth=scheduler.queue_depth,
+            active=scheduler.active_count + finished,
+            elapsed=elapsed,
+            tokens=outcome.tokens,
+            prefill_tokens=plan.prefill_tokens,
+            draft_proposed=outcome.draft_proposed,
+            draft_accepted=outcome.draft_accepted,
+            decode_rows=outcome.decode_rows,
+            decode_tokens=outcome.decode_tokens,
+        )
+        return elapsed
+
+    def report(self) -> ServeReport:
+        """The session's report so far (terminal once :attr:`has_work` clears)."""
+        recorder = self._recorder
+        if recorder is None:
+            raise RuntimeError("call begin() before report()")
+        return ServeReport(
+            completed=recorder.completed,
+            metrics=recorder.summary(max_batch_size=self.scheduler.max_batch_size),
+            pool_stats=self.pool.stats().as_dict(),
+            recorder=recorder,
+        )
 
     # -- the serve loop ------------------------------------------------------------
     def serve(self, requests: list[Request]) -> ServeReport:
         """Serve a workload to completion and return tokens plus metrics."""
         pending = sorted(requests, key=lambda r: r.arrival_time)
-        recorder = MetricsRecorder()
-        scheduler = self.scheduler
+        self.begin()
         now = 0.0
         cursor = 0
 
-        while cursor < len(pending) or scheduler.has_work:
+        while cursor < len(pending) or self.scheduler.has_work:
             # Deliver arrivals whose timestamp has passed; when completely
             # idle, jump the virtual clock to the next arrival.
             while cursor < len(pending) and pending[cursor].arrival_time <= now:
-                scheduler.enqueue(pending[cursor])
+                self.submit(pending[cursor])
                 cursor += 1
-            if not scheduler.has_work:
+            if not self.scheduler.has_work:
                 now = pending[cursor].arrival_time
                 continue
+            now += self.step_at(now)
 
-            admitted = scheduler.admit(now)
-            if self.prefix_caching:
-                for state in admitted:
-                    # Cap adoption below the full window: the final prompt
-                    # position must be computed to produce the logits the
-                    # first sampled token comes from.
-                    state.kv.adopt_prefix(
-                        state.prompt_window,
-                        max_tokens=len(state.prompt_window) - 1,
-                    )
-                    # SequenceKV.adopted_tokens is the source of truth;
-                    # mirror it onto the state because the kv object dies
-                    # before completion (sliding window, preemption).
-                    state.prefill_pos = state.adopted_tokens = state.kv.adopted_tokens
-            plan = scheduler.plan()
-            for victim in scheduler.reserve(plan):
-                recorder.record_preemption(victim.request.request_id, now)
-
-            started = self.timer()
-            outcome = self._step(plan)
-            elapsed = self.timer() - started
-            now += elapsed
-
-            finished = 0
-            for state, run in outcome.emitted:
-                first_tokens = state.produced == 0
-                for token in run:
-                    # All tokens of a speculative run land at the same
-                    # virtual-clock instant: they were produced by one
-                    # model step (inter-token gaps within a run are 0).
-                    state.record_token(token, now)
-                if first_tokens and state.adopted_tokens:
-                    # Count adopted positions only once the prefill they
-                    # shortened actually completed — a run preempted
-                    # mid-prefill never inflates the hit rate, and a
-                    # re-admitted run counts its own (fresh) adoption.
-                    recorder.record_adoption(state.adopted_tokens)
-                self._after_token(state)
-                if state.finish_reason is not None:
-                    scheduler.retire(state)
-                    completed = self._completed(state)
-                    recorder.record_completion(completed, state.token_times)
-                    finished += 1
-            recorder.record_step(
-                queue_depth=scheduler.queue_depth,
-                active=scheduler.active_count + finished,
-                elapsed=elapsed,
-                tokens=outcome.tokens,
-                prefill_tokens=plan.prefill_tokens,
-                draft_proposed=outcome.draft_proposed,
-                draft_accepted=outcome.draft_accepted,
-                decode_rows=outcome.decode_rows,
-                decode_tokens=outcome.decode_tokens,
-            )
-
-        return ServeReport(
-            completed=recorder.completed,
-            metrics=recorder.summary(max_batch_size=scheduler.max_batch_size),
-            pool_stats=self.pool.stats().as_dict(),
-        )
+        return self.report()
 
     # -- one iteration -------------------------------------------------------------
     def _step(self, plan: StepPlan) -> StepOutcome:

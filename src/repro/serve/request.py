@@ -51,6 +51,12 @@ class Request:
         Scheduling class; **larger values are more urgent**.  Admission
         drains higher classes first (FIFO within a class), and under pool
         exhaustion the scheduler preempts from the lowest class upward.
+    session_id:
+        Optional conversation/session handle shared by related requests
+        (the turns of one chat).  The serving engine ignores it; a cluster
+        router's prefix-affinity policy uses it for **session stickiness**
+        — later turns are routed to the replica already holding the
+        session's KV blocks.
     """
 
     request_id: str
@@ -62,6 +68,7 @@ class Request:
     seed: int = 0
     arrival_time: float = 0.0
     priority: int = 0
+    session_id: str | None = None
 
     def __post_init__(self) -> None:
         prompt = np.asarray(self.prompt_ids, dtype=np.int64).reshape(-1)

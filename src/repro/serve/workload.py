@@ -249,13 +249,14 @@ def _draw_prompt(
 
 def generate_workload(
     scenario: Scenario | str,
-    num_requests: int,
-    vocab_size: int,
+    num_requests: int | None = None,
+    vocab_size: int = 0,
     seed: int = 0,
     rate_scale: float = 1.0,
     eos_token_id: int | None = None,
     priority_mix: tuple[tuple[int, float], ...] | str | None = None,
     copy_rate: float | None = None,
+    sessions: int | None = None,
 ) -> list[Request]:
     """Expand a scenario into a concrete, fully seeded request list.
 
@@ -265,7 +266,8 @@ def generate_workload(
         A :class:`Scenario` or a name from :data:`SCENARIOS`.
     num_requests:
         Number of requests to generate (for structured scenarios this is
-        the total across conversations / fan-out groups).
+        the total across conversations / fan-out groups).  Alternatively
+        pass ``sessions`` to size the workload in whole sessions.
     vocab_size:
         Model vocabulary size; prompt tokens are drawn from
         ``[1, vocab_size)`` excluding the EOS id.
@@ -284,9 +286,29 @@ def generate_workload(
     copy_rate:
         Override a ``"copy"`` scenario's copied-prompt fraction (the
         ``--copy-rate`` knob; higher = more predictable prompts).
+    sessions:
+        Size the workload in *sessions* instead of raw requests: a
+        ``"multiturn"`` scenario expands to ``sessions × num_turns``
+        requests, a ``"fanout"`` one to ``sessions × fanout``, anything
+        else to ``sessions`` independent requests.  Session arrivals draw
+        per-session gaps from spawned generators, so a tens-of-thousands-
+        of-sessions cluster workload scales without entangling any
+        session's timing with the total count.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
+    if sessions is not None:
+        if num_requests is not None:
+            raise ValueError("pass num_requests or sessions, not both")
+        if sessions < 1:
+            raise ValueError(f"sessions must be >= 1, got {sessions}")
+        per_session = {
+            "multiturn": scenario.num_turns,
+            "fanout": scenario.fanout,
+        }.get(scenario.structure, 1)
+        num_requests = sessions * per_session
+    if num_requests is None:
+        raise ValueError("one of num_requests or sessions is required")
     if priority_mix is not None:
         if isinstance(priority_mix, str):
             priority_mix = parse_priority_mix(priority_mix)
@@ -331,6 +353,7 @@ def generate_workload(
 
     requests: list[Request] = []
     for i in range(num_requests):
+        session_id = None
         if prompts is None:
             prompt_len = int(
                 rng.integers(scenario.prompt_len[0], scenario.prompt_len[1] + 1)
@@ -339,7 +362,7 @@ def generate_workload(
             prompt = _draw_prompt(rng, prompt_len, vocab_size, eos)
             request_id = f"{scenario.name}-{i:04d}"
         else:
-            request_id, prompt = prompts[i]
+            request_id, prompt, session_id = prompts[i]
             max_new = int(rng.integers(scenario.max_new[0], scenario.max_new[1] + 1))
         requests.append(
             Request(
@@ -352,6 +375,7 @@ def generate_workload(
                 seed=int(request_seeds[i]),
                 arrival_time=float(arrivals[i]),
                 priority=_draw_priority(scenario, rng),
+                session_id=session_id,
             )
         )
     return requests
@@ -363,15 +387,16 @@ def _multiturn_prompts(
     vocab_size: int,
     eos: int,
     rng: np.random.Generator,
-) -> list[tuple[str, np.ndarray]]:
+) -> list[tuple[str, np.ndarray, str | None]]:
     """Conversations: turn ``t``'s prompt extends turn ``t-1``'s prompt.
 
     Every conversation opens with its own system prompt; each turn appends
     a fresh user message.  Consecutive turns therefore share a strictly
     growing token prefix — the pattern the prefix cache converts into
-    adopted blocks.
+    adopted blocks.  All turns of one conversation carry the same
+    ``session_id``, the handle a cluster router's stickiness keys on.
     """
-    out: list[tuple[str, np.ndarray]] = []
+    out: list[tuple[str, np.ndarray, str | None]] = []
     conversation = -1
     history: np.ndarray | None = None
     for i in range(num_requests):
@@ -387,7 +412,8 @@ def _multiturn_prompts(
         user_len = int(rng.integers(scenario.prompt_len[0], scenario.prompt_len[1] + 1))
         user = _draw_prompt(rng, user_len, vocab_size, eos)
         history = np.concatenate([history, user])
-        out.append((f"{scenario.name}-c{conversation:03d}t{turn}", history.copy()))
+        session = f"{scenario.name}-c{conversation:03d}"
+        out.append((f"{session}t{turn}", history.copy(), session))
     return out
 
 
@@ -397,7 +423,7 @@ def _copy_prompts(
     vocab_size: int,
     eos: int,
     rng: np.random.Generator,
-) -> list[tuple[str, np.ndarray]]:
+) -> list[tuple[str, np.ndarray, str | None]]:
     """Copy-heavy prompts: a fresh head followed by a tiled motif.
 
     A ``copy_rate`` fraction of each prompt is the same short motif
@@ -428,7 +454,7 @@ def _copy_prompts(
             copied_len = int(round(head_len * rate / (1.0 - rate)))
             repeats = max(-(-copied_len // motif_len), 2)  # >= 2 full motifs
             parts.append(np.tile(motif, repeats))
-        out.append((f"{scenario.name}-{i:04d}", np.concatenate(parts)))
+        out.append((f"{scenario.name}-{i:04d}", np.concatenate(parts), None))
     return out
 
 
@@ -438,9 +464,14 @@ def _fanout_prompts(
     vocab_size: int,
     eos: int,
     rng: np.random.Generator,
-) -> list[tuple[str, np.ndarray]]:
-    """Fan-out groups: ``fanout`` requests share one context + private tails."""
-    out: list[tuple[str, np.ndarray]] = []
+) -> list[tuple[str, np.ndarray, str | None]]:
+    """Fan-out groups: ``fanout`` requests share one context + private tails.
+
+    Group members share a ``session_id`` (the group handle); unlike chat
+    turns they arrive together, but the shared id still lets a router
+    co-locate a group with its already-dispatched siblings.
+    """
+    out: list[tuple[str, np.ndarray, str | None]] = []
     group = -1
     context: np.ndarray | None = None
     for i in range(num_requests):
@@ -457,10 +488,8 @@ def _fanout_prompts(
             rng.integers(scenario.prompt_len[0], scenario.prompt_len[1] + 1)
         )
         suffix = _draw_prompt(rng, suffix_len, vocab_size, eos)
+        session = f"{scenario.name}-g{group:03d}"
         out.append(
-            (
-                f"{scenario.name}-g{group:03d}r{member}",
-                np.concatenate([context, suffix]),
-            )
+            (f"{session}r{member}", np.concatenate([context, suffix]), session)
         )
     return out

@@ -1,0 +1,32 @@
+"""Shared fixtures for the multi-replica cluster serving tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.config import get_config
+from repro.nn.model import OPTLanguageModel
+
+
+@pytest.fixture
+def model() -> OPTLanguageModel:
+    """Small eval-mode model with deterministic weights."""
+    model = OPTLanguageModel(get_config("opt-test"), rng=np.random.default_rng(12345))
+    model.eval()
+    return model
+
+
+@pytest.fixture
+def fixed_timer():
+    """Deterministic monotonic clock advancing 1 ms per reading."""
+
+    class _Timer:
+        def __init__(self) -> None:
+            self.t = 0.0
+
+        def __call__(self) -> float:
+            self.t += 0.001
+            return self.t
+
+    return _Timer()

@@ -1,0 +1,232 @@
+"""Unit tests for the routing policies and the router-side prefix index.
+
+Policies are exercised against hand-built :class:`ReplicaSnapshot` lists,
+so every branch — round-robin cycling, least-loaded ties, affinity
+ranking, session stickiness, load-aware spill — is pinned without
+spinning up engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ROUTING_POLICIES,
+    ClusterRouter,
+    LeastLoadedPolicy,
+    PrefixAffinityPolicy,
+    ReplicaSnapshot,
+    RouterPrefixIndex,
+    RoundRobinPolicy,
+    resolve_routing,
+)
+from repro.serve.request import Request
+
+
+def snap(replica, load=0, free_slots=4, queue_depth=0, active=0):
+    return ReplicaSnapshot(
+        replica=replica,
+        queue_depth=queue_depth,
+        active=active,
+        max_batch_size=4,
+        free_slots=free_slots,
+        blocks_in_use=0,
+        prefill_backlog_tokens=0,
+        load=load,
+    )
+
+
+def request(prompt, session_id=None, rid="r"):
+    return Request(rid, np.asarray(prompt), session_id=session_id)
+
+
+class TestRouterPrefixIndex:
+    def test_match_counts_full_blocks_only(self):
+        index = RouterPrefixIndex(replicas=2, block_size=4)
+        index.observe(0, [1, 2, 3, 4, 5, 6, 7, 8])
+        # 8 tokens = 2 full blocks on replica 0; nothing on replica 1.
+        assert index.match_blocks([1, 2, 3, 4, 5, 6, 7, 8]) == [2, 0]
+        # A 6-token prefix still matches its one complete block.
+        assert index.match_blocks([1, 2, 3, 4, 5, 6]) == [1, 0]
+        # Diverging inside the first block: no match anywhere.
+        assert index.match_blocks([9, 2, 3, 4]) == [0, 0]
+
+    def test_partial_trailing_block_not_indexed(self):
+        index = RouterPrefixIndex(replicas=1, block_size=4)
+        index.observe(0, [1, 2, 3, 4, 5, 6])  # 1 full block + 2 spare
+        assert index.match_blocks([1, 2, 3, 4, 5, 6, 7, 8]) == [1]
+
+    def test_longest_match_wins_across_replicas(self):
+        index = RouterPrefixIndex(replicas=2, block_size=2)
+        index.observe(0, [1, 2])
+        index.observe(1, [1, 2, 3, 4])
+        assert index.match_blocks([1, 2, 3, 4, 5, 6]) == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RouterPrefixIndex(replicas=0, block_size=4)
+        with pytest.raises(ValueError):
+            RouterPrefixIndex(replicas=2, block_size=0)
+
+
+class TestRoundRobin:
+    def test_cycles_in_arrival_order(self):
+        policy = RoundRobinPolicy()
+        index = RouterPrefixIndex(replicas=3, block_size=4)
+        snaps = [snap(0), snap(1), snap(2)]
+        chosen = [policy.choose(request([1]), snaps, index).replica for _ in range(7)]
+        assert chosen == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_ignores_load(self):
+        policy = RoundRobinPolicy()
+        index = RouterPrefixIndex(replicas=2, block_size=4)
+        snaps = [snap(0, load=99, free_slots=0, queue_depth=50), snap(1, load=0)]
+        assert policy.choose(request([1]), snaps, index).replica == 0
+
+
+class TestLeastLoaded:
+    def test_picks_minimum_load(self):
+        policy = LeastLoadedPolicy()
+        index = RouterPrefixIndex(replicas=3, block_size=4)
+        snaps = [snap(0, load=5), snap(1, load=2), snap(2, load=7)]
+        assert policy.choose(request([1]), snaps, index).replica == 1
+
+    def test_tie_breaks_to_lower_id(self):
+        policy = LeastLoadedPolicy()
+        index = RouterPrefixIndex(replicas=2, block_size=4)
+        snaps = [snap(0, load=3), snap(1, load=3)]
+        assert policy.choose(request([1]), snaps, index).replica == 0
+
+
+class TestPrefixAffinity:
+    def test_routes_to_longest_prefix_holder(self):
+        policy = PrefixAffinityPolicy()
+        index = RouterPrefixIndex(replicas=2, block_size=2)
+        index.observe(1, [1, 2, 3, 4])
+        snaps = [snap(0), snap(1)]
+        decision = policy.choose(request([1, 2, 3, 4, 9]), snaps, index)
+        assert decision.replica == 1
+        assert decision.reason == "affinity"
+        assert decision.match_blocks == 2
+
+    def test_fresh_request_prefers_least_loaded(self):
+        policy = PrefixAffinityPolicy()
+        index = RouterPrefixIndex(replicas=2, block_size=2)
+        snaps = [snap(0, load=4), snap(1, load=1)]
+        decision = policy.choose(request([7, 7]), snaps, index)
+        assert decision.replica == 1
+        assert decision.reason == "fresh"
+
+    def test_session_stickiness_overrides_ranking(self):
+        policy = PrefixAffinityPolicy()
+        index = RouterPrefixIndex(replicas=2, block_size=2)
+        snaps = [snap(0), snap(1)]
+        first = policy.choose(request([1, 2], session_id="s0"), snaps, index)
+        index.observe(first.replica, [1, 2])
+        # Replica 1 now looks better by every ranking criterion...
+        index.observe(1, [1, 2, 3, 4])
+        loaded = [snap(0, load=3), snap(1, load=0)]
+        second = policy.choose(request([1, 2, 3, 4], session_id="s0"), loaded, index)
+        # ...but the session stays where its KV lives.
+        assert second.replica == first.replica == 0
+        assert second.reason == "sticky"
+
+    def test_sticky_disabled_follows_prefix(self):
+        policy = PrefixAffinityPolicy(sticky=False)
+        index = RouterPrefixIndex(replicas=2, block_size=2)
+        index.observe(0, [1, 2])
+        index.observe(1, [1, 2, 3, 4])
+        snaps = [snap(0), snap(1)]
+        decision = policy.choose(request([1, 2, 3, 4], session_id="s0"), snaps, index)
+        assert decision.replica == 1
+
+    def test_spill_when_owner_saturated(self):
+        policy = PrefixAffinityPolicy()
+        index = RouterPrefixIndex(replicas=2, block_size=2)
+        index.observe(0, [1, 2, 3, 4])
+        # Owner (replica 0) has no free slot and a queue; replica 1 idle.
+        snaps = [snap(0, load=6, free_slots=0, queue_depth=2, active=4), snap(1, load=1)]
+        decision = policy.choose(request([1, 2, 3, 4]), snaps, index)
+        assert decision.replica == 1
+        assert decision.reason == "spill"
+
+    def test_no_spill_when_everyone_is_busy(self):
+        """Spill needs a strictly less-loaded target; equal load stays put."""
+        policy = PrefixAffinityPolicy()
+        index = RouterPrefixIndex(replicas=2, block_size=2)
+        index.observe(0, [1, 2, 3, 4])
+        snaps = [
+            snap(0, load=6, free_slots=0, queue_depth=2, active=4),
+            snap(1, load=6, free_slots=0, queue_depth=2, active=4),
+        ]
+        decision = policy.choose(request([1, 2, 3, 4]), snaps, index)
+        assert decision.replica == 0
+        assert decision.reason == "affinity"
+
+    def test_spilled_session_re_homes(self):
+        """After a spill, the session's later turns follow the new replica."""
+        policy = PrefixAffinityPolicy()
+        index = RouterPrefixIndex(replicas=2, block_size=2)
+        index.observe(0, [1, 2])
+        saturated = [
+            snap(0, load=6, free_slots=0, queue_depth=2, active=4),
+            snap(1, load=0),
+        ]
+        first = policy.choose(request([1, 2], session_id="s"), saturated, index)
+        assert first.reason in ("fresh", "affinity", "spill")
+        assert first.replica == 1
+        relaxed = [snap(0, load=0), snap(1, load=0)]
+        second = policy.choose(request([1, 2, 3], session_id="s"), relaxed, index)
+        assert second.replica == 1
+        assert second.reason == "sticky"
+
+
+class TestResolveRouting:
+    def test_registry_names(self):
+        assert set(ROUTING_POLICIES) == {
+            "round-robin",
+            "least-loaded",
+            "prefix-affinity",
+        }
+
+    def test_resolves_names_and_instances(self):
+        assert isinstance(resolve_routing("least-loaded"), LeastLoadedPolicy)
+        assert isinstance(resolve_routing(None), RoundRobinPolicy)
+        policy = PrefixAffinityPolicy(sticky=False)
+        assert resolve_routing(policy) is policy
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="prefix-affinity"):
+            resolve_routing("best-effort")
+
+
+class TestSnapshotSaturation:
+    def test_saturated_needs_no_slots_and_a_queue(self):
+        assert snap(0, free_slots=0, queue_depth=1).saturated
+        assert not snap(0, free_slots=0, queue_depth=0).saturated
+        assert not snap(0, free_slots=1, queue_depth=5).saturated
+
+
+class TestClusterRouterConstruction:
+    def test_replica_validation(self, model):
+        with pytest.raises(ValueError):
+            ClusterRouter(model, replicas=0)
+
+    def test_replicas_share_the_model_but_not_pools(self, model):
+        router = ClusterRouter(model, replicas=3)
+        assert router.replicas == 3
+        assert all(engine.model is model for engine in router.engines)
+        pools = {id(engine.pool) for engine in router.engines}
+        assert len(pools) == 3
+
+    def test_dispatch_updates_index_and_counters(self, model, fixed_timer):
+        router = ClusterRouter(
+            model, replicas=2, routing="prefix-affinity", timer=fixed_timer
+        )
+        for engine in router.engines:
+            engine.begin()
+        prompt = np.arange(1, 33)  # two full 16-token blocks
+        first = router.dispatch(Request("a", prompt))
+        second = router.dispatch(Request("b", prompt))
+        assert second.replica == first.replica
+        assert second.reason == "affinity"
+        assert second.match_blocks == 2

@@ -91,6 +91,44 @@ class TestSession:
             SessionArrivals(rate=1.0, think_scale=0.0)
 
 
+class TestSessionScaling:
+    """The cluster-scale discipline: per-session gaps from spawned RNGs."""
+
+    def test_prefix_stable_under_session_count(self):
+        """Scaling 5 sessions to 2000 leaves the first 5 bit-identical:
+        session k's draws depend only on (seed, k), never on the total."""
+        process = SessionArrivals(rate=10.0, session_length=4)
+        small = process.interarrival_times(4 * 5, np.random.default_rng(42))
+        large = process.interarrival_times(4 * 2000, np.random.default_rng(42))
+        np.testing.assert_array_equal(small, large[: small.size])
+
+    def test_parent_stream_untouched_by_spawning(self):
+        """Drawing arrivals must not advance the caller's generator — the
+        workload generator draws prompts from the same stream afterwards."""
+        process = SessionArrivals(rate=10.0, session_length=4)
+        used = np.random.default_rng(9)
+        process.interarrival_times(12, used)
+        fresh = np.random.default_rng(9)
+        np.testing.assert_array_equal(used.normal(size=4), fresh.normal(size=4))
+
+    def test_partial_trailing_session(self):
+        """A request count that is not a session multiple still fills n."""
+        process = SessionArrivals(rate=10.0, session_length=4)
+        gaps = process.interarrival_times(10, np.random.default_rng(0))
+        assert gaps.size == 10
+        assert np.all(gaps >= 0)
+
+    def test_tens_of_thousands_of_sessions(self):
+        """The scale the cluster benchmark needs: 10k sessions, instantly."""
+        process = SessionArrivals(rate=100.0, session_length=3)
+        gaps = process.interarrival_times(3 * 10_000, np.random.default_rng(1))
+        assert gaps.size == 30_000
+        times = np.cumsum(gaps)
+        assert np.all(np.diff(times) >= 0)
+        # Mean rate stays near the configured rate at scale.
+        assert times[-1] / gaps.size == pytest.approx(1 / 100.0, rel=0.25)
+
+
 class TestEdgeCases:
     def test_zero_requests(self):
         assert SteadyArrivals(rate=1.0).arrival_times(0, np.random.default_rng(0)).size == 0

@@ -1,0 +1,150 @@
+"""ServeReport.merge: cluster aggregation from raw samples, not averages.
+
+The satellite contract: a merged report's latency distributions equal the
+percentiles of the *pooled* per-replica samples — never the average of
+the per-replica summaries, which weights a replica that served 3 requests
+the same as one that served 300 (and percentiles do not average at all).
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import Request, ServeEngine
+from repro.serve.engine import ServeReport
+from repro.serve.metrics import MetricsRecorder, jain_fairness, load_imbalance
+from repro.serve.request import CompletedRequest
+
+
+def completed(rid, arrival=0.0, first=1.0, finish=2.0, generated=3, priority=0):
+    return CompletedRequest(
+        request_id=rid,
+        tokens=np.arange(generated + 2),
+        prompt_len=2,
+        generated=generated,
+        finish_reason="length",
+        arrival_time=arrival,
+        admitted_time=arrival,
+        first_token_time=first,
+        finish_time=finish,
+        priority=priority,
+    )
+
+
+def recorder_with(ttfts, finish_gap=1.0):
+    """A recorder whose completions produce the given TTFT samples."""
+    recorder = MetricsRecorder()
+    for i, ttft in enumerate(ttfts):
+        c = completed(
+            f"r{ttft}-{i}", arrival=0.0, first=ttft, finish=ttft + finish_gap
+        )
+        recorder.record_completion(c, [c.first_token_time, c.finish_time])
+        recorder.record_step(queue_depth=i, active=1, elapsed=0.01, tokens=3)
+    return recorder
+
+
+def report_of(recorder):
+    return ServeReport(
+        completed=recorder.completed,
+        metrics=recorder.summary(),
+        pool_stats={"blocks_allocated": len(recorder.completed)},
+        recorder=recorder,
+    )
+
+
+class TestMergedPercentilesArePooled:
+    def test_merged_percentiles_equal_pooled_sample_percentiles(self):
+        """The unit test the satellite mandates: merged == np.percentile of
+        the pooled raw samples, for every reported percentile."""
+        # Deliberately lopsided: replica A served 3 requests, replica B 30,
+        # with disjoint latency ranges — averaging the two summaries would
+        # land far from the pooled percentiles.
+        ttfts_a = [0.1, 0.2, 0.3]
+        ttfts_b = [float(t) for t in np.linspace(1.0, 4.0, 30)]
+        merged = ServeReport.merge(
+            [report_of(recorder_with(ttfts_a)), report_of(recorder_with(ttfts_b))]
+        )
+        pooled = np.asarray(ttfts_a + ttfts_b)
+        for p in (50, 90, 99):
+            assert merged.metrics["ttft_s"][f"p{p}"] == pytest.approx(
+                float(np.percentile(pooled, p))
+            ), f"p{p} is not the pooled-sample percentile"
+        assert merged.metrics["ttft_s"]["count"] == pooled.size
+        assert merged.metrics["ttft_s"]["mean"] == pytest.approx(float(pooled.mean()))
+
+    def test_merged_differs_from_averaged_summaries(self):
+        """Averaging per-replica p50s is exactly the bug merge avoids."""
+        rep_a = report_of(recorder_with([0.1, 0.2, 0.3]))
+        rep_b = report_of(recorder_with([float(t) for t in np.linspace(1, 4, 30)]))
+        merged = ServeReport.merge([rep_a, rep_b])
+        averaged_p50 = (
+            rep_a.metrics["ttft_s"]["p50"] + rep_b.metrics["ttft_s"]["p50"]
+        ) / 2
+        assert merged.metrics["ttft_s"]["p50"] != pytest.approx(averaged_p50)
+
+    def test_inter_token_gaps_pool_too(self):
+        rep_a = report_of(recorder_with([0.5], finish_gap=0.2))
+        rep_b = report_of(recorder_with([0.5, 0.7], finish_gap=0.8))
+        merged = ServeReport.merge([rep_a, rep_b])
+        pooled_gaps = np.asarray([0.2, 0.8, 0.8])
+        assert merged.metrics["inter_token_latency_s"]["p50"] == pytest.approx(
+            float(np.percentile(pooled_gaps, 50))
+        )
+
+    def test_counters_sum_and_makespan_maxes(self):
+        rec_a = recorder_with([0.1, 0.2])
+        rec_a.record_adoption(10)
+        rec_b = recorder_with([5.0])
+        rec_b.record_adoption(4)
+        rec_b.record_preemption("r5.0-0", 1.0)
+        merged = ServeReport.merge([report_of(rec_a), report_of(rec_b)])
+        metrics = merged.metrics
+        assert metrics["requests_completed"] == 3
+        assert metrics["prefix_tokens_reused"] == 14
+        assert metrics["preempted_count"] == 1
+        assert metrics["makespan_s"] == pytest.approx(6.0)  # max, not sum
+        assert merged.pool_stats["blocks_allocated"] == 3  # summed
+
+    def test_merge_requires_recorders(self):
+        bare = ServeReport(completed=[], metrics={}, pool_stats={})
+        with pytest.raises(ValueError, match="recorder"):
+            ServeReport.merge([bare])
+        with pytest.raises(ValueError, match="zero"):
+            ServeReport.merge([])
+
+
+class TestMergeFromLiveEngines:
+    def test_two_engines_merge_like_one_pool(self, model, fixed_timer):
+        """End to end: split a workload over two engines, merge, and check
+        the pooled TTFT distribution against the raw completions."""
+        requests = [
+            Request(f"r{i}", np.array([1 + i, 2, 3]), max_new_tokens=4)
+            for i in range(8)
+        ]
+        eng_a = ServeEngine(model, max_batch_size=2, timer=fixed_timer)
+        eng_b = ServeEngine(model, max_batch_size=2, timer=fixed_timer)
+        rep_a = eng_a.serve(requests[:5])
+        rep_b = eng_b.serve(requests[5:])
+        merged = ServeReport.merge([rep_a, rep_b], max_batch_size=4)
+        assert merged.metrics["requests_completed"] == 8
+        pooled_ttfts = np.asarray(
+            [c.ttft for c in rep_a.completed + rep_b.completed]
+        )
+        assert merged.metrics["ttft_s"]["p90"] == pytest.approx(
+            float(np.percentile(pooled_ttfts, 90))
+        )
+        assert merged.metrics["batch_occupancy"]["utilization"] <= 1.0
+        assert merged.by_id("r6").generated == 4
+
+
+class TestFairnessHelpers:
+    def test_load_imbalance_edges(self):
+        assert load_imbalance([]) == 0.0
+        assert load_imbalance([0, 0]) == 0.0
+        assert load_imbalance([5, 5, 5]) == 0.0
+        assert load_imbalance([10, 0]) == pytest.approx(1.0)
+
+    def test_jain_fairness_edges(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([3, 3, 3]) == pytest.approx(1.0)
+        # One replica carrying everything: 1/n.
+        assert jain_fairness([12, 0, 0]) == pytest.approx(1 / 3)

@@ -20,6 +20,10 @@ models:
   (replica counts x routing policies x scenarios, writes
   ``BENCH_cluster.json``; ``prefix-affinity`` routing is compared
   against the ``round-robin`` baseline per cell).
+* ``shard-bench`` — the tensor-sharded serving benchmark (shard counts
+  x fan-out drivers x scenarios, each cell paired with its N=1 twin and
+  the reference backend, writes ``BENCH_shard.json``; token digests
+  prove sharding never changes a byte).
 * ``precision-sweep`` — the (precision policy x normalizer) grid of
   perplexity + serving cells (writes ``BENCH_precision.json``).
 * ``all``       — everything, in paper order.
@@ -103,9 +107,27 @@ def _cmd_throughput(args) -> None:
     )
 
 
+def _resolve_shard_backend(args, command: str) -> str:
+    """Compose ``--shards``/``--shard-driver`` into a backend spec.
+
+    ``--shards N`` is shorthand for ``--backend sharded:N:<driver>``; the
+    two spellings must not disagree, so combining ``--shards`` with an
+    explicit non-default ``--backend`` is a usage error.
+    """
+    if getattr(args, "shards", None) is None:
+        return args.backend
+    if args.backend != "reference":
+        raise SystemExit(
+            f"{command}: --shards conflicts with --backend {args.backend!r}; "
+            f"use one spelling"
+        )
+    return f"sharded:{args.shards}:{args.shard_driver}"
+
+
 def _cmd_serve_bench(args) -> None:
     from repro.serve.bench import run_bench
 
+    backend = _resolve_shard_backend(args, "serve-bench")
     try:
         run_bench(
             quick=args.quick,
@@ -127,7 +149,7 @@ def _cmd_serve_bench(args) -> None:
             ngram=args.ngram,
             max_draft=args.max_draft,
             copy_rate=args.copy_rate,
-            backend=args.backend,
+            backend=backend,
             policies=tuple(args.policies.split(",")) if args.policies else None,
         )
     except (ValueError, KeyError) as exc:
@@ -147,6 +169,17 @@ def _cmd_cluster_bench(args) -> None:
             f"cluster-bench: --replicas must be a comma-separated list of "
             f"integers, got {args.replicas!r}"
         )
+    capacity_weights = None
+    if args.capacity_weights:
+        try:
+            capacity_weights = [
+                float(w) for w in args.capacity_weights.split(",")
+            ]
+        except ValueError:
+            raise SystemExit(
+                f"cluster-bench: --capacity-weights must be a comma-separated "
+                f"list of numbers, got {args.capacity_weights!r}"
+            )
     try:
         run_cluster_bench(
             quick=args.quick,
@@ -166,12 +199,48 @@ def _cmd_cluster_bench(args) -> None:
             block_size=args.block_size,
             prefill_budget=args.prefill_budget,
             backend=args.backend,
+            capacity_weights=capacity_weights,
         )
     except (ValueError, KeyError) as exc:
         # Same contract as serve-bench: bad --routing/--replicas/--policy
         # presets are one-line usage errors, not worker tracebacks.
         message = exc.args[0] if exc.args else str(exc)
         raise SystemExit(f"cluster-bench: {message}")
+
+
+def _cmd_shard_bench(args) -> None:
+    from repro.shard.bench import run_shard_bench
+
+    try:
+        shards = tuple(int(n) for n in args.shards.split(","))
+    except ValueError:
+        raise SystemExit(
+            f"shard-bench: --shards must be a comma-separated list of "
+            f"integers, got {args.shards!r}"
+        )
+    try:
+        run_shard_bench(
+            quick=args.quick,
+            jobs_n=args.jobs,
+            seed=args.seed,
+            out_path=args.out,
+            scenarios=args.scenarios or None,
+            shards=shards,
+            drivers=tuple(args.drivers.split(",")),
+            policies=tuple(args.policies.split(",")),
+            model_name=args.model,
+            max_batch_size=args.max_batch_size,
+            rate_scale=args.rate_scale,
+            repeats=args.repeats,
+            cache_dir=args.cache_dir,
+            use_cache=args.use_cache,
+            no_cache=args.no_cache,
+        )
+    except (ValueError, KeyError) as exc:
+        # Same contract as serve-bench: bad --shards/--drivers/--policies
+        # presets are one-line usage errors, not worker tracebacks.
+        message = exc.args[0] if exc.args else str(exc)
+        raise SystemExit(f"shard-bench: {message}")
 
 
 def _cmd_precision_sweep(args) -> None:
@@ -324,17 +393,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backend", default="reference",
-        choices=("reference", "compiled"),
         help="execution backend: 'compiled' runs the pre-fused executor, "
-             "pairs every cell with its reference twin (identical tokens, "
-             "higher tokens/sec), and adds backend_comparison to the "
+             "'sharded:N[:sim|process]' the tensor-sharded one; any "
+             "non-reference backend pairs every cell with its reference "
+             "twin (identical tokens) and adds backend_comparison to the "
              "artifact",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shorthand for --backend sharded:N:<driver> (see "
+             "--shard-driver); N must divide 12",
+    )
+    p.add_argument(
+        "--shard-driver", default="process",
+        choices=("sim", "process"),
+        help="fan-out driver used with --shards: 'process' runs real "
+             "worker processes over shared memory (default), 'sim' "
+             "in-process simulated shards",
     )
     p.add_argument(
         "--policies", default=None, metavar="P,...",
         help="comma-separated precision policies to sweep the grid over "
-             "(overrides --policy); with --backend compiled this produces "
-             "the per-preset executor-parity artifact",
+             "(overrides --policy); with a non-reference --backend this "
+             "produces the per-preset executor-parity artifact",
     )
     add_engine_arguments(p)
     p.set_defaults(func=_cmd_serve_bench)
@@ -376,6 +457,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="decode slots per replica (cluster capacity = R x N)",
     )
     p.add_argument(
+        "--capacity-weights", default=None, metavar="W,W,...",
+        help="relative per-replica capacities, e.g. 2,1 for a 2x-skewed "
+             "pair (scales each replica's decode slots; load-aware "
+             "routing divides load by weight)",
+    )
+    p.add_argument(
         "--block-size", type=int, default=8, metavar="TOKENS",
         help="KV block size (smaller = finer-grained prefix sharing)",
     )
@@ -389,8 +476,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backend", default="reference",
-        choices=("reference", "compiled"),
-        help="execution backend of every replica",
+        help="execution backend of every replica ('reference', 'compiled' "
+             "or 'sharded:N[:sim|process]')",
     )
     p.add_argument(
         "--use-cache", action="store_true",
@@ -398,6 +485,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine_arguments(p)
     p.set_defaults(func=_cmd_cluster_bench)
+
+    p = sub.add_parser(
+        "shard-bench",
+        help="tensor-sharded serving benchmark (shard counts x drivers x "
+             "scenarios, each cell paired with its N=1 twin; writes "
+             "BENCH_shard.json)",
+    )
+    p.add_argument("--quick", action="store_true", help="12 requests per scenario")
+    p.add_argument("--out", default="BENCH_shard.json", metavar="PATH")
+    p.add_argument(
+        "--scenarios", nargs="*", metavar="NAME",
+        help="subset of scenarios (default: steady bursty chat codegen)",
+    )
+    p.add_argument(
+        "--shards", default="1,2,4", metavar="N,...",
+        help="comma-separated shard counts to sweep (each must divide 12; "
+             "the N=1 twin anchors the scaling ratios)",
+    )
+    p.add_argument(
+        "--drivers", default="process,sim", metavar="D,...",
+        help="comma-separated fan-out drivers to sweep (process, sim)",
+    )
+    p.add_argument(
+        "--policies", default="fp64-ref,bf16-fp8kv", metavar="P,...",
+        help="comma-separated precision policies per cell",
+    )
+    p.add_argument(
+        "--model", default="opt-350m-sim", metavar="NAME",
+        help="substrate model config served by every cell",
+    )
+    p.add_argument(
+        "--max-batch-size", type=int, default=16, metavar="N",
+        help="decode slots of the serving engine (large enough steps "
+             "that fan-out cost amortizes)",
+    )
+    p.add_argument(
+        "--rate-scale", type=float, default=2.0, metavar="S",
+        help="multiply every scenario's arrival rate",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=3, metavar="K",
+        help="run each cell K times and keep the fastest (noise control; "
+             "token digests must be identical across repeats)",
+    )
+    p.add_argument(
+        "--use-cache", action="store_true",
+        help="replay cells from the result cache (off by default: cached "
+             "timings defeat a benchmark)",
+    )
+    add_engine_arguments(p)
+    p.set_defaults(func=_cmd_shard_bench)
 
     p = sub.add_parser(
         "precision-sweep",
@@ -442,8 +580,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backend", default="reference",
-        choices=("reference", "compiled"),
-        help="execution backend of the serve-bench section's engine",
+        help="execution backend of the serve-bench section's engine "
+             "('reference', 'compiled' or 'sharded:N[:sim|process]')",
     )
     add_engine_arguments(p)
     p.set_defaults(func=_cmd_all)

@@ -41,9 +41,9 @@ import numpy as np
 from repro.cluster.router import ROUTING_POLICIES, ClusterRouter
 from repro.engine import Job, ResultCache, run_jobs
 from repro.nn.config import get_config
-from repro.nn.executor import EXECUTORS
+from repro.nn.executor import validate_backend
 from repro.nn.model import OPTLanguageModel
-from repro.serve.bench import _token_digest, validate_policies
+from repro.serve.bench import _token_digest, validate_policies, validate_scenarios
 from repro.serve.workload import SCENARIOS, generate_workload
 
 #: The shared-prefix scenarios where routing placement actually moves the
@@ -75,6 +75,7 @@ def run_cluster_cell(
     prefill_budget: int | None = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
     backend: str = "reference",
+    capacity_weights=None,
 ) -> tuple[dict, str]:
     """Serve one scenario through one cluster configuration.
 
@@ -85,7 +86,11 @@ def run_cluster_cell(
     they say.  ``max_batch_size`` is per replica (the cluster's decode
     capacity is ``replicas × max_batch_size``), and ``prefix_caching``
     defaults *on* — co-locating shared prefixes is the entire point of
-    affinity routing.
+    affinity routing.  ``capacity_weights`` skews the replicas' decode
+    capacities (see :class:`~repro.cluster.router.ClusterRouter`); the
+    cell then also reports ``weighted_load_imbalance`` — the spread of
+    per-unit-of-capacity load, which weight-aware policies minimize and
+    weight-blind ones cannot.
     """
     if routing not in ROUTING_POLICIES:
         known = ", ".join(sorted(ROUTING_POLICIES))
@@ -112,6 +117,7 @@ def run_cluster_cell(
         prefix_caching=prefix_caching,
         prefill_budget=prefill_budget,
         backend=backend,
+        capacity_weights=capacity_weights,
     )
     report = router.serve(workload)
     cluster = report.summary()
@@ -130,6 +136,7 @@ def run_cluster_cell(
         "prefill_budget": prefill_budget,
         "block_size": int(block_size),
         "backend": backend,
+        "capacity_weights": cluster["capacity_weights"],
         "token_digest": _token_digest(report.completed),
         "cluster": cluster,
         "metrics": report.merged.metrics,
@@ -140,6 +147,7 @@ def run_cluster_cell(
         f"{cluster['aggregate_tokens_per_second']:9.1f} tok/s  "
         f"prefix hit {cluster['prefix_hit_rate'] * 100:5.1f}%  "
         f"imbalance {cluster['load_imbalance']:5.3f}  "
+        f"w-imb {cluster['weighted_load_imbalance']:5.3f}  "
         f"fairness {cluster['jain_fairness']:5.3f}  "
         f"spill {routing_stats['spill_count']:3d}  "
         f"sticky {routing_stats['sticky_hits']:3d}"
@@ -227,6 +235,10 @@ def _cluster_comparison(results: list[dict]) -> dict:
             ),
             "load_imbalance": row["cluster"]["load_imbalance"],
             "baseline_load_imbalance": base["cluster"]["load_imbalance"],
+            "weighted_load_imbalance": row["cluster"]["weighted_load_imbalance"],
+            "baseline_weighted_load_imbalance": (
+                base["cluster"]["weighted_load_imbalance"]
+            ),
             "jain_fairness": row["cluster"]["jain_fairness"],
             "spill_count": row["cluster"]["routing"]["spill_count"],
             "sticky_hits": row["cluster"]["routing"]["sticky_hits"],
@@ -254,18 +266,23 @@ def run_cluster_bench(
     block_size: int = DEFAULT_BLOCK_SIZE,
     prefill_budget: int | None = None,
     backend: str = "reference",
+    capacity_weights=None,
 ) -> tuple[dict, str]:
     """Run the scenario × R × routing grid and write ``out_path``.
 
     Flag validation mirrors ``serve-bench``: unknown routing policies,
     scenarios, backends, or a non-positive replica count raise before any
     job runs (the CLI turns them into one-line usage errors).
+    ``capacity_weights`` skews every cell's cluster (one weight per
+    replica, so each swept replica count must equal the weight count);
+    compare the weight-aware policies' ``weighted_load_imbalance``
+    against the weight-blind round-robin baseline in the same artifact.
     """
     stream = stream or sys.stdout
-    if backend not in EXECUTORS:
-        known = ", ".join(sorted(EXECUTORS))
-        raise ValueError(f"unknown --backend {backend!r} (known: {known})")
+    validate_backend(backend)
     validate_policies((policy,))
+    if scenarios:
+        validate_scenarios(scenarios)
     for routing in routings:
         if routing not in ROUTING_POLICIES:
             known = ", ".join(sorted(ROUTING_POLICIES))
@@ -275,6 +292,18 @@ def run_cluster_bench(
     replicas = tuple(int(r) for r in replicas)
     if any(r < 1 for r in replicas):
         raise ValueError(f"--replicas must all be >= 1, got {list(replicas)}")
+    if capacity_weights is not None:
+        capacity_weights = [float(w) for w in capacity_weights]
+        if any(w <= 0 for w in capacity_weights):
+            raise ValueError(
+                f"--capacity-weights must all be > 0, got {capacity_weights}"
+            )
+        for r in replicas:
+            if r != len(capacity_weights):
+                raise ValueError(
+                    f"--capacity-weights has {len(capacity_weights)} entries "
+                    f"but the grid sweeps R={r}; give one weight per replica"
+                )
     params = {
         "policy": policy,
         "rate_scale": float(rate_scale),
@@ -282,6 +311,8 @@ def run_cluster_bench(
         "block_size": int(block_size),
         "backend": backend,
     }
+    if capacity_weights is not None:
+        params["capacity_weights"] = capacity_weights
     if sessions is not None:
         if sessions < 1:
             raise ValueError(f"--sessions must be >= 1, got {sessions}")
@@ -300,7 +331,7 @@ def run_cluster_bench(
     results = [outcome.rows for outcome in outcomes]
     lines = [
         "scenario       routing         R      tokens/s      prefix hit"
-        "   imbalance    fairness    spill  sticky",
+        "   imbalance   w-imb    fairness    spill  sticky",
     ]
     lines += [outcome.text for outcome in outcomes]
     payload = {
@@ -316,6 +347,7 @@ def run_cluster_bench(
             "max_batch_size": int(max_batch_size),
             "block_size": int(block_size),
             "backend": backend,
+            "capacity_weights": capacity_weights,
             "model": results[0]["model"] if results else None,
         },
         "results": results,

@@ -39,6 +39,7 @@ only *where* and *when* work happens — hit rates, queueing, throughput.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.serve.engine import ServeEngine, ServeReport
@@ -58,6 +59,15 @@ class ReplicaSnapshot:
     blocks_in_use: int
     prefill_backlog_tokens: int
     load: int
+    #: Relative serving capacity (1.0 = baseline).  Load-aware policies
+    #: compare ``load / weight`` so a double-capacity replica is allowed
+    #: to carry double the queue before it looks equally busy.
+    weight: float = 1.0
+
+    @property
+    def effective_load(self) -> float:
+        """Occupancy normalized by capacity: the load a policy compares."""
+        return self.load / self.weight
 
     @property
     def saturated(self) -> bool:
@@ -78,6 +88,18 @@ class RoutingDecision:
     match_blocks: int = 0
 
 
+class _RouterNode:
+    """One indexed span in a replica's router-side radix trie."""
+
+    __slots__ = ("children", "parent", "span", "last_used")
+
+    def __init__(self, parent=None, span=None) -> None:
+        self.children: dict[tuple[int, ...], "_RouterNode"] = {}
+        self.parent = parent
+        self.span = span
+        self.last_used = 0
+
+
 class RouterPrefixIndex:
     """Router-side radix index: block-aligned prompt spans -> replica.
 
@@ -89,16 +111,40 @@ class RouterPrefixIndex:
     even prefilled), so fan-out siblings arriving in one burst already see
     their leader's spans.  A stale or wrong entry costs only a cache miss
     on the replica, never a wrong token.
+
+    The index is **bounded** two ways, so a long-lived router cannot grow
+    without limit while the replica caches it mirrors stay fixed-size:
+
+    * :meth:`evict_path` removes a subtree when its replica reports the
+      matching engine-side prefix entry was evicted (the engine evicts
+      leaf-first, so anything deeper in the router is already stale too).
+    * ``max_spans`` caps total indexed spans across all replicas; on
+      overflow :meth:`observe` drops least-recently-used *leaves* (both
+      :meth:`observe` and :meth:`match_blocks` refresh recency along the
+      paths they walk) until the index is back under ~90% of the cap.
     """
 
-    def __init__(self, replicas: int, block_size: int) -> None:
+    def __init__(
+        self, replicas: int, block_size: int, max_spans: int | None = 4096
+    ) -> None:
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
         if block_size < 1:
             raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if max_spans is not None and max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
         self.block_size = int(block_size)
-        #: One nested ``{span_tuple: child_dict}`` trie per replica.
-        self._tries: list[dict] = [{} for _ in range(replicas)]
+        self.max_spans = None if max_spans is None else int(max_spans)
+        self._roots = [_RouterNode() for _ in range(replicas)]
+        self._clock = 0
+        #: Total spans currently indexed, across every replica.
+        self.spans = 0
+        #: Spans dropped so far (LRU overflow + mirrored engine evictions).
+        self.evicted = 0
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
 
     def _spans(self, tokens) -> list[tuple[int, ...]]:
         tokens = tuple(int(t) for t in tokens)
@@ -107,23 +153,92 @@ class RouterPrefixIndex:
 
     def observe(self, replica: int, tokens) -> None:
         """Record that ``tokens`` was dispatched to ``replica``."""
-        node = self._tries[replica]
+        now = self._tick()
+        node = self._roots[replica]
+        node.last_used = now
         for span in self._spans(tokens):
-            node = node.setdefault(span, {})
+            child = node.children.get(span)
+            if child is None:
+                child = _RouterNode(parent=node, span=span)
+                node.children[span] = child
+                self.spans += 1
+            child.last_used = now
+            node = child
+        if self.max_spans is not None and self.spans > self.max_spans:
+            # Shed to ~90% of the cap so steady-state traffic does not
+            # trigger an eviction sweep on every single insert.
+            self._evict_lru(target=(self.max_spans * 9) // 10)
 
     def match_blocks(self, tokens) -> list[int]:
         """Longest indexed block-prefix of ``tokens``, per replica."""
         spans = self._spans(tokens)
+        now = self._tick()
         matches = []
-        for trie in self._tries:
-            node, depth = trie, 0
+        for root in self._roots:
+            node, depth = root, 0
             for span in spans:
-                node = node.get(span)
+                node = node.children.get(span)
                 if node is None:
                     break
+                node.last_used = now
                 depth += 1
             matches.append(depth)
         return matches
+
+    def _evict_lru(self, target: int) -> None:
+        """Drop least-recently-used leaves until ``spans <= target``.
+
+        Leaf-first keeps every surviving span reachable, and because
+        walks refresh the whole path, a leaf is never more recent than
+        its ancestors — so LRU leaves are the globally coldest spans.
+        """
+        heap: list[tuple[int, int, _RouterNode]] = []
+        for root in self._roots:
+            stack = list(root.children.values())
+            while stack:
+                node = stack.pop()
+                if node.children:
+                    stack.extend(node.children.values())
+                else:
+                    heap.append((node.last_used, id(node), node))
+        heapq.heapify(heap)
+        while self.spans > target and heap:
+            _, _, node = heapq.heappop(heap)
+            if node.children or node.parent is None:
+                continue
+            parent = node.parent
+            del parent.children[node.span]
+            node.parent = None
+            self.spans -= 1
+            self.evicted += 1
+            if parent.span is not None and not parent.children:
+                heapq.heappush(heap, (parent.last_used, id(parent), parent))
+
+    def evict_path(self, replica: int, path) -> int:
+        """Mirror an engine-side eviction: drop ``path``'s whole subtree.
+
+        ``path`` is a span chain as reported by
+        :meth:`~repro.serve.engine.ServeEngine.drain_prefix_evictions`.
+        Returns the number of spans removed (0 when the path was never
+        indexed or already dropped by the LRU cap — both harmless).
+        """
+        node = self._roots[replica]
+        for span in path:
+            node = node.children.get(tuple(span))
+            if node is None:
+                return 0
+        parent = node.parent
+        del parent.children[node.span]
+        node.parent = None
+        removed = 0
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            removed += 1
+            stack.extend(current.children.values())
+        self.spans -= removed
+        self.evicted += removed
+        return removed
 
 
 class RoutingPolicy:
@@ -162,12 +277,18 @@ class RoundRobinPolicy(RoutingPolicy):
 
 
 class LeastLoadedPolicy(RoutingPolicy):
-    """Route to the replica with the smallest load (queued + active)."""
+    """Route to the replica with the smallest capacity-normalized load.
+
+    ``load / weight`` (queued + active, divided by the replica's relative
+    capacity) — on a homogeneous cluster this is plain least-loaded; on a
+    weighted cluster a 2x replica is offered twice the occupancy before a
+    1x replica looks preferable.  Ties go to the lower replica id.
+    """
 
     name = "least-loaded"
 
     def choose(self, request, snapshots, index) -> RoutingDecision:
-        best = min(snapshots, key=lambda s: (s.load, s.replica))
+        best = min(snapshots, key=lambda s: (s.effective_load, s.replica))
         return RoutingDecision(replica=best.replica, reason="least-loaded")
 
 
@@ -197,7 +318,7 @@ class PrefixAffinityPolicy(RoutingPolicy):
     def _ranked(self, request, snapshots, index) -> list[tuple[ReplicaSnapshot, int]]:
         matches = index.match_blocks(request.prompt_ids)
         pairs = [(snap, matches[snap.replica]) for snap in snapshots]
-        pairs.sort(key=lambda p: (-p[1], p[0].load, p[0].replica))
+        pairs.sort(key=lambda p: (-p[1], p[0].effective_load, p[0].replica))
         return pairs
 
     def choose(self, request, snapshots, index) -> RoutingDecision:
@@ -216,13 +337,14 @@ class PrefixAffinityPolicy(RoutingPolicy):
 
         chosen, match = owner_snap, owner_match
         if owner_snap.saturated:
-            # Spill: the next-ranked replica with strictly less to do.
-            # Ranking already prefers longer matches, so the spill target
-            # is the second-best prefix holder when one exists.
+            # Spill: the next-ranked replica with strictly less to do
+            # relative to its capacity.  Ranking already prefers longer
+            # matches, so the spill target is the second-best prefix
+            # holder when one exists.
             for snap, snap_match in ranked:
                 if snap.replica == owner_snap.replica:
                     continue
-                if snap.load < owner_snap.load:
+                if snap.effective_load < owner_snap.effective_load:
                     chosen, match, reason = snap, snap_match, "spill"
                     break
 
@@ -270,6 +392,7 @@ class ClusterReport:
     merged: ServeReport
     routing: dict
     policy: str
+    capacity_weights: list[float] = field(default_factory=list)
 
     def by_id(self, request_id: str):
         return self.merged.by_id(request_id)
@@ -296,14 +419,21 @@ class ClusterReport:
                 }
             )
         tokens = [row["tokens_generated"] for row in per_replica]
+        weights = self.capacity_weights or [1.0] * len(per_replica)
+        # Per-unit-of-capacity load: on a weighted cluster the goal is
+        # proportional filling, so the imbalance that matters is the
+        # spread of tokens[i] / weight[i], not of raw tokens[i].
+        weighted = [t / w for t, w in zip(tokens, weights)]
         return {
             "replicas": len(self.replica_reports),
             "routing_policy": self.policy,
+            "capacity_weights": list(weights),
             "aggregate_tokens_per_second": self.merged.metrics["tokens_per_second"],
             "tokens_generated": self.merged.metrics["tokens_generated"],
             "makespan_s": self.merged.metrics["makespan_s"],
             "prefix_hit_rate": self.merged.metrics["prefix_hit_rate"],
             "load_imbalance": load_imbalance(tokens),
+            "weighted_load_imbalance": load_imbalance(weighted),
             "jain_fairness": jain_fairness(tokens),
             "per_replica": per_replica,
             "routing": dict(self.routing),
@@ -330,6 +460,16 @@ class ClusterRouter:
     timer:
         Shared monotonic-seconds callable handed to every replica (inject
         a fake for deterministic tests).
+    capacity_weights:
+        Optional per-replica relative capacities (length ``replicas``,
+        all > 0).  Each replica's decode batch is scaled to
+        ``max(1, round(max_batch_size * w))`` and load-aware policies
+        compare ``load / w``, so a heterogeneous cluster (say a 2x and a
+        1x machine) fills proportionally instead of treating every
+        replica as interchangeable.  ``None`` means homogeneous (all 1.0).
+    max_index_spans:
+        Cap on the router-side prefix index (see
+        :class:`RouterPrefixIndex`); ``None`` disables the cap.
     **engine_kwargs:
         Forwarded to every :class:`~repro.serve.engine.ServeEngine`
         (``max_batch_size``, ``block_size``, ``prefix_caching``,
@@ -343,16 +483,41 @@ class ClusterRouter:
         replicas: int = 2,
         routing: RoutingPolicy | str | None = None,
         timer=None,
+        capacity_weights=None,
+        max_index_spans: int | None = 4096,
         **engine_kwargs,
     ) -> None:
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if capacity_weights is None:
+            weights = [1.0] * replicas
+        else:
+            weights = [float(w) for w in capacity_weights]
+            if len(weights) != replicas:
+                raise ValueError(
+                    f"capacity_weights must have one entry per replica "
+                    f"({replicas}), got {len(weights)}"
+                )
+            if any(w <= 0 for w in weights):
+                raise ValueError(
+                    f"capacity_weights must be > 0, got {weights}"
+                )
+        self.capacity_weights = weights
+        base_batch = int(engine_kwargs.pop("max_batch_size", 8))
         self.engines = [
-            ServeEngine(model, timer=timer, **engine_kwargs) for _ in range(replicas)
+            ServeEngine(
+                model,
+                timer=timer,
+                max_batch_size=max(1, round(base_batch * w)),
+                **engine_kwargs,
+            )
+            for w in weights
         ]
         self.policy = resolve_routing(routing)
         self.index = RouterPrefixIndex(
-            replicas, block_size=self.engines[0].pool.block_size
+            replicas,
+            block_size=self.engines[0].pool.block_size,
+            max_spans=max_index_spans,
         )
         self._decisions: list[RoutingDecision] = []
 
@@ -363,7 +528,11 @@ class ClusterRouter:
     # -- routing -------------------------------------------------------------------
     def _snapshots(self) -> list[ReplicaSnapshot]:
         return [
-            ReplicaSnapshot(replica=i, **engine.load_snapshot())
+            ReplicaSnapshot(
+                replica=i,
+                weight=self.capacity_weights[i],
+                **engine.load_snapshot(),
+            )
             for i, engine in enumerate(self.engines)
         ]
 
@@ -402,6 +571,11 @@ class ClusterRouter:
                 now = pending[cursor].arrival_time
                 continue
             now += max(engine.step_at(now) for engine in busy)
+            # Mirror engine-side prefix evictions into the router index so
+            # affinity routing never chases KV a replica already dropped.
+            for i, engine in enumerate(self.engines):
+                for path in engine.drain_prefix_evictions():
+                    self.index.evict_path(i, path)
 
         reports = [engine.report() for engine in self.engines]
         merged = ServeReport.merge(
@@ -413,6 +587,7 @@ class ClusterRouter:
             merged=merged,
             routing=self._routing_counters(),
             policy=self.policy.name,
+            capacity_weights=list(self.capacity_weights),
         )
 
     def _routing_counters(self) -> dict:
@@ -430,4 +605,6 @@ class ClusterRouter:
             "sticky_hits": reasons.get("sticky", 0),
             "affinity_hits": reasons.get("affinity", 0),
             "matched_blocks": affinity_blocks,
+            "index_spans": self.index.spans,
+            "index_evictions": self.index.evicted,
         }

@@ -133,8 +133,10 @@ def build_sections(
         ("Table IV", table4.jobs(llm_config)),
     ]
     if include_serve:
+        from repro.nn.executor import validate_backend
         from repro.serve import bench
 
+        validate_backend(backend)
         backends = (backend,)
         serve_jobs = bench.jobs(
             quick=quick, seed=seed, policy=policy, backends=backends
@@ -324,8 +326,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--backend", default="reference",
-        choices=("reference", "compiled"),
-        help="execution backend of the serve-bench section's engine",
+        help="execution backend of the serve-bench section's engine "
+             "('reference', 'compiled' or 'sharded:N[:sim|process]')",
     )
     add_engine_arguments(parser)
     args = parser.parse_args(argv)

@@ -76,6 +76,7 @@ __all__ = [
     "ModelExecutor",
     "ReferenceExecutor",
     "resolve_executor",
+    "validate_backend",
 ]
 
 _NO_FMT = object()  # sentinel so ``kv_fmt`` absence never equals a real format
@@ -133,21 +134,23 @@ class ReferenceExecutor:
 # ---------------------------------------------------------------------------
 
 
-def _linear_closure(ops, weight, bias):
+def _linear_closure(ops, weight, bias, block=False):
     """Bind one Linear's ``forward_det`` into a closure with pre-resolved
-    operands, replicating ``PrecisionOps.linear_det`` byte-for-byte."""
+    operands, replicating ``PrecisionOps.linear_det`` byte-for-byte.
+    ``block`` engages the fixed-block contraction of the row-shardable
+    linears (out-projection, fc2) — see ``det_matmul(..., block=True)``."""
     w = weight.data
     b = None if bias is None else bias.data
     if ops.passthrough:
         if b is None:
-            return lambda x: det_matmul(x, w)
-        return lambda x: det_matmul(x, w) + b
+            return lambda x: det_matmul(x, w, block=block)
+        return lambda x: det_matmul(x, w, block=block) + b
     wq = ops.weight(w)
     bq = None if b is None else ops.weight(b)
     accum, act = ops.accum, ops.act
     if bq is None:
-        return lambda x: act(accum(det_matmul(x, wq)))
-    return lambda x: act(accum(det_matmul(x, wq)) + bq)
+        return lambda x: act(accum(det_matmul(x, wq, block=block)))
+    return lambda x: act(accum(det_matmul(x, wq, block=block)) + bq)
 
 
 def _norm_closure(norm, ops):
@@ -185,9 +188,11 @@ class _LayerPlan:
         self.q = _linear_closure(ops, attn.q_proj.weight, attn.q_proj.bias)
         self.k = _linear_closure(ops, attn.k_proj.weight, attn.k_proj.bias)
         self.v = _linear_closure(ops, attn.v_proj.weight, attn.v_proj.bias)
-        self.out = _linear_closure(ops, attn.out_proj.weight, attn.out_proj.bias)
+        self.out = _linear_closure(
+            ops, attn.out_proj.weight, attn.out_proj.bias, block=True
+        )
         self.fc1 = _linear_closure(ops, ffn.fc1.weight, ffn.fc1.bias)
-        self.fc2 = _linear_closure(ops, ffn.fc2.weight, ffn.fc2.bias)
+        self.fc2 = _linear_closure(ops, ffn.fc2.weight, ffn.fc2.bias, block=True)
 
 
 class _Plan:
@@ -496,20 +501,51 @@ EXECUTORS = {
 }
 
 
+#: Spec-string shorthand appended to "known backends" error messages.
+_SHARDED_SPEC = "sharded:N[:sim|process]"
+
+
 def resolve_executor(spec, model):
     """Turn a backend spec into a bound executor.
 
-    ``None`` means the reference backend; a string is looked up in
-    :data:`EXECUTORS`; anything else is assumed to already be an executor
-    instance and returned as-is.
+    ``None`` means the reference backend; ``"sharded:N[:driver]"`` builds a
+    tensor-sharded executor (see :mod:`repro.shard`); any other string is
+    looked up in :data:`EXECUTORS`; anything else is assumed to already be
+    an executor instance and returned as-is.
     """
     if spec is None:
         spec = ReferenceExecutor.name
     if isinstance(spec, str):
+        if spec.startswith("sharded"):
+            # Imported lazily: repro.shard imports this module's compiled
+            # executor, so a top-level import would cycle.
+            from repro.shard import ShardedExecutor, parse_shard_spec
+
+            num_shards, driver = parse_shard_spec(spec)
+            return ShardedExecutor(model, num_shards, driver=driver)
         try:
             cls = EXECUTORS[spec]
         except KeyError:
-            known = ", ".join(sorted(EXECUTORS))
+            known = ", ".join(sorted(EXECUTORS)) + ", " + _SHARDED_SPEC
             raise KeyError(f"unknown execution backend {spec!r} (known: {known})")
         return cls(model)
     return spec
+
+
+def validate_backend(spec) -> None:
+    """Raise ``ValueError`` when a backend spec string is not resolvable.
+
+    Benches call this before declaring their job grids so a typo surfaces
+    as one usage error instead of a failure deep inside a cell.
+    """
+    if spec is None or not isinstance(spec, str):
+        return
+    if spec in EXECUTORS:
+        return
+    if spec.startswith("sharded"):
+        from repro.shard import parse_shard_spec
+
+        parse_shard_spec(spec)  # raises ValueError with specifics
+        return
+    known = ", ".join(sorted(EXECUTORS)) + ", " + _SHARDED_SPEC
+    raise ValueError(f"unknown --backend {spec!r} (known: {known})")

@@ -31,6 +31,12 @@ class Linear(Module):
     #: Policy-aware op layer; replaced by the owning model's ``set_policy``.
     ops = PASSTHROUGH_OPS
 
+    #: When True, the deterministic forward contracts K through the
+    #: fixed-block summation tree (``det_matmul(..., block=True)``).  Set on
+    #: the row-shardable linears (attention out-projection, FFN fc2) so a
+    #: row-parallel shard split reproduces the unsharded bytes exactly.
+    block_k = False
+
     def __init__(
         self,
         in_features: int,
@@ -94,7 +100,10 @@ class Linear(Module):
                 f"expected last dim {self.in_features}, got {x.shape[-1]}"
             )
         return self.ops.linear_det(
-            x, self.weight.data, None if self.bias is None else self.bias.data
+            x,
+            self.weight.data,
+            None if self.bias is None else self.bias.data,
+            block=self.block_k,
         )
 
 

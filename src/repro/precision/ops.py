@@ -83,8 +83,10 @@ class PassthroughOps:
         return out if b is None else out + b
 
     @staticmethod
-    def linear_det(x: np.ndarray, w: np.ndarray, b: np.ndarray | None) -> np.ndarray:
-        out = _fn().det_matmul(x, w)
+    def linear_det(
+        x: np.ndarray, w: np.ndarray, b: np.ndarray | None, block: bool = False
+    ) -> np.ndarray:
+        out = _fn().det_matmul(x, w, block=block)
         return out if b is None else out + b
 
     @staticmethod
@@ -185,9 +187,9 @@ class QuantizedOps:
         return self.act(out)
 
     def linear_det(
-        self, x: np.ndarray, w: np.ndarray, b: np.ndarray | None
+        self, x: np.ndarray, w: np.ndarray, b: np.ndarray | None, block: bool = False
     ) -> np.ndarray:
-        out = self.accum(_fn().det_matmul(x, self.weight(w)))
+        out = self.accum(_fn().det_matmul(x, self.weight(w), block=block))
         if b is not None:
             out = out + self.weight(b)
         return self.act(out)

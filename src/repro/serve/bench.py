@@ -67,7 +67,7 @@ import numpy as np
 from repro.baselines.registry import VARIANT_PRESETS
 from repro.engine import Job, ResultCache, run_jobs
 from repro.nn.config import get_config
-from repro.nn.executor import EXECUTORS
+from repro.nn.executor import validate_backend
 from repro.nn.model import OPTLanguageModel
 from repro.serve.decode import resolve_strategy
 from repro.serve.engine import ServeEngine
@@ -113,6 +113,21 @@ def validate_policies(presets) -> None:
             raise ValueError(
                 f"unknown precision policy {preset!r} (valid presets: {known})"
             ) from None
+
+
+def validate_scenarios(names) -> None:
+    """Reject unknown workload scenarios before any job is declared.
+
+    Same contract as :func:`validate_policies`: a typo'd ``--scenarios``
+    entry fails the sweep up front with the valid scenario list instead of
+    surfacing as a KeyError traceback from inside job declaration.
+    """
+    for name in names:
+        if name not in SCENARIOS:
+            known = ", ".join(sorted(SCENARIOS))
+            raise ValueError(
+                f"unknown scenario {name!r} (valid scenarios: {known})"
+            )
 
 
 def _token_digest(completed) -> str:
@@ -202,7 +217,10 @@ def run_scenario(
         ),
         backend=backend,
     )
-    report = engine.serve(workload)
+    try:
+        report = engine.serve(workload)
+    finally:
+        engine.close()
 
     rows = {
         "scenario": scenario,
@@ -512,10 +530,10 @@ def run_bench(
     ``BENCH_executor.json`` artifact is produced.
     """
     stream = stream or sys.stdout
-    if backend not in EXECUTORS:
-        known = ", ".join(sorted(EXECUTORS))
-        raise ValueError(f"unknown --backend {backend!r} (known: {known})")
+    validate_backend(backend)
     validate_policies(policies if policies else (policy,))
+    if scenarios:
+        validate_scenarios(scenarios)
     if ngram is not None and ngram < 1:
         raise ValueError(f"--ngram must be >= 1, got {ngram}")
     if max_draft is not None and max_draft < 0:

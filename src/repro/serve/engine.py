@@ -243,7 +243,15 @@ class ServeEngine:
         .ClusterRouter` calls it once per replica and then drives the
         engine through :meth:`submit` / :meth:`step_at` on a *shared*
         virtual clock.
+
+        Backends exposing ``prepare()`` are warmed up here — a sharded
+        executor forks its worker processes and packs weight slices into
+        shared memory, and that one-time setup belongs to session start,
+        not to whichever serving step happens to run first.
         """
+        prepare = getattr(self.executor, "prepare", None)
+        if prepare is not None:
+            prepare()
         self._recorder = MetricsRecorder()
 
     @property
@@ -280,6 +288,19 @@ class ServeEngine:
             "load": scheduler.queue_depth + len(active),
         }
 
+    def drain_prefix_evictions(self) -> list[tuple[tuple[int, ...], ...]]:
+        """Span paths the prefix cache evicted since the last drain.
+
+        A cluster router mirrors dispatched prompt spans into its own
+        :class:`~repro.cluster.router.RouterPrefixIndex`; when this
+        replica's pool evicts a cached prefix under pressure, the router
+        must expire the matching index subtree or keep routing on KV that
+        no longer exists.  Empty when prefix caching is off.
+        """
+        if self.pool.prefix is None:
+            return []
+        return self.pool.prefix.drain_evicted_paths()
+
     def step_at(self, now: float) -> float:
         """Run one iteration with the virtual clock at ``now``.
 
@@ -315,6 +336,15 @@ class ServeEngine:
         started = self.timer()
         outcome = self._step(plan)
         elapsed = self.timer() - started
+        # A sharded executor accrues overlap credit: wall time its shard
+        # fan-outs would have overlapped on parallel hardware (logical
+        # shards serialize on this host's cores).  Draining it here makes
+        # the virtual clock advance by the sharded critical path, the same
+        # lockstep-max accounting the cluster router applies across
+        # replicas.
+        drain = getattr(self.executor, "consume_overlap_credit", None)
+        if drain is not None:
+            elapsed = max(0.0, elapsed - drain())
         now += elapsed
 
         finished = 0
@@ -361,6 +391,13 @@ class ServeEngine:
             pool_stats=self.pool.stats().as_dict(),
             recorder=recorder,
         )
+
+    def close(self) -> None:
+        """Release executor-held resources (shard worker processes, shared
+        memory).  Safe to call on any backend; a no-op for in-process ones."""
+        close = getattr(self.executor, "close", None)
+        if close is not None:
+            close()
 
     # -- the serve loop ------------------------------------------------------------
     def serve(self, requests: list[Request]) -> ServeReport:

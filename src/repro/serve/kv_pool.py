@@ -154,6 +154,10 @@ class PrefixIndex:
         self.root = _TrieNode()
         self._clock = 0
         self.entries = 0
+        #: Span paths of full-block entries dropped by :meth:`evict` since
+        #: the last :meth:`drain_evicted_paths` — the feed a cluster router
+        #: uses to expire its own prefix index in step with the replica.
+        self._evicted_paths: list[tuple[tuple[int, ...], ...]] = []
 
     def __len__(self) -> int:
         return self.entries
@@ -252,25 +256,28 @@ class PrefixIndex:
 
     # -- eviction ------------------------------------------------------------------
     def _evictable(self, pool: "BlockKVPool"):
-        """Yield ``(last_used, container, key_or_entry)`` for droppable entries.
+        """Yield ``(last_used, container, key_or_entry, path)`` droppables.
 
         An entry is droppable when the index holds the block's only
         reference and — for full blocks — no deeper entries hang off it
         (evicting leaf-first keeps every remaining entry reachable).
+        ``path`` is the full span chain from the root to the entry (used
+        to mirror the eviction into a router-side index); ``None`` for
+        partial tail entries, which no router ever indexes.
         """
-        stack = [self.root]
+        stack = [(self.root, ())]
         while stack:
-            node = stack.pop()
+            node, path = stack.pop()
             for key, entry in node.children.items():
                 child = entry.node
                 if not child.children and not child.partials:
                     if pool.refcount(entry.block_id) == 1:
-                        yield entry.last_used, node.children, key
+                        yield entry.last_used, node.children, key, path + (key,)
                 else:
-                    stack.append(child)
+                    stack.append((child, path + (key,)))
             for entry in node.partials:
                 if pool.refcount(entry.block_id) == 1:
-                    yield entry.last_used, node.partials, entry
+                    yield entry.last_used, node.partials, entry, None
 
     def evictable_count(self, pool: "BlockKVPool") -> int:
         """Blocks reclaimable by repeated eviction (the scheduler's preflight).
@@ -313,10 +320,11 @@ class PrefixIndex:
         """
         candidates = sorted(self._evictable(pool), key=lambda c: c[0])
         freed = 0
-        for _, container, handle in candidates[:needed]:
+        for _, container, handle, path in candidates[:needed]:
             if isinstance(container, dict):
                 block_id = container[handle].block_id
                 del container[handle]
+                self._evicted_paths.append(path)
             else:
                 block_id = handle.block_id
                 container.remove(handle)
@@ -325,6 +333,16 @@ class PrefixIndex:
             pool.prefix_evictions += 1
             freed += 1
         return freed
+
+    def drain_evicted_paths(self) -> list[tuple[tuple[int, ...], ...]]:
+        """Full-block span paths evicted since the last drain (then reset).
+
+        Partial tail entries are never reported: a router-side index only
+        holds whole-block spans, so only whole-block evictions need
+        mirroring.
+        """
+        paths, self._evicted_paths = self._evicted_paths, []
+        return paths
 
 
 class BlockKVPool:

@@ -1,0 +1,32 @@
+"""Tensor-sharded model execution with deterministic fixed-order reduction.
+
+Splits a model's linear layers across ``N`` logical shards — column-parallel
+for Q/K/V, fc1 and the tied logits projection, row-parallel for the
+attention out-projection and fc2 — and reduces row-parallel partial products
+through the fixed-block summation tree of
+:func:`repro.nn.functional.det_matmul`, so every served token is
+bit-identical to the unsharded model under every precision policy and every
+shard count.
+
+Two drivers execute the shard fan-out:
+
+* ``sim`` — in-process loop over shard states (fast, no processes); used by
+  the parity tests.
+* ``process`` — one worker process per shard holding its weight slices in
+  :mod:`multiprocessing.shared_memory`, driven in lockstep over pipes.
+
+See :class:`~repro.shard.executor.ShardedExecutor` for the exactness
+argument and the critical-path (overlap-credit) timing model.
+"""
+
+from repro.shard.executor import ShardedExecutor, parse_shard_spec
+from repro.shard.plan import ShardPlan
+from repro.shard.worker import ShardState, run_phase
+
+__all__ = [
+    "ShardPlan",
+    "ShardState",
+    "ShardedExecutor",
+    "parse_shard_spec",
+    "run_phase",
+]

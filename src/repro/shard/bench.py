@@ -1,0 +1,315 @@
+"""The ``shard-bench`` harness: shard count × driver × scenario grid.
+
+Every grid cell serves one traffic scenario on a ``sharded:N:driver``
+backend; the same (scenario, policy) is also served on the ``reference``
+backend and — via the ``N=1`` cell of each driver — on a single-shard
+twin that pays the full fan-out machinery with none of the parallelism.
+Because the workloads are fully seeded, all rows of a (scenario, policy)
+group see literally identical traffic, so the artifact proves two things
+at once:
+
+* **Exactness** — every row carries a ``token_digest`` checksum of its
+  served streams; ``shard_comparison`` records per cell whether it
+  matches both the ``N=1`` twin of its own driver (``tokens_match``) and
+  the reference backend (``tokens_match_reference``).  Sharding may move
+  timings, never a token.
+* **Scaling** — ``tokens_per_second_ratio`` is each cell's throughput
+  relative to its ``N=1`` twin: the honest measure of what tensor
+  parallelism buys once the per-step fan-out cost is already paid.  The
+  ``process`` driver pays real IPC through shared-memory activation
+  rings; the ``sim`` driver isolates the algorithmic overlap ceiling.
+
+Results land in ``BENCH_shard.json``::
+
+    {
+      "config":  {...},
+      "results": [ {scenario, policy, backend, token_digest, metrics} ... ],
+      "shard_comparison": {
+        "<scenario>/<policy>/<driver>": {
+          "N=2": {"tokens_match": true, "tokens_match_reference": true,
+                   "tokens_per_second_ratio": ...}, ...
+        }
+      }
+    }
+
+Cells run through the experiment engine's scheduler like every other
+bench; the result cache stays disabled by default to keep timing honest.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.engine import Job, ResultCache, run_jobs
+from repro.nn.functional import DET_ATOMS
+from repro.serve.bench import (
+    DEFAULT_SCENARIOS,
+    validate_policies,
+    validate_scenarios,
+)
+from repro.shard.executor import DRIVERS
+
+#: Shard counts benchmarked by default: the single-shard twin plus the
+#: counts a small host can still overlap profitably.
+DEFAULT_SHARDS = (1, 2, 4)
+
+#: Fan-out drivers benchmarked by default (``process`` first — it is the
+#: headline measurement; ``sim`` shows the overlap ceiling).
+DEFAULT_DRIVERS = ("process", "sim")
+
+#: Precision presets swept by default: the exact substrate plus the most
+#: aggressive quantized preset (the hardest bit-exactness case).
+DEFAULT_POLICIES = ("fp64-ref", "bf16-fp8kv")
+
+#: Default substrate: the larger sim config, with batch size and arrival
+#: rate raised so steps carry enough tokens that fan-out cost amortizes —
+#: the regime tensor parallelism exists for.  The tiny-dim configs
+#: (``opt-test``, ``opt-125m-sim``) stay available via ``--model`` but
+#: under-fill N=4 shards (24-column slices) on purpose-built hosts.
+DEFAULT_MODEL = "opt-350m-sim"
+DEFAULT_MAX_BATCH_SIZE = 16
+DEFAULT_RATE_SCALE = 2.0
+
+
+def validate_shards(shards) -> None:
+    """Reject shard counts the deterministic split cannot serve."""
+    valid = [n for n in range(1, DET_ATOMS + 1) if DET_ATOMS % n == 0]
+    for n in shards:
+        if int(n) not in valid:
+            raise ValueError(
+                f"--shards entries must divide DET_ATOMS={DET_ATOMS} "
+                f"(valid: {valid}), got {n}"
+            )
+
+
+def validate_drivers(drivers) -> None:
+    for driver in drivers:
+        if driver not in DRIVERS:
+            known = ", ".join(DRIVERS)
+            raise ValueError(
+                f"unknown shard driver {driver!r} (known: {known})"
+            )
+
+
+def run_shard_cell(repeats: int = 3, **params) -> tuple[dict, str]:
+    """One grid cell, run ``repeats`` times; keeps the fastest repeat.
+
+    Serving timings on a shared host are noisy — a background stall
+    during any one run can swing a cell's tokens/sec by tens of percent,
+    drowning the scaling signal the grid exists to measure.  Best-of-K is
+    the standard antidote: the minimum-interference repeat is the closest
+    observable to the machine's true throughput.  Tokens must not vary at
+    all, so the repeats double as a determinism check: every repeat's
+    ``token_digest`` must be identical or the cell fails outright.
+    """
+    from repro.serve.bench import run_scenario
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = None
+    digests = set()
+    for _ in range(repeats):
+        rows, text = run_scenario(**params)
+        digests.add(rows["token_digest"])
+        if (
+            best is None
+            or rows["metrics"]["tokens_per_second"]
+            > best[0]["metrics"]["tokens_per_second"]
+        ):
+            best = (rows, text)
+    if len(digests) != 1:
+        raise RuntimeError(
+            f"token digests varied across {repeats} repeats of an identical "
+            f"cell ({sorted(digests)}): serving is no longer deterministic"
+        )
+    rows, text = best
+    rows["repeats"] = int(repeats)
+    return rows, text
+
+
+def jobs(
+    quick: bool = True,
+    seed: int = 0,
+    scenarios=None,
+    shards=DEFAULT_SHARDS,
+    drivers=DEFAULT_DRIVERS,
+    policies=DEFAULT_POLICIES,
+    repeats: int = 3,
+    **params,
+) -> list[Job]:
+    """One serve cell per (scenario, policy, backend).
+
+    The backend axis is ``reference`` plus ``sharded:N:driver`` for every
+    (driver, N) pair; all cells of a (scenario, policy) group share seed
+    and traffic.  Each cell runs ``repeats`` times and reports its
+    fastest repeat (see :func:`run_shard_cell`).  Extra ``params``
+    (``model_name``, ``max_batch_size``, ``rate_scale``, ...) are
+    forwarded into every cell and its cache key.
+    """
+    names = list(scenarios) if scenarios else list(DEFAULT_SCENARIOS)
+    validate_scenarios(names)
+    backends = ["reference"] + [
+        f"sharded:{int(n)}:{driver}" for driver in drivers for n in shards
+    ]
+    declared = []
+    for scenario in names:
+        for policy in policies:
+            for backend in backends:
+                declared.append(
+                    Job(
+                        name=f"shard[{scenario}/{policy}/{backend}]",
+                        target="repro.shard.bench:run_shard_cell",
+                        params={
+                            "repeats": int(repeats),
+                            "scenario": scenario,
+                            "normalizer": "baseline",
+                            "quick": bool(quick),
+                            "policy": policy,
+                            "backend": backend,
+                            **params,
+                        },
+                        seed=seed,
+                    )
+                )
+    return declared
+
+
+def _parse_backend(backend: str):
+    """``(n, driver)`` for a sharded row, ``None`` for reference rows."""
+    if not backend.startswith("sharded:"):
+        return None
+    _, n, driver = backend.split(":")
+    return int(n), driver
+
+
+def shard_comparison(results: list[dict]) -> dict:
+    """Digest equality and scaling per ``scenario/policy/driver`` group.
+
+    Each sharded row is compared against the ``N=1`` twin of its own
+    driver (same scenario, policy, seed — identical traffic and identical
+    fan-out machinery) and against the reference backend.  A ``False`` in
+    either ``tokens_match`` field means the deterministic reduction broke
+    bit-exactness, and the artifact itself proves it.
+    """
+    reference = {
+        (row["scenario"], row["policy"]): row
+        for row in results
+        if _parse_backend(row["backend"]) is None
+    }
+    twins = {}
+    for row in results:
+        parsed = _parse_backend(row["backend"])
+        if parsed and parsed[0] == 1:
+            twins[(row["scenario"], row["policy"], parsed[1])] = row
+    comparison: dict[str, dict] = {}
+    for row in results:
+        parsed = _parse_backend(row["backend"])
+        if parsed is None:
+            continue
+        n, driver = parsed
+        twin = twins.get((row["scenario"], row["policy"], driver))
+        ref = reference.get((row["scenario"], row["policy"]))
+        twin_tps = twin["metrics"]["tokens_per_second"] if twin else None
+        cell = f"{row['scenario']}/{row['policy']}/{driver}"
+        comparison.setdefault(cell, {})[f"N={n}"] = {
+            "tokens_match": (
+                twin is not None and row["token_digest"] == twin["token_digest"]
+            ),
+            "tokens_match_reference": (
+                ref is not None and row["token_digest"] == ref["token_digest"]
+            ),
+            "tokens_per_second": row["metrics"]["tokens_per_second"],
+            "twin_tokens_per_second": twin_tps,
+            "tokens_per_second_ratio": (
+                row["metrics"]["tokens_per_second"] / twin_tps
+                if twin_tps
+                else None
+            ),
+        }
+    return comparison
+
+
+def run_shard_bench(
+    quick: bool = True,
+    jobs_n: int = 1,
+    seed: int = 0,
+    out_path: str = "BENCH_shard.json",
+    scenarios=None,
+    shards=DEFAULT_SHARDS,
+    drivers=DEFAULT_DRIVERS,
+    policies=DEFAULT_POLICIES,
+    model_name: str = DEFAULT_MODEL,
+    max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+    rate_scale: float = DEFAULT_RATE_SCALE,
+    repeats: int = 3,
+    cache_dir=None,
+    use_cache: bool = False,
+    no_cache: bool = False,
+    stream=None,
+) -> tuple[dict, str]:
+    """Run the scenario × policy × (driver, N) grid and write ``out_path``.
+
+    Flag validation mirrors ``serve-bench``: unknown scenarios, precision
+    presets, shard counts, or drivers raise a ``ValueError`` before any
+    job runs (the CLI turns them into one-line usage errors).
+    """
+    stream = stream or sys.stdout
+    shards = tuple(int(n) for n in shards)
+    validate_shards(shards)
+    validate_drivers(drivers)
+    validate_policies(policies)
+    if scenarios:
+        validate_scenarios(scenarios)
+    declared = jobs(
+        quick=quick, seed=seed, scenarios=scenarios, shards=shards,
+        drivers=drivers, policies=policies, repeats=int(repeats),
+        model_name=model_name, max_batch_size=int(max_batch_size),
+        rate_scale=float(rate_scale),
+    )
+    cache = ResultCache(cache_dir) if use_cache else None
+    outcomes = run_jobs(
+        declared, max_workers=jobs_n, cache=cache, no_cache=no_cache,
+        stream=sys.stderr,
+    )
+
+    results = [outcome.rows for outcome in outcomes]
+    lines = [
+        "scenario       normalizer   strategy      backend        tokens/s"
+        "       TTFT p50 /    p99        ITL p50   queue   pool      prefix"
+        "    preempt    speculation",
+    ]
+    lines += [outcome.text for outcome in outcomes]
+    comparison = shard_comparison(results)
+    payload = {
+        "config": {
+            "quick": bool(quick),
+            "seed": int(seed),
+            "scenarios": sorted({row["scenario"] for row in results}),
+            "shards": list(shards),
+            "drivers": list(drivers),
+            "policies": list(policies),
+            "model": model_name,
+            "max_batch_size": int(max_batch_size),
+            "rate_scale": float(rate_scale),
+            "repeats": int(repeats),
+        },
+        "results": results,
+        "shard_comparison": comparison,
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    mismatches = sum(
+        1
+        for group in comparison.values()
+        for cell in group.values()
+        if not (cell["tokens_match"] and cell["tokens_match_reference"])
+    )
+    lines.append(
+        f"digest mismatches: {mismatches} "
+        f"across {sum(len(g) for g in comparison.values())} sharded cells"
+    )
+    lines.append(f"wrote {out_path}")
+    text = "\n".join(lines)
+    stream.write(text + "\n")
+    return payload, text

@@ -1,0 +1,431 @@
+"""Sharded execution backend: fan-out drivers and the executor seam.
+
+:class:`ShardedExecutor` subclasses the compiled executor and replaces
+exactly the six per-layer linears plus the logits projection with shard
+fan-outs; embeddings, norms, attention, softmax, residuals and the KV
+cache stay driver-side, running the *same* compiled-plan closures as the
+unsharded backend.  Combined with the exactness arguments in
+:mod:`repro.shard.worker` (column splits are elementwise-safe; row splits
+reduce through the fixed-block summation tree), every forward is
+bit-identical to the unsharded model under every precision policy.
+
+Timing model (critical-path accounting)
+---------------------------------------
+Logical shards share this host's cores, so raw wall time cannot show the
+overlap a real N-device deployment gets.  Both drivers therefore measure,
+per fan-out, the wall time ``wall`` of the whole exchange and each shard's
+self-measured compute ``t_i``, and charge the engine's virtual clock::
+
+    charge = max(max_t, wall - (sum_t - max_t))
+
+i.e. the slowest shard plus any wall time *not* explained by serialized
+shard compute (IPC, pickling, scheduling — costs a real deployment also
+pays).  On a genuinely parallel host ``wall`` approaches ``max_t`` and the
+credit vanishes; on a serialized host the formula recovers the
+critical path.  The accumulated credit is drained by the serving engine
+through :meth:`ShardedExecutor.consume_overlap_credit`, mirroring the
+lockstep ``max()`` clock the cluster router already uses across replicas.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+
+import numpy as np
+
+from repro.nn.executor import CompiledExecutor
+from repro.nn.functional import DET_ATOMS, det_all_reduce
+from repro.shard.plan import ShardPlan
+from repro.shard.worker import _OutRing, run_phase, unflatten_result, worker_main
+
+__all__ = ["ShardedExecutor", "parse_shard_spec"]
+
+#: Known fan-out drivers.
+DRIVERS = ("sim", "process")
+
+
+def parse_shard_spec(spec: str) -> tuple[int, str]:
+    """Parse ``"sharded:N[:driver]"`` into ``(num_shards, driver)``.
+
+    Raises ``ValueError`` on malformed specs, shard counts that do not
+    divide ``DET_ATOMS``, or unknown drivers.
+    """
+    parts = str(spec).split(":")
+    if parts[0] != "sharded" or len(parts) not in (2, 3) or not parts[1]:
+        raise ValueError(
+            f"bad shard spec {spec!r}; expected 'sharded:N[:driver]' "
+            f"with driver one of {DRIVERS}"
+        )
+    try:
+        num_shards = int(parts[1])
+    except ValueError:
+        raise ValueError(
+            f"bad shard count {parts[1]!r} in spec {spec!r}; expected an integer"
+        ) from None
+    if num_shards < 1 or DET_ATOMS % num_shards != 0:
+        valid = [n for n in range(1, DET_ATOMS + 1) if DET_ATOMS % n == 0]
+        raise ValueError(
+            f"shard count {num_shards} must divide DET_ATOMS={DET_ATOMS} "
+            f"(valid: {valid})"
+        )
+    driver = parts[2] if len(parts) == 3 else "sim"
+    if driver not in DRIVERS:
+        raise ValueError(
+            f"unknown shard driver {driver!r} (known: {', '.join(DRIVERS)})"
+        )
+    return num_shards, driver
+
+
+class _SimDriver:
+    """In-process fan-out: a loop over shard states with per-shard timing."""
+
+    def __init__(self, states) -> None:
+        self.states = states
+
+    def fanout(self, phase, layer, payloads):
+        results, times = [], []
+        wall_started = time.perf_counter()
+        for state, payload in zip(self.states, payloads):
+            started = time.perf_counter()
+            results.append(run_phase(state, phase, layer, payload))
+            times.append(time.perf_counter() - started)
+        return results, times, time.perf_counter() - wall_started
+
+    def close(self) -> None:
+        self.states = []
+
+
+def _shutdown(procs, conns, segments, rings=(), attached=None):
+    """Best-effort teardown shared by ``close`` and the GC finalizer."""
+    for conn in conns:
+        try:
+            conn.send(("close",))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+    for proc in procs:
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    for ring in rings:
+        ring.close()
+    # Worker-owned result segments normally unlink worker-side; unlinking
+    # again here (workers are joined by now) only matters if a worker was
+    # terminated before its cleanup ran.
+    for shm in list((attached or {}).values()):
+        try:
+            shm.close()
+            shm.unlink()
+        except (BufferError, FileNotFoundError):
+            pass
+    for shm in segments:
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class _ProcessDriver:
+    """One worker process per shard, weights in shared memory, lockstep pipes.
+
+    Each shard's slices are packed into a single
+    :class:`multiprocessing.shared_memory.SharedMemory` segment described
+    by a ``[(key, byte_offset, shape), ...]`` manifest.  Per-step
+    activations travel through shared memory as well: the driver packs the
+    distinct payload buffers of a fan-out into its payload ring once
+    (``qkv``/``ffn``/``logits`` broadcast one array to all shards) and
+    sends each worker a ``("shm", segment, offset, shape)`` header; the
+    worker answers with a header into its own result ring.  The pipes only
+    ever carry these small tuples, so the per-step IPC cost stays near the
+    empty-roundtrip floor instead of scaling with activation size.
+    """
+
+    def __init__(self, plan: ShardPlan) -> None:
+        import multiprocessing
+        from multiprocessing import shared_memory
+
+        ctx = multiprocessing.get_context("fork")
+        self.conns, self.procs, self.segments = [], [], []
+        self._payload_ring = _OutRing()
+        self._result_segs: dict[str, object] = {}
+        try:
+            for config, arrays in zip(plan.configs, plan.arrays):
+                named = sorted(arrays.items())
+                total = sum(a.nbytes for _, a in named)
+                shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+                self.segments.append(shm)
+                manifest, offset = [], 0
+                for key, array in named:
+                    packed = np.ndarray(
+                        array.shape, dtype=np.float64, buffer=shm.buf,
+                        offset=offset,
+                    )
+                    packed[...] = array
+                    manifest.append((key, offset, array.shape))
+                    offset += array.nbytes
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(child_conn, shm.name, manifest, config),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self.conns.append(parent_conn)
+                self.procs.append(proc)
+        except BaseException:
+            _shutdown(self.procs, self.conns, self.segments,
+                      (self._payload_ring,), self._result_segs)
+            raise
+        self._finalizer = weakref.finalize(
+            self, _shutdown, self.procs, self.conns, self.segments,
+            (self._payload_ring,), self._result_segs,
+        )
+
+    def _read_result(self, desc):
+        """Materialize a worker result header as views into its ring.
+
+        The views are only valid until the worker's next step; every
+        caller consumes them (concatenate / fixed-order reduce) before the
+        next fan-out, which the lockstep protocol guarantees.
+        """
+        if desc[0] == "pipe":
+            return desc[1]
+        _, name, kind, manifest = desc
+        seg = self._result_segs.get(name)
+        if seg is None:
+            from multiprocessing import shared_memory
+
+            seg = self._result_segs[name] = shared_memory.SharedMemory(
+                name=name
+            )
+        arrays = [
+            np.ndarray(shape, dtype=np.float64, buffer=seg.buf, offset=off)
+            for off, shape in manifest
+        ]
+        return unflatten_result(kind, arrays)
+
+    def fanout(self, phase, layer, payloads):
+        wall_started = time.perf_counter()
+        # Pack each distinct payload buffer once (broadcast phases send the
+        # same array object to every shard); non-float64 payloads fall back
+        # to pipe pickling, which never happens on the current phase set.
+        unique, index = [], {}
+        for payload in payloads:
+            if payload.dtype == np.float64 and id(payload) not in index:
+                index[id(payload)] = len(unique)
+                unique.append(payload)
+        seg_name, manifest = self._payload_ring.write(unique)
+        for conn, payload in zip(self.conns, payloads):
+            slot = index.get(id(payload))
+            if slot is None:
+                desc = ("pipe", payload)
+            else:
+                offset, shape = manifest[slot]
+                desc = ("shm", seg_name, offset, shape)
+            conn.send(("step", phase, layer, desc))
+        results, times = [], []
+        for conn in self.conns:
+            desc, elapsed = conn.recv()
+            results.append(self._read_result(desc))
+            times.append(elapsed)
+        return results, times, time.perf_counter() - wall_started
+
+    def close(self) -> None:
+        self._finalizer()
+
+
+class ShardedExecutor(CompiledExecutor):
+    """Tensor-sharded backend, bit-identical to the unsharded executors.
+
+    ``num_shards`` logical shards each own column slices of Q/K/V, fc1 and
+    the tied logits projection plus row slices of the out-projection and
+    fc2; the driver reduces row-parallel partials in fixed shard/atom
+    order (see :func:`repro.nn.functional.det_all_reduce`).
+    """
+
+    def __init__(self, model, num_shards: int, driver: str = "sim") -> None:
+        if driver not in DRIVERS:
+            raise ValueError(
+                f"unknown shard driver {driver!r} (known: {', '.join(DRIVERS)})"
+            )
+        super().__init__(model)
+        self.num_shards = int(num_shards)
+        self.driver_name = driver
+        self.name = f"sharded:{self.num_shards}:{driver}"
+        self._shard_plan: ShardPlan | None = None
+        self._driver = None
+        self._layer_index: dict[int, int] = {}
+        self._credit = 0.0
+
+    # -- plan / driver lifecycle ------------------------------------------
+    def _ensure_plan(self):
+        plan = super()._ensure_plan()
+        shard_plan = self._shard_plan
+        if shard_plan is None or shard_plan.version != plan.version:
+            if self._driver is not None:
+                self._driver.close()
+                self._driver = None
+            shard_plan = ShardPlan(self.model, self.num_shards)
+            shard_plan.version = plan.version
+            self._shard_plan = shard_plan
+            if self.driver_name == "sim":
+                self._driver = _SimDriver(shard_plan.states())
+            else:
+                self._driver = _ProcessDriver(shard_plan)
+            self._layer_index = {
+                id(lp): i for i, lp in enumerate(plan.layers)
+            }
+            # Route the tied logits projection through the shards; the
+            # buffer-reusing einsum fast path is unsharded-only.
+            plan.out_proj = self._logits
+            plan.out_proj_into = None
+        return plan
+
+    def prepare(self) -> None:
+        """Warm up: build the shard plan and start the fan-out driver now.
+
+        Called by ``ServeEngine.begin`` so worker forking and shared-memory
+        weight packing happen before the serving clock starts, instead of
+        inside the first measured step.  Requires eval mode (like any
+        compiled forward).
+        """
+        self._ensure_plan()
+
+    def close(self) -> None:
+        """Tear down the fan-out driver (worker processes, shared memory)."""
+        if self._driver is not None:
+            self._driver.close()
+            self._driver = None
+        self._shard_plan = None
+
+    # -- virtual-clock overlap credit -------------------------------------
+    def consume_overlap_credit(self) -> float:
+        """Seconds of shard compute hidden by overlap since the last call
+        (drained by ``ServeEngine.step_at`` to advance its virtual clock by
+        the sharded critical path instead of serialized host time)."""
+        credit = self._credit
+        self._credit = 0.0
+        return credit
+
+    def _fanout(self, phase, layer, payloads):
+        results, times, wall = self._driver.fanout(phase, layer, payloads)
+        longest, total = max(times), sum(times)
+        charge = max(longest, wall - (total - longest))
+        if wall > charge:
+            self._credit += wall - charge
+        return results
+
+    # -- sharded linear applications --------------------------------------
+    def _qkv(self, layer, h, batch, seq, heads, head_dim):
+        results = self._fanout("qkv", layer, [h] * self.num_shards)
+
+        def heads_view(slices):
+            merged = np.concatenate(slices, axis=-1)
+            return merged.reshape(batch, seq, heads, head_dim).transpose(
+                0, 2, 1, 3
+            )
+
+        q = heads_view([r[0] for r in results])
+        k = heads_view([r[1] for r in results])
+        v = heads_view([r[2] for r in results])
+        return q, k, v
+
+    def _reduce(self, shard_partials, bias):
+        shard_plan = self._shard_plan
+        out = det_all_reduce(shard_partials)
+        if shard_plan.passthrough:
+            return out if bias is None else out + bias
+        out = shard_plan.accum(out)
+        if bias is not None:
+            out = out + bias
+        return shard_plan.act(out)
+
+    def _out(self, layer, merged):
+        bounds = self._shard_plan.embed_bounds
+        payloads = [
+            merged[..., bounds[s] : bounds[s + 1]]
+            for s in range(self.num_shards)
+        ]
+        raw = self._fanout("out", layer, payloads)
+        return self._reduce(raw, self._shard_plan.out_biases[layer])
+
+    def _ffn(self, layer, h2):
+        raw = self._fanout("ffn", layer, [h2] * self.num_shards)
+        return self._reduce(raw, self._shard_plan.fc2_biases[layer])
+
+    def _logits(self, hidden):
+        results = self._fanout("logits", 0, [hidden] * self.num_shards)
+        return np.concatenate(results, axis=-1)
+
+    # -- block bodies (the inherited loops call these) ---------------------
+    def _block_cached(self, plan, lp, x, kv, raw_ok):
+        layer = self._layer_index[id(lp)]
+        batch, seq, _ = x.shape
+        heads, head_dim = plan.num_heads, plan.head_dim
+        h = lp.attn_norm(x)
+        q, k_new, v_new = self._qkv(layer, h, batch, seq, heads, head_dim)
+        if raw_ok:
+            if plan.kv_quant is not None:
+                k_new = plan.kv_quant(k_new)
+                v_new = plan.kv_quant(v_new)
+            k_all, v_all = kv.append_raw(k_new, v_new)
+        else:
+            k_all, v_all = kv.append(k_new, v_new)
+        scores = plan.attn_scores(q, k_all.transpose(0, 1, 3, 2), plan.scale)
+        if seq > 1:
+            scores = scores + self._mask(seq, k_all.shape[2])
+        context = plan.ctx_matmul(plan.softmax(scores), v_all)
+        merged = context.transpose(0, 2, 1, 3).reshape(
+            batch, seq, heads * head_dim
+        )
+        x = plan.residual(x, self._out(layer, merged))
+        h2 = lp.ffn_norm(x)
+        return plan.residual(x, self._ffn(layer, h2))
+
+    def _block_ragged(self, plan, lp, x, views, lens, batch, max_new, ctx, raw_ok):
+        layer = self._layer_index[id(lp)]
+        heads, head_dim = plan.num_heads, plan.head_dim
+        h = lp.attn_norm(x)
+        q, k_new, v_new = self._qkv(layer, h, batch, max_new, heads, head_dim)
+        if raw_ok and plan.kv_quant is not None:
+            k_w = plan.kv_quant(k_new)
+            v_w = plan.kv_quant(v_new)
+        else:
+            k_w, v_w = k_new, v_new
+        attn_scores, softmax, ctx_matmul = (
+            plan.attn_scores,
+            plan.softmax,
+            plan.ctx_matmul,
+        )
+        scale = plan.scale
+        for r, view in enumerate(views):
+            n = lens[r]
+            pad = max_new - n
+            if raw_ok:
+                k_all, v_all = view.append_raw(
+                    k_w[r : r + 1, :, pad:], v_w[r : r + 1, :, pad:]
+                )
+            else:
+                k_all, v_all = view.append(
+                    k_w[r : r + 1, :, pad:], v_w[r : r + 1, :, pad:]
+                )
+            scores = attn_scores(
+                q[r : r + 1, :, pad:], k_all.transpose(0, 1, 3, 2), scale
+            )
+            if n > 1:
+                scores = scores + self._mask(n, k_all.shape[2])
+            ctx[r : r + 1, :, pad:] = ctx_matmul(softmax(scores), v_all)
+        merged = ctx.transpose(0, 2, 1, 3).reshape(
+            batch, max_new, heads * head_dim
+        )
+        x = plan.residual(x, self._out(layer, merged))
+        h2 = lp.ffn_norm(x)
+        return plan.residual(x, self._ffn(layer, h2))

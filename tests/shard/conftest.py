@@ -1,0 +1,20 @@
+"""Shared fixtures for the tensor-sharding tests."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def fixed_timer():
+    """Deterministic monotonic clock advancing 1 ms per reading."""
+
+    class _Timer:
+        def __init__(self) -> None:
+            self.t = 0.0
+
+        def __call__(self) -> float:
+            self.t += 0.001
+            return self.t
+
+    return _Timer()

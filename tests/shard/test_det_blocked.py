@@ -1,0 +1,137 @@
+"""The fixed-block accumulation contract, pinned at the bit level.
+
+``det_matmul(block=True)`` promises one specific float summation tree —
+DET_ATOMS contiguous atoms summed strictly left-to-right from the first
+non-empty partial — and the whole sharding layer rests on shards being
+able to replay that exact tree.  These tests pin the contract three ways:
+against hard-coded golden byte digests (any change to the tree changes
+the digest), against an independent in-test reimplementation, and against
+the shard-side partials/reduce pipeline for every legal shard count.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import (
+    DET_ATOMS,
+    det_all_reduce,
+    det_block_bounds,
+    det_matmul,
+    det_matmul_partials,
+)
+
+#: sha256 of the blocked/plain kernel outputs on the seeded case below.
+#: The two differ on purpose — the blocked tree is NOT the naive
+#: left-to-right dot product — and neither may ever drift.
+GOLDEN_CASE = dict(seed=2025, m=5, k=29, n=7)
+GOLDEN_BLOCKED = "1fb63a23d77abb461ff400cbbdbdacded761d8af13ec62d4f35b7d30fe2936bf"
+GOLDEN_PLAIN = "b8774d03e917c3c437343707a966301a6e5eb7969f1de807058879dfb3cd6316"
+
+SHARD_COUNTS = tuple(n for n in range(1, DET_ATOMS + 1) if DET_ATOMS % n == 0)
+
+
+def golden_operands():
+    rng = np.random.default_rng(GOLDEN_CASE["seed"])
+    a = rng.standard_normal((GOLDEN_CASE["m"], GOLDEN_CASE["k"]))
+    b = rng.standard_normal((GOLDEN_CASE["k"], GOLDEN_CASE["n"]))
+    return a, b
+
+
+def digest(array) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+class TestGoldenBitPatterns:
+    def test_blocked_kernel_digest(self):
+        a, b = golden_operands()
+        assert digest(det_matmul(a, b, block=True)) == GOLDEN_BLOCKED
+
+    def test_plain_kernel_digest(self):
+        a, b = golden_operands()
+        assert digest(det_matmul(a, b)) == GOLDEN_PLAIN
+
+    def test_blocked_tree_is_not_the_plain_tree(self):
+        # If these ever collide the blocked mode has silently degenerated
+        # into the plain kernel and the sharding exactness argument is
+        # resting on coincidence.
+        assert GOLDEN_BLOCKED != GOLDEN_PLAIN
+
+    def test_blocked_matches_manual_atom_sum(self):
+        """Independent reimplementation: einsum per atom, left-to-right."""
+        a, b = golden_operands()
+        bounds = det_block_bounds(a.shape[-1])
+        out = None
+        for t in range(DET_ATOMS):
+            lo, hi = bounds[t], bounds[t + 1]
+            if hi <= lo:
+                continue
+            part = np.einsum(
+                "...ij,...jk->...ik", a[..., lo:hi], b[lo:hi, :], optimize=False
+            )
+            out = part if out is None else out + part
+        assert out.tobytes() == det_matmul(a, b, block=True).tobytes()
+
+
+class TestShardReduceParity:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_reduce_bit_equal_for_every_shard_count(self, num_shards):
+        a, b = golden_operands()
+        k = a.shape[-1]
+        bounds = [(s * k) // num_shards for s in range(num_shards + 1)]
+        partials = [
+            det_matmul_partials(
+                a[:, lo:hi], b[lo:hi, :], k_start=lo, k_total=k
+            )
+            for lo, hi in zip(bounds, bounds[1:])
+        ]
+        reduced = det_all_reduce(partials)
+        assert reduced.tobytes() == det_matmul(a, b, block=True).tobytes()
+        assert digest(reduced) == GOLDEN_BLOCKED
+
+    def test_short_contraction_with_empty_atoms(self):
+        """K < DET_ATOMS leaves some atoms empty; the tree must still hold."""
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((3, 5))
+        b = rng.standard_normal((5, 2))
+        blocked = det_matmul(a, b, block=True)
+        for num_shards in (1, 2, 3):
+            bounds = [(s * 5) // num_shards for s in range(num_shards + 1)]
+            partials = [
+                det_matmul_partials(a[:, lo:hi], b[lo:hi, :], k_start=lo, k_total=5)
+                for lo, hi in zip(bounds, bounds[1:])
+            ]
+            assert det_all_reduce(partials).tobytes() == blocked.tobytes()
+
+
+class TestAlignmentGuards:
+    def test_misaligned_slice_rejected(self):
+        a, b = golden_operands()
+        # [1, 29) does not start on an atom boundary of K=29.
+        with pytest.raises(ValueError, match="atom-aligned"):
+            det_matmul_partials(a[:, 1:], b[1:, :], k_start=1, k_total=29)
+
+    def test_contraction_mismatch_rejected(self):
+        a, b = golden_operands()
+        with pytest.raises(ValueError, match="contraction mismatch"):
+            det_matmul_partials(a[:, :-1], b)
+
+    def test_negative_k_total_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            det_block_bounds(-1)
+
+    def test_bounds_are_atom_aligned_for_divisor_shards(self):
+        """floor(i*K/N) lands on det_block_bounds for every N | DET_ATOMS."""
+        for k in (1, 5, 12, 29, 96, 97):
+            bounds = set(det_block_bounds(k))
+            for num_shards in SHARD_COUNTS:
+                for i in range(num_shards + 1):
+                    assert (i * k) // num_shards in bounds
+
+    def test_empty_contraction_falls_back(self):
+        a = np.zeros((2, 0))
+        b = np.zeros((0, 3))
+        out = det_matmul(a, b, block=True)
+        assert out.shape == (2, 3)
+        assert not out.any()

@@ -20,10 +20,12 @@ models:
   (replica counts x routing policies x scenarios, writes
   ``BENCH_cluster.json``; ``prefix-affinity`` routing is compared
   against the ``round-robin`` baseline per cell).
-* ``shard-bench`` — the tensor-sharded serving benchmark (shard counts
-  x fan-out drivers x scenarios, each cell paired with its N=1 twin and
-  the reference backend, writes ``BENCH_shard.json``; token digests
-  prove sharding never changes a byte).
+* ``shard-bench`` — the parallel serving benchmark (tensor-shard counts
+  or pipeline stage counts x fan-out drivers x scenarios, each cell
+  paired with its N=1 / P=1 twin and the reference backend, writes
+  ``BENCH_shard.json`` or — with ``--mode pipeline`` —
+  ``BENCH_pipeline.json``; token digests prove partitioning never
+  changes a byte).
 * ``precision-sweep`` — the (precision policy x normalizer) grid of
   perplexity + serving cells (writes ``BENCH_precision.json``).
 * ``all``       — everything, in paper order.
@@ -151,6 +153,7 @@ def _cmd_serve_bench(args) -> None:
             copy_rate=args.copy_rate,
             backend=backend,
             policies=tuple(args.policies.split(",")) if args.policies else None,
+            repeats=args.repeats,
         )
     except (ValueError, KeyError) as exc:
         # Flag mistakes (bad --ngram/--max-draft/--backend/--scenarios
@@ -219,6 +222,13 @@ def _cmd_shard_bench(args) -> None:
             f"integers, got {args.shards!r}"
         )
     try:
+        stages = tuple(int(p) for p in args.stages.split(","))
+    except ValueError:
+        raise SystemExit(
+            f"shard-bench: --stages must be a comma-separated list of "
+            f"integers, got {args.stages!r}"
+        )
+    try:
         run_shard_bench(
             quick=args.quick,
             jobs_n=args.jobs,
@@ -232,6 +242,10 @@ def _cmd_shard_bench(args) -> None:
             max_batch_size=args.max_batch_size,
             rate_scale=args.rate_scale,
             repeats=args.repeats,
+            mode=args.mode,
+            stages=stages,
+            stage_shards=args.stage_shards,
+            pin_workers=args.pin_workers,
             cache_dir=args.cache_dir,
             use_cache=args.use_cache,
             no_cache=args.no_cache,
@@ -394,10 +408,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend", default="reference",
         help="execution backend: 'compiled' runs the pre-fused executor, "
-             "'sharded:N[:sim|process]' the tensor-sharded one; any "
-             "non-reference backend pairs every cell with its reference "
-             "twin (identical tokens) and adds backend_comparison to the "
-             "artifact",
+             "'sharded:N[:sim|process][:pin]' the tensor-sharded one, "
+             "'pipeline:P[+sharded:N][:sim|process][:pin]' the "
+             "pipeline-parallel one; any non-reference backend pairs "
+             "every cell with its reference twin (identical tokens) and "
+             "adds backend_comparison to the artifact",
     )
     p.add_argument(
         "--shards", type=int, default=None, metavar="N",
@@ -416,6 +431,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated precision policies to sweep the grid over "
              "(overrides --policy); with a non-reference --backend this "
              "produces the per-preset executor-parity artifact",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=1, metavar="K",
+        help="run each cell K times and keep the fastest (noise control, "
+             "same as shard-bench; token digests must be identical "
+             "across repeats)",
     )
     add_engine_arguments(p)
     p.set_defaults(func=_cmd_serve_bench)
@@ -476,8 +497,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backend", default="reference",
-        help="execution backend of every replica ('reference', 'compiled' "
-             "or 'sharded:N[:sim|process]')",
+        help="execution backend of every replica ('reference', 'compiled', "
+             "'sharded:N[:sim|process][:pin]' or "
+             "'pipeline:P[+sharded:N][:sim|process][:pin]'; process-driver "
+             "replicas share one warm worker pool)",
     )
     p.add_argument(
         "--use-cache", action="store_true",
@@ -488,20 +511,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "shard-bench",
-        help="tensor-sharded serving benchmark (shard counts x drivers x "
-             "scenarios, each cell paired with its N=1 twin; writes "
-             "BENCH_shard.json)",
+        help="parallel serving benchmark (shard counts or pipeline stages "
+             "x drivers x scenarios, each cell paired with its N=1 / P=1 "
+             "twin; writes BENCH_shard.json or BENCH_pipeline.json)",
     )
     p.add_argument("--quick", action="store_true", help="12 requests per scenario")
-    p.add_argument("--out", default="BENCH_shard.json", metavar="PATH")
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output artifact (default: BENCH_shard.json, or "
+             "BENCH_pipeline.json with --mode pipeline)",
+    )
     p.add_argument(
         "--scenarios", nargs="*", metavar="NAME",
         help="subset of scenarios (default: steady bursty chat codegen)",
     )
     p.add_argument(
+        "--mode", default="sharded", choices=("sharded", "pipeline"),
+        help="parallel axis the grid sweeps: 'sharded' sweeps --shards "
+             "(tensor parallel), 'pipeline' sweeps --stages (layer "
+             "parallel, plus the worker-pool reuse measurement)",
+    )
+    p.add_argument(
         "--shards", default="1,2,4", metavar="N,...",
         help="comma-separated shard counts to sweep (each must divide 12; "
              "the N=1 twin anchors the scaling ratios)",
+    )
+    p.add_argument(
+        "--stages", default="1,2", metavar="P,...",
+        help="comma-separated pipeline stage counts to sweep with --mode "
+             "pipeline (each <= the model's layer count; the P=1 twin "
+             "anchors the scaling ratios)",
+    )
+    p.add_argument(
+        "--stage-shards", type=int, default=1, metavar="N",
+        help="tensor-shard count within each pipeline stage (composed "
+             "pipeline:P+sharded:N topology; P*N <= 4)",
+    )
+    p.add_argument(
+        "--pin-workers", action="store_true",
+        help="pin each worker process to a core round-robin via "
+             "sched_setaffinity (no-op with a warning where unsupported)",
     )
     p.add_argument(
         "--drivers", default="process,sim", metavar="D,...",

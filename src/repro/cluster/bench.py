@@ -279,7 +279,11 @@ def run_cluster_bench(
     against the weight-blind round-robin baseline in the same artifact.
     """
     stream = stream or sys.stdout
-    validate_backend(backend)
+    from repro.nn.config import get_config
+
+    # Cells serve the fixed opt-125m-sim substrate; validating against its
+    # depth catches an oversized pipeline stage count up front.
+    validate_backend(backend, num_layers=get_config("opt-125m-sim").num_layers)
     validate_policies((policy,))
     if scenarios:
         validate_scenarios(scenarios)

@@ -501,17 +501,24 @@ EXECUTORS = {
 }
 
 
-#: Spec-string shorthand appended to "known backends" error messages.
-_SHARDED_SPEC = "sharded:N[:sim|process]"
+#: Spec-string shorthands appended to "known backends" error messages.
+_SHARDED_SPEC = "sharded:N[:sim|process][:pin]"
+_PIPELINE_SPEC = "pipeline:P[+sharded:N][:sim|process][:pin]"
+
+
+def _known_backends() -> str:
+    return ", ".join(sorted(EXECUTORS)) + f", {_SHARDED_SPEC}, {_PIPELINE_SPEC}"
 
 
 def resolve_executor(spec, model):
     """Turn a backend spec into a bound executor.
 
-    ``None`` means the reference backend; ``"sharded:N[:driver]"`` builds a
-    tensor-sharded executor (see :mod:`repro.shard`); any other string is
-    looked up in :data:`EXECUTORS`; anything else is assumed to already be
-    an executor instance and returned as-is.
+    ``None`` means the reference backend; ``"sharded:N[:driver][:pin]"``
+    builds a tensor-sharded executor and
+    ``"pipeline:P[+sharded:N][:driver][:pin]"`` a pipeline-parallel one
+    (see :mod:`repro.shard`); any other string is looked up in
+    :data:`EXECUTORS`; anything else is assumed to already be an executor
+    instance and returned as-is.
     """
     if spec is None:
         spec = ReferenceExecutor.name
@@ -521,22 +528,34 @@ def resolve_executor(spec, model):
             # executor, so a top-level import would cycle.
             from repro.shard import ShardedExecutor, parse_shard_spec
 
-            num_shards, driver = parse_shard_spec(spec)
-            return ShardedExecutor(model, num_shards, driver=driver)
+            num_shards, driver, pin = parse_shard_spec(spec)
+            return ShardedExecutor(model, num_shards, driver=driver, pin=pin)
+        if spec.startswith("pipeline"):
+            from repro.shard import PipelinedExecutor, parse_pipeline_spec
+
+            num_stages, num_shards, driver, pin = parse_pipeline_spec(spec)
+            return PipelinedExecutor(
+                model, num_stages, num_shards=num_shards, driver=driver,
+                pin=pin,
+            )
         try:
             cls = EXECUTORS[spec]
         except KeyError:
-            known = ", ".join(sorted(EXECUTORS)) + ", " + _SHARDED_SPEC
-            raise KeyError(f"unknown execution backend {spec!r} (known: {known})")
+            raise KeyError(
+                f"unknown execution backend {spec!r} "
+                f"(known: {_known_backends()})"
+            )
         return cls(model)
     return spec
 
 
-def validate_backend(spec) -> None:
+def validate_backend(spec, num_layers=None) -> None:
     """Raise ``ValueError`` when a backend spec string is not resolvable.
 
     Benches call this before declaring their job grids so a typo surfaces
-    as one usage error instead of a failure deep inside a cell.
+    as one usage error instead of a failure deep inside a cell.  When the
+    bench knows its model's depth it passes ``num_layers`` so an oversized
+    pipeline stage count fails here too.
     """
     if spec is None or not isinstance(spec, str):
         return
@@ -547,5 +566,16 @@ def validate_backend(spec) -> None:
 
         parse_shard_spec(spec)  # raises ValueError with specifics
         return
-    known = ", ".join(sorted(EXECUTORS)) + ", " + _SHARDED_SPEC
-    raise ValueError(f"unknown --backend {spec!r} (known: {known})")
+    if spec.startswith("pipeline"):
+        from repro.shard import parse_pipeline_spec
+
+        num_stages, _, _, _ = parse_pipeline_spec(spec)
+        if num_layers is not None and num_stages > num_layers:
+            raise ValueError(
+                f"pipeline stage count {num_stages} exceeds the model's "
+                f"{num_layers} decoder layers"
+            )
+        return
+    raise ValueError(
+        f"unknown --backend {spec!r} (known: {_known_backends()})"
+    )

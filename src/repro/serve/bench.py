@@ -219,6 +219,8 @@ def run_scenario(
     )
     try:
         report = engine.serve(workload)
+        stats_fn = getattr(engine.executor, "runtime_stats", None)
+        executor_stats = stats_fn() if callable(stats_fn) else None
     finally:
         engine.close()
 
@@ -242,6 +244,7 @@ def run_scenario(
         "token_digest": _token_digest(report.completed),
         "metrics": report.metrics,
         "pool": report.pool_stats,
+        "executor_stats": executor_stats,
     }
     metrics = report.metrics
     text = (
@@ -260,6 +263,43 @@ def run_scenario(
     return rows, text
 
 
+def run_serve_cell(repeats: int = 1, **params) -> tuple[dict, str]:
+    """Best-of-``repeats`` wrapper around :func:`run_scenario`.
+
+    Timing noise makes single-shot throughput ratios wobble between runs;
+    repeating the cell and keeping the fastest repeat (by
+    ``tokens_per_second``) measures capability, not scheduler luck.
+    Correctness is *not* allowed to wobble: every repeat must produce the
+    same ``token_digest``, otherwise the run aborts — a digest that varies
+    across repeats means the engine is no longer deterministic.
+    """
+    repeats = int(repeats)
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = None
+    digests = set()
+    # Late-bound module global so tests monkeypatching ``run_scenario``
+    # see their stub called once per repeat.
+    for _ in range(repeats):
+        rows, text = run_scenario(**params)
+        digests.add(rows["token_digest"])
+        if len(digests) > 1:
+            raise RuntimeError(
+                f"cell {params} produced {len(digests)} distinct token "
+                f"digests across repeats — the engine is no longer "
+                f"deterministic"
+            )
+        if (
+            best is None
+            or rows["metrics"]["tokens_per_second"]
+            > best[0]["metrics"]["tokens_per_second"]
+        ):
+            best = (rows, text)
+    rows, text = best
+    rows["repeats"] = repeats
+    return rows, text
+
+
 def jobs(
     quick: bool = True,
     seed: int = 0,
@@ -269,6 +309,7 @@ def jobs(
     decode_strategies=("one-token",),
     policies=None,
     backends=("reference",),
+    repeats: int = 1,
     **params,
 ) -> list[Job]:
     """One engine job per (scenario, normalizer, policy, strategy, backend).
@@ -282,7 +323,10 @@ def jobs(
     (when given) overrides the single ``policy`` with a sweep axis, and
     ``backends`` does the same for execution backends — the
     executor-parity grid pairs ``("reference", "compiled")`` cells so the
-    artifact can prove digest equality per precision preset.
+    artifact can prove digest equality per precision preset.  ``repeats``
+    > 1 routes each cell through :func:`run_serve_cell` (best-of-N with
+    digest-stability enforcement) so ``backend_comparison`` ratios stop
+    wobbling between runs.
     """
     names = list(scenarios) if scenarios else list(DEFAULT_SCENARIOS)
     for name in names:
@@ -310,19 +354,24 @@ def jobs(
                             )
                         if backend != "reference":
                             name += f"[{backend}]"
+                        cell_params = {
+                            "scenario": scenario,
+                            "normalizer": normalizer,
+                            "quick": bool(quick),
+                            "policy": cell_policy,
+                            "decode_strategy": strategy,
+                            "backend": backend,
+                            **cell,
+                        }
+                        target = "repro.serve.bench:run_scenario"
+                        if repeats > 1:
+                            target = "repro.serve.bench:run_serve_cell"
+                            cell_params["repeats"] = int(repeats)
                         declared.append(
                             Job(
                                 name=name,
-                                target="repro.serve.bench:run_scenario",
-                                params={
-                                    "scenario": scenario,
-                                    "normalizer": normalizer,
-                                    "quick": bool(quick),
-                                    "policy": cell_policy,
-                                    "decode_strategy": strategy,
-                                    "backend": backend,
-                                    **cell,
-                                },
+                                target=target,
+                                params=cell_params,
                                 seed=seed,
                             )
                         )
@@ -508,6 +557,7 @@ def run_bench(
     copy_rate: float | None = None,
     backend: str = "reference",
     policies=None,
+    repeats: int = 1,
 ) -> tuple[dict, str]:
     """Run the full scenario × normalizer grid and write ``out_path``.
 
@@ -530,8 +580,10 @@ def run_bench(
     ``BENCH_executor.json`` artifact is produced.
     """
     stream = stream or sys.stdout
-    validate_backend(backend)
+    validate_backend(backend, num_layers=get_config("opt-test").num_layers)
     validate_policies(policies if policies else (policy,))
+    if repeats < 1:
+        raise ValueError(f"--repeats must be >= 1, got {repeats}")
     if scenarios:
         validate_scenarios(scenarios)
     if ngram is not None and ngram < 1:
@@ -580,7 +632,7 @@ def run_bench(
     declared = jobs(
         quick=quick, seed=seed, scenarios=scenarios, normalizers=normalizers,
         policy=policy, decode_strategies=strategies, policies=policies,
-        backends=backends, **knobs,
+        backends=backends, repeats=repeats, **knobs,
     )
     cache = ResultCache(cache_dir) if use_cache else None
     outcomes = run_jobs(
@@ -611,6 +663,7 @@ def run_bench(
             "copy_rate": copy_rate,
             "backend": backend,
             "policies": list(policies) if policies else None,
+            "repeats": int(repeats),
             "model": results[0]["model"] if results else None,
             "max_batch_size": results[0]["max_batch_size"] if results else None,
         },

@@ -26,6 +26,7 @@ Exactness per phase (vs the unsharded compiled plan):
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -99,8 +100,9 @@ class ShardState:
         # rows: re-transposing reproduces the exact stride class of the
         # tied ``E.T`` view the unsharded plan binds, which einsum's
         # kernel selection (hence the accumulation bit pattern) depends on.
-        self.logits_w = arrays["logits_w"]
-        if config["logits_t"]:
+        # Non-final pipeline stages own no logits slice at all.
+        self.logits_w = arrays.get("logits_w")
+        if self.logits_w is not None and config["logits_t"]:
             self.logits_w = self.logits_w.T
 
     def named_arrays(self):
@@ -111,7 +113,8 @@ class ShardState:
                 arr = getattr(layer, name)
                 if arr is not None:
                     out.append((f"L{i}.{name}", arr))
-        out.append(("logits_w", self.logits_w))
+        if self.logits_w is not None:
+            out.append(("logits_w", self.logits_w))
         return out
 
 
@@ -167,6 +170,11 @@ def run_phase(state, phase, layer, payload):
         )
         return _prefix_presum(parts, state.ffn_lo)
     if phase == "logits":
+        if state.logits_w is None:
+            raise ValueError(
+                f"shard {state.index} holds no logits slice "
+                f"(only the final pipeline stage serves the logits phase)"
+            )
         out = det_matmul(payload, state.logits_w)
         if state.passthrough:
             return out
@@ -263,6 +271,13 @@ def worker_main(conn, shm_name, manifest, config):
     the loop.
     """
     from multiprocessing import shared_memory
+
+    pin_cpu = config.get("pin_cpu")
+    if pin_cpu is not None:
+        try:
+            os.sched_setaffinity(0, {int(pin_cpu)})
+        except (AttributeError, OSError):
+            pass  # the driver already warned; run unpinned
 
     shm = shared_memory.SharedMemory(name=shm_name)
     payload_segs: dict[str, object] = {}

@@ -229,6 +229,84 @@ class TestDecodeStrategyAxis:
         assert set(payload["config"]["scenarios"]) == set(SPEC_SCENARIOS)
 
 
+class TestRepeats:
+    def _stub_rows(self, tps, digest="d0"):
+        return (
+            {"token_digest": digest, "metrics": {"tokens_per_second": tps}},
+            "text",
+        )
+
+    def test_best_of_n_keeps_fastest_repeat(self, monkeypatch):
+        import repro.serve.bench as bench_mod
+
+        speeds = iter([10.0, 30.0, 20.0])
+        calls = []
+
+        def stub(**params):
+            calls.append(params)
+            return self._stub_rows(next(speeds))
+
+        monkeypatch.setattr(bench_mod, "run_scenario", stub)
+        rows, _ = bench_mod.run_serve_cell(repeats=3, scenario="steady")
+        assert len(calls) == 3
+        assert rows["metrics"]["tokens_per_second"] == 30.0
+        assert rows["repeats"] == 3
+
+    def test_digest_drift_across_repeats_aborts(self, monkeypatch):
+        import repro.serve.bench as bench_mod
+
+        digests = iter(["d0", "d1"])
+        monkeypatch.setattr(
+            bench_mod,
+            "run_scenario",
+            lambda **params: self._stub_rows(1.0, digest=next(digests)),
+        )
+        with pytest.raises(RuntimeError, match="no longer deterministic"):
+            bench_mod.run_serve_cell(repeats=2, scenario="steady")
+
+    def test_repeats_must_be_positive(self):
+        from repro.serve.bench import run_serve_cell
+
+        with pytest.raises(ValueError, match="repeats"):
+            run_serve_cell(repeats=0, scenario="steady")
+
+    def test_jobs_route_through_repeat_wrapper(self):
+        declared = jobs(
+            quick=True, scenarios=("steady",), normalizers=("baseline",),
+            repeats=3,
+        )
+        assert declared[0].target == "repro.serve.bench:run_serve_cell"
+        assert declared[0].params["repeats"] == 3
+        single = jobs(
+            quick=True, scenarios=("steady",), normalizers=("baseline",),
+        )
+        assert single[0].target == "repro.serve.bench:run_scenario"
+
+    def test_run_bench_records_repeats_and_stays_exact(self, tmp_path):
+        out = tmp_path / "bench.json"
+        payload, _ = run_bench(
+            quick=True,
+            seed=0,
+            out_path=str(out),
+            scenarios=("steady",),
+            normalizers=("baseline",),
+            repeats=2,
+            stream=open("/dev/null", "w"),
+        )
+        assert payload["config"]["repeats"] == 2
+        assert payload["results"][0]["repeats"] == 2
+
+    def test_run_bench_rejects_bad_repeats(self, tmp_path):
+        with pytest.raises(ValueError, match="--repeats"):
+            run_bench(
+                quick=True,
+                seed=0,
+                out_path=str(tmp_path / "x.json"),
+                repeats=0,
+                stream=open("/dev/null", "w"),
+            )
+
+
 class TestRunBench:
     def test_writes_json_with_all_scenarios(self, tmp_path):
         out = tmp_path / "BENCH_serve.json"

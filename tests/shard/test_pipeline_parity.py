@@ -1,0 +1,179 @@
+"""Golden-token parity: pipelined serving is byte-identical to unsharded.
+
+Pipeline parallelism partitions the layer stack (and optionally
+tensor-splits within each stage) without changing any layer's compute,
+and microbatch row-splitting is bit-safe because every kernel in the
+ragged step is per-row — so for every stage count, microbatch count,
+driver, and precision preset, a ``pipeline:P[+sharded:N]`` engine must
+serve **exactly** the token streams the ``reference`` backend serves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.config import get_config
+from repro.nn.executor import resolve_executor
+from repro.nn.model import OPTLanguageModel
+from repro.serve import ServeEngine, generate_workload
+from repro.shard import GLOBAL_POOL
+
+POLICIES = ("fp64-ref", "bf16-fp8kv")
+
+
+def make_model(policy=None, seed=11):
+    model = OPTLanguageModel(
+        get_config("opt-test"), rng=np.random.default_rng(seed), policy=policy
+    )
+    model.eval()
+    return model
+
+
+def workload(scenario, count=4, seed=0):
+    return generate_workload(scenario, num_requests=count, vocab_size=64, seed=seed)
+
+
+def served_tokens(model, requests, backend, **engine_kwargs):
+    engine = ServeEngine(model, backend=backend, **engine_kwargs)
+    try:
+        report = engine.serve(requests)
+        stats_fn = getattr(engine.executor, "runtime_stats", None)
+        stats = stats_fn() if callable(stats_fn) else None
+    finally:
+        engine.close()
+    assert len(report.completed) == len(requests)
+    return (
+        stats,
+        {r.request_id: report.by_id(r.request_id).tokens for r in requests},
+    )
+
+
+def assert_pipeline_parity(model, requests, backend, **engine_kwargs):
+    _, ref = served_tokens(model, requests, "reference", **engine_kwargs)
+    stats, piped = served_tokens(model, requests, backend, **engine_kwargs)
+    for rid, tokens in ref.items():
+        np.testing.assert_array_equal(
+            piped[rid], tokens, err_msg=f"request {rid} diverged on {backend}"
+        )
+    return stats
+
+
+class TestSimDriverParity:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("num_stages", [1, 2])
+    def test_steady_parity(self, num_stages, policy, fixed_timer):
+        model = make_model(policy)
+        assert_pipeline_parity(
+            model,
+            workload("steady"),
+            f"pipeline:{num_stages}:sim",
+            max_batch_size=4,
+            timer=fixed_timer,
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_composed_pipeline_and_tensor_parity(self, policy, fixed_timer):
+        """The composed 2-D topology: 2 stages x 2 tensor shards."""
+        model = make_model(policy)
+        assert_pipeline_parity(
+            model,
+            workload("chat"),
+            "pipeline:2+sharded:2:sim",
+            max_batch_size=4,
+            timer=fixed_timer,
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_chunked_prefill_composition(self, policy, fixed_timer):
+        model = make_model(policy)
+        assert_pipeline_parity(
+            model,
+            workload("chat"),
+            "pipeline:2:sim",
+            max_batch_size=4,
+            prefill_budget=3,
+            timer=fixed_timer,
+        )
+
+    def test_prefix_caching_composition(self, fixed_timer):
+        model = make_model("bf16-fp8kv")
+        assert_pipeline_parity(
+            model,
+            workload("chat"),
+            "pipeline:2:sim",
+            max_batch_size=4,
+            block_size=4,
+            prefix_caching=True,
+            timer=fixed_timer,
+        )
+
+
+class TestProcessDriverParity:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_process_driver_parity(self, policy, fixed_timer):
+        model = make_model(policy)
+        try:
+            assert_pipeline_parity(
+                model,
+                workload("chat"),
+                "pipeline:2:process",
+                max_batch_size=4,
+                timer=fixed_timer,
+            )
+        finally:
+            GLOBAL_POOL.clear()
+
+    def test_composed_process_parity(self, fixed_timer):
+        """Composed end-to-end over real worker processes (P*N = 4)."""
+        model = make_model("bf16-fp8kv")
+        try:
+            assert_pipeline_parity(
+                model,
+                workload("steady"),
+                "pipeline:2+sharded:2:process",
+                max_batch_size=4,
+                timer=fixed_timer,
+            )
+        finally:
+            GLOBAL_POOL.clear()
+
+
+class TestOverlapAccounting:
+    def test_microbatch_overlap_credit_accrues(self):
+        """P>=2 stages with M>=2 microbatches must bank pipeline credit."""
+        model = make_model()
+        executor = resolve_executor("pipeline:2:sim", model)
+        executor.microbatches = 2
+        engine = ServeEngine(model, backend=executor, max_batch_size=4)
+        try:
+            engine.serve(workload("steady", count=6))
+            stats = executor.runtime_stats()
+        finally:
+            engine.close()
+        assert stats["num_stages"] == 2
+        assert stats["microbatches"] == 2
+        assert stats["pipeline_overlap_credit_s"] > 0.0
+        assert 0.0 <= stats["pipeline_bubble_fraction"] < 1.0
+
+    def test_single_stage_banks_no_pipeline_credit(self):
+        model = make_model()
+        executor = resolve_executor("pipeline:1:sim", model)
+        engine = ServeEngine(model, backend=executor, max_batch_size=4)
+        try:
+            engine.serve(workload("steady"))
+            stats = executor.runtime_stats()
+        finally:
+            engine.close()
+        assert stats["pipeline_overlap_credit_s"] == 0.0
+        assert stats["pipeline_bubble_fraction"] == 0.0
+
+    def test_single_microbatch_banks_no_pipeline_credit(self):
+        model = make_model()
+        executor = resolve_executor("pipeline:2:sim", model)
+        executor.microbatches = 1
+        engine = ServeEngine(model, backend=executor, max_batch_size=4)
+        try:
+            engine.serve(workload("steady"))
+            stats = executor.runtime_stats()
+        finally:
+            engine.close()
+        assert stats["pipeline_overlap_credit_s"] == 0.0

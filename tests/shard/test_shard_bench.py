@@ -87,6 +87,36 @@ class TestJobs:
         with pytest.raises(ValueError, match="unknown scenario"):
             jobs(scenarios=("no-such-mix",))
 
+    def test_pipeline_mode_grid_declaration(self):
+        declared = jobs(
+            quick=True,
+            scenarios=("steady",),
+            mode="pipeline",
+            stages=(1, 2),
+            drivers=("process",),
+            policies=("fp64-ref",),
+        )
+        names = {job.name for job in declared}
+        assert "shard[steady/fp64-ref/reference]" in names
+        assert "shard[steady/fp64-ref/pipeline:1:process]" in names
+        assert "shard[steady/fp64-ref/pipeline:2:process]" in names
+
+    def test_pipeline_mode_composed_and_pinned_backends(self):
+        declared = jobs(
+            quick=True,
+            scenarios=("steady",),
+            mode="pipeline",
+            stages=(2,),
+            stage_shards=2,
+            pin_workers=True,
+            drivers=("process",),
+            policies=("fp64-ref",),
+        )
+        names = {job.name for job in declared}
+        assert (
+            "shard[steady/fp64-ref/pipeline:2+sharded:2:process:pin]" in names
+        )
+
 
 class TestShardComparison:
     def test_ratios_and_digest_flags(self):
@@ -117,6 +147,23 @@ class TestShardComparison:
             "tokens_per_second_ratio"
         ] == pytest.approx(1.5)
 
+    def test_pipeline_rows_compare_against_single_stage_twin(self):
+        rows = [
+            fake_row("steady", "fp64-ref", "reference", 100.0, "ok"),
+            fake_row("steady", "fp64-ref", "pipeline:1:process", 100.0, "ok"),
+            fake_row("steady", "fp64-ref", "pipeline:2:process", 130.0, "ok"),
+            fake_row(
+                "steady", "fp64-ref", "pipeline:2+sharded:2:process",
+                140.0, "ok",
+            ),
+        ]
+        comp = shard_comparison(rows)
+        group = comp["steady/fp64-ref/process"]
+        assert group["P=2"]["tokens_per_second_ratio"] == pytest.approx(1.3)
+        assert group["P=2"]["tokens_match"] is True
+        assert group["P=2xN=2"]["tokens_per_second_ratio"] == pytest.approx(1.4)
+        assert group["P=2xN=2"]["tokens_match_reference"] is True
+
 
 class TestValidation:
     def test_run_shard_bench_rejects_unknown_scenario(self, tmp_path):
@@ -130,6 +177,33 @@ class TestValidation:
         with pytest.raises(ValueError, match="DET_ATOMS"):
             shard_bench.run_shard_bench(
                 shards=(5,), out_path=str(tmp_path / "x.json")
+            )
+
+    def test_run_shard_bench_rejects_unknown_mode(self, tmp_path):
+        with pytest.raises(ValueError, match="--mode"):
+            shard_bench.run_shard_bench(
+                mode="tensor", out_path=str(tmp_path / "x.json")
+            )
+
+    def test_pipeline_mode_rejects_oversized_stage_count(self, tmp_path):
+        with pytest.raises(ValueError, match="decoder layers"):
+            shard_bench.run_shard_bench(
+                mode="pipeline", stages=(1, 99), model_name="opt-test",
+                out_path=str(tmp_path / "x.json"),
+            )
+
+    def test_pipeline_mode_rejects_oversized_composed_topology(self, tmp_path):
+        with pytest.raises(ValueError, match="P\\*N"):
+            shard_bench.run_shard_bench(
+                mode="pipeline", stages=(2,), stage_shards=4,
+                model_name="opt-test", out_path=str(tmp_path / "x.json"),
+            )
+
+    def test_pipeline_mode_rejects_bad_stage_shards(self, tmp_path):
+        with pytest.raises(ValueError, match="DET_ATOMS"):
+            shard_bench.run_shard_bench(
+                mode="pipeline", stage_shards=5, model_name="opt-test",
+                out_path=str(tmp_path / "x.json"),
             )
 
 
@@ -191,3 +265,81 @@ class TestCLIGuards:
                 "--capacity-weights", "2,1",
             ])
         assert "one weight per replica" in str(excinfo.value)
+
+    def test_bad_stages_list_is_usage_error(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "shard-bench", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--mode", "pipeline", "--stages", "1,two",
+            ])
+        assert "--stages" in str(excinfo.value)
+
+    def test_oversized_stage_count_is_usage_error(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "shard-bench", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--mode", "pipeline", "--stages", "1,99",
+                "--model", "opt-test",
+            ])
+        assert str(excinfo.value).startswith("shard-bench:")
+        assert "decoder layers" in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["pipeline:0", "pipeline:2:gpu", "pipeline:2+sharded:5"],
+    )
+    def test_serve_bench_bad_pipeline_spec_is_usage_error(self, tmp_path, spec):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "serve-bench", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--backend", spec,
+            ])
+        assert str(excinfo.value).startswith("serve-bench:")
+
+    def test_serve_bench_oversized_stage_count_is_usage_error(self, tmp_path):
+        from repro.cli import main
+
+        # serve-bench cells run opt-test (2 decoder layers).
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "serve-bench", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--backend", "pipeline:99",
+            ])
+        assert "decoder layers" in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "spec", ["pipeline:0", "pipeline:2:gpu", "pipeline:99"]
+    )
+    def test_cluster_bench_bad_pipeline_spec_is_usage_error(
+        self, tmp_path, spec
+    ):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "cluster-bench", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--backend", spec,
+            ])
+        assert str(excinfo.value).startswith("cluster-bench:")
+
+    def test_serve_bench_bad_repeats_is_usage_error(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "serve-bench", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--repeats", "0",
+            ])
+        assert "--repeats" in str(excinfo.value)

@@ -126,6 +126,40 @@ def _resolve_shard_backend(args, command: str) -> str:
     return f"sharded:{args.shards}:{args.shard_driver}"
 
 
+def _add_tier_arguments(p) -> None:
+    """The cold-KV-tier flags, shared by the serving benchmark commands.
+
+    Arming the tier (``--tier-blocks`` / ``--tier-ratio``) pairs every
+    cell with an untiered evict-only twin and adds ``tier_comparison``
+    to the artifact; both flags require ``--prefix-caching``.
+    """
+    p.add_argument(
+        "--tier-blocks", type=int, default=None, metavar="N",
+        help="cold-tier capacity in blocks: prefix blocks that pool "
+             "pressure would evict are demoted (re-quantized) into the "
+             "tier instead and promoted back on a prefix hit — requires "
+             "--prefix-caching; pairs every cell with an untiered twin",
+    )
+    p.add_argument(
+        "--tier-ratio", type=float, default=None, metavar="R",
+        help="cold-tier capacity as a fraction of --max-blocks "
+             "(0 <= R <= 1; alternative to --tier-blocks)",
+    )
+    p.add_argument(
+        "--tier-fmt", default=None, metavar="FMT",
+        help="cold-tier storage format (default: the policy's KV-cache "
+             "format, which round-trips exactly; a narrower format makes "
+             "the tier lossy, so cold hits re-prefill instead of "
+             "promoting — exactness over reuse)",
+    )
+    p.add_argument(
+        "--slo-aware", action="store_true",
+        help="rank preemption victims by modeled recompute cost within "
+             "the lowest priority class (macro memory-interface cost "
+             "model) instead of pure arrival order",
+    )
+
+
 def _cmd_serve_bench(args) -> None:
     from repro.serve.bench import run_bench
 
@@ -154,6 +188,10 @@ def _cmd_serve_bench(args) -> None:
             backend=backend,
             policies=tuple(args.policies.split(",")) if args.policies else None,
             repeats=args.repeats,
+            tier_blocks=args.tier_blocks,
+            tier_ratio=args.tier_ratio,
+            tier_fmt=args.tier_fmt,
+            slo_aware=args.slo_aware,
         )
     except (ValueError, KeyError) as exc:
         # Flag mistakes (bad --ngram/--max-draft/--backend/--scenarios
@@ -201,8 +239,13 @@ def _cmd_cluster_bench(args) -> None:
             max_batch_size=args.max_batch_size,
             block_size=args.block_size,
             prefill_budget=args.prefill_budget,
+            max_blocks=args.max_blocks,
             backend=args.backend,
             capacity_weights=capacity_weights,
+            tier_blocks=args.tier_blocks,
+            tier_ratio=args.tier_ratio,
+            tier_fmt=args.tier_fmt,
+            slo_aware=args.slo_aware,
         )
     except (ValueError, KeyError) as exc:
         # Same contract as serve-bench: bad --routing/--replicas/--policy
@@ -246,6 +289,12 @@ def _cmd_shard_bench(args) -> None:
             stages=stages,
             stage_shards=args.stage_shards,
             pin_workers=args.pin_workers,
+            prefix_caching=args.prefix_caching,
+            max_blocks=args.max_blocks,
+            tier_blocks=args.tier_blocks,
+            tier_ratio=args.tier_ratio,
+            tier_fmt=args.tier_fmt,
+            slo_aware=args.slo_aware,
             cache_dir=args.cache_dir,
             use_cache=args.use_cache,
             no_cache=args.no_cache,
@@ -438,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
              "same as shard-bench; token digests must be identical "
              "across repeats)",
     )
+    _add_tier_arguments(p)
     add_engine_arguments(p)
     p.set_defaults(func=_cmd_serve_bench)
 
@@ -492,6 +542,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-iteration chunked-prefill cap, per replica",
     )
     p.add_argument(
+        "--max-blocks", type=int, default=None, metavar="N",
+        help="bound each replica's KV pool at N blocks (exhaustion "
+             "preempts deterministically; required by --tier-ratio)",
+    )
+    p.add_argument(
         "--policy", default="fp64-ref",
         help="precision policy of the served model",
     )
@@ -506,6 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--use-cache", action="store_true",
         help="replay cells from the result cache (off by default)",
     )
+    _add_tier_arguments(p)
     add_engine_arguments(p)
     p.set_defaults(func=_cmd_cluster_bench)
 
@@ -583,6 +639,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay cells from the result cache (off by default: cached "
              "timings defeat a benchmark)",
     )
+    p.add_argument(
+        "--prefix-caching", action="store_true",
+        help="share prompt-prefix KV blocks across requests in every cell "
+             "(required by the cold-tier flags)",
+    )
+    p.add_argument(
+        "--max-blocks", type=int, default=None, metavar="N",
+        help="bound every cell's KV pool at N blocks (required by "
+             "--tier-ratio)",
+    )
+    _add_tier_arguments(p)
     add_engine_arguments(p)
     p.set_defaults(func=_cmd_shard_bench)
 

@@ -43,7 +43,12 @@ from repro.engine import Job, ResultCache, run_jobs
 from repro.nn.config import get_config
 from repro.nn.executor import validate_backend
 from repro.nn.model import OPTLanguageModel
-from repro.serve.bench import _token_digest, validate_policies, validate_scenarios
+from repro.serve.bench import (
+    _token_digest,
+    validate_policies,
+    validate_scenarios,
+    validate_tier,
+)
 from repro.serve.workload import SCENARIOS, generate_workload
 
 #: The shared-prefix scenarios where routing placement actually moves the
@@ -73,9 +78,14 @@ def run_cluster_cell(
     policy: str = "fp64-ref",
     prefix_caching: bool = True,
     prefill_budget: int | None = None,
+    max_blocks: int | None = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
     backend: str = "reference",
     capacity_weights=None,
+    tier_blocks: int | None = None,
+    tier_ratio: float | None = None,
+    tier_fmt: str | None = None,
+    slo_aware: bool = False,
 ) -> tuple[dict, str]:
     """Serve one scenario through one cluster configuration.
 
@@ -116,8 +126,13 @@ def run_cluster_cell(
         block_size=block_size,
         prefix_caching=prefix_caching,
         prefill_budget=prefill_budget,
+        max_blocks=max_blocks,
         backend=backend,
         capacity_weights=capacity_weights,
+        tier_blocks=tier_blocks,
+        tier_ratio=tier_ratio,
+        tier_fmt=tier_fmt,
+        slo_aware=slo_aware,
     )
     report = router.serve(workload)
     cluster = report.summary()
@@ -134,6 +149,11 @@ def run_cluster_cell(
         "seed": seed,
         "prefix_caching": bool(prefix_caching),
         "prefill_budget": prefill_budget,
+        "max_blocks": max_blocks,
+        "tier_blocks": tier_blocks,
+        "tier_ratio": tier_ratio,
+        "tier_fmt": tier_fmt,
+        "slo_aware": bool(slo_aware),
         "block_size": int(block_size),
         "backend": backend,
         "capacity_weights": cluster["capacity_weights"],
@@ -265,8 +285,13 @@ def run_cluster_bench(
     max_batch_size: int = 4,
     block_size: int = DEFAULT_BLOCK_SIZE,
     prefill_budget: int | None = None,
+    max_blocks: int | None = None,
     backend: str = "reference",
     capacity_weights=None,
+    tier_blocks: int | None = None,
+    tier_ratio: float | None = None,
+    tier_fmt: str | None = None,
+    slo_aware: bool = False,
 ) -> tuple[dict, str]:
     """Run the scenario × R × routing grid and write ``out_path``.
 
@@ -277,6 +302,10 @@ def run_cluster_bench(
     replica, so each swept replica count must equal the weight count);
     compare the weight-aware policies' ``weighted_load_imbalance``
     against the weight-blind round-robin baseline in the same artifact.
+    ``tier_blocks``/``tier_ratio`` arm the per-replica cold KV tier
+    (``tier_ratio`` needs ``max_blocks``, the per-replica pool bound);
+    every replica engine demotes and promotes independently and the
+    merged report carries the summed tier counters.
     """
     stream = stream or sys.stdout
     from repro.nn.config import get_config
@@ -285,6 +314,12 @@ def run_cluster_bench(
     # depth catches an oversized pipeline stage count up front.
     validate_backend(backend, num_layers=get_config("opt-125m-sim").num_layers)
     validate_policies((policy,))
+    # Cluster cells always prefix-cache (affinity routing is the point),
+    # so the tier flags only need the per-replica pool bound to resolve.
+    validate_tier(
+        tier_blocks=tier_blocks, tier_ratio=tier_ratio, tier_fmt=tier_fmt,
+        prefix_caching=True, max_blocks=max_blocks,
+    )
     if scenarios:
         validate_scenarios(scenarios)
     for routing in routings:
@@ -323,6 +358,16 @@ def run_cluster_bench(
         params["sessions"] = int(sessions)
     if prefill_budget is not None:
         params["prefill_budget"] = int(prefill_budget)
+    if max_blocks is not None:
+        params["max_blocks"] = int(max_blocks)
+    if tier_blocks is not None:
+        params["tier_blocks"] = int(tier_blocks)
+    if tier_ratio is not None:
+        params["tier_ratio"] = float(tier_ratio)
+    if tier_fmt is not None:
+        params["tier_fmt"] = tier_fmt
+    if slo_aware:
+        params["slo_aware"] = True
     declared = jobs(
         quick=quick, seed=seed, scenarios=scenarios, routings=routings,
         replicas=replicas, **params,
@@ -350,6 +395,11 @@ def run_cluster_bench(
             "rate_scale": float(rate_scale),
             "max_batch_size": int(max_batch_size),
             "block_size": int(block_size),
+            "max_blocks": max_blocks,
+            "tier_blocks": tier_blocks,
+            "tier_ratio": tier_ratio,
+            "tier_fmt": tier_fmt,
+            "slo_aware": bool(slo_aware),
             "backend": backend,
             "capacity_weights": capacity_weights,
             "model": results[0]["model"] if results else None,

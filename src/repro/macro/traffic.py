@@ -11,8 +11,8 @@ macro latency.  It backs the `traffic` CLI command and the motivation
 benchmark.
 
 It also defines the **request arrival processes** (steady, Poisson, bursty
-Markov-modulated Poisson, and session-structured multi-turn arrivals) that
-characterize inference traffic.
+Markov-modulated Poisson, session-structured multi-turn arrivals, and
+wave-structured DAG-stage arrivals) that characterize inference traffic.
 These feed the serving-layer workload generator
 (:mod:`repro.serve.workload`), so the same traffic assumptions drive both
 the data-movement analysis and the end-to-end serving benchmarks.
@@ -223,12 +223,86 @@ class SessionArrivals(ArrivalProcess):
         return gaps
 
 
+@dataclass(frozen=True)
+class WaveArrivals(ArrivalProcess):
+    """DAG-stage arrivals: whole waves of requests land nearly at once.
+
+    Models application DAGs (agent call trees, map-reduce stages) whose
+    nodes are dispatched together by an orchestrator: waves of
+    ``wave_size`` requests begin at exponential gaps of mean
+    ``wave_size / rate`` (keeping the long-run mean rate near ``rate``),
+    and the remaining ``wave_size - 1`` arrivals of a wave follow at
+    tight exponential gaps of mean ``spread / rate``.  A whole wave
+    hitting the pool at once is the stress case for block sharing and
+    the tiered KV pool: the wave's shared prefixes are hot while the
+    wave runs, go cold under the churn of the following waves, and are
+    re-demanded wholesale when the next stage of the same DAG arrives.
+
+    ``wave_sizes`` overrides the uniform partition with explicit
+    per-wave sizes — the serve workload generator uses it to make each
+    wave one *DAG stage* across every concurrent tree/group (all roots,
+    then every root's children, ...; all mappers, then the reducers),
+    with each wave-start gap scaled to that wave's own size.
+    """
+
+    rate: float
+    wave_size: int = 4
+    spread: float = 0.05
+    wave_sizes: tuple[int, ...] | None = None
+    name = "wave"
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.wave_size < 1:
+            raise ValueError(f"wave_size must be >= 1, got {self.wave_size}")
+        if self.spread <= 0:
+            raise ValueError(f"spread must be positive, got {self.spread}")
+        if self.wave_sizes is not None and (
+            not self.wave_sizes or any(s < 1 for s in self.wave_sizes)
+        ):
+            raise ValueError(f"wave_sizes must be positive, got {self.wave_sizes}")
+
+    def interarrival_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Per-wave gaps drawn from *spawned* per-wave generators.
+
+        Wave ``w`` draws its wave-start gap and in-wave gaps from
+        ``rng.spawn``-ed child ``w`` — the same per-group discipline as
+        :class:`SessionArrivals`, so scaling a workload up leaves the
+        earlier waves' timing bit-identical and the parent generator's
+        stream untouched.
+        """
+        if n == 0:
+            return np.zeros(0)
+        if self.wave_sizes is not None:
+            sizes = list(self.wave_sizes)
+            covered = sum(sizes)
+            while covered < n:  # tile the stage pattern if the tail needs it
+                sizes.append(sizes[len(sizes) % len(self.wave_sizes)])
+                covered += sizes[-1]
+        else:
+            sizes = [self.wave_size] * (-(-n // self.wave_size))  # ceil division
+        gaps = np.empty(n)
+        pos = 0
+        for size, child in zip(sizes, rng.spawn(len(sizes))):
+            if pos >= n:
+                break
+            take = min(size, n - pos)
+            draws = child.exponential(size=take)
+            draws[0] *= size / self.rate
+            draws[1:] *= self.spread / self.rate
+            gaps[pos : pos + take] = draws
+            pos += take
+        return gaps
+
+
 #: Registry of arrival models by name (used by the serve workload scenarios).
 ARRIVAL_PROCESSES = {
     "steady": SteadyArrivals,
     "poisson": PoissonArrivals,
     "bursty": BurstyArrivals,
     "session": SessionArrivals,
+    "wave": WaveArrivals,
 }
 
 

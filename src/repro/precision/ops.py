@@ -226,6 +226,24 @@ class QuantizedOps:
         )
 
 
+def requantize_blocks(
+    k: np.ndarray, v: np.ndarray, fmt
+) -> tuple[np.ndarray, np.ndarray]:
+    """Re-quantize a stacked batch of KV blocks to ``fmt`` in one pass.
+
+    ``k``/``v`` stack any number of blocks along axis 0 (the tiered KV
+    pool passes ``pool._k[ids]``).  ``fmt`` is a resolved
+    :class:`~repro.fpformats.spec.FloatFormat` or ``None`` for raw
+    float64 (a pure victim copy).  Quantization is the same elementwise
+    round-to-nearest-even applied on the KV write path, so demoting
+    bytes already stored in ``fmt`` is the identity — the property that
+    makes demote-then-promote byte-exact for a matching tier format.
+    """
+    if fmt is None:
+        return k.copy(), v.copy()
+    return quantize(k, fmt), quantize(v, fmt)
+
+
 def ops_compatible(ops, policy) -> bool:
     """True when ``ops`` already implements ``policy``'s datapath formats.
 

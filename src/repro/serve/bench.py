@@ -49,6 +49,16 @@ tokens/sec, never a token) plus the measured throughput ratio.
 ``--policies a,b,c`` sweeps the pairing over several precision presets in
 one artifact — the recipe behind ``BENCH_executor.json``.
 
+With ``--tier-blocks`` / ``--tier-ratio`` every cell is paired with an
+*untiered* (evict-only) twin under identical traffic and the payload
+gains ``tier_comparison``: per-cell digest equality (demotion and
+promotion may only change timings, never a token), the tiered-over-
+untiered throughput ratio, and the cold-tier counters (``cold_hit_rate``,
+``blocks_demoted`` / ``blocks_promoted``, ``recompute_tokens_avoided``).
+The DAG scenarios (``agent-tree``, ``map-reduce``) under a tight
+``--max-blocks`` are the designed stress; the recipe behind
+``BENCH_kv_tier.json``.
+
 Timing metrics are measured wall-clock compute (virtual clock); token
 counts and finish reasons are deterministic per seed.  Benchmarks are run
 with the result cache *disabled by default* — replaying stored timings
@@ -164,6 +174,10 @@ def run_scenario(
     max_draft: int | None = None,
     copy_rate: float | None = None,
     backend: str = "reference",
+    tier_blocks: int | None = None,
+    tier_ratio: float | None = None,
+    tier_fmt: str | None = None,
+    slo_aware: bool = False,
 ) -> tuple[dict, str]:
     """Serve one scenario under one normalizer; returns ``(rows, text)``.
 
@@ -181,6 +195,11 @@ def run_scenario(
     fraction of a ``"copy"``-structured scenario's prompts.  ``backend``
     selects the execution backend (``"reference"`` or ``"compiled"``);
     like the scheduling knobs it changes timings only, never a token.
+    ``tier_blocks`` / ``tier_ratio`` / ``tier_fmt`` arm the cold KV tier
+    and ``slo_aware`` the cost-model victim ranking (see
+    :class:`~repro.serve.engine.ServeEngine`) — also timing-only knobs:
+    promotion is restricted to byte-exact restores, so the digest proves
+    tiering never changed a token.
     """
     if normalizer not in NORMALIZER_VARIANTS:
         known = ", ".join(sorted(NORMALIZER_VARIANTS))
@@ -216,6 +235,10 @@ def run_scenario(
             decode_strategy, ngram=ngram, max_draft=max_draft
         ),
         backend=backend,
+        tier_blocks=tier_blocks,
+        tier_ratio=tier_ratio,
+        tier_fmt=tier_fmt,
+        slo_aware=slo_aware,
     )
     try:
         report = engine.serve(workload)
@@ -241,6 +264,10 @@ def run_scenario(
         "max_draft": max_draft,
         "copy_rate": copy_rate,
         "backend": backend,
+        "tier_blocks": tier_blocks,
+        "tier_ratio": tier_ratio,
+        "tier_fmt": tier_fmt,
+        "slo_aware": bool(slo_aware),
         "token_digest": _token_digest(report.completed),
         "metrics": report.metrics,
         "pool": report.pool_stats,
@@ -258,7 +285,8 @@ def run_scenario(
         f"prefix hit {metrics['prefix_hit_rate'] * 100:5.1f}%  "
         f"preempt {metrics['preempted_count']:3d}  "
         f"accept {metrics['acceptance_rate'] * 100:5.1f}%  "
-        f"tok/step {metrics['decode_tokens_per_step']:4.2f}"
+        f"tok/step {metrics['decode_tokens_per_step']:4.2f}  "
+        f"cold {metrics['cold_hit_rate'] * 100:5.1f}%"
     )
     return rows, text
 
@@ -310,6 +338,7 @@ def jobs(
     policies=None,
     backends=("reference",),
     repeats: int = 1,
+    tiers=(None,),
     **params,
 ) -> list[Job]:
     """One engine job per (scenario, normalizer, policy, strategy, backend).
@@ -326,7 +355,12 @@ def jobs(
     artifact can prove digest equality per precision preset.  ``repeats``
     > 1 routes each cell through :func:`run_serve_cell` (best-of-N with
     digest-stability enforcement) so ``backend_comparison`` ratios stop
-    wobbling between runs.
+    wobbling between runs.  ``tiers`` is the cold-KV-tier pairing axis:
+    each entry is either ``None`` (untiered) or a dict of tier knobs
+    (``tier_blocks`` / ``tier_ratio`` / ``tier_fmt`` / ``slo_aware``)
+    merged into the cell — ``(None, {...})`` declares each cell twice so
+    ``tier_comparison`` can prove digest equality against the evict-only
+    twin and measure the tiering uplift.
     """
     names = list(scenarios) if scenarios else list(DEFAULT_SCENARIOS)
     for name in names:
@@ -340,47 +374,63 @@ def jobs(
             for cell_policy in policy_list:
                 for strategy in decode_strategies:
                     for backend in backends:
-                        cell = dict(params)
-                        if strategy != "prompt-lookup":
-                            # ngram/max_draft configure prompt-lookup only; a
-                            # one-token baseline cell must not inherit them.
-                            cell.pop("ngram", None)
-                            cell.pop("max_draft", None)
-                        name = f"serve[{scenario}/{normalizer}/{strategy}]"
-                        if len(policy_list) > 1:
-                            name = (
-                                f"serve[{scenario}/{normalizer}/"
-                                f"{cell_policy}/{strategy}]"
+                        for tier in tiers:
+                            cell = dict(params)
+                            if strategy != "prompt-lookup":
+                                # ngram/max_draft configure prompt-lookup
+                                # only; a one-token baseline cell must not
+                                # inherit them.
+                                cell.pop("ngram", None)
+                                cell.pop("max_draft", None)
+                            if tier:
+                                cell.update(tier)
+                            name = f"serve[{scenario}/{normalizer}/{strategy}]"
+                            if len(policy_list) > 1:
+                                name = (
+                                    f"serve[{scenario}/{normalizer}/"
+                                    f"{cell_policy}/{strategy}]"
+                                )
+                            if backend != "reference":
+                                name += f"[{backend}]"
+                            if tier:
+                                name += "[tiered]"
+                            cell_params = {
+                                "scenario": scenario,
+                                "normalizer": normalizer,
+                                "quick": bool(quick),
+                                "policy": cell_policy,
+                                "decode_strategy": strategy,
+                                "backend": backend,
+                                **cell,
+                            }
+                            target = "repro.serve.bench:run_scenario"
+                            if repeats > 1:
+                                target = "repro.serve.bench:run_serve_cell"
+                                cell_params["repeats"] = int(repeats)
+                            declared.append(
+                                Job(
+                                    name=name,
+                                    target=target,
+                                    params=cell_params,
+                                    seed=seed,
+                                )
                             )
-                        if backend != "reference":
-                            name += f"[{backend}]"
-                        cell_params = {
-                            "scenario": scenario,
-                            "normalizer": normalizer,
-                            "quick": bool(quick),
-                            "policy": cell_policy,
-                            "decode_strategy": strategy,
-                            "backend": backend,
-                            **cell,
-                        }
-                        target = "repro.serve.bench:run_scenario"
-                        if repeats > 1:
-                            target = "repro.serve.bench:run_serve_cell"
-                            cell_params["repeats"] = int(repeats)
-                        declared.append(
-                            Job(
-                                name=name,
-                                target=target,
-                                params=cell_params,
-                                seed=seed,
-                            )
-                        )
     return declared
 
 
 def _reference_rows(results: list[dict]) -> list[dict]:
     """The rows served by the reference backend (the comparison baselines)."""
     return [r for r in results if r.get("backend", "reference") == "reference"]
+
+
+def _untiered_rows(results: list[dict]) -> list[dict]:
+    """The rows served without a cold tier.
+
+    The normalizer / speculation / backend comparisons pair cells that
+    differ in exactly one knob; tiered twins differ in the tier too, so
+    they are compared only in ``tier_comparison``.
+    """
+    return [r for r in results if not (r.get("tier_blocks") or r.get("tier_ratio"))]
 
 
 def _multi_policy(results: list[dict]) -> bool:
@@ -394,7 +444,7 @@ def _comparison(results: list[dict]) -> dict:
     rows are compared here.  With a multi-policy grid the cell keys gain a
     ``/policy`` suffix so presets never collapse onto each other.
     """
-    rows = _reference_rows(results)
+    rows = _untiered_rows(_reference_rows(results))
     multi = _multi_policy(rows)
     baselines = {
         (row["scenario"], row.get("policy")): row
@@ -440,6 +490,7 @@ def _spec_comparison(results: list[dict]) -> dict:
     Each speculative row is compared against the one-token baseline of
     its *own* backend and policy.
     """
+    results = _untiered_rows(results)
     multi = _multi_policy(results)
     baselines = {
         (
@@ -495,6 +546,7 @@ def _backend_comparison(results: list[dict]) -> dict:
     proves it.  ``tokens_per_second_ratio`` > 1 is the backend's measured
     uplift.
     """
+    results = _untiered_rows(results)
     baselines = {
         (
             row["scenario"],
@@ -534,6 +586,113 @@ def _backend_comparison(results: list[dict]) -> dict:
     return comparison
 
 
+def _tiered(row: dict) -> bool:
+    return bool(row.get("tier_blocks") or row.get("tier_ratio"))
+
+
+def _tier_comparison(results: list[dict]) -> dict:
+    """Tiered-vs-untiered deltas per (scenario, normalizer, policy) cell.
+
+    Every tiered row is paired with the untiered (evict-only) run of the
+    identical cell — same scenario, normalizer, policy, strategy,
+    backend, seed, and therefore identical traffic.  ``tokens_match``
+    compares the twins' token digests: the tier may only change
+    timings, so a ``False`` means a promotion restored bytes that a
+    fresh write would not have produced and the artifact itself proves
+    it.  ``tokens_per_second_ratio`` > 1 is the measured uplift of
+    demoting cold prefixes instead of evicting them;
+    ``cold_hit_rate`` / ``recompute_tokens_avoided`` show how much of
+    the uplift came from promotions, and ``blocks_demoted`` /
+    ``blocks_promoted`` how hard the tier actually worked.
+    """
+    baselines = {
+        (
+            row["scenario"],
+            row["normalizer"],
+            row.get("policy"),
+            row.get("decode_strategy", "one-token"),
+            row.get("backend", "reference"),
+        ): row
+        for row in results
+        if not _tiered(row)
+    }
+    multi = _multi_policy(results)
+    comparison: dict[str, dict] = {}
+    for row in results:
+        if not _tiered(row):
+            continue
+        base = baselines.get(
+            (
+                row["scenario"],
+                row["normalizer"],
+                row.get("policy"),
+                row.get("decode_strategy", "one-token"),
+                row.get("backend", "reference"),
+            )
+        )
+        if base is None:
+            continue
+        base_tps = base["metrics"]["tokens_per_second"]
+        cell = f"{row['scenario']}/{row['normalizer']}"
+        if multi:
+            cell += f"/{row.get('policy')}"
+        comparison[cell] = {
+            "tokens_match": row["token_digest"] == base["token_digest"],
+            "tokens_per_second": row["metrics"]["tokens_per_second"],
+            "untiered_tokens_per_second": base_tps,
+            "tokens_per_second_ratio": (
+                row["metrics"]["tokens_per_second"] / base_tps if base_tps else None
+            ),
+            "cold_hit_rate": row["metrics"]["cold_hit_rate"],
+            "cold_tokens_restored": row["metrics"]["cold_tokens_restored"],
+            "cold_tokens_refused": row["metrics"]["cold_tokens_refused"],
+            "recompute_tokens_avoided": row["metrics"]["recompute_tokens_avoided"],
+            "blocks_demoted": row["pool"]["blocks_demoted"],
+            "blocks_promoted": row["pool"]["blocks_promoted"],
+            "tier_evictions": row["pool"]["tier_evictions"],
+            "prefill_tokens_computed_delta": (
+                row["metrics"]["prefill_tokens_computed"]
+                - base["metrics"]["prefill_tokens_computed"]
+            ),
+        }
+    return comparison
+
+
+def validate_tier(
+    tier_blocks: int | None = None,
+    tier_ratio: float | None = None,
+    tier_fmt: str | None = None,
+    prefix_caching: bool = False,
+    max_blocks: int | None = None,
+) -> None:
+    """Reject inconsistent cold-tier flags before any job runs.
+
+    Same contract as :func:`validate_policies`: the engine would raise
+    the equivalent errors mid-grid from a worker process; failing up
+    front keeps the message a one-line ``SystemExit`` at the CLI.
+    """
+    if tier_blocks is not None and tier_ratio is not None:
+        raise ValueError("give --tier-blocks or --tier-ratio, not both")
+    if tier_blocks is not None and tier_blocks < 0:
+        raise ValueError(f"--tier-blocks must be >= 0, got {tier_blocks}")
+    if tier_ratio is not None and not 0.0 <= tier_ratio <= 1.0:
+        raise ValueError(f"--tier-ratio must be in [0, 1], got {tier_ratio}")
+    tiered = bool(tier_blocks) or bool(tier_ratio)
+    if tiered and not prefix_caching:
+        raise ValueError("--tier-blocks/--tier-ratio require --prefix-caching")
+    if tier_ratio is not None and max_blocks is None:
+        raise ValueError("--tier-ratio requires --max-blocks")
+    if tier_fmt is not None and not tiered:
+        raise ValueError("--tier-fmt requires --tier-blocks or --tier-ratio")
+    if tier_fmt is not None:
+        from repro.nn.kv_cache import resolve_kv_format
+
+        try:
+            resolve_kv_format(tier_fmt)
+        except KeyError as exc:
+            raise ValueError(f"unknown --tier-fmt: {exc.args[0]}") from None
+
+
 def run_bench(
     quick: bool = True,
     jobs_n: int = 1,
@@ -558,6 +717,10 @@ def run_bench(
     backend: str = "reference",
     policies=None,
     repeats: int = 1,
+    tier_blocks: int | None = None,
+    tier_ratio: float | None = None,
+    tier_fmt: str | None = None,
+    slo_aware: bool = False,
 ) -> tuple[dict, str]:
     """Run the full scenario × normalizer grid and write ``out_path``.
 
@@ -577,11 +740,23 @@ def run_bench(
     reference-backend twin and the payload gains ``backend_comparison``
     (digest equality plus throughput ratio per cell) — with ``policies``
     the pairing sweeps each listed precision preset, which is how the
-    ``BENCH_executor.json`` artifact is produced.
+    ``BENCH_executor.json`` artifact is produced.  ``tier_blocks`` /
+    ``tier_ratio`` arm the cold KV tier the same way: every cell gains
+    an untiered (evict-only) twin under identical traffic and the
+    payload gains ``tier_comparison`` — digest equality, the throughput
+    ratio, and the cold-tier counters — which is how the
+    ``BENCH_kv_tier.json`` artifact is produced.
     """
     stream = stream or sys.stdout
     validate_backend(backend, num_layers=get_config("opt-test").num_layers)
     validate_policies(policies if policies else (policy,))
+    validate_tier(
+        tier_blocks=tier_blocks,
+        tier_ratio=tier_ratio,
+        tier_fmt=tier_fmt,
+        prefix_caching=prefix_caching,
+        max_blocks=max_blocks,
+    )
     if repeats < 1:
         raise ValueError(f"--repeats must be >= 1, got {repeats}")
     if scenarios:
@@ -629,10 +804,23 @@ def run_bench(
         # Paired reference twin per cell: backend_comparison proves digest
         # equality and measures the uplift against identical traffic.
         backends = ("reference", backend)
+    if tier_blocks or tier_ratio:
+        # Paired evict-only twin per cell: tier_comparison proves digest
+        # equality and measures the tiering uplift under identical traffic.
+        tier = {"slo_aware": bool(slo_aware)}
+        if tier_blocks is not None:
+            tier["tier_blocks"] = int(tier_blocks)
+        if tier_ratio is not None:
+            tier["tier_ratio"] = float(tier_ratio)
+        if tier_fmt is not None:
+            tier["tier_fmt"] = tier_fmt
+        tiers = (None, tier)
+    else:
+        tiers = (None,)
     declared = jobs(
         quick=quick, seed=seed, scenarios=scenarios, normalizers=normalizers,
         policy=policy, decode_strategies=strategies, policies=policies,
-        backends=backends, repeats=repeats, **knobs,
+        backends=backends, repeats=repeats, tiers=tiers, **knobs,
     )
     cache = ResultCache(cache_dir) if use_cache else None
     outcomes = run_jobs(
@@ -664,6 +852,10 @@ def run_bench(
             "backend": backend,
             "policies": list(policies) if policies else None,
             "repeats": int(repeats),
+            "tier_blocks": tier_blocks,
+            "tier_ratio": tier_ratio,
+            "tier_fmt": tier_fmt,
+            "slo_aware": bool(slo_aware),
             "model": results[0]["model"] if results else None,
             "max_batch_size": results[0]["max_batch_size"] if results else None,
         },
@@ -671,6 +863,7 @@ def run_bench(
         "comparison": _comparison(results),
         "spec_comparison": _spec_comparison(results),
         "backend_comparison": _backend_comparison(results),
+        "tier_comparison": _tier_comparison(results),
     }
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)

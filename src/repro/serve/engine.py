@@ -178,6 +178,22 @@ class ServeEngine:
     max_blocks:
         Pool capacity ceiling; enables preemption under exhaustion
         (``None`` = unbounded growth, never preempts).
+    tier_blocks / tier_ratio:
+        Cold-tier capacity: an absolute block count, or a fraction of
+        ``max_blocks`` (``tier_ratio`` requires a bounded pool; at most
+        one of the two may be given).  Under pool pressure, demotable
+        cached prefixes are re-quantized into the tier and promoted back
+        on a hit instead of being recomputed — see
+        :class:`~repro.serve.kv_pool.BlockKVPool`.  Off by default.
+    tier_fmt:
+        Cold-tier storage format; ``None`` uses the policy's
+        ``kv_cache_fmt`` (lossless, so hits promote).  An explicitly
+        different format makes the tier lossy: hits are refused and
+        re-prefilled.  Served tokens are bit-identical either way.
+    slo_aware:
+        Give the scheduler the tier cost model so preemption victims are
+        priced by recompute time (within the lowest priority class)
+        instead of the classic newest-first order.  Off by default.
     decode_strategy:
         A :class:`~repro.serve.decode.DecodeStrategy` instance or
         registered name (``"one-token"`` default, ``"prompt-lookup"``)
@@ -207,6 +223,10 @@ class ServeEngine:
         decode_strategy: DecodeStrategy | str | None = None,
         timer=None,
         backend: str | None = None,
+        tier_blocks: int | None = None,
+        tier_ratio: float | None = None,
+        tier_fmt: str | None = None,
+        slo_aware: bool = False,
     ) -> None:
         model.eval()
         self.model = model
@@ -218,12 +238,28 @@ class ServeEngine:
             # A bound tighter than the default preallocation just means a
             # smaller pool, not a configuration error.
             initial_blocks = min(initial_blocks, max_blocks)
+        if tier_ratio is not None:
+            if tier_blocks is not None:
+                raise ValueError("give tier_blocks or tier_ratio, not both")
+            if not 0.0 <= tier_ratio <= 1.0:
+                raise ValueError(f"tier_ratio must be in [0, 1], got {tier_ratio}")
+            if max_blocks is None:
+                raise ValueError("tier_ratio requires max_blocks")
+            tier_blocks = round(max_blocks * float(tier_ratio))
+        cost_model = None
+        if tier_blocks or slo_aware:
+            from repro.serve.costs import TierCostModel
+
+            cost_model = TierCostModel.for_model(model, tier_fmt=tier_fmt)
         self.pool = BlockKVPool.for_model(
             model,
             block_size=block_size,
             initial_blocks=initial_blocks,
             max_blocks=max_blocks,
             prefix_caching=prefix_caching,
+            tier_blocks=tier_blocks,
+            tier_fmt=tier_fmt,
+            tier_cost_model=cost_model,
         )
         self.scheduler = Scheduler(
             self.pool,
@@ -231,6 +267,7 @@ class ServeEngine:
             prefill_budget=prefill_budget,
             max_position=model.config.max_position,
             decode_strategy=self.decode_strategy,
+            cost_model=cost_model if slo_aware else None,
         )
         self.timer = timer or time.perf_counter
         self._recorder: MetricsRecorder | None = None
@@ -329,6 +366,14 @@ class ServeEngine:
                 # mirror it onto the state because the kv object dies
                 # before completion (sliding window, preemption).
                 state.prefill_pos = state.adopted_tokens = state.kv.adopted_tokens
+                if state.kv.cold_tokens_restored or state.kv.cold_tokens_refused:
+                    # Tier traffic is recorded at adoption: the pool-side
+                    # promotion (or refusal) already happened, whatever
+                    # later becomes of this run.
+                    recorder.record_cold(
+                        state.kv.cold_tokens_restored,
+                        state.kv.cold_tokens_refused,
+                    )
         plan = scheduler.plan()
         for victim in scheduler.reserve(plan):
             recorder.record_preemption(victim.request.request_id, now)

@@ -41,6 +41,23 @@ least-recently-used index entries nobody references, then raises
 :class:`PoolExhaustedError` — the scheduler's cue to preempt a victim
 request (legal, because decode is bit-reproducible from the prompt+seed).
 
+With a **cold tier** configured (``tier_blocks > 0``), pressure first
+*demotes* instead of evicting: the LRU demotable full-block entries (the
+index holds the sole reference and the whole subtree below them is
+already cold) have their K/V re-quantized to ``tier_fmt`` and parked in a
+side store, freeing the pool block while keeping the span matchable.  A
+later prompt hitting a cold span *promotes* it — the tier bytes are
+written into a freshly allocated block — but only when the tier format
+makes the restored bytes identical to a fresh write (quantization is
+elementwise round-to-nearest-even, hence idempotent, so ``tier_fmt ==
+kv_fmt`` and raw-float64 tiers are lossless).  A lossy tier (an
+explicitly narrower ``tier_fmt``) refuses the hit and the tokens are
+re-prefilled, so served tokens stay bit-identical to ``generate()``
+under every configuration.  Entries are *hot* (``block_id`` set), *cold*
+(``tier_id`` set), or dead (removed); a cold entry's descendants are
+always cold, so a cold chain can be cascade-dropped without orphaning
+hot state.  Partial tail entries are never demoted, only evicted.
+
 Because NumPy's einsum cannot read scattered blocks in place (the way a
 paged attention kernel would), :meth:`SequenceKV.gather` packs a sequence's
 blocks into a per-layer workspace for the attention read — O(seq) reads the
@@ -63,6 +80,7 @@ import numpy as np
 
 from repro.fpformats.quantize import quantize
 from repro.nn.kv_cache import resolve_kv_format
+from repro.precision.ops import requantize_blocks
 
 
 class PoolExhaustedError(RuntimeError):
@@ -83,6 +101,12 @@ class PoolStats:
     cow_forks: int  # copy-on-write forks of shared blocks
     prefix_blocks_cached: int  # live prefix-index entries
     prefix_evictions: int  # index entries evicted under pool pressure
+    blocks_demoted: int  # hot prefix blocks re-quantized into the cold tier
+    blocks_promoted: int  # cold spans restored into fresh pool blocks
+    tier_evictions: int  # cold entries dropped (tier LRU or failed promote)
+    cold_blocks_cached: int  # live cold-tier entries
+    hot_kv_bytes: int  # nominal footprint of in-use blocks at kv_fmt width
+    cold_kv_bytes: int  # nominal footprint of tier entries at tier_fmt width
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -96,6 +120,12 @@ class PoolStats:
             "cow_forks": self.cow_forks,
             "prefix_blocks_cached": self.prefix_blocks_cached,
             "prefix_evictions": self.prefix_evictions,
+            "blocks_demoted": self.blocks_demoted,
+            "blocks_promoted": self.blocks_promoted,
+            "tier_evictions": self.tier_evictions,
+            "cold_blocks_cached": self.cold_blocks_cached,
+            "hot_kv_bytes": self.hot_kv_bytes,
+            "cold_kv_bytes": self.cold_kv_bytes,
         }
 
 
@@ -112,12 +142,15 @@ class _TrieNode:
 
 
 class _FullEntry:
-    __slots__ = ("block_id", "node", "last_used")
+    """A full-block span: *hot* (``block_id``), *cold* (``tier_id``), or dead."""
+
+    __slots__ = ("block_id", "node", "last_used", "tier_id")
 
     def __init__(self, block_id: int, last_used: int) -> None:
-        self.block_id = block_id
+        self.block_id: int | None = block_id
         self.node = _TrieNode()
         self.last_used = last_used
+        self.tier_id: int | None = None
 
 
 class _PartialEntry:
@@ -172,7 +205,9 @@ class PrefixIndex:
 
         Returns ``(full_block_ids, partial_block_id, partial_len)``: the
         chain of fully matched blocks, plus (optionally) one block whose
-        first ``partial_len`` positions extend the match mid-block.
+        first ``partial_len`` positions extend the match mid-block.  Cold
+        entries end the match: a read-only lookup cannot promote, so only
+        the hot chain is reported (use :meth:`adopt_into` to promote).
         """
         tokens = tuple(int(t) for t in tokens)
         bs = self.block_size
@@ -181,7 +216,7 @@ class PrefixIndex:
         pos = 0
         while pos + bs <= len(tokens):
             entry = node.children.get(tokens[pos : pos + bs])
-            if entry is None:
+            if entry is None or entry.block_id is None:
                 break
             entry.last_used = self._tick()
             full_ids.append(entry.block_id)
@@ -191,6 +226,8 @@ class PrefixIndex:
         best_len, best_entry = 0, None
         if rest:
             for key, entry in node.children.items():
+                if entry.block_id is None:
+                    continue
                 p = _common_prefix_len(key, rest)
                 if p > best_len:
                     best_len, best_entry = p, entry
@@ -230,6 +267,16 @@ class PrefixIndex:
                 pool.share(entry.block_id, adopted=False)
                 self.entries += 1
                 added += 1
+            elif entry.block_id is None:
+                # Refresh-over-cold: the registrant just recomputed the
+                # span's bytes (bit-identical by the exactness invariant),
+                # so point the entry at its block and discard the tier
+                # copy — cold bytes are never aliased by hot writes.
+                entry.block_id = pool.share(int(block_ids[pos // bs]), adopted=False)
+                pool._tier_discard(entry.tier_id)
+                entry.tier_id = None
+                entry.last_used = self._tick()
+                added += 1
             else:
                 entry.last_used = self._tick()
             node = entry.node
@@ -254,39 +301,53 @@ class PrefixIndex:
                 return True
         return False
 
-    # -- eviction ------------------------------------------------------------------
+    # -- eviction / tiering --------------------------------------------------------
     def _evictable(self, pool: "BlockKVPool"):
-        """Yield ``(last_used, container, key_or_entry, path)`` droppables.
+        """Hot droppables as ``(last_used, container, handle, path, entry)``.
 
         An entry is droppable when the index holds the block's only
-        reference and — for full blocks — no deeper entries hang off it
-        (evicting leaf-first keeps every remaining entry reachable).
-        ``path`` is the full span chain from the root to the entry (used
-        to mirror the eviction into a router-side index); ``None`` for
-        partial tail entries, which no router ever indexes.
+        reference and — for full blocks — everything deeper is *cold*
+        (cold descendants hold no pool reference and are cascade-dropped
+        with their ancestor, so evicting cold-subtree-first keeps every
+        remaining entry reachable).  ``path`` is the full span chain from
+        the root to the entry (used to mirror the eviction into a
+        router-side index); ``None`` for partial tail entries, which no
+        router ever indexes.
         """
-        stack = [(self.root, ())]
-        while stack:
-            node, path = stack.pop()
+        out: list = []
+
+        def walk(node: _TrieNode, path) -> bool:
+            all_cold = True
             for key, entry in node.children.items():
-                child = entry.node
-                if not child.children and not child.partials:
-                    if pool.refcount(entry.block_id) == 1:
-                        yield entry.last_used, node.children, key, path + (key,)
-                else:
-                    stack.append((child, path + (key,)))
+                child_path = path + (key,)
+                sub_cold = walk(entry.node, child_path)
+                if entry.block_id is None:
+                    all_cold = all_cold and sub_cold
+                    continue
+                all_cold = False
+                if sub_cold and pool.refcount(entry.block_id) == 1:
+                    out.append(
+                        (entry.last_used, node.children, key, child_path, entry)
+                    )
             for entry in node.partials:
+                all_cold = False
                 if pool.refcount(entry.block_id) == 1:
-                    yield entry.last_used, node.partials, entry, None
+                    out.append((entry.last_used, node.partials, entry, None, entry))
+            return all_cold
+
+        walk(self.root, ())
+        return out
 
     def evictable_count(self, pool: "BlockKVPool") -> int:
-        """Blocks reclaimable by repeated eviction (the scheduler's preflight).
+        """Blocks reclaimable by repeated eviction/demotion (scheduler preflight).
 
-        A full-block entry only becomes evictable once its whole subtree
-        is gone, so an entry counts only when the index holds its block's
-        sole reference *and* every descendant entry is likewise
-        reclaimable — the transitive closure of what :meth:`evict` can
-        actually free, not just the current leaves.
+        A full-block entry only becomes reclaimable once its whole subtree
+        is gone or cold, so an entry counts only when the index holds its
+        block's sole reference *and* every descendant entry is likewise
+        reclaimable — the transitive closure of what :meth:`evict` (or
+        :meth:`demote`) can actually free, not just the current leaves.
+        Cold entries hold no pool reference, so they contribute nothing
+        and never block an ancestor.
         """
 
         def walk(node: _TrieNode) -> tuple[int, bool]:
@@ -294,6 +355,9 @@ class PrefixIndex:
             for entry in node.children.values():
                 sub_count, sub_clear = walk(entry.node)
                 count += sub_count
+                if entry.block_id is None:
+                    subtree_clear = subtree_clear and sub_clear
+                    continue
                 if sub_clear and pool.refcount(entry.block_id) == 1:
                     count += 1
                 else:
@@ -311,28 +375,240 @@ class PrefixIndex:
         """Drop up to ``needed`` LRU entries nobody references; returns count.
 
         One trie walk serves the whole batch: every currently evictable
-        entry is a leaf (or partial) whose removal cannot invalidate
-        another candidate from the same walk, so the sorted list can be
-        drained directly.  Entries that only *become* evictable once their
-        children go (a parent whose last leaf was just dropped) are picked
-        up by the next call — :meth:`BlockKVPool.allocate` re-walks only
-        when the free list is dry again.
+        entry is a leaf (or partial, or parent of a cold-only subtree)
+        whose removal cannot invalidate another candidate from the same
+        walk, so the sorted list can be drained directly.  Entries that
+        only *become* evictable once their children go (a parent whose
+        last leaf was just dropped) are picked up by the next call —
+        :meth:`BlockKVPool.allocate` re-walks only when the free list is
+        dry again.  Dropping a full entry cascade-drops its (all-cold)
+        subtree, releasing the tier slots too.
         """
         candidates = sorted(self._evictable(pool), key=lambda c: c[0])
         freed = 0
-        for _, container, handle, path in candidates[:needed]:
+        for _, container, handle, path, entry in candidates[:needed]:
+            block_id = entry.block_id
             if isinstance(container, dict):
-                block_id = container[handle].block_id
                 del container[handle]
                 self._evicted_paths.append(path)
+                self._drop_cold_subtree(entry.node, pool, path)
             else:
-                block_id = handle.block_id
                 container.remove(handle)
             self.entries -= 1
             pool.free([block_id])
             pool.prefix_evictions += 1
             freed += 1
         return freed
+
+    def demote(self, pool: "BlockKVPool", needed: int) -> int:
+        """Move up to ``needed`` LRU demotable entries into the cold tier.
+
+        A full-block entry is demotable when the index holds its block's
+        only reference and every full-block descendant is already cold —
+        the same reclaimability condition as :meth:`evict`, except the
+        bytes are re-quantized to ``tier_fmt`` (one vectorized pass for
+        the batch) and parked instead of dropped, so a re-arrival of the
+        span can promote instead of recomputing.  Partial tail entries
+        are never demoted (a sub-block span cannot be promoted whole);
+        an unreferenced partial hanging below a candidate is *evicted*
+        with it — the tail is the cheapest recompute in the chain and
+        must not pin whole demotable blocks hot.  When the tier is full,
+        its LRU cold spans are dropped first (cascading their subtrees).
+        Returns blocks freed.
+        """
+        if not pool.tier_blocks:
+            return 0
+        candidates: list = []
+        cold_lru: list = []
+
+        def walk(node: _TrieNode, path):
+            all_cold = True
+            partials_below: list = []
+            for key, entry in node.children.items():
+                child_path = path + (key,)
+                sub_cold, sub_partials = walk(entry.node, child_path)
+                if entry.block_id is None:
+                    cold_lru.append(
+                        (entry.last_used, node.children, key, child_path, entry)
+                    )
+                    all_cold = all_cold and sub_cold
+                    partials_below.extend(sub_partials)
+                    continue
+                all_cold = False
+                if sub_cold and pool.refcount(entry.block_id) == 1:
+                    candidates.append(
+                        (entry.last_used, node.children, key, child_path, entry,
+                         sub_partials)
+                    )
+            for entry in node.partials:
+                if pool.refcount(entry.block_id) == 1:
+                    partials_below.append((node.partials, entry))
+                else:
+                    all_cold = False
+            return all_cold, partials_below
+
+        walk(self.root, ())
+        candidates.sort(key=lambda c: c[0])
+        cold_lru.sort(key=lambda c: c[0])
+        chosen = candidates[: min(int(needed), pool.tier_blocks)]
+        # Make room: drop LRU cold spans until the batch fits the tier.
+        lru_iter = iter(cold_lru)
+        while chosen and len(pool._tier_k) + len(chosen) > pool.tier_blocks:
+            try:
+                _, container, key, path, entry = next(lru_iter)
+            except StopIteration:
+                chosen = chosen[: max(0, pool.tier_blocks - len(pool._tier_k))]
+                break
+            if entry.tier_id is None:
+                continue  # already dropped by an earlier cascade
+            self._drop_cold_entry(container, key, path, pool)
+        if not chosen:
+            return 0
+        freed = 0
+        for _, _, _, _, _, partials in chosen:
+            for container, partial in partials:
+                container.remove(partial)
+                self.entries -= 1
+                pool.free([partial.block_id])
+                pool.prefix_evictions += 1
+                freed += 1
+        ids = [entry.block_id for _, _, _, _, entry, _ in chosen]
+        k_q, v_q = requantize_blocks(pool._k[ids], pool._v[ids], pool.tier_fmt)
+        for i, (_, _, _, _, entry, _) in enumerate(chosen):
+            block_id = entry.block_id
+            entry.tier_id = pool._tier_put(k_q[i].copy(), v_q[i].copy())
+            entry.block_id = None
+            pool.free([block_id])
+            pool.blocks_demoted += 1
+            freed += 1
+        return freed
+
+    def adopt_into(self, tokens, pool: "BlockKVPool", seq: "SequenceKV"):
+        """Adopt the longest indexed prefix directly into ``seq``.
+
+        The tier-aware twin of :meth:`match`: hot spans are shared as the
+        walk goes (so a reentrant demotion triggered by a promotion's
+        allocation can never reclaim an already-matched block), and cold
+        spans are *promoted* — tier bytes restored into a fresh block —
+        when the tier is lossless and the cost model prices the restore
+        below recompute.  Otherwise the cold chain is refused and those
+        tokens re-prefill.  A promotion that hits
+        :class:`PoolExhaustedError` drops the entry (and its all-cold
+        subtree) whole: the tier record was popped first, so no
+        half-moved block survives in either store.  Returns
+        ``(adopted_tokens, restored_tokens, refused_tokens)``.
+        """
+        tokens = tuple(int(t) for t in tokens)
+        bs = self.block_size
+        node = self.root
+        path: tuple = ()
+        pos = 0
+        restored_blocks = 0
+        refused_blocks = 0
+        while pos + bs <= len(tokens):
+            key = tokens[pos : pos + bs]
+            entry = node.children.get(key)
+            if entry is None:
+                break
+            if entry.block_id is None:
+                cold_blocks = self._cold_chain_len(node, tokens, pos)
+                if not (pool.tier_lossless and pool._promote_pays):
+                    # Lossy tier (or restore priced above recompute): the
+                    # span cannot be byte-restored, so the hit is refused
+                    # and the tokens re-prefill — exactness over reuse.
+                    refused_blocks += cold_blocks
+                    entry.last_used = self._tick()
+                    break
+                try:
+                    self._promote(pool, entry)
+                except PoolExhaustedError:
+                    refused_blocks += cold_blocks
+                    self._drop_cold_entry(node.children, key, path + (key,), pool)
+                    break
+                restored_blocks += 1
+            entry.last_used = self._tick()
+            pool.share(entry.block_id)
+            seq.block_ids.append(entry.block_id)
+            node = entry.node
+            path = path + (key,)
+            pos += bs
+        adopted = pos
+        rest = tokens[pos:]
+        best_len, best_entry = 0, None
+        if rest:
+            for key, entry in node.children.items():
+                if entry.block_id is None:
+                    continue
+                p = _common_prefix_len(key, rest)
+                if p > best_len:
+                    best_len, best_entry = p, entry
+            for entry in node.partials:
+                p = _common_prefix_len(entry.tokens, rest)
+                if p > best_len:
+                    best_len, best_entry = p, entry
+        if best_entry is not None:
+            best_entry.last_used = self._tick()
+            pool.share(best_entry.block_id)
+            seq.block_ids.append(best_entry.block_id)
+            adopted += best_len
+        return adopted, restored_blocks * bs, refused_blocks * bs
+
+    def _cold_chain_len(self, node: _TrieNode, tokens, pos: int) -> int:
+        """Matching full-block spans from ``pos`` down (an all-cold chain)."""
+        bs = self.block_size
+        count = 0
+        while pos + bs <= len(tokens):
+            entry = node.children.get(tokens[pos : pos + bs])
+            if entry is None:
+                break
+            count += 1
+            node = entry.node
+            pos += bs
+        return count
+
+    def _promote(self, pool: "BlockKVPool", entry: _FullEntry) -> None:
+        """Restore one cold entry into a fresh pool block (index-owned ref).
+
+        The tier record is popped *before* the allocation: if the
+        allocation fails the entry is left dead (no storage in either
+        tier) for the caller to drop — never half-moved.  The allocation
+        itself may reentrantly demote or evict other entries; the entry
+        being promoted is invisible to those walks (its ``tier_id`` is
+        already cleared).
+        """
+        k, v = pool._tier_pop(entry.tier_id)
+        entry.tier_id = None
+        block_id = pool.allocate()
+        pool._k[block_id] = k
+        pool._v[block_id] = v
+        entry.block_id = block_id
+        pool.blocks_promoted += 1
+
+    def _drop_cold_entry(self, container: dict, key, path, pool) -> None:
+        """Remove a cold entry and its (all-cold) subtree from the index."""
+        entry = container[key]
+        del container[key]
+        if entry.tier_id is not None:
+            pool._tier_discard(entry.tier_id)
+        entry.tier_id = None
+        self.entries -= 1
+        pool.tier_evictions += 1
+        self._evicted_paths.append(path)
+        self._drop_cold_subtree(entry.node, pool, path)
+
+    def _drop_cold_subtree(self, node: _TrieNode, pool, path) -> None:
+        """Cascade-drop every (cold) descendant entry under ``node``."""
+        for key, entry in list(node.children.items()):
+            child_path = path + (key,)
+            if entry.tier_id is not None:
+                pool._tier_discard(entry.tier_id)
+            entry.tier_id = None
+            entry.block_id = None
+            del node.children[key]
+            self.entries -= 1
+            pool.tier_evictions += 1
+            self._evicted_paths.append(child_path)
+            self._drop_cold_subtree(entry.node, pool, child_path)
 
     def drain_evicted_paths(self) -> list[tuple[tuple[int, ...], ...]]:
         """Full-block span paths evicted since the last drain (then reset).
@@ -373,6 +649,21 @@ class BlockKVPool:
         Enable the shared-prefix :class:`PrefixIndex` (adoption via
         :meth:`SequenceKV.adopt_prefix`, registration via
         :meth:`SequenceKV.register_prefix`).
+    tier_blocks:
+        Cold-tier capacity in blocks; 0/``None`` disables tiering.
+        Requires ``prefix_caching`` (the tier holds demoted index
+        entries).  Under pressure, demotable entries move here instead of
+        being evicted; see the module notes on hot/cold entries.
+    tier_fmt:
+        Format cold blocks are re-quantized to on demotion.  ``None``
+        (default) uses ``kv_fmt`` — lossless by quantize idempotence, so
+        promotions restore byte-identical blocks.  An explicitly
+        different format makes the tier lossy: cold hits are refused and
+        re-prefilled instead (served tokens stay exact either way).
+    tier_cost_model:
+        Optional :class:`~repro.serve.costs.TierCostModel`; when its
+        per-block restore time exceeds recompute, promotions are refused
+        in favour of re-prefill.  ``None`` always promotes.
     """
 
     def __init__(
@@ -386,6 +677,9 @@ class BlockKVPool:
         kv_fmt: str | None = None,
         max_blocks: int | None = None,
         prefix_caching: bool = False,
+        tier_blocks: int | None = None,
+        tier_fmt: str | None = None,
+        tier_cost_model=None,
     ) -> None:
         if min(num_layers, num_heads, head_dim, block_size, initial_blocks) < 1:
             raise ValueError("pool dimensions must all be >= 1")
@@ -395,6 +689,10 @@ class BlockKVPool:
             raise ValueError(
                 f"max_blocks {max_blocks} smaller than initial_blocks {initial_blocks}"
             )
+        if tier_blocks is not None and tier_blocks < 0:
+            raise ValueError(f"tier_blocks must be >= 0, got {tier_blocks}")
+        if tier_blocks and not prefix_caching:
+            raise ValueError("tier_blocks requires prefix_caching")
         self.num_layers = int(num_layers)
         self.num_heads = int(num_heads)
         self.head_dim = int(head_dim)
@@ -403,6 +701,18 @@ class BlockKVPool:
         self.kv_fmt = resolve_kv_format(kv_fmt)
         self.max_blocks = None if max_blocks is None else int(max_blocks)
         self.prefix = PrefixIndex(self.block_size) if prefix_caching else None
+        self.tier_blocks = 0 if tier_blocks is None else int(tier_blocks)
+        self.tier_fmt = (
+            self.kv_fmt if tier_fmt is None else resolve_kv_format(tier_fmt)
+        )
+        self.tier_lossless = self.tier_fmt is None or self.tier_fmt == self.kv_fmt
+        self._promote_pays = (
+            tier_cost_model is None
+            or tier_cost_model.promotion_pays(self.block_size)
+        )
+        self._tier_k: dict[int, np.ndarray] = {}
+        self._tier_v: dict[int, np.ndarray] = {}
+        self._tier_next = 0
 
         shape = (initial_blocks, num_layers, num_heads, block_size, head_dim)
         self._k = np.empty(shape, dtype=np.float64)
@@ -419,6 +729,9 @@ class BlockKVPool:
         self.blocks_adopted = 0
         self.cow_forks = 0
         self.prefix_evictions = 0
+        self.blocks_demoted = 0
+        self.blocks_promoted = 0
+        self.tier_evictions = 0
 
     @classmethod
     def for_model(cls, model, **kwargs) -> "BlockKVPool":
@@ -442,6 +755,17 @@ class BlockKVPool:
         """Live references (sequences plus the prefix index) to a block."""
         return int(self._refcount[int(block_id)])
 
+    def _block_nbytes(self, fmt) -> int:
+        """Nominal bytes one block occupies at ``fmt``'s width (K and V).
+
+        The backing store is emulated in float64; this is the footprint
+        the format *represents* — what the tier-compression accounting in
+        ``hot_kv_bytes``/``cold_kv_bytes`` reports.
+        """
+        bits = 64 if fmt is None else fmt.total_bits
+        values = self.num_layers * self.num_heads * self.block_size * self.head_dim
+        return values * 2 * bits // 8
+
     def stats(self) -> PoolStats:
         return PoolStats(
             capacity_blocks=self.capacity_blocks,
@@ -454,6 +778,12 @@ class BlockKVPool:
             cow_forks=self.cow_forks,
             prefix_blocks_cached=0 if self.prefix is None else len(self.prefix),
             prefix_evictions=self.prefix_evictions,
+            blocks_demoted=self.blocks_demoted,
+            blocks_promoted=self.blocks_promoted,
+            tier_evictions=self.tier_evictions,
+            cold_blocks_cached=len(self._tier_k),
+            hot_kv_bytes=self.blocks_in_use * self._block_nbytes(self.kv_fmt),
+            cold_kv_bytes=len(self._tier_k) * self._block_nbytes(self.tier_fmt),
         )
 
     def _grow(self) -> None:
@@ -486,7 +816,8 @@ class BlockKVPool:
         """Take one block id from the free list (growing the store if dry).
 
         At ``max_blocks``, least-recently-used prefix-cache entries that
-        nobody references are evicted to refill the free list; when even
+        nobody references are demoted to the cold tier (when one is
+        configured) and then evicted to refill the free list; when even
         that fails the pool is genuinely exhausted and
         :class:`PoolExhaustedError` propagates to the scheduler.
         """
@@ -495,10 +826,15 @@ class BlockKVPool:
                 self._grow()
             except PoolExhaustedError:
                 if self.prefix is not None:
-                    # Evict a small batch per trie walk: the next few
+                    # Reclaim a small batch per trie walk: the next few
                     # allocations then come straight off the free list
-                    # instead of re-walking the index per block.
-                    self.prefix.evict(self, 8)
+                    # instead of re-walking the index per block.  Demotion
+                    # runs first so reclaimed spans stay promotable;
+                    # eviction mops up partials and tier overflow.
+                    if self.tier_blocks:
+                        self.prefix.demote(self, 8)
+                    if not self._free:
+                        self.prefix.evict(self, 8)
                 if not self._free:
                     raise
         block_id = self._free.pop()
@@ -578,6 +914,94 @@ class BlockKVPool:
             available += self.prefix.evictable_count(self)
         return available >= blocks
 
+    # -- cold-tier store -----------------------------------------------------------
+    def _tier_put(self, k: np.ndarray, v: np.ndarray) -> int:
+        """Park one demoted block's (re-quantized) K/V; returns its tier id."""
+        tier_id = self._tier_next
+        self._tier_next += 1
+        self._tier_k[tier_id] = k
+        self._tier_v[tier_id] = v
+        return tier_id
+
+    def _tier_pop(self, tier_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """Remove and return a tier record (promotion pops before allocating)."""
+        return self._tier_k.pop(tier_id), self._tier_v.pop(tier_id)
+
+    def _tier_discard(self, tier_id: int | None) -> None:
+        """Drop a tier record if present (cascade drops, refresh-over-cold)."""
+        self._tier_k.pop(tier_id, None)
+        self._tier_v.pop(tier_id, None)
+
+    def check_invariants(self) -> None:
+        """Raise ``RuntimeError`` when pool/index/tier bookkeeping disagrees.
+
+        The debugging backstop the tier tests lean on: no duplicate
+        free-list ids, no negative refcounts, ``blocks_in_use`` equal to
+        the live-refcount population, every block either free or
+        referenced, hot index entries actually allocated, and a perfect
+        one-to-one match between cold entries and tier records (a cold
+        span can never alias a hot write).
+        """
+        free = self._free
+        if len(set(free)) != len(free):
+            raise RuntimeError(f"free list holds duplicates: {sorted(free)}")
+        if (self._refcount < 0).any():
+            raise RuntimeError("negative refcount")
+        in_use = int((self._refcount > 0).sum())
+        if in_use != self.blocks_in_use:
+            raise RuntimeError(
+                f"blocks_in_use={self.blocks_in_use} but {in_use} refcounted"
+            )
+        if any(self._refcount[bid] != 0 for bid in free):
+            raise RuntimeError("free list holds a referenced block")
+        if len(free) + in_use != self.capacity_blocks:
+            raise RuntimeError(
+                f"{len(free)} free + {in_use} in use != "
+                f"capacity {self.capacity_blocks}"
+            )
+        if len(self._tier_k) > max(self.tier_blocks, 0):
+            raise RuntimeError(
+                f"tier holds {len(self._tier_k)} > tier_blocks={self.tier_blocks}"
+            )
+        if self.prefix is None:
+            return
+        tier_ids: list[int] = []
+        stack = [self.prefix.root]
+        count = 0
+        while stack:
+            node = stack.pop()
+            for entry in node.children.values():
+                count += 1
+                stack.append(entry.node)
+                if entry.block_id is not None:
+                    if entry.tier_id is not None:
+                        raise RuntimeError("entry both hot and cold")
+                    if self._refcount[entry.block_id] < 1:
+                        raise RuntimeError(
+                            f"hot entry references freed block {entry.block_id}"
+                        )
+                elif entry.tier_id is None:
+                    raise RuntimeError("dead entry still in the index")
+                else:
+                    tier_ids.append(entry.tier_id)
+            for entry in node.partials:
+                count += 1
+                if self._refcount[entry.block_id] < 1:
+                    raise RuntimeError(
+                        f"partial entry references freed block {entry.block_id}"
+                    )
+        if count != self.prefix.entries:
+            raise RuntimeError(
+                f"index says {self.prefix.entries} entries, trie holds {count}"
+            )
+        if len(tier_ids) != len(set(tier_ids)):
+            raise RuntimeError("two cold entries share a tier record")
+        if set(tier_ids) != set(self._tier_k):
+            raise RuntimeError(
+                f"cold entries reference tier ids {sorted(set(tier_ids))} but "
+                f"the store holds {sorted(self._tier_k)}"
+            )
+
     def sequence(self) -> "SequenceKV":
         """A new, empty per-request cache backed by this pool."""
         return SequenceKV(self)
@@ -631,6 +1055,11 @@ class SequenceKV:
         self._released = False
         #: Prompt tokens whose K/V was adopted from the prefix index.
         self.adopted_tokens = 0
+        #: Adopted tokens restored from the cold tier (promotions).
+        self.cold_tokens_restored = 0
+        #: Cold-span tokens the adoption refused (lossy tier / failed
+        #: promotion) — they re-prefill instead.
+        self.cold_tokens_refused = 0
         # Persistent per-layer gather workspaces, grown by doubling so a
         # long decode reallocates O(log n) times, not once per token.
         self._ws_k: list[np.ndarray | None] = [None] * pool.num_layers
@@ -662,6 +1091,15 @@ class SequenceKV:
         cap = len(tokens) if max_tokens is None else min(int(max_tokens), len(tokens))
         if cap <= 0:
             return 0
+        if self.pool.tier_blocks:
+            adopted, restored, refused = self.pool.prefix.adopt_into(
+                tokens[:cap], self.pool, self
+            )
+            self._layer_len = [adopted] * self.pool.num_layers
+            self.adopted_tokens = adopted
+            self.cold_tokens_restored = restored
+            self.cold_tokens_refused = refused
+            return adopted
         full_ids, partial_id, partial_len = self.pool.prefix.match(tokens[:cap])
         for bid in full_ids:
             self.pool.share(bid)

@@ -100,6 +100,8 @@ class MetricsRecorder:
         self._draft_accepted = 0
         self._decode_rows = 0
         self._decode_tokens = 0
+        self._cold_tokens_restored = 0
+        self._cold_tokens_refused = 0
         #: (request_id, virtual-clock time) per preemption event.
         self._preemptions: list[tuple[str, float]] = []
 
@@ -139,6 +141,17 @@ class MetricsRecorder:
     def record_adoption(self, tokens: int) -> None:
         """Prompt positions adopted from the prefix cache at an admission."""
         self._prefix_tokens += int(tokens)
+
+    def record_cold(self, restored: int, refused: int) -> None:
+        """Cold-tier traffic at an admission.
+
+        ``restored`` counts prompt positions whose K/V was promoted back
+        from the cold tier (recompute avoided); ``refused`` counts
+        positions that matched a cold span but could not be restored
+        exactly (lossy tier / failed promotion) and re-prefilled instead.
+        """
+        self._cold_tokens_restored += int(restored)
+        self._cold_tokens_refused += int(refused)
 
     def record_preemption(self, request_id: str, now: float) -> None:
         """A request was preempted (blocks released, re-queued) at ``now``."""
@@ -185,6 +198,8 @@ class MetricsRecorder:
             merged._draft_accepted += recorder._draft_accepted
             merged._decode_rows += recorder._decode_rows
             merged._decode_tokens += recorder._decode_tokens
+            merged._cold_tokens_restored += recorder._cold_tokens_restored
+            merged._cold_tokens_refused += recorder._cold_tokens_refused
             merged._preemptions.extend(recorder._preemptions)
         return merged
 
@@ -250,6 +265,18 @@ class MetricsRecorder:
                 if self._decode_rows
                 else 0.0
             ),
+            # Tiered KV: cold-span tokens promoted back vs re-prefilled.
+            "cold_tokens_restored": int(self._cold_tokens_restored),
+            "cold_tokens_refused": int(self._cold_tokens_refused),
+            "cold_hit_rate": (
+                float(
+                    self._cold_tokens_restored
+                    / (self._cold_tokens_restored + self._cold_tokens_refused)
+                )
+                if (self._cold_tokens_restored + self._cold_tokens_refused)
+                else 0.0
+            ),
+            "recompute_tokens_avoided": int(self._cold_tokens_restored),
             # Preemption: events (a request may be preempted repeatedly).
             "preempted_count": len(self._preemptions),
             "preempted_ids": sorted({rid for rid, _ in self._preemptions}),

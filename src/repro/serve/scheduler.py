@@ -117,6 +117,13 @@ class Scheduler:
         name) consulted per decode row when planning; the default
         :class:`~repro.serve.decode.GreedyOneToken` proposes nothing and
         reproduces the classic one-token iteration exactly.
+    cost_model:
+        Optional :class:`~repro.serve.costs.TierCostModel` enabling
+        SLO-aware preemption: within the lowest priority class, the
+        victim whose committed-but-unreusable tokens are cheapest to
+        recompute is preempted first (least recompute time wasted, hence
+        least added latency when it is re-admitted).  ``None`` keeps the
+        classic newest-within-class order.
     """
 
     def __init__(
@@ -127,6 +134,7 @@ class Scheduler:
         max_position: int | None = None,
         preemption: bool = True,
         decode_strategy: DecodeStrategy | str | None = None,
+        cost_model=None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -138,6 +146,7 @@ class Scheduler:
         self.max_position = None if max_position is None else int(max_position)
         self.preemption = bool(preemption)
         self.decode_strategy = resolve_strategy(decode_strategy)
+        self.cost_model = cost_model
         #: (-priority, queue_seq, Request) min-heap: highest class first,
         #: lowest sequence number (earliest arrival / preempted re-entry)
         #: first within a class.
@@ -320,7 +329,23 @@ class Scheduler:
         victims = [state for state in candidates if state is not protected]
         if not victims:
             return None
-        return min(victims, key=self._rank)
+        if self.cost_model is None:
+            return min(victims, key=self._rank)
+        # SLO-aware pricing: the priority ladder still rules (never evict
+        # a higher class while a lower one stands), but within the lowest
+        # class the macro cost model picks the victim whose committed,
+        # non-readoptable tokens are cheapest to recompute — the smallest
+        # latency debt a re-admission can incur.  Ties fall back to the
+        # classic newest-first order, keeping the choice deterministic.
+        lowest = min(state.request.priority for state in victims)
+        in_class = [s for s in victims if s.request.priority == lowest]
+
+        def waste_us(state: RequestState) -> float:
+            committed = state.kv.seq_len
+            reusable = min(state.kv.adopted_tokens, committed)
+            return self.cost_model.recompute_us(committed - reusable)
+
+        return min(in_class, key=lambda s: (waste_us(s), -s.queue_seq))
 
     def _preempt(self, victim: RequestState, plan: StepPlan) -> None:
         """Release the victim's blocks and re-queue it for deterministic re-run."""

@@ -36,6 +36,24 @@ and priority scheduling features:
   stream — the best case for prompt-lookup speculative decoding, and the
   grid ``BENCH_serve_spec.json`` compares one-token vs speculative on.
 
+Two *application-DAG* scenarios stress the tiered KV pool: whole waves
+of requests share deep prefixes that go cold between waves and are
+re-demanded wholesale when the next stage arrives:
+
+* ``agent-tree`` — agent call trees: every tree runs under one
+  workload-wide system prompt, each tree's root extends it with a task
+  statement, and every child call extends its parent's full prompt with
+  a private suffix, so siblings share their parent's entire context.
+  Whole trees arrive as ``wave`` bursts; under a tight pool the shared
+  system span goes cold between trees and is promoted back when the
+  next tree arrives.
+* ``map-reduce`` — map waves with a fan-in join: ``fanout`` mappers
+  share a context (workload-wide system prompt + per-group job header)
+  plus private shard suffixes, then a reducer whose prompt joins the
+  context with a digest of every mapper's shard — the reducer re-demands
+  the context *after* the map wave has churned the pool, the promotion
+  path's best case.
+
 Workload generation is fully seeded: one :class:`numpy.random.SeedSequence`
 drives arrivals, lengths, prompt contents, priorities, *and* each
 request's private sampling seed, so a scenario expands to the identical
@@ -75,9 +93,15 @@ class Scenario:
     private ``prompt_len`` suffix; ``"copy"`` builds prompts whose
     ``copy_rate`` fraction is a ``shared_prefix_len``-long motif tiled
     repeatedly after a fresh ``prompt_len`` head (the copy-heavy shape
-    prompt-lookup speculation exploits).  ``priority_mix`` assigns each
-    request a priority class drawn from the given ``(priority, weight)``
-    pairs.
+    prompt-lookup speculation exploits); ``"agent-tree"`` builds call
+    trees of depth ``num_turns`` and branching ``fanout`` under one
+    workload-wide ``shared_prefix_len`` system prompt, every node
+    extending its parent's full prompt with a private ``prompt_len``
+    suffix; ``"map-reduce"`` builds groups of ``fanout`` mappers sharing
+    the system prompt plus a per-group job header, closed by a reducer
+    whose prompt fans the mappers' shards back in.
+    ``priority_mix`` assigns each request a priority class drawn from
+    the given ``(priority, weight)`` pairs.
     """
 
     name: str
@@ -99,7 +123,8 @@ class Scenario:
         for lo, hi in (self.prompt_len, self.max_new):
             if lo < 1 or hi < lo:
                 raise ValueError(f"bad range ({lo}, {hi}) in scenario {self.name!r}")
-        if self.structure not in ("independent", "multiturn", "fanout", "copy"):
+        known = ("independent", "multiturn", "fanout", "copy", "agent-tree", "map-reduce")
+        if self.structure not in known:
             raise ValueError(f"unknown structure {self.structure!r}")
         lo, hi = self.shared_prefix_len
         if lo < 0 or hi < lo:
@@ -205,7 +230,55 @@ SCENARIOS: dict[str, Scenario] = {
         shared_prefix_len=(2, 4),  # motif length
         copy_rate=0.6,
     ),
+    "agent-tree": Scenario(
+        name="agent-tree",
+        arrival="wave",
+        rate=200.0,
+        prompt_len=(2, 4),  # per-call private suffix
+        max_new=(3, 6),
+        temperature=0.0,
+        top_k=None,
+        description="agent call trees over a shared system prompt, per-tree waves",
+        structure="agent-tree",
+        shared_prefix_len=(8, 10),
+        num_turns=3,  # tree depth
+        fanout=2,  # branching factor
+    ),
+    "map-reduce": Scenario(
+        name="map-reduce",
+        arrival="wave",
+        rate=180.0,
+        prompt_len=(3, 5),  # per-group job header and per-mapper shard
+        max_new=(3, 6),
+        temperature=0.0,
+        top_k=None,
+        description="map waves over a shared context, joined by a fan-in reducer",
+        structure="map-reduce",
+        shared_prefix_len=(13, 15),
+        fanout=4,
+    ),
 }
+
+
+def group_size(scenario: Scenario) -> int:
+    """Requests per session / group / tree under the scenario's structure.
+
+    This is the unit both ``sessions`` sizing and the ``wave`` arrival
+    process count in: a ``"multiturn"`` conversation has ``num_turns``
+    requests, a ``"fanout"`` group ``fanout``, an ``"agent-tree"`` tree
+    the full node count of a depth-``num_turns`` ``fanout``-ary tree,
+    and a ``"map-reduce"`` group its mappers plus the reducer.
+    """
+    if scenario.structure == "multiturn":
+        return scenario.num_turns
+    if scenario.structure == "fanout":
+        return scenario.fanout
+    if scenario.structure == "agent-tree":
+        branch, depth = scenario.fanout, scenario.num_turns
+        return depth if branch == 1 else (branch**depth - 1) // (branch - 1)
+    if scenario.structure == "map-reduce":
+        return scenario.fanout + 1
+    return 1
 
 
 def get_scenario(name: str) -> Scenario:
@@ -224,6 +297,27 @@ def parse_priority_mix(spec: str) -> tuple[tuple[int, float], ...]:
     if not pairs:
         raise ValueError(f"empty priority mix {spec!r}")
     return tuple(pairs)
+
+
+def _wave_kwargs(scenario: Scenario, num_requests: int) -> dict:
+    """Arrival-wave sizing for ``wave`` scenarios: one wave per DAG stage.
+
+    The DAG structures emit requests stage-major (see their prompt
+    builders), so the waves are sized to the stages — all the trees'
+    level-``s`` calls together, all the mappers then all the reducers —
+    rather than to a fixed per-group count.
+    """
+    size = group_size(scenario)
+    groups = -(-num_requests // size)  # ceil division
+    if scenario.structure == "agent-tree":
+        return {
+            "wave_sizes": tuple(
+                groups * scenario.fanout**level for level in range(scenario.num_turns)
+            )
+        }
+    if scenario.structure == "map-reduce":
+        return {"wave_sizes": (groups * scenario.fanout, groups)}
+    return {"wave_size": size}
 
 
 def _draw_priority(scenario: Scenario, rng: np.random.Generator) -> int:
@@ -302,11 +396,7 @@ def generate_workload(
             raise ValueError("pass num_requests or sessions, not both")
         if sessions < 1:
             raise ValueError(f"sessions must be >= 1, got {sessions}")
-        per_session = {
-            "multiturn": scenario.num_turns,
-            "fanout": scenario.fanout,
-        }.get(scenario.structure, 1)
-        num_requests = sessions * per_session
+        num_requests = sessions * group_size(scenario)
     if num_requests is None:
         raise ValueError("one of num_requests or sessions is required")
     if priority_mix is not None:
@@ -336,6 +426,8 @@ def generate_workload(
     arrival_kwargs = {}
     if scenario.arrival == "session":
         arrival_kwargs["session_length"] = scenario.num_turns
+    elif scenario.arrival == "wave":
+        arrival_kwargs.update(_wave_kwargs(scenario, num_requests))
     process = get_arrival_process(
         scenario.arrival, rate=scenario.rate * rate_scale, **arrival_kwargs
     )
@@ -348,6 +440,10 @@ def generate_workload(
         prompts = _fanout_prompts(scenario, num_requests, vocab_size, eos, rng)
     elif scenario.structure == "copy":
         prompts = _copy_prompts(scenario, num_requests, vocab_size, eos, rng)
+    elif scenario.structure == "agent-tree":
+        prompts = _agent_tree_prompts(scenario, num_requests, vocab_size, eos, rng)
+    elif scenario.structure == "map-reduce":
+        prompts = _map_reduce_prompts(scenario, num_requests, vocab_size, eos, rng)
     else:
         prompts = None  # drawn inline below, preserving the classic stream
 
@@ -493,3 +589,116 @@ def _fanout_prompts(
             (f"{session}r{member}", np.concatenate([context, suffix]), session)
         )
     return out
+
+
+def _agent_tree_prompts(
+    scenario: Scenario,
+    num_requests: int,
+    vocab_size: int,
+    eos: int,
+    rng: np.random.Generator,
+) -> list[tuple[str, np.ndarray, str | None]]:
+    """Agent call trees: every node extends its parent's *full* prompt.
+
+    One ``shared_prefix_len`` system prompt is drawn for the *whole
+    workload* — every tree of agent calls runs under it, the way a real
+    agent harness reuses one system prompt across tasks.  Each tree's
+    root extends it with a private task statement, and a ``fanout``-ary
+    tree of depth ``num_turns`` grows below it (node ``k``'s parent is
+    ``(k - 1) // fanout``), each node extending its parent's full prompt
+    with a private suffix — so siblings share their parent's entire
+    context and the prefix trie grows one deep chain per root-to-leaf
+    path.
+
+    Requests are emitted *stage-major*: every tree's roots first, then
+    every tree's second level, and so on — a batch agent harness
+    running one DAG stage across all tasks as one dispatch wave (the
+    ``wave`` arrival sizes its waves to exactly these stages).  That
+    ordering is the tiered pool's designed stress: a parent's span is
+    demanded at stage ``s``, sits idle through every *other* tree's
+    stage-``s`` churn — going cold under a tight pool — and is
+    re-demanded at stage ``s + 1`` when its children fan out, which is
+    the demand-promotion path.
+    """
+    size = group_size(scenario)
+    branch, depth = scenario.fanout, scenario.num_turns
+    trees = -(-num_requests // size)  # ceil division
+    system_len = int(
+        rng.integers(scenario.shared_prefix_len[0], scenario.shared_prefix_len[1] + 1)
+    )
+    system = _draw_prompt(rng, system_len, vocab_size, eos)
+    per_tree: list[list[np.ndarray]] = []
+    for _ in range(trees):
+        node_prompts: list[np.ndarray] = []
+        for node in range(size):
+            suffix_len = int(
+                rng.integers(scenario.prompt_len[0], scenario.prompt_len[1] + 1)
+            )
+            suffix = _draw_prompt(rng, suffix_len, vocab_size, eos)
+            # The root's suffix is the tree's task statement.
+            parent = system if node == 0 else node_prompts[(node - 1) // branch]
+            node_prompts.append(np.concatenate([parent, suffix]))
+        per_tree.append(node_prompts)
+    out: list[tuple[str, np.ndarray, str | None]] = []
+    start = 0
+    for level in range(depth):
+        level_size = branch**level
+        for tree, node_prompts in enumerate(per_tree):
+            session = f"{scenario.name}-t{tree:03d}"
+            for node in range(start, start + level_size):
+                out.append((f"{session}n{node:02d}", node_prompts[node].copy(), session))
+        start += level_size
+    return out[:num_requests]
+
+
+def _map_reduce_prompts(
+    scenario: Scenario,
+    num_requests: int,
+    vocab_size: int,
+    eos: int,
+    rng: np.random.Generator,
+) -> list[tuple[str, np.ndarray, str | None]]:
+    """Map waves with a fan-in reducer sharing the mappers' context.
+
+    One ``shared_prefix_len`` system prompt is drawn for the whole
+    workload; each group extends it with a private job header to form
+    the group's context.  ``fanout`` mappers extend the context with
+    private shard suffixes, and the group's reducer prompt is the
+    context joined with a digest (the leading third) of every mapper's
+    shard — the fan-in join.
+
+    Requests are emitted *stage-major*: every group's mappers form the
+    map wave, then every group's reducers form the reduce wave (the
+    ``wave`` arrival sizes its waves to exactly these stages) — the
+    barrier of a real map-reduce run, where no reducer is dispatched
+    until the map phase drains.  A group's context therefore sits idle
+    through every other group's map churn — going cold under a tight
+    pool — and is re-demanded by its reducer in the second wave, which
+    is the demand-promotion path.
+    """
+    groups = -(-num_requests // group_size(scenario))  # ceil division
+    system_len = int(
+        rng.integers(scenario.shared_prefix_len[0], scenario.shared_prefix_len[1] + 1)
+    )
+    system = _draw_prompt(rng, system_len, vocab_size, eos)
+    mappers: list[tuple[str, np.ndarray, str | None]] = []
+    reducers: list[tuple[str, np.ndarray, str | None]] = []
+    for group in range(groups):
+        job_len = int(
+            rng.integers(scenario.prompt_len[0], scenario.prompt_len[1] + 1)
+        )
+        job = _draw_prompt(rng, job_len, vocab_size, eos)
+        context = np.concatenate([system, job])
+        session = f"{scenario.name}-g{group:03d}"
+        digests: list[np.ndarray] = []
+        for member in range(scenario.fanout):
+            shard_len = int(
+                rng.integers(scenario.prompt_len[0], scenario.prompt_len[1] + 1)
+            )
+            shard = _draw_prompt(rng, shard_len, vocab_size, eos)
+            digests.append(shard[: max(1, shard.size // 3)])
+            mappers.append(
+                (f"{session}m{member}", np.concatenate([context, shard]), session)
+            )
+        reducers.append((f"{session}reduce", np.concatenate([context, *digests]), session))
+    return (mappers + reducers)[:num_requests]

@@ -56,6 +56,7 @@ from repro.serve.bench import (
     DEFAULT_SCENARIOS,
     validate_policies,
     validate_scenarios,
+    validate_tier,
 )
 from repro.shard.executor import DRIVERS, parse_pipeline_spec, parse_shard_spec
 
@@ -373,6 +374,12 @@ def run_shard_bench(
     stages=DEFAULT_STAGES,
     stage_shards: int = 1,
     pin_workers: bool = False,
+    prefix_caching: bool = False,
+    max_blocks: int | None = None,
+    tier_blocks: int | None = None,
+    tier_ratio: float | None = None,
+    tier_fmt: str | None = None,
+    slo_aware: bool = False,
     cache_dir=None,
     use_cache: bool = False,
     no_cache: bool = False,
@@ -419,13 +426,30 @@ def run_shard_bench(
     validate_policies(policies)
     if scenarios:
         validate_scenarios(scenarios)
+    validate_tier(
+        tier_blocks=tier_blocks, tier_ratio=tier_ratio, tier_fmt=tier_fmt,
+        prefix_caching=prefix_caching, max_blocks=max_blocks,
+    )
+    engine_params = {}
+    if prefix_caching:
+        engine_params["prefix_caching"] = True
+    if max_blocks is not None:
+        engine_params["max_blocks"] = int(max_blocks)
+    if tier_blocks is not None:
+        engine_params["tier_blocks"] = int(tier_blocks)
+    if tier_ratio is not None:
+        engine_params["tier_ratio"] = float(tier_ratio)
+    if tier_fmt is not None:
+        engine_params["tier_fmt"] = tier_fmt
+    if slo_aware:
+        engine_params["slo_aware"] = True
     declared = jobs(
         quick=quick, seed=seed, scenarios=scenarios, shards=shards,
         drivers=drivers, policies=policies, repeats=int(repeats),
         mode=mode, stages=stages, stage_shards=stage_shards,
         pin_workers=bool(pin_workers),
         model_name=model_name, max_batch_size=int(max_batch_size),
-        rate_scale=float(rate_scale),
+        rate_scale=float(rate_scale), **engine_params,
     )
     cache = ResultCache(cache_dir) if use_cache else None
     outcomes = run_jobs(
@@ -457,6 +481,12 @@ def run_shard_bench(
             "max_batch_size": int(max_batch_size),
             "rate_scale": float(rate_scale),
             "repeats": int(repeats),
+            "prefix_caching": bool(prefix_caching),
+            "max_blocks": max_blocks,
+            "tier_blocks": tier_blocks,
+            "tier_ratio": tier_ratio,
+            "tier_fmt": tier_fmt,
+            "slo_aware": bool(slo_aware),
         },
         "results": results,
         "shard_comparison": comparison,

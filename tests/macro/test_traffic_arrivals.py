@@ -9,13 +9,16 @@ from repro.macro.traffic import (
     PoissonArrivals,
     SessionArrivals,
     SteadyArrivals,
+    WaveArrivals,
     get_arrival_process,
 )
 
 
 class TestRegistry:
     def test_names(self):
-        assert set(ARRIVAL_PROCESSES) == {"steady", "poisson", "bursty", "session"}
+        assert set(ARRIVAL_PROCESSES) == {
+            "steady", "poisson", "bursty", "session", "wave",
+        }
 
     def test_factory(self):
         process = get_arrival_process("poisson", rate=5.0)
@@ -89,6 +92,54 @@ class TestSession:
             SessionArrivals(rate=1.0, session_length=0)
         with pytest.raises(ValueError):
             SessionArrivals(rate=1.0, think_scale=0.0)
+
+
+class TestWave:
+    def test_in_wave_gaps_much_shorter_than_wave_gaps(self):
+        """A wave lands nearly together; the next wave is a long gap away."""
+        rng = np.random.default_rng(0)
+        process = WaveArrivals(rate=10.0, wave_size=4, spread=0.02)
+        gaps = process.interarrival_times(4000, rng)
+        wave_gaps = gaps[::4]
+        in_wave = np.concatenate([gaps[1::4], gaps[2::4], gaps[3::4]])
+        assert np.mean(in_wave) < np.mean(wave_gaps) / 10
+
+    def test_wave_sizes_override_tiles_the_pattern(self):
+        """Per-stage sizes repeat until the request count is covered."""
+        rng = np.random.default_rng(3)
+        process = WaveArrivals(rate=10.0, spread=0.001, wave_sizes=(3, 1))
+        gaps = process.interarrival_times(8, rng)
+        assert gaps.size == 8
+        # Wave heads sit at offsets 0, 3, 4, 7 (sizes 3, 1, 3, 1); the
+        # two requests following each size-3 head are in-wave stragglers.
+        heads = gaps[[0, 3, 4, 7]]
+        in_wave = gaps[[1, 2, 5, 6]]
+        assert in_wave.max() < heads.min()
+
+    def test_seeded_determinism_and_monotone_times(self):
+        a = WaveArrivals(rate=5.0, wave_size=3).arrival_times(
+            30, np.random.default_rng(1)
+        )
+        b = WaveArrivals(rate=5.0, wave_size=3).arrival_times(
+            30, np.random.default_rng(1)
+        )
+        np.testing.assert_array_equal(a, b)
+        assert np.all(np.diff(a) >= 0)
+
+    def test_factory_accepts_wave_kwargs(self):
+        process = get_arrival_process("wave", rate=2.0, wave_sizes=(4, 2, 1))
+        assert isinstance(process, WaveArrivals)
+        assert process.wave_sizes == (4, 2, 1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            WaveArrivals(rate=0.0)
+        with pytest.raises(ValueError):
+            WaveArrivals(rate=1.0, wave_size=0)
+        with pytest.raises(ValueError):
+            WaveArrivals(rate=1.0, spread=0.0)
+        with pytest.raises(ValueError):
+            WaveArrivals(rate=1.0, wave_sizes=(2, 0))
 
 
 class TestSessionScaling:

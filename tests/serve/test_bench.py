@@ -466,3 +466,115 @@ class TestKnobGuards:
             ])
         assert "serve-bench:" in str(excinfo.value)
         assert "--ngram" in str(excinfo.value)
+
+
+class TestTierFlagValidation:
+    """The cold-tier flags fail fast, house-style, across every bench."""
+
+    def test_validate_tier_rejections(self):
+        from repro.serve.bench import validate_tier
+
+        with pytest.raises(ValueError, match="not both"):
+            validate_tier(tier_blocks=8, tier_ratio=0.5, prefix_caching=True)
+        with pytest.raises(ValueError, match="--tier-blocks"):
+            validate_tier(tier_blocks=-1, prefix_caching=True)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            validate_tier(tier_ratio=1.5, prefix_caching=True, max_blocks=8)
+        with pytest.raises(ValueError, match="--prefix-caching"):
+            validate_tier(tier_blocks=8, prefix_caching=False)
+        with pytest.raises(ValueError, match="--max-blocks"):
+            validate_tier(tier_ratio=0.5, prefix_caching=True)
+        with pytest.raises(ValueError, match="--tier-fmt"):
+            validate_tier(tier_fmt="fp8_e4m3", prefix_caching=True)
+        with pytest.raises(ValueError, match="--tier-fmt"):
+            validate_tier(
+                tier_blocks=8, tier_fmt="int7", prefix_caching=True
+            )
+        # The all-clear combinations do not raise.
+        validate_tier()
+        validate_tier(tier_blocks=8, prefix_caching=True)
+        validate_tier(tier_ratio=0.25, prefix_caching=True, max_blocks=16)
+
+    def test_serve_bench_cli_one_line_usage_error(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "serve-bench", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--tier-blocks", "8",
+            ])
+        assert "serve-bench:" in str(excinfo.value)
+        assert "--prefix-caching" in str(excinfo.value)
+
+    def test_cluster_bench_cli_one_line_usage_error(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "cluster-bench", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--tier-ratio", "0.5",
+            ])
+        assert "cluster-bench:" in str(excinfo.value)
+        assert "--max-blocks" in str(excinfo.value)
+
+    def test_shard_bench_cli_one_line_usage_error(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "shard-bench", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--prefix-caching", "--tier-blocks", "8",
+                "--tier-fmt", "int7",
+            ])
+        assert "shard-bench:" in str(excinfo.value)
+        assert "--tier-fmt" in str(excinfo.value)
+
+    def test_unknown_dag_scenario_is_a_usage_error(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "serve-bench", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--scenarios", "agent-forest",
+            ])
+        assert "serve-bench:" in str(excinfo.value)
+        assert "agent-forest" in str(excinfo.value)
+
+
+class TestTierPairing:
+    """Arming the tier pairs every cell with an untiered twin."""
+
+    def test_jobs_tier_axis_doubles_cells_and_marks_names(self):
+        from repro.serve.bench import jobs
+
+        tier = {"tier_blocks": 16, "slo_aware": False}
+        declared = jobs(
+            quick=True, seed=0, scenarios=("agent-tree",),
+            normalizers=("baseline",), tiers=(None, tier),
+        )
+        names = [job.name for job in declared]
+        assert len(names) == 2
+        assert sum("[tiered]" in name for name in names) == 1
+        tiered = next(j for j in declared if "[tiered]" in j.name)
+        assert tiered.params["tier_blocks"] == 16
+
+    def test_run_bench_tiered_writes_tier_comparison(self, tmp_path):
+        payload, _ = run_bench(
+            quick=True, seed=0, out_path=str(tmp_path / "tier.json"),
+            scenarios=("agent-tree",), normalizers=("baseline",),
+            policy="fp64-ref", prefix_caching=True, block_size=8,
+            max_blocks=12, tier_blocks=48,
+            stream=open("/dev/null", "w"),
+        )
+        comparison = payload["tier_comparison"]
+        assert comparison, "tiered run must emit tier_comparison"
+        for cell in comparison.values():
+            assert cell["tokens_match"] is True
+            assert cell["blocks_demoted"] > 0
+        # The classic comparisons only ever see untiered rows.
+        for row_key in payload["comparison"]:
+            assert "[tiered]" not in row_key

@@ -196,6 +196,88 @@ def test_cow_isolation_under_random_forks():
         check_structural_invariants(pool)
 
 
+@pytest.mark.parametrize("seed", range(4))
+def test_tiered_churn_holds_invariants(seed):
+    """Demote/promote/evict churn through a tiered pool never corrupts it.
+
+    The fuzzer adds the cold tier to the interleaving space: explicit
+    ``demote`` ops, tier-aware adoption (which *promotes* cold spans or,
+    at tier capacity, drops them), and the allocation-pressure path that
+    demotes in-flight.  :meth:`BlockKVPool.check_invariants` runs after
+    every operation — refcount conservation, duplicate-free free list,
+    one-to-one cold-entry/tier-record matching — and the final byte
+    sweep proves promoted spans still carry their writer's bytes (a cold
+    span was never aliased by a hot write).
+    """
+    rng = np.random.default_rng(seed)
+    pool = make_pool(max_blocks=16, initial_blocks=8, tier_blocks=6)
+
+    sequences = {}
+    registered = {}
+    next_value = 1.0
+    key_serial = 0
+
+    for _ in range(250):
+        op = rng.choice(
+            ["open", "append", "register", "adopt", "close", "evict", "demote"],
+            p=[0.2, 0.25, 0.15, 0.15, 0.13, 0.05, 0.07],
+        )
+        try:
+            if op == "open" or not sequences:
+                seq = pool.sequence()
+                sequences[seq] = next_value
+                next_value += 1.0
+            elif op == "append":
+                seq = list(sequences)[rng.integers(len(sequences))]
+                fill(seq, int(rng.integers(1, 6)), sequences[seq])
+            elif op == "register":
+                seq = list(sequences)[rng.integers(len(sequences))]
+                if seq.seq_len:
+                    key_serial += 1
+                    key = (10_000 + key_serial,) + tuple(
+                        int(t) for t in rng.integers(0, 50, seq.seq_len - 1)
+                    )
+                    seq.register_prefix(list(key))
+                    registered[key] = sequences[seq]
+            elif op == "adopt":
+                if registered:
+                    key = list(registered)[rng.integers(len(registered))]
+                    seq = pool.sequence()
+                    seq.adopt_prefix(list(key))
+                    sequences[seq] = registered[key]
+            elif op == "close":
+                seq = list(sequences)[rng.integers(len(sequences))]
+                seq.release()
+                del sequences[seq]
+            elif op == "evict":
+                pool.prefix.evict(pool, int(rng.integers(1, 4)))
+            elif op == "demote":
+                pool.prefix.demote(pool, int(rng.integers(1, 4)))
+        except PoolExhaustedError:
+            if sequences:
+                victim = list(sequences)[0]
+                victim.release()
+                del sequences[victim]
+
+        pool.check_invariants()
+        check_structural_invariants(pool)
+
+    # Promotions restored byte-exact blocks: whatever the index still
+    # covers — hot or cold — reads back the registering writer's value.
+    for key, value in registered.items():
+        probe = pool.sequence()
+        adopted = probe.adopt_prefix(list(key))
+        if adopted:
+            expected = np.full((1, HEADS, adopted, DIM), value)
+            np.testing.assert_array_equal(probe.gather(0)[0], expected)
+        probe.release()
+        pool.check_invariants()
+
+    for seq in list(sequences):
+        seq.release()
+    pool.check_invariants()
+
+
 def test_alloc_free_churn_matches_reference_exactly():
     """Where each effect is observable, the shadow model tracks refcounts."""
     rng = np.random.default_rng(5)

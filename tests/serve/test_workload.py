@@ -17,6 +17,8 @@ class TestScenarios:
             "agent-fanout",
             "priority-burst",
             "summarize-copy",
+            "agent-tree",
+            "map-reduce",
         }
 
     def test_default_bench_grid_is_the_classic_four(self):
@@ -150,7 +152,10 @@ class TestStructuredScenarios:
         assert len({r.priority for r in requests}) == 2
 
     def test_structured_workloads_are_seed_deterministic(self):
-        for name in ("chat-multiturn", "agent-fanout", "priority-burst"):
+        for name in (
+            "chat-multiturn", "agent-fanout", "priority-burst",
+            "agent-tree", "map-reduce",
+        ):
             a = generate_workload(name, num_requests=12, vocab_size=64, seed=7)
             b = generate_workload(name, num_requests=12, vocab_size=64, seed=7)
             for left, right in zip(a, b):
@@ -158,3 +163,111 @@ class TestStructuredScenarios:
                 assert left.priority == right.priority
                 assert left.arrival_time == right.arrival_time
                 np.testing.assert_array_equal(left.prompt_ids, right.prompt_ids)
+
+
+class TestDAGScenarios:
+    """The application-DAG workloads that stress the tiered KV pool."""
+
+    def test_group_size(self):
+        from repro.serve.workload import group_size
+
+        assert group_size(get_scenario("chat-multiturn")) == 3
+        assert group_size(get_scenario("agent-fanout")) == 6
+        # Depth-3 binary tree: 1 + 2 + 4 nodes.
+        assert group_size(get_scenario("agent-tree")) == 7
+        # fanout mappers plus the reducer.
+        assert group_size(get_scenario("map-reduce")) == 5
+        assert group_size(get_scenario("steady")) == 1
+
+    def test_agent_tree_children_extend_parents(self):
+        """Node k's prompt is its parent's full prompt plus a suffix."""
+        scenario = get_scenario("agent-tree")
+        size = 7
+        requests = generate_workload(
+            "agent-tree", num_requests=2 * size, vocab_size=64, seed=0
+        )
+        by_id = {r.request_id: r for r in requests}
+        for tree in range(2):
+            for node in range(1, size):
+                child = by_id[f"agent-tree-t{tree:03d}n{node:02d}"]
+                parent = by_id[
+                    f"agent-tree-t{tree:03d}n{(node - 1) // scenario.fanout:02d}"
+                ]
+                assert child.prompt_ids.size > parent.prompt_ids.size
+                np.testing.assert_array_equal(
+                    child.prompt_ids[: parent.prompt_ids.size], parent.prompt_ids
+                )
+
+    def test_agent_tree_system_prompt_is_workload_global(self):
+        """Every tree's root starts with the same system prompt."""
+        scenario = get_scenario("agent-tree")
+        requests = generate_workload(
+            "agent-tree", num_requests=21, vocab_size=64, seed=1
+        )
+        roots = [r for r in requests if r.request_id.endswith("n00")]
+        assert len(roots) == 3
+        head = roots[0].prompt_ids[: scenario.shared_prefix_len[0]]
+        for root in roots[1:]:
+            np.testing.assert_array_equal(
+                root.prompt_ids[: scenario.shared_prefix_len[0]], head
+            )
+
+    def test_agent_tree_emission_is_stage_major(self):
+        """All trees' level-s nodes precede any tree's level-(s+1) node."""
+        requests = generate_workload(
+            "agent-tree", num_requests=14, vocab_size=64, seed=0
+        )
+        # Node index -> tree level for a depth-3 binary tree.
+        level = {0: 0, 1: 1, 2: 1, 3: 2, 4: 2, 5: 2, 6: 2}
+        levels = [level[int(r.request_id[-2:])] for r in requests]
+        assert levels == sorted(levels)
+        times = [r.arrival_time for r in requests]
+        assert times == sorted(times)
+
+    def test_map_reduce_reducer_joins_every_mapper_digest(self):
+        """The reducer shares the group context and each shard's digest."""
+        scenario = get_scenario("map-reduce")
+        requests = generate_workload(
+            "map-reduce", num_requests=10, vocab_size=64, seed=0
+        )
+        by_id = {r.request_id: r for r in requests}
+        for group in range(2):
+            session = f"map-reduce-g{group:03d}"
+            mappers = [by_id[f"{session}m{m}"] for m in range(scenario.fanout)]
+            reducer = by_id[f"{session}reduce"]
+            # Group context: the longest common head of the mappers.
+            context_len = min(m.prompt_ids.size for m in mappers) - scenario.prompt_len[1]
+            assert context_len >= scenario.shared_prefix_len[0]
+            for mapper in mappers:
+                np.testing.assert_array_equal(
+                    mapper.prompt_ids[:context_len], reducer.prompt_ids[:context_len]
+                )
+            # Past the context the reducer carries one digest per mapper.
+            assert reducer.prompt_ids.size > context_len + scenario.fanout - 1
+
+    def test_map_reduce_emission_is_stage_major(self):
+        """Every mapper arrives before any reducer — the map barrier."""
+        requests = generate_workload(
+            "map-reduce", num_requests=10, vocab_size=64, seed=0
+        )
+        kinds = [r.request_id.endswith("reduce") for r in requests]
+        assert kinds == sorted(kinds)
+        times = [r.arrival_time for r in requests]
+        assert times == sorted(times)
+
+    def test_dag_prompts_fit_the_test_model_window(self):
+        """Worst-case prompt + max_new must stay inside opt-test's window."""
+        for name in ("agent-tree", "map-reduce"):
+            scenario = get_scenario(name)
+            requests = generate_workload(name, sessions=4, vocab_size=64, seed=2)
+            assert (
+                max(r.prompt_ids.size for r in requests) + scenario.max_new[1] <= 32
+            )
+
+    def test_sessions_sizing_counts_whole_groups(self):
+        assert len(
+            generate_workload("agent-tree", sessions=2, vocab_size=64, seed=0)
+        ) == 14
+        assert len(
+            generate_workload("map-reduce", sessions=3, vocab_size=64, seed=0)
+        ) == 15
